@@ -1,0 +1,146 @@
+//! Criterion benchmarks for the timing claims in the paper's motivation:
+//! SampleCF must be far cheaper than compressing the full index, and the cost
+//! of the substrate operations (compression codecs, sampling, index build)
+//! must scale the way the analysis assumes.
+//!
+//! Groups:
+//! * `samplecf_vs_exact` — the headline comparison: estimating CF from a 1%
+//!   sample vs. building and compressing the whole index.
+//! * `compression_throughput` — per-scheme chunk compression cost.
+//! * `sampling_throughput` — per-sampler cost of drawing a 1% sample.
+//! * `index_build` — bulk-loading the B+-tree at several table sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use samplecf_bench::paper_table;
+use samplecf_compression::{scheme_by_name, scheme_names, ColumnChunk};
+use samplecf_core::{ExactCf, SampleCf};
+use samplecf_index::{IndexBuilder, IndexSpec};
+use samplecf_sampling::SamplerKind;
+use samplecf_storage::{DataType, Value};
+use std::hint::black_box;
+
+const WIDTH: u16 = 40;
+
+fn spec() -> IndexSpec {
+    IndexSpec::nonclustered("idx_a", ["a"]).expect("valid spec")
+}
+
+fn bench_samplecf_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplecf_vs_exact");
+    group.sample_size(10);
+    for &n in &[20_000usize, 60_000] {
+        let generated = paper_table(n, WIDTH, n / 10, 1);
+        let table = generated.table;
+        for scheme_name in ["null-suppression", "dictionary-paged"] {
+            let scheme = scheme_by_name(scheme_name).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("exact/{scheme_name}"), n),
+                &table,
+                |b, t| {
+                    b.iter(|| {
+                        black_box(ExactCf::new().compute(t, &spec(), scheme.as_ref()).unwrap().cf)
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("samplecf_1pct/{scheme_name}"), n),
+                &table,
+                |b, t| {
+                    b.iter(|| {
+                        black_box(
+                            SampleCf::with_fraction(0.01)
+                                .seed(7)
+                                .estimate(t, &spec(), scheme.as_ref())
+                                .unwrap()
+                                .cf,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compression_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression_throughput");
+    let values: Vec<Value> = (0..2_000)
+        .map(|i| Value::str(format!("value-{:06}", i % 200)))
+        .collect();
+    let chunk = ColumnChunk::new(DataType::Char(WIDTH), values).unwrap();
+    group.throughput(Throughput::Bytes(chunk.uncompressed_bytes() as u64));
+    for name in scheme_names() {
+        let scheme = scheme_by_name(name).unwrap();
+        group.bench_function(BenchmarkId::new("compress_chunk", name), |b| {
+            b.iter(|| black_box(scheme.compress_chunk(&chunk).unwrap().compressed_bytes()));
+        });
+        let compressed = scheme.compress_chunk(&chunk).unwrap();
+        group.bench_function(BenchmarkId::new("decompress_chunk", name), |b| {
+            b.iter(|| {
+                black_box(
+                    scheme
+                        .decompress_chunk(&compressed, DataType::Char(WIDTH))
+                        .unwrap()
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling_throughput");
+    group.sample_size(20);
+    let generated = paper_table(100_000, WIDTH, 5_000, 2);
+    let table = generated.table;
+    let kinds = [
+        SamplerKind::UniformWithReplacement(0.01),
+        SamplerKind::UniformWithoutReplacement(0.01),
+        SamplerKind::Bernoulli(0.01),
+        SamplerKind::Systematic(0.01),
+        SamplerKind::Reservoir(1_000),
+        SamplerKind::Block(0.01),
+    ];
+    for kind in kinds {
+        let sampler = kind.build().unwrap();
+        group.bench_function(BenchmarkId::new("sample_1pct_of_100k", sampler.name()), |b| {
+            b.iter(|| {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                black_box(sampler.sample(&table, &mut rng).unwrap().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        let generated = paper_table(n, WIDTH, n / 10, 3);
+        let table = generated.table;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("bulk_load_nonclustered", n), &table, |b, t| {
+            b.iter(|| {
+                black_box(
+                    IndexBuilder::new()
+                        .build_from_table(t, &spec())
+                        .unwrap()
+                        .num_leaf_pages(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_samplecf_vs_exact,
+    bench_compression_throughput,
+    bench_sampling_throughput,
+    bench_index_build
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **Figure E** (the paper's future work, Section IV) — block-level sampling
+//! versus uniform row sampling, on shuffled and clustered physical layouts,
+//! for both compression techniques.
+
+use crate::report::{fmt, Report, Table};
+use samplecf_compression::{CompressionScheme, GlobalDictionaryCompression, NullSuppression};
+use samplecf_core::{TrialConfig, TrialRunner};
+use samplecf_datagen::{presets, RowLayout};
+use samplecf_index::IndexSpec;
+use samplecf_sampling::SamplerKind;
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Report {
+    let rows = if quick { 10_000 } else { 40_000 };
+    let trials = if quick { 15 } else { 50 };
+    let width: u16 = 24;
+    let d = rows / 200;
+    let f = 0.02;
+    let spec = IndexSpec::nonclustered("idx_a", ["a"]).expect("valid spec");
+    let runner = TrialRunner::new(TrialConfig::new(trials).base_seed(31337));
+
+    let shuffled = presets::single_char_table("shuffled", rows, width, d, 10, 71)
+        .generate()
+        .expect("generation succeeds")
+        .table;
+    let clustered = presets::single_char_table("clustered", rows, width, d, 10, 71)
+        .layout(RowLayout::ClusteredBy(0))
+        .generate()
+        .expect("generation succeeds")
+        .table;
+
+    let schemes: Vec<(&str, Box<dyn CompressionScheme>)> = vec![
+        ("null-suppression", Box::new(NullSuppression)),
+        ("dictionary-global", Box::new(GlobalDictionaryCompression::default())),
+    ];
+
+    let mut report = Report::new("exp_block_sampling");
+    let mut t = Table::new(
+        format!(
+            "Block (page) sampling vs uniform row sampling (n = {rows}, d = {d}, f = {f}, {trials} trials)"
+        ),
+        &["layout", "scheme", "sampler", "true CF", "mean estimate", "relative bias", "mean ratio error", "max ratio error"],
+    );
+    for (layout_label, table) in [("shuffled", &shuffled), ("clustered", &clustered)] {
+        for (scheme_label, scheme) in &schemes {
+            for sampler in [SamplerKind::UniformWithReplacement(f), SamplerKind::Block(f)] {
+                let summary = runner
+                    .run(table, &spec, scheme.as_ref(), sampler)
+                    .expect("trials succeed");
+                t.row(&[
+                    layout_label.to_string(),
+                    (*scheme_label).to_string(),
+                    sampler.label(),
+                    fmt(summary.true_cf()),
+                    fmt(summary.estimate_stats.mean),
+                    fmt(summary.relative_bias()),
+                    fmt(summary.mean_ratio_error()),
+                    fmt(summary.max_ratio_error()),
+                ]);
+            }
+        }
+    }
+    t.note(
+        "Measured shape: on the shuffled layout block sampling behaves like row sampling for \
+         both schemes.  Null suppression is insensitive to the sampler everywhere (lengths do \
+         not depend on page placement).  For dictionary compression the two samplers diverge on \
+         the clustered layout: the row sample's distinct ratio d'/r far exceeds d/n, so it \
+         overestimates CF, whereas a block sample of whole pages inherits the *local* distinct \
+         ratio of each page, which on clustered data mirrors the global d/n and lands near the \
+         truth.  The takeaway matches the paper's caution: block sampling's accuracy depends \
+         entirely on the physical layout (here it helps; with page-correlated lengths or \
+         non-uniform run sizes it hurts), so the row-sampling analysis does not carry over and \
+         the paper rightly leaves it to future work.",
+    );
+    report.add(t);
+    report
+}

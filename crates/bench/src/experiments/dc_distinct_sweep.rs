@@ -1,0 +1,92 @@
+//! **Figure B** (implied by Section III-B) — dictionary compression: the
+//! ratio error of SampleCF as a function of the distinct-value ratio `d/n`,
+//! for two sampling fractions and two frequency skews, against the
+//! expected-value model from the theory module.
+
+use crate::report::{fmt, Report, Table};
+use samplecf_compression::GlobalDictionaryCompression;
+use samplecf_core::{theory, TrialConfig, TrialRunner};
+use samplecf_datagen::presets;
+use samplecf_index::IndexSpec;
+use samplecf_sampling::SamplerKind;
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Report {
+    let rows = if quick { 10_000 } else { 50_000 };
+    let trials = if quick { 20 } else { 60 };
+    let width: u16 = 40;
+    let spec = IndexSpec::nonclustered("idx_a", ["a"]).expect("valid spec");
+    let runner = TrialRunner::new(TrialConfig::new(trials).base_seed(555));
+    let scheme = GlobalDictionaryCompression::default();
+
+    let ratios = [0.0005, 0.002, 0.01, 0.05, 0.1, 0.25, 0.5, 0.8];
+    let fractions = [0.01, 0.05];
+
+    let mut report = Report::new("exp_dc_distinct_sweep");
+    for &f in &fractions {
+        let mut t = Table::new(
+            format!("Dictionary (global model): ratio error vs d/n at f = {f} (n = {rows}, {trials} trials, uniform frequencies)"),
+            &["d/n", "d", "true CF", "mean estimate", "mean ratio error", "max ratio error", "model ratio error"],
+        );
+        for &ratio in &ratios {
+            let d = ((rows as f64 * ratio).round() as usize).max(2);
+            let generated = presets::variable_length_table("t", rows, width, d, 4, 36, 99 + d as u64)
+                .generate()
+                .expect("generation succeeds");
+            let summary = runner
+                .run(&generated.table, &spec, &scheme, SamplerKind::UniformWithReplacement(f))
+                .expect("trials succeed");
+            let model = theory::dc_expected_ratio_error(rows as u64, d as u64, u64::from(width), 1, f);
+            t.row(&[
+                format!("{ratio}"),
+                d.to_string(),
+                fmt(summary.true_cf()),
+                fmt(summary.estimate_stats.mean),
+                fmt(summary.mean_ratio_error()),
+                fmt(summary.max_ratio_error()),
+                fmt(model),
+            ]);
+        }
+        t.note(
+            "Expected shape: ratio error is close to 1 at both ends (very small d: the pointer \
+             term dominates; very large d: the sample is almost all-distinct, like the truth) \
+             and peaks at intermediate d/n, shrinking as f grows.  The analytical model column \
+             tracks the measured mean because the codec's dictionary entries are null-suppressed \
+             rather than full-width, so absolute values differ slightly but the shape matches.",
+        );
+        report.add(t);
+    }
+
+    // Frequency skew: Zipf vs uniform at fixed d/n.
+    let f = 0.01;
+    let d = rows / 10;
+    let mut t = Table::new(
+        format!("Dictionary (global model): effect of frequency skew at d/n = 0.1, f = {f}"),
+        &["frequency distribution", "true CF", "mean estimate", "mean ratio error", "max ratio error"],
+    );
+    for (label, theta) in [("uniform", 0.0), ("zipf(0.5)", 0.5), ("zipf(1.0)", 1.0), ("zipf(1.5)", 1.5)] {
+        let generated = if theta == 0.0 {
+            presets::variable_length_table("t", rows, width, d, 4, 36, 7).generate()
+        } else {
+            presets::skewed_table("t", rows, width, d, theta, 7).generate()
+        }
+        .expect("generation succeeds");
+        let summary = runner
+            .run(&generated.table, &spec, &scheme, SamplerKind::UniformWithReplacement(f))
+            .expect("trials succeed");
+        t.row(&[
+            label.to_string(),
+            fmt(summary.true_cf()),
+            fmt(summary.estimate_stats.mean),
+            fmt(summary.mean_ratio_error()),
+            fmt(summary.max_ratio_error()),
+        ]);
+    }
+    t.note(
+        "Expected shape: skew helps the estimator — frequent values are seen early, so the \
+         sample's distinct ratio d'/r approaches the table's d/n faster than under uniform \
+         frequencies, and the ratio error drops as theta grows.",
+    );
+    report.add(t);
+    report
+}

@@ -1,0 +1,98 @@
+//! **Figure F** (baseline study) — SampleCF versus "estimate the distinct
+//! count, then plug it into the analytic CF formula".
+//!
+//! The paper's key observation for dictionary compression is that SampleCF
+//! sidesteps explicit distinct-value estimation.  This experiment makes the
+//! comparison concrete: classical distinct-value estimators (naive scale-up,
+//! GEE, Chao84, Shlosser) feed the analytic `CF_DC = (n·p + d̂·k)/(n·k)`
+//! formula, and their ratio errors are compared with SampleCF's.
+
+use crate::report::{fmt, Report, Table};
+use crate::workloads::paper_table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use samplecf_compression::model::{global_dictionary_cf, TableModel};
+use samplecf_compression::GlobalDictionaryCompression;
+use samplecf_core::{
+    all_estimators, ratio_error, ExactCf, FrequencyHistogram, SampleCf, SummaryStats,
+};
+use samplecf_index::IndexSpec;
+use samplecf_sampling::{RowSampler, UniformWithReplacement};
+use samplecf_storage::Value;
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Report {
+    let rows = if quick { 10_000 } else { 50_000 };
+    let trials = if quick { 10 } else { 30 };
+    let width: u16 = 40;
+    let f = 0.01;
+    let pointer_bytes = 1u64;
+    let spec = IndexSpec::nonclustered("idx_a", ["a"]).expect("valid spec");
+
+    let ratios = [0.001, 0.01, 0.1, 0.25, 0.5];
+    let mut report = Report::new("exp_dv_baselines");
+    let mut t = Table::new(
+        format!(
+            "Mean ratio error of the analytic-model CF: SampleCF vs distinct-value estimator plug-ins \
+             (n = {rows}, k = {width}, f = {f}, {trials} trials)"
+        ),
+        &["d/n", "d", "SampleCF", "sample-distinct", "naive-scale-up", "chao84", "gee", "shlosser"],
+    );
+
+    for &ratio in &ratios {
+        let d = ((rows as f64 * ratio).round() as usize).max(2);
+        let generated = paper_table(rows, width, d, 2_000 + d as u64);
+        let table = &generated.table;
+        let model = TableModel::new(rows as u64, u64::from(width));
+        // Ground truth under the simplified model the baselines target.
+        let true_cf = global_dictionary_cf(model, d as u64, pointer_bytes);
+
+        // SampleCF (measured against the same analytic truth so the
+        // comparison is apples-to-apples: both estimate CF under the global
+        // model).
+        let exact = ExactCf::new()
+            .compute(table, &spec, &GlobalDictionaryCompression::default())
+            .expect("exact succeeds");
+        let mut samplecf_errors = Vec::new();
+        let mut baseline_errors: Vec<Vec<f64>> = vec![Vec::new(); all_estimators().len()];
+        for trial in 0..trials {
+            let est = SampleCf::with_fraction(f)
+                .seed(trial as u64)
+                .estimate(table, &spec, &GlobalDictionaryCompression::default())
+                .expect("estimate succeeds");
+            samplecf_errors.push(ratio_error(est.cf, exact.cf));
+
+            // Distinct-value baselines work directly off a row sample.
+            let sampler = UniformWithReplacement::new(f).expect("valid fraction");
+            let mut rng = StdRng::seed_from_u64(10_000 + trial as u64);
+            let sample = sampler.sample(table, &mut rng).expect("sampling succeeds");
+            let values: Vec<Value> = sample.iter().map(|(_, row)| row.value(0).clone()).collect();
+            let hist = FrequencyHistogram::from_values(&values);
+            for (i, estimator) in all_estimators().iter().enumerate() {
+                let d_hat = estimator.estimate(&hist, rows);
+                let cf_hat = global_dictionary_cf(model, d_hat.round() as u64, pointer_bytes);
+                baseline_errors[i].push(ratio_error(cf_hat, true_cf));
+            }
+        }
+        let mean = |v: &[f64]| SummaryStats::from_values(v).map_or(f64::NAN, |s| s.mean);
+        t.row(&[
+            format!("{ratio}"),
+            d.to_string(),
+            fmt(mean(&samplecf_errors)),
+            fmt(mean(&baseline_errors[0])),
+            fmt(mean(&baseline_errors[1])),
+            fmt(mean(&baseline_errors[2])),
+            fmt(mean(&baseline_errors[3])),
+            fmt(mean(&baseline_errors[4])),
+        ]);
+    }
+    t.note(
+        "Expected shape: no baseline dominates everywhere — naive scale-up is terrible at small \
+         d/n (it multiplies the sample's distinct count by 1/f), the sample-distinct baseline is \
+         terrible at large d/n, and GEE/Chao84/Shlosser sit in between.  SampleCF is competitive \
+         across the sweep without ever estimating d explicitly, which is the paper's point: the \
+         hardness of distinct-value estimation does not automatically make CF estimation hard.",
+    );
+    report.add(t);
+    report
+}

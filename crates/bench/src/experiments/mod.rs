@@ -1,0 +1,32 @@
+//! The reproduction experiments, one module per table/figure in
+//! `DESIGN.md` §5.  Each module exposes `run(quick) -> Report`; the
+//! `exp_*` binaries are thin wrappers and `run_all` executes every
+//! experiment in sequence.
+
+pub mod block_sampling;
+pub mod dc_distinct_sweep;
+pub mod dc_regimes;
+pub mod dv_baselines;
+pub mod ns_fraction_sweep;
+pub mod paged_vs_global;
+pub mod table2;
+pub mod theorem1;
+pub mod timing;
+
+/// Whether quick mode is requested (smaller tables, fewer trials) — set the
+/// `SAMPLECF_QUICK` environment variable or pass `--quick` to a binary.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var("SAMPLECF_QUICK").is_ok_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// Scale a size parameter down in quick mode.
+#[must_use]
+pub fn scaled(full: usize, quick: usize, quick_mode: bool) -> usize {
+    if quick_mode {
+        quick
+    } else {
+        full
+    }
+}

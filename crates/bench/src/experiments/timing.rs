@@ -1,0 +1,63 @@
+//! **Timing** — the motivation for SampleCF: estimating from a sample must be
+//! far cheaper than actually compressing the index.  (The criterion benches
+//! in `benches/` measure the same quantities with statistical rigour; this
+//! table gives a quick single-run overview for `EXPERIMENTS.md`.)
+
+use crate::report::{fmt, Report, Table};
+use crate::workloads::paper_table;
+use samplecf_compression::{scheme_by_name, scheme_names};
+use samplecf_core::{ExactCf, SampleCf};
+use samplecf_index::IndexSpec;
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Report {
+    let sizes: Vec<usize> = if quick {
+        vec![10_000, 50_000]
+    } else {
+        vec![20_000, 100_000, 300_000]
+    };
+    let width: u16 = 40;
+    let f = 0.01;
+    let spec = IndexSpec::nonclustered("idx_a", ["a"]).expect("valid spec");
+
+    let mut report = Report::new("exp_timing");
+    let mut t = Table::new(
+        format!("Wall-clock cost of exact CF vs SampleCF (f = {f}), single run per cell"),
+        &["n", "scheme", "exact CF", "estimate", "ratio error", "exact ms", "estimate ms", "speed-up"],
+    );
+    for &n in &sizes {
+        let generated = paper_table(n, width, n / 10, 12_345);
+        for name in scheme_names() {
+            if name == "none" {
+                continue;
+            }
+            let scheme = scheme_by_name(name).expect("known scheme");
+            let exact = ExactCf::new()
+                .compute(&generated.table, &spec, scheme.as_ref())
+                .expect("exact succeeds");
+            let est = SampleCf::with_fraction(f)
+                .seed(3)
+                .estimate(&generated.table, &spec, scheme.as_ref())
+                .expect("estimate succeeds");
+            let exact_ms = exact.elapsed.as_secs_f64() * 1e3;
+            let est_ms = est.elapsed.as_secs_f64() * 1e3;
+            t.row(&[
+                n.to_string(),
+                name.to_string(),
+                fmt(exact.cf),
+                fmt(est.cf),
+                fmt(samplecf_core::ratio_error(est.cf, exact.cf)),
+                fmt(exact_ms),
+                fmt(est_ms),
+                format!("{:.1}x", exact_ms / est_ms.max(1e-6)),
+            ]);
+        }
+    }
+    t.note(
+        "Expected shape: the estimate costs a small, nearly size-independent amount (dominated \
+         by drawing the sample), while the exact computation grows linearly with n — the gap \
+         approaches the 1/f factor that motivates sampling in the first place.",
+    );
+    report.add(t);
+    report
+}

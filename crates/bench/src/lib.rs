@@ -1,0 +1,13 @@
+//! # samplecf-bench
+//!
+//! Experiment harness shared by the reproduction binaries (`src/bin/exp_*`)
+//! and the criterion benchmarks.  Each binary regenerates one table or figure
+//! listed in `DESIGN.md` §5, prints a markdown table, and (via [`Report`])
+//! writes it under `results/` so `EXPERIMENTS.md` can reference the output.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use report::{Report, Table};
+pub use workloads::{paper_table, PaperWorkload};

@@ -1,0 +1,189 @@
+//! Markdown report writing for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple markdown table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a free-text note rendered under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n> {note}");
+        }
+        out
+    }
+}
+
+/// A report: a collection of tables belonging to one experiment, printed to
+/// stdout and persisted under `results/<experiment>.md`.
+#[derive(Debug)]
+pub struct Report {
+    experiment: String,
+    tables: Vec<Table>,
+    output_dir: PathBuf,
+}
+
+impl Report {
+    /// Create a report for the named experiment, writing into `results/` at
+    /// the workspace root (or `$SAMPLECF_RESULTS_DIR` if set).
+    pub fn new(experiment: impl Into<String>) -> Self {
+        let output_dir = std::env::var("SAMPLECF_RESULTS_DIR")
+            .map_or_else(|_| PathBuf::from("results"), PathBuf::from);
+        Report {
+            experiment: experiment.into(),
+            tables: Vec::new(),
+            output_dir,
+        }
+    }
+
+    /// Use a custom output directory (mainly for tests).
+    #[must_use]
+    pub fn with_output_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.output_dir = dir.as_ref().to_path_buf();
+        self
+    }
+
+    /// Add a finished table.
+    pub fn add(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// The markdown for the whole report.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## Experiment `{}`\n\n", self.experiment);
+        for t in &self.tables {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the report to stdout and persist it to
+    /// `<output_dir>/<experiment>.md`.  Returns the path written.
+    pub fn finish(&self) -> io::Result<PathBuf> {
+        let markdown = self.to_markdown();
+        println!("{markdown}");
+        fs::create_dir_all(&self.output_dir)?;
+        let path = self.output_dir.join(format!("{}.md", self.experiment));
+        fs::write(&path, markdown)?;
+        Ok(path)
+    }
+}
+
+/// Format a float with a sensible number of digits for report cells.
+#[must_use]
+pub fn fmt(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 1.0 {
+        format!("{value:.3}")
+    } else {
+        format!("{value:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.row(&["x".into(), "y".into()]);
+        t.note("a note");
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("> a note"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn report_writes_to_disk() {
+        let dir = std::env::temp_dir().join("samplecf_bench_report_test");
+        let mut report = Report::new("unit_test_report").with_output_dir(&dir);
+        let mut t = Table::new("T", &["col"]);
+        t.row(&["v".into()]);
+        report.add(t);
+        let path = report.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("## Experiment `unit_test_report`"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.12345678), "0.12346");
+        assert_eq!(fmt(3.14159), "3.142");
+        assert_eq!(fmt(123456.7), "123457");
+    }
+}

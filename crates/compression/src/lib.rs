@@ -1,0 +1,48 @@
+//! # samplecf-compression
+//!
+//! Database compression schemes used by the SampleCF reproduction.
+//!
+//! The paper analyses two techniques that commercial engines ship:
+//!
+//! * **Null Suppression** ([`NullSuppression`]) — store the actual length of
+//!   each fixed-width value instead of its padded width,
+//! * **Dictionary Compression** — replace repeated values with small pointers
+//!   into a dictionary, either per page ([`DictionaryCompression`], the
+//!   realistic variant with an inline dictionary on every page) or globally
+//!   ([`GlobalDictionaryCompression`], the paper's simplified analytical
+//!   model).
+//!
+//! Two additional schemes, [`RunLengthEncoding`] and [`PrefixCompression`],
+//! are included for ablation benchmarks: SampleCF is agnostic to the
+//! algorithm, so the benchmark suite also measures how it behaves on schemes
+//! whose effectiveness depends on value ordering or shared structure.
+//!
+//! All schemes implement [`CompressionScheme`] and are *real* codecs — they
+//! produce byte streams that decompress back to the original values — so the
+//! sizes the estimator sees are the sizes an engine would actually write.
+//! The closed-form size models from Section III of the paper live in
+//! [`model`].
+
+pub mod chunk;
+pub mod dictionary;
+pub mod encoding;
+pub mod error;
+pub mod model;
+pub mod none;
+pub mod null_suppression;
+pub mod prefix;
+pub mod registry;
+pub mod rle;
+pub mod scheme;
+
+pub use chunk::{ColumnChunk, CompressedChunk, CompressedColumn};
+pub use dictionary::{
+    DictionaryCompression, DictionaryConfig, GlobalDictionaryCompression, PointerWidth,
+};
+pub use error::{CompressionError, CompressionResult};
+pub use none::Uncompressed;
+pub use null_suppression::NullSuppression;
+pub use prefix::PrefixCompression;
+pub use registry::{scheme_by_name, scheme_names};
+pub use rle::RunLengthEncoding;
+pub use scheme::{measure_column, CompressionOutcome, CompressionScheme};

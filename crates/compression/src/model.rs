@@ -1,0 +1,182 @@
+//! Analytic compression-fraction models from Section III of the paper.
+//!
+//! These closed-form expressions are what the theorems reason about; the
+//! benchmark harness compares them against the sizes produced by the actual
+//! codecs in this crate to confirm the codecs track the model.
+
+/// Parameters of the paper's single-column `char(k)` table model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableModel {
+    /// Number of rows `n`.
+    pub rows: u64,
+    /// Declared column width `k` in bytes.
+    pub width: u64,
+}
+
+impl TableModel {
+    /// Create a model for `n` rows of `char(k)`.
+    #[must_use]
+    pub fn new(rows: u64, width: u64) -> Self {
+        TableModel { rows, width }
+    }
+
+    /// Uncompressed size `n·k` in bytes.
+    #[must_use]
+    pub fn uncompressed_bytes(&self) -> u64 {
+        self.rows * self.width
+    }
+}
+
+/// Compression fraction of Null Suppression (Section III-A):
+///
+/// `CF_NS = (Σ ℓᵢ + n·m) / (n·k)`
+///
+/// where `m` is the per-cell length-marker cost in bytes.
+#[must_use]
+pub fn null_suppression_cf(model: TableModel, sum_lengths: u64, marker_bytes: u64) -> f64 {
+    if model.rows == 0 || model.width == 0 {
+        return 1.0;
+    }
+    (sum_lengths + model.rows * marker_bytes) as f64 / model.uncompressed_bytes() as f64
+}
+
+/// The SampleCF estimate of `CF_NS` computed from a sample of `r` rows whose
+/// null-suppressed lengths sum to `sample_sum_lengths`.  Because CF is a
+/// ratio, the `n/r` scale-up cancels and the estimate is simply the sample's
+/// own compression fraction.
+#[must_use]
+pub fn null_suppression_cf_estimate(
+    sample_rows: u64,
+    width: u64,
+    sample_sum_lengths: u64,
+    marker_bytes: u64,
+) -> f64 {
+    null_suppression_cf(
+        TableModel::new(sample_rows, width),
+        sample_sum_lengths,
+        marker_bytes,
+    )
+}
+
+/// Compression fraction of the simplified (global-dictionary) model of
+/// dictionary compression (Section III-B):
+///
+/// `CF_DC = (n·p + d·k) / (n·k)`
+///
+/// where `p` is the pointer width in bytes and `d` the number of distinct
+/// values.
+#[must_use]
+pub fn global_dictionary_cf(model: TableModel, distinct: u64, pointer_bytes: u64) -> f64 {
+    if model.rows == 0 || model.width == 0 {
+        return 1.0;
+    }
+    (model.rows * pointer_bytes + distinct * model.width) as f64
+        / model.uncompressed_bytes() as f64
+}
+
+/// The SampleCF estimate of `CF_DC` under the simplified model, computed from
+/// a sample of `r` rows containing `d'` distinct values:
+///
+/// `CF'_DC = (r·p + d'·k) / (r·k)`
+#[must_use]
+pub fn global_dictionary_cf_estimate(
+    sample_rows: u64,
+    width: u64,
+    sample_distinct: u64,
+    pointer_bytes: u64,
+) -> f64 {
+    global_dictionary_cf(
+        TableModel::new(sample_rows, width),
+        sample_distinct,
+        pointer_bytes,
+    )
+}
+
+/// Compression fraction of *paged* dictionary compression (the paper's full
+/// expression): each distinct value `i` is stored once in each of the
+/// `Pg(i)` pages it occurs in, and every row stores a `p`-byte pointer:
+///
+/// `CF = (n·p + Σᵢ Pg(i)·k) / (n·k)`
+#[must_use]
+pub fn paged_dictionary_cf(model: TableModel, pages_per_value: &[u64], pointer_bytes: u64) -> f64 {
+    if model.rows == 0 || model.width == 0 {
+        return 1.0;
+    }
+    let dict_bytes: u64 = pages_per_value.iter().map(|pg| pg * model.width).sum();
+    (model.rows * pointer_bytes + dict_bytes) as f64 / model.uncompressed_bytes() as f64
+}
+
+/// Minimal pointer width in bytes able to address `distinct` dictionary
+/// entries (the paper's `p = ⌈log₂ d⌉` bits rounded up to whole bytes).
+#[must_use]
+pub fn minimal_pointer_bytes(distinct: u64) -> u64 {
+    let max_index = distinct.saturating_sub(1);
+    let mut bytes = 1u64;
+    while bytes < 8 && max_index > (1u64 << (8 * bytes)) - 1 {
+        bytes += 1;
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_cf_matches_hand_computation() {
+        // 10 rows of char(20), each value 3 characters, 1-byte marker:
+        // (30 + 10) / 200 = 0.2
+        let cf = null_suppression_cf(TableModel::new(10, 20), 30, 1);
+        assert!((cf - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ns_cf_degenerate_cases() {
+        assert_eq!(null_suppression_cf(TableModel::new(0, 20), 0, 1), 1.0);
+        assert_eq!(null_suppression_cf(TableModel::new(10, 0), 0, 1), 1.0);
+    }
+
+    #[test]
+    fn ns_estimate_equals_sample_cf() {
+        // The estimate is scale free: the same average length gives the same CF.
+        let full = null_suppression_cf(TableModel::new(1_000_000, 40), 10 * 1_000_000, 1);
+        let est = null_suppression_cf_estimate(1_000, 40, 10 * 1_000, 1);
+        assert!((full - est).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_cf_matches_hand_computation() {
+        // n=100, d=10, k=20, p=2: (200 + 200)/2000 = 0.2
+        let cf = global_dictionary_cf(TableModel::new(100, 20), 10, 2);
+        assert!((cf - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_cf_grows_with_distinct_values() {
+        let m = TableModel::new(1000, 20);
+        let low = global_dictionary_cf(m, 10, 2);
+        let high = global_dictionary_cf(m, 900, 2);
+        assert!(low < high);
+        assert!(high > 0.9);
+    }
+
+    #[test]
+    fn paged_dc_upper_bounds_global_dc() {
+        let m = TableModel::new(1000, 20);
+        // 50 distinct values, each appearing on 4 pages.
+        let pages: Vec<u64> = vec![4; 50];
+        let paged = paged_dictionary_cf(m, &pages, 2);
+        let global = global_dictionary_cf(m, 50, 2);
+        assert!(paged > global);
+    }
+
+    #[test]
+    fn minimal_pointer_bytes_matches_log() {
+        assert_eq!(minimal_pointer_bytes(0), 1);
+        assert_eq!(minimal_pointer_bytes(1), 1);
+        assert_eq!(minimal_pointer_bytes(256), 1);
+        assert_eq!(minimal_pointer_bytes(257), 2);
+        assert_eq!(minimal_pointer_bytes(65_536), 2);
+        assert_eq!(minimal_pointer_bytes(65_537), 3);
+    }
+}

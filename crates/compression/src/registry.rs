@@ -1,0 +1,70 @@
+//! Name-based registry of compression schemes.
+//!
+//! The estimator is agnostic to the scheme (that is the paper's point), so
+//! experiment configurations and examples refer to schemes by name and fetch
+//! boxed trait objects here.
+
+use crate::dictionary::{DictionaryCompression, GlobalDictionaryCompression};
+use crate::error::{CompressionError, CompressionResult};
+use crate::none::Uncompressed;
+use crate::null_suppression::NullSuppression;
+use crate::prefix::PrefixCompression;
+use crate::rle::RunLengthEncoding;
+use crate::scheme::CompressionScheme;
+
+/// Names of all registered schemes.
+#[must_use]
+pub fn scheme_names() -> Vec<&'static str> {
+    vec![
+        "none",
+        "null-suppression",
+        "dictionary-paged",
+        "dictionary-global",
+        "rle",
+        "prefix",
+    ]
+}
+
+/// Construct a scheme by its registered name.
+pub fn scheme_by_name(name: &str) -> CompressionResult<Box<dyn CompressionScheme>> {
+    match name {
+        "none" => Ok(Box::new(Uncompressed)),
+        "null-suppression" | "ns" => Ok(Box::new(NullSuppression)),
+        "dictionary-paged" | "dictionary" | "dc" => {
+            Ok(Box::new(DictionaryCompression::default()))
+        }
+        "dictionary-global" | "dc-global" => Ok(Box::new(GlobalDictionaryCompression::default())),
+        "rle" => Ok(Box::new(RunLengthEncoding)),
+        "prefix" => Ok(Box::new(PrefixCompression)),
+        other => Err(CompressionError::InvalidConfig(format!(
+            "unknown compression scheme `{other}` (known: {})",
+            scheme_names().join(", ")
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_resolves() {
+        for name in scheme_names() {
+            let scheme = scheme_by_name(name).unwrap();
+            assert_eq!(scheme.name(), name);
+        }
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(scheme_by_name("ns").unwrap().name(), "null-suppression");
+        assert_eq!(scheme_by_name("dc").unwrap().name(), "dictionary-paged");
+        assert_eq!(scheme_by_name("dc-global").unwrap().name(), "dictionary-global");
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let err = scheme_by_name("zstd").unwrap_err();
+        assert!(err.to_string().contains("zstd"));
+    }
+}

@@ -1,0 +1,356 @@
+//! A compression-aware physical design advisor.
+//!
+//! The paper's motivation (Section I) is extending automated physical design
+//! tools to reason about compression: given a storage bound, decide which
+//! indexes to compress.  Doing that requires exactly the quantity SampleCF
+//! estimates — the compressed size of each candidate index — without paying
+//! for an actual compression of every candidate.  This module implements a
+//! small but complete version of that workflow: estimate the compressed size
+//! of every candidate cheaply with SampleCF, then greedily choose which
+//! indexes to compress so the total size fits a storage budget while
+//! respecting a decompression-cost penalty.
+
+use crate::error::{CoreError, CoreResult};
+use crate::estimator::SampleCf;
+use samplecf_compression::CompressionScheme;
+use samplecf_index::{IndexBuilder, IndexSizeReport, IndexSpec};
+use samplecf_sampling::SamplerKind;
+use samplecf_storage::Table;
+
+/// A candidate index the advisor reasons about.
+#[derive(Debug, Clone)]
+pub struct Candidate<'a> {
+    /// The base table.
+    pub table: &'a Table,
+    /// The index to (potentially) build compressed.
+    pub spec: IndexSpec,
+}
+
+/// The advisor's verdict for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Table name.
+    pub table: String,
+    /// Index name.
+    pub index: String,
+    /// Estimated uncompressed leaf-level size in bytes.
+    pub uncompressed_bytes: usize,
+    /// Estimated compressed leaf-level size in bytes (via SampleCF).
+    pub estimated_compressed_bytes: usize,
+    /// The estimated compression fraction.
+    pub estimated_cf: f64,
+    /// Whether the advisor recommends compressing this index.
+    pub compress: bool,
+}
+
+impl Recommendation {
+    /// Bytes saved if the recommendation is followed.
+    #[must_use]
+    pub fn estimated_saving(&self) -> usize {
+        if self.compress {
+            self.uncompressed_bytes
+                .saturating_sub(self.estimated_compressed_bytes)
+        } else {
+            0
+        }
+    }
+
+    /// The size this index will occupy under the recommendation.
+    #[must_use]
+    pub fn chosen_bytes(&self) -> usize {
+        if self.compress {
+            self.estimated_compressed_bytes
+        } else {
+            self.uncompressed_bytes
+        }
+    }
+}
+
+/// The advisor's overall output.
+#[derive(Debug, Clone)]
+pub struct AdvisorReport {
+    /// Per-candidate recommendations, in input order.
+    pub recommendations: Vec<Recommendation>,
+    /// The storage budget that was targeted, if any.
+    pub budget_bytes: Option<usize>,
+}
+
+impl AdvisorReport {
+    /// Total estimated size of all candidates under the recommendations.
+    #[must_use]
+    pub fn total_chosen_bytes(&self) -> usize {
+        self.recommendations.iter().map(Recommendation::chosen_bytes).sum()
+    }
+
+    /// Total estimated size with nothing compressed.
+    #[must_use]
+    pub fn total_uncompressed_bytes(&self) -> usize {
+        self.recommendations.iter().map(|r| r.uncompressed_bytes).sum()
+    }
+
+    /// Whether the recommendations fit the budget (always true when no budget
+    /// was given).
+    #[must_use]
+    pub fn fits_budget(&self) -> bool {
+        self.budget_bytes
+            .is_none_or(|b| self.total_chosen_bytes() <= b)
+    }
+}
+
+/// Configuration of the advisor.
+#[derive(Debug, Clone, Copy)]
+pub struct AdvisorConfig {
+    /// Sampling fraction used for the SampleCF estimates.
+    pub sampling_fraction: f64,
+    /// RNG seed for the estimates.
+    pub seed: u64,
+    /// Minimum space saving (as a fraction of the uncompressed size) required
+    /// before compressing an index is considered worthwhile — this models the
+    /// CPU cost of decompression that the paper's introduction discusses.
+    pub min_saving_fraction: f64,
+    /// Optional storage budget in bytes.  When set, the advisor compresses
+    /// greedily (largest estimated saving first) until the total fits.
+    pub budget_bytes: Option<usize>,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        AdvisorConfig {
+            sampling_fraction: 0.01,
+            seed: 0,
+            min_saving_fraction: 0.10,
+            budget_bytes: None,
+        }
+    }
+}
+
+/// The compression advisor.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressionAdvisor {
+    config: AdvisorConfig,
+}
+
+impl CompressionAdvisor {
+    /// Create an advisor with the given configuration.
+    pub fn new(config: AdvisorConfig) -> CoreResult<Self> {
+        if !(config.sampling_fraction > 0.0 && config.sampling_fraction <= 1.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "sampling fraction must be in (0, 1], got {}",
+                config.sampling_fraction
+            )));
+        }
+        if !(0.0..=1.0).contains(&config.min_saving_fraction) {
+            return Err(CoreError::InvalidConfig(format!(
+                "min saving fraction must be in [0, 1], got {}",
+                config.min_saving_fraction
+            )));
+        }
+        Ok(CompressionAdvisor { config })
+    }
+
+    /// Produce recommendations for a set of candidate indexes.
+    pub fn recommend(
+        &self,
+        candidates: &[Candidate<'_>],
+        scheme: &dyn CompressionScheme,
+    ) -> CoreResult<AdvisorReport> {
+        let estimator = SampleCf::new(SamplerKind::UniformWithReplacement(
+            self.config.sampling_fraction,
+        ))
+        .seed(self.config.seed);
+
+        let mut recommendations = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            // Uncompressed size comes from the cheap schema-based model the
+            // paper mentions: build nothing, just account leaf bytes.
+            let index = IndexBuilder::new().build_from_table(c.table, &c.spec)?;
+            let size = IndexSizeReport::measure(&index);
+            let uncompressed = size.leaf_bytes();
+
+            let estimate = estimator.estimate(c.table, &c.spec, scheme)?;
+            let leaf_cf = estimate.cf_with_pointers.min(1.0);
+            let estimated_compressed = (uncompressed as f64 * leaf_cf).ceil() as usize;
+            recommendations.push(Recommendation {
+                table: c.table.name().to_string(),
+                index: c.spec.name().to_string(),
+                uncompressed_bytes: uncompressed,
+                estimated_compressed_bytes: estimated_compressed,
+                estimated_cf: estimate.cf,
+                compress: false,
+            });
+        }
+
+        // Pass 1: compress whatever clears the saving threshold.
+        for r in &mut recommendations {
+            let saving = r.uncompressed_bytes.saturating_sub(r.estimated_compressed_bytes);
+            let saving_fraction = if r.uncompressed_bytes == 0 {
+                0.0
+            } else {
+                saving as f64 / r.uncompressed_bytes as f64
+            };
+            r.compress = saving_fraction >= self.config.min_saving_fraction;
+        }
+
+        // Pass 2: if a budget is set and we still do not fit, force-compress
+        // the remaining candidates in order of decreasing absolute saving.
+        if let Some(budget) = self.config.budget_bytes {
+            let mut total: usize = recommendations.iter().map(Recommendation::chosen_bytes).sum();
+            if total > budget {
+                let mut order: Vec<usize> = (0..recommendations.len())
+                    .filter(|&i| !recommendations[i].compress)
+                    .collect();
+                order.sort_by_key(|&i| {
+                    std::cmp::Reverse(
+                        recommendations[i]
+                            .uncompressed_bytes
+                            .saturating_sub(recommendations[i].estimated_compressed_bytes),
+                    )
+                });
+                for i in order {
+                    if total <= budget {
+                        break;
+                    }
+                    let saving = recommendations[i]
+                        .uncompressed_bytes
+                        .saturating_sub(recommendations[i].estimated_compressed_bytes);
+                    if saving == 0 {
+                        continue;
+                    }
+                    recommendations[i].compress = true;
+                    total -= saving;
+                }
+            }
+        }
+
+        Ok(AdvisorReport {
+            recommendations,
+            budget_bytes: self.config.budget_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samplecf_compression::DictionaryCompression;
+    use samplecf_datagen::presets;
+    use samplecf_storage::Table;
+
+    fn compressible_table(seed: u64) -> Table {
+        // Few distinct, short values in wide columns: compresses very well.
+        presets::single_char_table("compressible", 5_000, 40, 20, 6, seed)
+            .generate()
+            .unwrap()
+            .table
+    }
+
+    fn incompressible_table(seed: u64) -> Table {
+        // All-distinct values filling the whole column width.
+        presets::single_char_table("incompressible", 5_000, 12, 5_000, 12, seed)
+            .generate()
+            .unwrap()
+            .table
+    }
+
+    #[test]
+    fn advisor_compresses_only_worthwhile_indexes() {
+        let good = compressible_table(1);
+        let bad = incompressible_table(2);
+        let candidates = vec![
+            Candidate {
+                table: &good,
+                spec: IndexSpec::nonclustered("idx_good", ["a"]).unwrap(),
+            },
+            Candidate {
+                table: &bad,
+                spec: IndexSpec::nonclustered("idx_bad", ["a"]).unwrap(),
+            },
+        ];
+        let advisor = CompressionAdvisor::new(AdvisorConfig {
+            sampling_fraction: 0.05,
+            ..Default::default()
+        })
+        .unwrap();
+        let report = advisor.recommend(&candidates, &DictionaryCompression::default()).unwrap();
+        assert_eq!(report.recommendations.len(), 2);
+        assert!(report.recommendations[0].compress, "highly compressible index should be compressed");
+        assert!(!report.recommendations[1].compress, "incompressible index should be left alone");
+        assert!(report.recommendations[0].estimated_cf < 0.5);
+        assert!(report.recommendations[1].estimated_cf > 0.8);
+        assert!(report.total_chosen_bytes() < report.total_uncompressed_bytes());
+        assert!(report.fits_budget());
+    }
+
+    #[test]
+    fn budget_forces_additional_compression() {
+        let good = compressible_table(3);
+        let mid = presets::single_char_table("mid", 5_000, 24, 200, 10, 4)
+            .generate()
+            .unwrap()
+            .table;
+        let candidates = vec![
+            Candidate {
+                table: &good,
+                spec: IndexSpec::nonclustered("idx_a", ["a"]).unwrap(),
+            },
+            Candidate {
+                table: &mid,
+                spec: IndexSpec::nonclustered("idx_b", ["a"]).unwrap(),
+            },
+        ];
+        // With an absurdly high saving threshold nothing is compressed...
+        let lazy = CompressionAdvisor::new(AdvisorConfig {
+            sampling_fraction: 0.05,
+            min_saving_fraction: 0.99,
+            budget_bytes: None,
+            ..Default::default()
+        })
+        .unwrap();
+        let report = lazy.recommend(&candidates, &DictionaryCompression::default()).unwrap();
+        assert!(report.recommendations.iter().all(|r| !r.compress));
+
+        // ...but a tight budget forces the advisor to compress anyway.
+        let budget = report.total_uncompressed_bytes() / 2;
+        let constrained = CompressionAdvisor::new(AdvisorConfig {
+            sampling_fraction: 0.05,
+            min_saving_fraction: 0.99,
+            budget_bytes: Some(budget),
+            ..Default::default()
+        })
+        .unwrap();
+        let report = constrained.recommend(&candidates, &DictionaryCompression::default()).unwrap();
+        assert!(report.recommendations.iter().any(|r| r.compress));
+        assert!(report.budget_bytes == Some(budget));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(CompressionAdvisor::new(AdvisorConfig {
+            sampling_fraction: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(CompressionAdvisor::new(AdvisorConfig {
+            min_saving_fraction: 1.5,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn recommendation_accessors() {
+        let r = Recommendation {
+            table: "t".into(),
+            index: "i".into(),
+            uncompressed_bytes: 1000,
+            estimated_compressed_bytes: 400,
+            estimated_cf: 0.4,
+            compress: true,
+        };
+        assert_eq!(r.estimated_saving(), 600);
+        assert_eq!(r.chosen_bytes(), 400);
+        let r2 = Recommendation { compress: false, ..r };
+        assert_eq!(r2.estimated_saving(), 0);
+        assert_eq!(r2.chosen_bytes(), 1000);
+    }
+}

@@ -1,0 +1,315 @@
+//! Distinct-value estimators.
+//!
+//! The paper relates dictionary-compression estimation to distinct-value
+//! estimation, which is provably hard from uniform samples (its reference
+//! [1], Charikar et al., PODS 2000).  SampleCF sidesteps the problem by
+//! returning the *sample's own* compression fraction instead of scaling up a
+//! distinct-value estimate.  For the baseline experiment (`exp_dv_baselines`)
+//! we also implement the classical scale-up estimators so the two approaches
+//! can be compared: plug an estimated `d̂` into the analytic
+//! `CF_DC = (n·p + d̂·k)/(n·k)` formula and see how it fares against SampleCF.
+
+use samplecf_storage::Value;
+use std::collections::HashMap;
+
+/// The frequency histogram of a sample: `f_j` = number of distinct values
+/// that occur exactly `j` times in the sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyHistogram {
+    counts: HashMap<usize, usize>,
+    sample_size: usize,
+    distinct_in_sample: usize,
+}
+
+impl FrequencyHistogram {
+    /// Build the histogram of a sample of values (NULLs are counted as a
+    /// single distinct value, matching how dictionaries treat them).
+    #[must_use]
+    pub fn from_values(values: &[Value]) -> Self {
+        let mut occurrences: HashMap<&Value, usize> = HashMap::new();
+        for v in values {
+            *occurrences.entry(v).or_insert(0) += 1;
+        }
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for &c in occurrences.values() {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+        FrequencyHistogram {
+            counts,
+            sample_size: values.len(),
+            distinct_in_sample: occurrences.len(),
+        }
+    }
+
+    /// `f_j`: how many distinct values occur exactly `j` times in the sample.
+    #[must_use]
+    pub fn f(&self, j: usize) -> usize {
+        self.counts.get(&j).copied().unwrap_or(0)
+    }
+
+    /// Number of rows in the sample (`r`).
+    #[must_use]
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Number of distinct values in the sample (`d'`).
+    #[must_use]
+    pub fn distinct_in_sample(&self) -> usize {
+        self.distinct_in_sample
+    }
+
+    /// Largest multiplicity observed.
+    #[must_use]
+    pub fn max_multiplicity(&self) -> usize {
+        self.counts.keys().copied().max().unwrap_or(0)
+    }
+}
+
+/// An estimator of the number of distinct values in a table of `n` rows, from
+/// a uniform sample described by its frequency histogram.
+pub trait DistinctEstimator: Send + Sync {
+    /// Short stable name.
+    fn name(&self) -> &'static str;
+
+    /// Estimate the number of distinct values in the full table.
+    fn estimate(&self, hist: &FrequencyHistogram, table_rows: usize) -> f64;
+}
+
+impl std::fmt::Debug for dyn DistinctEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DistinctEstimator({})", self.name())
+    }
+}
+
+fn clamp_estimate(d_hat: f64, hist: &FrequencyHistogram, table_rows: usize) -> f64 {
+    d_hat
+        .max(hist.distinct_in_sample() as f64)
+        .min(table_rows as f64)
+        .max(if table_rows > 0 { 1.0 } else { 0.0 })
+}
+
+/// The naive scale-up estimator `d̂ = d'·(n/r)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveScaleUp;
+
+impl DistinctEstimator for NaiveScaleUp {
+    fn name(&self) -> &'static str {
+        "naive-scale-up"
+    }
+
+    fn estimate(&self, hist: &FrequencyHistogram, table_rows: usize) -> f64 {
+        if hist.sample_size() == 0 {
+            return 0.0;
+        }
+        let scale = table_rows as f64 / hist.sample_size() as f64;
+        clamp_estimate(hist.distinct_in_sample() as f64 * scale, hist, table_rows)
+    }
+}
+
+/// The sample's own distinct count with no scaling, `d̂ = d'` — always an
+/// underestimate, included as the other extreme of the baseline spectrum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleDistinct;
+
+impl DistinctEstimator for SampleDistinct {
+    fn name(&self) -> &'static str {
+        "sample-distinct"
+    }
+
+    fn estimate(&self, hist: &FrequencyHistogram, table_rows: usize) -> f64 {
+        clamp_estimate(hist.distinct_in_sample() as f64, hist, table_rows)
+    }
+}
+
+/// Chao's 1984 estimator `d̂ = d' + f₁² / (2·f₂)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Chao84;
+
+impl DistinctEstimator for Chao84 {
+    fn name(&self) -> &'static str {
+        "chao84"
+    }
+
+    fn estimate(&self, hist: &FrequencyHistogram, table_rows: usize) -> f64 {
+        let f1 = hist.f(1) as f64;
+        let f2 = hist.f(2) as f64;
+        let d_prime = hist.distinct_in_sample() as f64;
+        let d_hat = if f2 > 0.0 {
+            d_prime + f1 * f1 / (2.0 * f2)
+        } else {
+            // Standard bias-corrected fallback when no value occurs twice.
+            d_prime + f1 * (f1 - 1.0) / 2.0
+        };
+        clamp_estimate(d_hat, hist, table_rows)
+    }
+}
+
+/// The Guaranteed-Error Estimator of Charikar et al. (PODS 2000):
+/// `d̂ = √(n/r)·f₁ + Σ_{j≥2} f_j`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GuaranteedErrorEstimator;
+
+impl DistinctEstimator for GuaranteedErrorEstimator {
+    fn name(&self) -> &'static str {
+        "gee"
+    }
+
+    fn estimate(&self, hist: &FrequencyHistogram, table_rows: usize) -> f64 {
+        if hist.sample_size() == 0 {
+            return 0.0;
+        }
+        let scale = (table_rows as f64 / hist.sample_size() as f64).sqrt();
+        let higher: usize = hist.distinct_in_sample() - hist.f(1);
+        clamp_estimate(scale * hist.f(1) as f64 + higher as f64, hist, table_rows)
+    }
+}
+
+/// Shlosser's estimator, designed for Bernoulli samples with rate `q = r/n`:
+/// `d̂ = d' + f₁ · Σ (1−q)^j f_j / Σ j·q·(1−q)^{j−1} f_j`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Shlosser;
+
+impl DistinctEstimator for Shlosser {
+    fn name(&self) -> &'static str {
+        "shlosser"
+    }
+
+    fn estimate(&self, hist: &FrequencyHistogram, table_rows: usize) -> f64 {
+        if hist.sample_size() == 0 || table_rows == 0 {
+            return 0.0;
+        }
+        let q = (hist.sample_size() as f64 / table_rows as f64).min(1.0);
+        if q >= 1.0 {
+            return hist.distinct_in_sample() as f64;
+        }
+        let mut numerator = 0.0;
+        let mut denominator = 0.0;
+        for j in 1..=hist.max_multiplicity() {
+            let fj = hist.f(j) as f64;
+            if fj == 0.0 {
+                continue;
+            }
+            numerator += (1.0 - q).powi(j as i32) * fj;
+            denominator += j as f64 * q * (1.0 - q).powi(j as i32 - 1) * fj;
+        }
+        let d_prime = hist.distinct_in_sample() as f64;
+        let d_hat = if denominator > 0.0 {
+            d_prime + hist.f(1) as f64 * numerator / denominator
+        } else {
+            d_prime
+        };
+        clamp_estimate(d_hat, hist, table_rows)
+    }
+}
+
+/// All baseline estimators, for sweeping in experiments.
+#[must_use]
+pub fn all_estimators() -> Vec<Box<dyn DistinctEstimator>> {
+    vec![
+        Box::new(SampleDistinct),
+        Box::new(NaiveScaleUp),
+        Box::new(Chao84),
+        Box::new(GuaranteedErrorEstimator),
+        Box::new(Shlosser),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_with(counts: &[(i64, usize)]) -> Vec<Value> {
+        let mut out = Vec::new();
+        for &(v, c) in counts {
+            out.extend(std::iter::repeat(Value::Int(v)).take(c));
+        }
+        out
+    }
+
+    #[test]
+    fn histogram_counts_multiplicities() {
+        let values = sample_with(&[(1, 1), (2, 1), (3, 2), (4, 5)]);
+        let h = FrequencyHistogram::from_values(&values);
+        assert_eq!(h.sample_size(), 9);
+        assert_eq!(h.distinct_in_sample(), 4);
+        assert_eq!(h.f(1), 2);
+        assert_eq!(h.f(2), 1);
+        assert_eq!(h.f(5), 1);
+        assert_eq!(h.f(3), 0);
+        assert_eq!(h.max_multiplicity(), 5);
+    }
+
+    #[test]
+    fn histogram_of_empty_sample() {
+        let h = FrequencyHistogram::from_values(&[]);
+        assert_eq!(h.sample_size(), 0);
+        assert_eq!(h.distinct_in_sample(), 0);
+        assert_eq!(h.max_multiplicity(), 0);
+    }
+
+    #[test]
+    fn estimators_are_exact_when_the_sample_is_the_table() {
+        // Sample = full table of 100 rows with 10 distinct values.
+        let values = sample_with(&(0..10).map(|i| (i, 10)).collect::<Vec<_>>());
+        let h = FrequencyHistogram::from_values(&values);
+        for est in all_estimators() {
+            let d_hat = est.estimate(&h, 100);
+            assert!(
+                (d_hat - 10.0).abs() < 1e-9,
+                "{} estimated {d_hat} for a fully observed table",
+                est.name()
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_clamped_to_valid_range() {
+        let values = sample_with(&[(1, 1), (2, 1), (3, 1)]);
+        let h = FrequencyHistogram::from_values(&values);
+        for est in all_estimators() {
+            let d_hat = est.estimate(&h, 1000);
+            assert!(d_hat >= 3.0, "{}: {d_hat}", est.name());
+            assert!(d_hat <= 1000.0, "{}: {d_hat}", est.name());
+        }
+    }
+
+    #[test]
+    fn naive_scale_up_overestimates_low_cardinality_columns() {
+        // 2 distinct values observed in a 1% sample of 10_000 rows.
+        let values = sample_with(&[(1, 60), (2, 40)]);
+        let h = FrequencyHistogram::from_values(&values);
+        let naive = NaiveScaleUp.estimate(&h, 10_000);
+        assert!((naive - 200.0).abs() < 1e-9);
+        // GEE and Chao84 stay close to the sample's distinct count because no
+        // singletons exist.
+        assert!(GuaranteedErrorEstimator.estimate(&h, 10_000) < 10.0);
+        assert!(Chao84.estimate(&h, 10_000) < 10.0);
+    }
+
+    #[test]
+    fn gee_scales_singletons_by_sqrt_of_inverse_fraction() {
+        // 100 singletons in a sample of 100 rows from a 10_000-row table.
+        let values = sample_with(&(0..100).map(|i| (i, 1)).collect::<Vec<_>>());
+        let h = FrequencyHistogram::from_values(&values);
+        let gee = GuaranteedErrorEstimator.estimate(&h, 10_000);
+        assert!((gee - 1000.0).abs() < 1e-9, "gee = {gee}");
+    }
+
+    #[test]
+    fn shlosser_exceeds_sample_distinct_when_singletons_exist() {
+        let mut values = sample_with(&(0..50).map(|i| (i, 1)).collect::<Vec<_>>());
+        values.extend(sample_with(&[(1000, 25), (1001, 25)]));
+        let h = FrequencyHistogram::from_values(&values);
+        let s = Shlosser.estimate(&h, 10_000);
+        assert!(s > h.distinct_in_sample() as f64);
+    }
+
+    #[test]
+    fn nulls_count_as_one_distinct_value() {
+        let values = vec![Value::Null, Value::Null, Value::Int(1)];
+        let h = FrequencyHistogram::from_values(&values);
+        assert_eq!(h.distinct_in_sample(), 2);
+        assert_eq!(h.f(2), 1);
+    }
+}

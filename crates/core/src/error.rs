@@ -1,0 +1,75 @@
+//! Error type for the estimator crate.
+
+use samplecf_compression::CompressionError;
+use samplecf_datagen::DatagenError;
+use samplecf_index::IndexError;
+use samplecf_sampling::SamplingError;
+use samplecf_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by the estimator, trial runner and advisor APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Invalid estimator or experiment configuration.
+    InvalidConfig(String),
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Compression failure.
+    Compression(CompressionError),
+    /// Index build/compress failure.
+    Index(IndexError),
+    /// Sampling failure.
+    Sampling(SamplingError),
+    /// Data generation failure.
+    Datagen(DatagenError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Compression(e) => write!(f, "{e}"),
+            CoreError::Index(e) => write!(f, "{e}"),
+            CoreError::Sampling(e) => write!(f, "{e}"),
+            CoreError::Datagen(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for CoreError {
+            fn from(e: $ty) -> Self {
+                CoreError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Storage, StorageError);
+impl_from!(Compression, CompressionError);
+impl_from!(Index, IndexError);
+impl_from!(Sampling, SamplingError);
+impl_from!(Datagen, DatagenError);
+
+/// Result alias for estimator operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let e: CoreError = StorageError::UnknownTable("t".into()).into();
+        assert!(matches!(e, CoreError::Storage(_)));
+        let e: CoreError = SamplingError::InvalidSize("0".into()).into();
+        assert!(matches!(e, CoreError::Sampling(_)));
+        let e: CoreError = IndexError::Empty("e".into()).into();
+        assert!(matches!(e, CoreError::Index(_)));
+        assert!(CoreError::InvalidConfig("bad".into()).to_string().contains("bad"));
+    }
+}

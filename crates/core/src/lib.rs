@@ -1,0 +1,47 @@
+//! # samplecf-core
+//!
+//! The SampleCF estimator and its accuracy analysis — a reproduction of
+//! *"Estimating the Compression Fraction of an Index using Sampling"*
+//! (Idreos, Kaushik, Narasayya, Ramamurthy — ICDE 2010).
+//!
+//! The central API is [`SampleCf`]: draw a random sample of rows, build the
+//! requested index on the sample, compress it with the actual compression
+//! scheme, and return the sample's compression fraction as the estimate of
+//! the full index's compression fraction.  [`ExactCf`] computes the expensive
+//! ground truth for comparison.
+//!
+//! Around the estimator this crate provides everything the paper's analysis
+//! and evaluation need:
+//!
+//! * [`theory`] — Theorem 1 (unbiasedness and the `1/(2√r)` standard
+//!   deviation bound for null suppression) and the expected-error model for
+//!   dictionary compression in the small-`d` (Theorem 2) and large-`d`
+//!   (Theorem 3) regimes,
+//! * [`metrics`] — the ratio-error metric and summary statistics,
+//! * [`trials`] — a parallel repeated-trial runner that measures bias,
+//!   variance and ratio errors empirically,
+//! * [`distinct`] — classical distinct-value estimators (GEE, Chao84,
+//!   Shlosser, naive scale-up) used as baselines against SampleCF for
+//!   dictionary compression,
+//! * [`advisor`] / [`capacity`] — the two applications the paper motivates:
+//!   compression-aware physical design and capacity planning.
+
+pub mod advisor;
+pub mod capacity;
+pub mod distinct;
+pub mod error;
+pub mod estimator;
+pub mod metrics;
+pub mod theory;
+pub mod trials;
+
+pub use advisor::{AdvisorConfig, AdvisorReport, Candidate, CompressionAdvisor, Recommendation};
+pub use capacity::{CapacityPlan, CapacityPlanner, ObjectEstimate, PlannedObject};
+pub use distinct::{
+    all_estimators, Chao84, DistinctEstimator, FrequencyHistogram, GuaranteedErrorEstimator,
+    NaiveScaleUp, SampleDistinct, Shlosser,
+};
+pub use error::{CoreError, CoreResult};
+pub use estimator::{CfMeasurement, DataStats, ExactCf, SampleCf};
+pub use metrics::{absolute_error, ratio_error, relative_error, SummaryStats};
+pub use trials::{TrialConfig, TrialRunner, TrialSummary};

@@ -1,0 +1,214 @@
+//! Analytical results from Section III of the paper.
+//!
+//! * **Theorem 1** (Null Suppression): SampleCF is unbiased and its standard
+//!   deviation is at most `1 / (2·√r)` where `r = f·n` is the sample size.
+//!   (The null-suppressed length of a tuple is bounded by the column width
+//!   `k`, so the variance of a single draw of `ℓᵢ/k` is at most 1/4; a mean
+//!   over `r` independent draws divides that by `r`.)  The paper's Example 1
+//!   (n = 100M, r = 1M) gives a bound of 5·10⁻⁴.
+//! * **Theorems 2 and 3** (Dictionary Compression, simplified global model):
+//!   even though distinct-value estimation is hard in general, SampleCF's
+//!   *ratio error* is small when `d` is small (`d = o(n)`, Theorem 2) and
+//!   bounded by a constant when `d` is large (`d = Θ(n)`, Theorem 3).
+//!
+//! Besides the worst-case bounds, this module provides the *expected-value*
+//! model of the dictionary-compression estimate under uniform value
+//! frequencies, which the experiments compare against measurements.
+
+use samplecf_compression::model::{global_dictionary_cf, TableModel};
+
+/// Theorem 1: upper bound on the standard deviation of the Null-Suppression
+/// estimate, as a function of the sample size `r`.
+#[must_use]
+pub fn ns_stddev_bound_for_sample(sample_rows: usize) -> f64 {
+    if sample_rows == 0 {
+        return f64::INFINITY;
+    }
+    1.0 / (2.0 * (sample_rows as f64).sqrt())
+}
+
+/// Theorem 1 stated in terms of the table size `n` and sampling fraction `f`
+/// (`r = f·n`): `σ(CF'_NS) ≤ 1 / (2·√(f·n))`.
+#[must_use]
+pub fn ns_stddev_bound(rows: usize, fraction: f64) -> f64 {
+    if rows == 0 || fraction <= 0.0 {
+        return f64::INFINITY;
+    }
+    ns_stddev_bound_for_sample((rows as f64 * fraction).round() as usize)
+}
+
+/// Variance form of the Theorem 1 bound: `Var(CF'_NS) ≤ 1 / (4·f·n)` —
+/// this is the entry in the paper's Table II.
+#[must_use]
+pub fn ns_variance_bound(rows: usize, fraction: f64) -> f64 {
+    let s = ns_stddev_bound(rows, fraction);
+    if s.is_finite() {
+        s * s
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Expected number of distinct values observed in a with-replacement sample
+/// of `r` rows drawn from a table with `d` equally frequent distinct values:
+/// `E[d'] = d·(1 − (1 − 1/d)^r)`.
+#[must_use]
+pub fn expected_sample_distinct(distinct: u64, sample_rows: u64) -> f64 {
+    if distinct == 0 || sample_rows == 0 {
+        return 0.0;
+    }
+    let d = distinct as f64;
+    let r = sample_rows as f64;
+    // Use ln1p for numerical stability when d is large.
+    let log_term = r * (-1.0 / d).ln_1p();
+    d * (1.0 - log_term.exp())
+}
+
+/// The dictionary-compression estimate SampleCF is *expected* to return under
+/// the simplified global model with uniform frequencies:
+/// `E[CF'_DC] ≈ (r·p + E[d']·k) / (r·k)`.
+#[must_use]
+pub fn dc_expected_estimate(
+    rows: u64,
+    distinct: u64,
+    width: u64,
+    pointer_bytes: u64,
+    fraction: f64,
+) -> f64 {
+    let r = ((rows as f64 * fraction).round() as u64).max(1);
+    let d_prime = expected_sample_distinct(distinct, r);
+    (r as f64 * pointer_bytes as f64 + d_prime * width as f64) / (r as f64 * width as f64)
+}
+
+/// The true dictionary-compression fraction under the simplified model.
+#[must_use]
+pub fn dc_true_cf(rows: u64, distinct: u64, width: u64, pointer_bytes: u64) -> f64 {
+    global_dictionary_cf(TableModel::new(rows, width), distinct, pointer_bytes)
+}
+
+/// Expected ratio error of SampleCF for dictionary compression under the
+/// simplified model with uniform frequencies (the quantity Theorems 2 and 3
+/// bound in their respective regimes).
+#[must_use]
+pub fn dc_expected_ratio_error(
+    rows: u64,
+    distinct: u64,
+    width: u64,
+    pointer_bytes: u64,
+    fraction: f64,
+) -> f64 {
+    let truth = dc_true_cf(rows, distinct, width, pointer_bytes);
+    let est = dc_expected_estimate(rows, distinct, width, pointer_bytes, fraction);
+    (est / truth).max(truth / est)
+}
+
+/// Worst-case ratio-error bound for the **small d** regime (Theorem 2's
+/// setting, `d = o(n)`): the estimate and the truth both lie between `p/k`
+/// and `p/k + d/n + d/r`, so the ratio error is at most
+/// `1 + (d·k)/(r·p)` with `r = f·n`.
+#[must_use]
+pub fn dc_ratio_error_bound_small_d(
+    rows: u64,
+    distinct: u64,
+    width: u64,
+    pointer_bytes: u64,
+    fraction: f64,
+) -> f64 {
+    let r = (rows as f64 * fraction).max(1.0);
+    1.0 + (distinct as f64 * width as f64) / (r * pointer_bytes as f64)
+}
+
+/// Worst-case ratio-error bound for the **large d** regime (Theorem 3's
+/// setting, `d = c·n`): the truth is at least `c` (the `d·k/(n·k)` term
+/// alone), while the estimate never exceeds `p/k + 1`, and conversely the
+/// estimate is at least `E[d']·k/(r·k) ≥ c·(1 − e^{−f/c})/f · ...`; we report
+/// the dominating direction `⁠(p/k + 1) / c`, a constant independent of `n`.
+#[must_use]
+pub fn dc_ratio_error_bound_large_d(distinct_ratio: f64, width: u64, pointer_bytes: u64) -> f64 {
+    if distinct_ratio <= 0.0 {
+        return f64::INFINITY;
+    }
+    (pointer_bytes as f64 / width as f64 + 1.0) / distinct_ratio.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_example_from_the_paper() {
+        // Example 1: n = 100 million, r = 1 million (1% sample).
+        let bound = ns_stddev_bound(100_000_000, 0.01);
+        assert!((bound - 5e-4).abs() < 1e-9, "bound = {bound}");
+        assert!((ns_stddev_bound_for_sample(1_000_000) - 5e-4).abs() < 1e-9);
+        assert!((ns_variance_bound(100_000_000, 0.01) - 2.5e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ns_bound_shrinks_with_sample_size() {
+        assert!(ns_stddev_bound(10_000, 0.01) > ns_stddev_bound(10_000, 0.1));
+        assert!(ns_stddev_bound(10_000, 0.01) > ns_stddev_bound(1_000_000, 0.01));
+        assert_eq!(ns_stddev_bound(0, 0.1), f64::INFINITY);
+        assert_eq!(ns_stddev_bound(100, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn expected_sample_distinct_limits() {
+        // Sampling far more rows than distinct values sees almost all of them.
+        let e = expected_sample_distinct(100, 10_000);
+        assert!(e > 99.9);
+        // Sampling one row sees exactly one value in expectation.
+        assert!((expected_sample_distinct(1000, 1) - 1.0).abs() < 1e-9);
+        // More distinct values than draws: expectation close to the draw count.
+        let e = expected_sample_distinct(1_000_000, 100);
+        assert!(e > 99.9 && e <= 100.0);
+        assert_eq!(expected_sample_distinct(0, 10), 0.0);
+    }
+
+    #[test]
+    fn dc_small_d_regime_has_ratio_error_near_one() {
+        // Theorem 2: d = o(n) and n large enough that the sample size r = f·n
+        // dwarfs d.  n = 100M, d = 10^4 = √n, k = 20, p = 2, f = 1%.
+        let err = dc_expected_ratio_error(100_000_000, 10_000, 20, 2, 0.01);
+        assert!(err < 1.15, "expected ratio error close to 1, got {err}");
+        let bound = dc_ratio_error_bound_small_d(100_000_000, 10_000, 20, 2, 0.01);
+        assert!(bound + 1e-9 >= err, "bound {bound} below expected error {err}");
+        assert!(bound < 1.2);
+        // The error shrinks further as n grows, as Theorem 2 requires.
+        let err_bigger_n = dc_expected_ratio_error(1_000_000_000, 10_000, 20, 2, 0.01);
+        assert!(err_bigger_n < err);
+    }
+
+    #[test]
+    fn dc_large_d_regime_has_constant_bounded_error() {
+        // Theorem 3: d = c·n with c = 0.25.
+        for n in [100_000u64, 1_000_000, 10_000_000] {
+            let d = n / 4;
+            let err = dc_expected_ratio_error(n, d, 20, 2, 0.01);
+            let bound = dc_ratio_error_bound_large_d(0.25, 20, 2);
+            assert!(err <= bound, "n={n}: err {err} exceeds bound {bound}");
+            assert!(err < 4.0, "n={n}: err {err} should be a small constant");
+        }
+        // The bound itself does not depend on n.
+        assert!((dc_ratio_error_bound_large_d(0.25, 20, 2) - (0.1 + 1.0) / 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_worst_errors_live_between_the_regimes() {
+        // For fixed f, the expected ratio error peaks at intermediate d/n.
+        let n = 1_000_000u64;
+        let small = dc_expected_ratio_error(n, 100, 20, 2, 0.01);
+        let mid = dc_expected_ratio_error(n, 50_000, 20, 2, 0.01);
+        let large = dc_expected_ratio_error(n, 500_000, 20, 2, 0.01);
+        assert!(mid > small, "mid {mid} should exceed small {small}");
+        assert!(mid > large, "mid {mid} should exceed large {large}");
+    }
+
+    #[test]
+    fn dc_estimate_overestimates_cf_never_underestimates_truth_scaling() {
+        // Under the simplified model the estimate's d'/r >= d/n in expectation
+        // is false in general; but the estimate is always >= p/k and <= p/k + 1.
+        let est = dc_expected_estimate(1_000_000, 200_000, 20, 2, 0.05);
+        assert!(est >= 2.0 / 20.0 && est <= 2.0 / 20.0 + 1.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Value-length and value-frequency distributions.
+//!
+//! The accuracy of SampleCF depends on exactly two properties of the data
+//! (for the schemes the paper analyses): the distribution of null-suppressed
+//! lengths `ℓᵢ` and the distribution of value frequencies (how many rows each
+//! of the `d` distinct values covers).  These two knobs are modelled
+//! explicitly so experiments can sweep them.
+
+use crate::error::{DatagenError, DatagenResult};
+use rand::Rng;
+use rand::RngCore;
+
+/// Distribution of the *actual* (null-suppressed) length of generated string
+/// values, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthDistribution {
+    /// Every value has exactly this length.
+    Constant(usize),
+    /// Lengths drawn uniformly from `min..=max`.
+    Uniform {
+        /// Smallest length.
+        min: usize,
+        /// Largest length.
+        max: usize,
+    },
+    /// Lengths concentrated around `mean` with the given standard deviation
+    /// (sampled from a clipped normal via the central limit of 12 uniforms).
+    Normal {
+        /// Mean length.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+}
+
+impl LengthDistribution {
+    /// Validate the distribution against a column width `k` and a minimum
+    /// length needed to keep generated values distinct.
+    pub fn validate(&self, k: usize, min_required: usize) -> DatagenResult<()> {
+        let (lo, hi) = self.bounds(k);
+        if hi > k {
+            return Err(DatagenError::InvalidSpec(format!(
+                "length distribution reaches {hi} bytes but the column is char({k})"
+            )));
+        }
+        if hi < min_required {
+            return Err(DatagenError::InvalidSpec(format!(
+                "length distribution tops out at {hi} bytes but {min_required} bytes are needed \
+                 to keep the requested number of distinct values distinguishable"
+            )));
+        }
+        if lo > hi {
+            return Err(DatagenError::InvalidSpec(format!(
+                "length distribution has min {lo} > max {hi}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn bounds(&self, k: usize) -> (usize, usize) {
+        match *self {
+            LengthDistribution::Constant(l) => (l, l),
+            LengthDistribution::Uniform { min, max } => (min, max),
+            LengthDistribution::Normal { mean, std_dev } => {
+                let lo = (mean - 4.0 * std_dev).floor().max(0.0) as usize;
+                let hi = (mean + 4.0 * std_dev).ceil().min(k as f64) as usize;
+                (lo, hi)
+            }
+        }
+    }
+
+    /// Sample a length, clamped to `[min_required, k]`.
+    pub fn sample(&self, rng: &mut dyn RngCore, k: usize, min_required: usize) -> usize {
+        let raw = match *self {
+            LengthDistribution::Constant(l) => l,
+            LengthDistribution::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                }
+            }
+            LengthDistribution::Normal { mean, std_dev } => {
+                // Sum of 12 uniforms has mean 6 and variance 1.
+                let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+                (mean + z * std_dev).round().max(0.0) as usize
+            }
+        };
+        raw.clamp(min_required, k)
+    }
+
+    /// Expected length under the distribution (before clamping), used by the
+    /// analytic model to predict `Σ ℓᵢ`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LengthDistribution::Constant(l) => l as f64,
+            LengthDistribution::Uniform { min, max } => (min + max) as f64 / 2.0,
+            LengthDistribution::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+/// Distribution of how often each of the `d` distinct values occurs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrequencyDistribution {
+    /// Every distinct value is equally likely.
+    Uniform,
+    /// Zipf-distributed frequencies with the given skew parameter `theta`
+    /// (`theta = 0` degenerates to uniform; ~1 is the classical heavy skew).
+    Zipf {
+        /// Skew exponent (≥ 0).
+        theta: f64,
+    },
+}
+
+impl FrequencyDistribution {
+    /// Validate the distribution.
+    pub fn validate(&self) -> DatagenResult<()> {
+        if let FrequencyDistribution::Zipf { theta } = self {
+            if !theta.is_finite() || *theta < 0.0 {
+                return Err(DatagenError::InvalidSpec(format!(
+                    "zipf theta must be a non-negative finite number, got {theta}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a sampler over value indexes `0..d`.
+    pub fn build_sampler(&self, d: usize) -> DatagenResult<FrequencySampler> {
+        if d == 0 {
+            return Err(DatagenError::InvalidSpec(
+                "the number of distinct values must be at least 1".to_string(),
+            ));
+        }
+        self.validate()?;
+        match *self {
+            FrequencyDistribution::Uniform => Ok(FrequencySampler::Uniform { d }),
+            FrequencyDistribution::Zipf { theta } => {
+                if theta == 0.0 {
+                    return Ok(FrequencySampler::Uniform { d });
+                }
+                let mut cumulative = Vec::with_capacity(d);
+                let mut total = 0.0f64;
+                for i in 1..=d {
+                    total += 1.0 / (i as f64).powf(theta);
+                    cumulative.push(total);
+                }
+                Ok(FrequencySampler::Zipf { cumulative, total })
+            }
+        }
+    }
+}
+
+/// A prepared sampler of value indexes `0..d` under a frequency distribution.
+#[derive(Debug, Clone)]
+pub enum FrequencySampler {
+    /// Uniform over `0..d`.
+    Uniform {
+        /// Number of distinct values.
+        d: usize,
+    },
+    /// Zipf via inverse-CDF lookup.
+    Zipf {
+        /// Cumulative (unnormalised) weights.
+        cumulative: Vec<f64>,
+        /// Total weight.
+        total: f64,
+    },
+}
+
+impl FrequencySampler {
+    /// Draw a value index.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        match self {
+            FrequencySampler::Uniform { d } => rng.gen_range(0..*d),
+            FrequencySampler::Zipf { cumulative, total } => {
+                let u = rng.gen::<f64>() * total;
+                cumulative.partition_point(|&c| c < u).min(cumulative.len() - 1)
+            }
+        }
+    }
+
+    /// Number of distinct value indexes this sampler can produce.
+    #[must_use]
+    pub fn domain_size(&self) -> usize {
+        match self {
+            FrequencySampler::Uniform { d } => *d,
+            FrequencySampler::Zipf { cumulative, .. } => cumulative.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn length_validation() {
+        assert!(LengthDistribution::Constant(10).validate(20, 5).is_ok());
+        assert!(LengthDistribution::Constant(30).validate(20, 5).is_err());
+        assert!(LengthDistribution::Constant(3).validate(20, 5).is_err());
+        assert!(LengthDistribution::Uniform { min: 8, max: 4 }.validate(20, 1).is_err());
+        assert!(LengthDistribution::Uniform { min: 4, max: 12 }.validate(20, 4).is_ok());
+    }
+
+    #[test]
+    fn length_samples_respect_bounds() {
+        let mut r = rng(1);
+        for dist in [
+            LengthDistribution::Constant(7),
+            LengthDistribution::Uniform { min: 3, max: 15 },
+            LengthDistribution::Normal { mean: 10.0, std_dev: 3.0 },
+        ] {
+            for _ in 0..500 {
+                let l = dist.sample(&mut r, 20, 2);
+                assert!((2..=20).contains(&l), "{dist:?} produced {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_length_mean_is_accurate() {
+        let dist = LengthDistribution::Uniform { min: 4, max: 16 };
+        let mut r = rng(2);
+        let total: usize = (0..20_000).map(|_| dist.sample(&mut r, 32, 1)).sum();
+        let empirical = total as f64 / 20_000.0;
+        assert!((empirical - dist.mean()).abs() < 0.2, "mean = {empirical}");
+    }
+
+    #[test]
+    fn frequency_validation() {
+        assert!(FrequencyDistribution::Uniform.build_sampler(0).is_err());
+        assert!(FrequencyDistribution::Zipf { theta: -1.0 }.build_sampler(5).is_err());
+        assert!(FrequencyDistribution::Zipf { theta: f64::NAN }.build_sampler(5).is_err());
+        assert!(FrequencyDistribution::Zipf { theta: 1.0 }.build_sampler(5).is_ok());
+    }
+
+    #[test]
+    fn uniform_frequency_covers_domain_evenly() {
+        let s = FrequencyDistribution::Uniform.build_sampler(10).unwrap();
+        assert_eq!(s.domain_size(), 10);
+        let mut counts = vec![0usize; 10];
+        let mut r = rng(3);
+        for _ in 0..10_000 {
+            counts[s.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!(c > 700 && c < 1300, "count = {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_indexes() {
+        let s = FrequencyDistribution::Zipf { theta: 1.2 }.build_sampler(100).unwrap();
+        let mut counts = vec![0usize; 100];
+        let mut r = rng(4);
+        for _ in 0..20_000 {
+            counts[s.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[90]);
+        assert!(counts[0] > 20_000 / 20, "head value should dominate, got {}", counts[0]);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let s = FrequencyDistribution::Zipf { theta: 0.0 }.build_sampler(4).unwrap();
+        assert!(matches!(s, FrequencySampler::Uniform { d: 4 }));
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for synthetic data generation.
+
+use samplecf_storage::StorageError;
+use std::fmt;
+
+/// Errors produced while generating synthetic tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatagenError {
+    /// A generator parameter was invalid (zero distinct values, width too
+    /// small to make the requested number of distinct strings, ...).
+    InvalidSpec(String),
+    /// An underlying storage operation failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::InvalidSpec(msg) => write!(f, "invalid generator specification: {msg}"),
+            DatagenError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatagenError::Storage(e) => Some(e),
+            DatagenError::InvalidSpec(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for DatagenError {
+    fn from(e: StorageError) -> Self {
+        DatagenError::Storage(e)
+    }
+}
+
+/// Result alias for generator operations.
+pub type DatagenResult<T> = Result<T, DatagenError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(DatagenError::InvalidSpec("d = 0".into()).to_string().contains("d = 0"));
+        let e: DatagenError = StorageError::UnknownColumn("c".into()).into();
+        assert!(e.to_string().contains("storage"));
+    }
+}

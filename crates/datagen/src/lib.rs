@@ -1,0 +1,27 @@
+//! # samplecf-datagen
+//!
+//! Seeded synthetic data generation for the SampleCF reproduction.
+//!
+//! The paper's analysis is parameterised by a handful of data properties: the
+//! number of rows `n`, the number of distinct values `d`, the column width
+//! `k`, the distribution of null-suppressed value lengths `ℓᵢ`, and the skew
+//! of value frequencies.  This crate exposes exactly those knobs
+//! ([`ColumnSpec`], [`LengthDistribution`], [`FrequencyDistribution`],
+//! [`TableSpec`]) plus ready-made presets for the regimes the theorems
+//! distinguish ([`presets`]).  Generation is deterministic given a seed, and
+//! every generated table comes with its ground-truth statistics
+//! ([`ColumnStats`]) so experiments can compare estimates against exact
+//! values without rescanning.
+
+pub mod column;
+pub mod distribution;
+pub mod error;
+pub mod pool;
+pub mod presets;
+pub mod table_gen;
+
+pub use column::{ColumnGenerator, ColumnSpec};
+pub use distribution::{FrequencyDistribution, FrequencySampler, LengthDistribution};
+pub use error::{DatagenError, DatagenResult};
+pub use pool::ValuePool;
+pub use table_gen::{ColumnStats, GeneratedTable, RowLayout, TableSpec};

@@ -1,0 +1,28 @@
+//! # samplecf-index
+//!
+//! B+-tree indexes and their compression, for the SampleCF reproduction.
+//!
+//! The SampleCF estimator's procedure (paper Figure 2) is: draw a random
+//! sample of rows, *build an index on the sample*, *compress that index*, and
+//! return the observed compression fraction.  This crate provides those two
+//! middle steps:
+//!
+//! * [`IndexSpec`] / [`IndexBuilder`] / [`BTreeIndex`] — bulk-loaded B+-trees
+//!   (clustered and non-clustered) over real slotted pages,
+//! * [`IndexSizeReport`] — where the uncompressed index's bytes go,
+//! * [`compress_index`] / [`CompressedIndexReport`] — per-column, per-page
+//!   compression of the leaf level with any
+//!   [`CompressionScheme`](samplecf_compression::CompressionScheme), and the
+//!   resulting compression fraction.
+
+pub mod btree;
+pub mod compress;
+pub mod error;
+pub mod size;
+pub mod spec;
+
+pub use btree::{BTreeIndex, IndexBuilder, IndexEntry};
+pub use compress::{compress_index, ColumnCompressionStat, CompressedIndexReport};
+pub use error::{IndexError, IndexResult};
+pub use size::IndexSizeReport;
+pub use spec::{IndexKind, IndexSpec};

@@ -1,0 +1,171 @@
+//! Uncompressed index size accounting.
+
+use crate::btree::BTreeIndex;
+use crate::spec::IndexKind;
+use samplecf_storage::{Page, Rid};
+
+/// A breakdown of where an (uncompressed) index's bytes go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexSizeReport {
+    /// Number of leaf entries.
+    pub num_entries: usize,
+    /// Number of leaf pages.
+    pub leaf_pages: usize,
+    /// Number of internal pages.
+    pub internal_pages: usize,
+    /// Tree height (1 = a single leaf level).
+    pub height: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Bytes of stored column cells across all leaf entries
+    /// (the paper's `n·k` for a single `char(k)` key).
+    pub stored_cell_bytes: usize,
+    /// Bytes of RID pointers in leaf entries (non-clustered only).
+    pub rid_bytes: usize,
+    /// Bytes of null bitmaps in leaf entries.
+    pub bitmap_bytes: usize,
+    /// Bytes of page bookkeeping in the leaf level (headers + slot entries).
+    pub leaf_overhead_bytes: usize,
+    /// Unused bytes inside leaf pages (free space).
+    pub leaf_free_bytes: usize,
+}
+
+impl IndexSizeReport {
+    /// Measure an index.
+    #[must_use]
+    pub fn measure(index: &BTreeIndex) -> Self {
+        let n = index.num_entries();
+        let stored_cell_bytes = n * index.stored_cell_bytes_per_entry();
+        let rid_bytes = if index.spec().kind() == IndexKind::NonClustered {
+            n * Rid::ENCODED_LEN
+        } else {
+            0
+        };
+        let bitmap_bytes = n * index.stored_column_indexes().len().div_ceil(8);
+        let leaf_overhead_bytes: usize = index.leaf_pages().iter().map(Page::overhead_bytes).sum();
+        let leaf_used: usize = index
+            .leaf_pages()
+            .iter()
+            .map(|p| p.payload_bytes() + p.overhead_bytes())
+            .sum();
+        let leaf_free_bytes = index.num_leaf_pages() * index.page_size() - leaf_used;
+        IndexSizeReport {
+            num_entries: n,
+            leaf_pages: index.num_leaf_pages(),
+            internal_pages: index.num_internal_pages(),
+            height: index.height(),
+            page_size: index.page_size(),
+            stored_cell_bytes,
+            rid_bytes,
+            bitmap_bytes,
+            leaf_overhead_bytes,
+            leaf_free_bytes,
+        }
+    }
+
+    /// Total on-disk bytes (all pages at full page size).
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        (self.leaf_pages + self.internal_pages) * self.page_size
+    }
+
+    /// Total leaf-level bytes (leaf pages at full page size).
+    #[must_use]
+    pub fn leaf_bytes(&self) -> usize {
+        self.leaf_pages * self.page_size
+    }
+
+    /// Average number of entries per leaf page.
+    #[must_use]
+    pub fn entries_per_leaf(&self) -> f64 {
+        if self.leaf_pages == 0 {
+            0.0
+        } else {
+            self.num_entries as f64 / self.leaf_pages as f64
+        }
+    }
+
+    /// Fraction of the leaf level occupied by actual column data.
+    #[must_use]
+    pub fn data_density(&self) -> f64 {
+        if self.leaf_bytes() == 0 {
+            0.0
+        } else {
+            self.stored_cell_bytes as f64 / self.leaf_bytes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::btree::IndexBuilder;
+    use crate::spec::IndexSpec;
+    use samplecf_storage::{Column, DataType, Row, Schema, TableBuilder, Value, PAGE_HEADER_SIZE, SLOT_SIZE};
+
+    fn build(n: usize, kind_clustered: bool) -> BTreeIndex {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Char(20)),
+            Column::new("b", DataType::Int32),
+        ])
+        .unwrap();
+        let table = TableBuilder::new("t", schema)
+            .build_with_rows(
+                (0..n).map(|i| Row::new(vec![Value::str(format!("v{i:05}")), Value::int(i as i64)])),
+            )
+            .unwrap();
+        let spec = if kind_clustered {
+            IndexSpec::clustered("i", ["a"]).unwrap()
+        } else {
+            IndexSpec::nonclustered("i", ["a"]).unwrap()
+        };
+        IndexBuilder::new().page_size(1024).build_from_table(&table, &spec).unwrap()
+    }
+
+    #[test]
+    fn nonclustered_report_accounts_for_rids() {
+        let idx = build(500, false);
+        let r = IndexSizeReport::measure(&idx);
+        assert_eq!(r.num_entries, 500);
+        assert_eq!(r.stored_cell_bytes, 500 * 20);
+        assert_eq!(r.rid_bytes, 500 * Rid::ENCODED_LEN);
+        assert_eq!(r.bitmap_bytes, 500);
+        assert!(r.leaf_pages > 1);
+        assert_eq!(r.total_bytes(), (r.leaf_pages + r.internal_pages) * 1024);
+        assert!(r.entries_per_leaf() > 1.0);
+        assert!(r.data_density() > 0.0 && r.data_density() < 1.0);
+    }
+
+    #[test]
+    fn clustered_report_has_no_rid_bytes() {
+        let idx = build(300, true);
+        let r = IndexSizeReport::measure(&idx);
+        assert_eq!(r.rid_bytes, 0);
+        assert_eq!(r.stored_cell_bytes, 300 * 24);
+    }
+
+    #[test]
+    fn leaf_accounting_is_conserved() {
+        let idx = build(1000, false);
+        let r = IndexSizeReport::measure(&idx);
+        // data + bitmaps + rids + overhead + free == leaf bytes
+        assert_eq!(
+            r.stored_cell_bytes + r.bitmap_bytes + r.rid_bytes + r.leaf_overhead_bytes + r.leaf_free_bytes,
+            r.leaf_bytes()
+        );
+        // Sanity on the overhead model.
+        assert!(r.leaf_overhead_bytes >= r.leaf_pages * PAGE_HEADER_SIZE);
+        assert!(r.leaf_overhead_bytes >= r.num_entries * SLOT_SIZE);
+    }
+
+    #[test]
+    fn empty_index_report() {
+        let schema = Schema::single_char("a", 8);
+        let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+        let idx = IndexBuilder::new().build_from_rows(&schema, &[], &spec).unwrap();
+        let r = IndexSizeReport::measure(&idx);
+        assert_eq!(r.num_entries, 0);
+        assert_eq!(r.entries_per_leaf(), 0.0);
+        assert_eq!(r.stored_cell_bytes, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Index specifications.
+
+use crate::error::{IndexError, IndexResult};
+use samplecf_storage::Schema;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Whether an index is clustered (its leaves hold the full rows) or
+/// non-clustered (its leaves hold key values plus row pointers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Clustered index: the leaf level *is* the table, ordered by the key.
+    Clustered,
+    /// Non-clustered (secondary) index: leaves store key + RID.
+    NonClustered,
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexKind::Clustered => write!(f, "clustered"),
+            IndexKind::NonClustered => write!(f, "nonclustered"),
+        }
+    }
+}
+
+/// Specification of an index to build: its name, kind, and ordered key columns
+/// (the paper's "sequence of columns in the index", `S`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpec {
+    name: String,
+    kind: IndexKind,
+    key_columns: Vec<String>,
+}
+
+impl IndexSpec {
+    /// Create a specification.
+    ///
+    /// # Errors
+    /// Fails if the key column list is empty or has duplicates.
+    pub fn new(
+        name: impl Into<String>,
+        kind: IndexKind,
+        key_columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> IndexResult<Self> {
+        let key_columns: Vec<String> = key_columns.into_iter().map(Into::into).collect();
+        if key_columns.is_empty() {
+            return Err(IndexError::InvalidSpec(
+                "an index needs at least one key column".to_string(),
+            ));
+        }
+        let mut seen = HashSet::new();
+        for c in &key_columns {
+            if !seen.insert(c.clone()) {
+                return Err(IndexError::InvalidSpec(format!(
+                    "duplicate key column `{c}`"
+                )));
+            }
+        }
+        Ok(IndexSpec {
+            name: name.into(),
+            kind,
+            key_columns,
+        })
+    }
+
+    /// Shorthand for a clustered index.
+    pub fn clustered(
+        name: impl Into<String>,
+        key_columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> IndexResult<Self> {
+        Self::new(name, IndexKind::Clustered, key_columns)
+    }
+
+    /// Shorthand for a non-clustered index.
+    pub fn nonclustered(
+        name: impl Into<String>,
+        key_columns: impl IntoIterator<Item = impl Into<String>>,
+    ) -> IndexResult<Self> {
+        Self::new(name, IndexKind::NonClustered, key_columns)
+    }
+
+    /// The index name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The index kind.
+    #[must_use]
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// The ordered key column names.
+    #[must_use]
+    pub fn key_columns(&self) -> &[String] {
+        &self.key_columns
+    }
+
+    /// Resolve the key column positions against a table schema.
+    pub fn key_indexes(&self, schema: &Schema) -> IndexResult<Vec<usize>> {
+        self.key_columns
+            .iter()
+            .map(|c| schema.column_index(c).map_err(IndexError::from))
+            .collect()
+    }
+
+    /// The columns stored in the leaf entries of this index: all table columns
+    /// for a clustered index (key columns first), only the key columns for a
+    /// non-clustered index.
+    pub fn stored_column_indexes(&self, schema: &Schema) -> IndexResult<Vec<usize>> {
+        let key = self.key_indexes(schema)?;
+        match self.kind {
+            IndexKind::NonClustered => Ok(key),
+            IndexKind::Clustered => {
+                let mut all = key.clone();
+                for i in 0..schema.arity() {
+                    if !key.contains(&i) {
+                        all.push(i);
+                    }
+                }
+                Ok(all)
+            }
+        }
+    }
+}
+
+impl fmt::Display for IndexSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} index `{}` on ({})",
+            self.kind,
+            self.name,
+            self.key_columns.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samplecf_storage::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Char(8)),
+            Column::new("b", DataType::Int32),
+            Column::new("c", DataType::Int64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_keys() {
+        assert!(IndexSpec::clustered("i", Vec::<String>::new()).is_err());
+        assert!(IndexSpec::clustered("i", ["a", "a"]).is_err());
+        let s = IndexSpec::nonclustered("i", ["a", "b"]).unwrap();
+        assert_eq!(s.key_columns(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(s.kind(), IndexKind::NonClustered);
+    }
+
+    #[test]
+    fn key_indexes_resolve_against_schema() {
+        let s = IndexSpec::nonclustered("i", ["c", "a"]).unwrap();
+        assert_eq!(s.key_indexes(&schema()).unwrap(), vec![2, 0]);
+        let bad = IndexSpec::nonclustered("i", ["zz"]).unwrap();
+        assert!(bad.key_indexes(&schema()).is_err());
+    }
+
+    #[test]
+    fn stored_columns_depend_on_kind() {
+        let nc = IndexSpec::nonclustered("i", ["b"]).unwrap();
+        assert_eq!(nc.stored_column_indexes(&schema()).unwrap(), vec![1]);
+        let cl = IndexSpec::clustered("i", ["b"]).unwrap();
+        assert_eq!(cl.stored_column_indexes(&schema()).unwrap(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = IndexSpec::clustered("idx_a", ["a", "b"]).unwrap();
+        assert_eq!(s.to_string(), "clustered index `idx_a` on (a, b)");
+    }
+}

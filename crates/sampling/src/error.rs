@@ -1,0 +1,57 @@
+//! Error types for sampling.
+
+use samplecf_storage::StorageError;
+use std::fmt;
+
+/// Errors produced while drawing samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplingError {
+    /// The sampling fraction was outside (0, 1].
+    InvalidFraction(String),
+    /// The requested fixed sample size was zero.
+    InvalidSize(String),
+    /// An underlying storage operation failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidFraction(msg) => write!(f, "invalid sampling fraction: {msg}"),
+            SamplingError::InvalidSize(msg) => write!(f, "invalid sample size: {msg}"),
+            SamplingError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SamplingError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SamplingError {
+    fn from(e: StorageError) -> Self {
+        SamplingError::Storage(e)
+    }
+}
+
+/// Result alias for sampling operations.
+pub type SamplingResult<T> = Result<T, SamplingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(SamplingError::InvalidFraction("0".into())
+            .to_string()
+            .contains("fraction"));
+        let e: SamplingError = StorageError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("storage"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Configuration-friendly sampler selection.
+
+use crate::block::BlockSampler;
+use crate::error::SamplingResult;
+use crate::reservoir::ReservoirSampler;
+use crate::sampler::RowSampler;
+use crate::uniform::{
+    BernoulliSampler, SystematicSampler, UniformWithReplacement, UniformWithoutReplacement,
+};
+
+/// An enumeration of the available sampling procedures, parameterised the way
+/// an experiment configuration would describe them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplerKind {
+    /// Uniform row sampling with replacement at the given fraction
+    /// (the paper's assumption).
+    UniformWithReplacement(f64),
+    /// Uniform row sampling without replacement at the given fraction.
+    UniformWithoutReplacement(f64),
+    /// Bernoulli sampling with the given inclusion probability.
+    Bernoulli(f64),
+    /// Systematic sampling at the given fraction.
+    Systematic(f64),
+    /// Fixed-size reservoir sampling.
+    Reservoir(usize),
+    /// Page-level sampling at the given page fraction
+    /// (what commercial systems actually do).
+    Block(f64),
+}
+
+impl SamplerKind {
+    /// Instantiate the sampler this kind describes.
+    pub fn build(&self) -> SamplingResult<Box<dyn RowSampler>> {
+        Ok(match *self {
+            SamplerKind::UniformWithReplacement(f) => Box::new(UniformWithReplacement::new(f)?),
+            SamplerKind::UniformWithoutReplacement(f) => {
+                Box::new(UniformWithoutReplacement::new(f)?)
+            }
+            SamplerKind::Bernoulli(f) => Box::new(BernoulliSampler::new(f)?),
+            SamplerKind::Systematic(f) => Box::new(SystematicSampler::new(f)?),
+            SamplerKind::Reservoir(size) => Box::new(ReservoirSampler::new(size)?),
+            SamplerKind::Block(f) => Box::new(BlockSampler::new(f)?),
+        })
+    }
+
+    /// A short label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SamplerKind::UniformWithReplacement(f) => format!("uniform-wr(f={f})"),
+            SamplerKind::UniformWithoutReplacement(f) => format!("uniform-wor(f={f})"),
+            SamplerKind::Bernoulli(f) => format!("bernoulli(p={f})"),
+            SamplerKind::Systematic(f) => format!("systematic(f={f})"),
+            SamplerKind::Reservoir(r) => format!("reservoir(r={r})"),
+            SamplerKind::Block(f) => format!("block(f={f})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_its_sampler() {
+        let cases = [
+            (SamplerKind::UniformWithReplacement(0.1), "uniform-with-replacement"),
+            (SamplerKind::UniformWithoutReplacement(0.1), "uniform-without-replacement"),
+            (SamplerKind::Bernoulli(0.1), "bernoulli"),
+            (SamplerKind::Systematic(0.1), "systematic"),
+            (SamplerKind::Reservoir(10), "reservoir"),
+            (SamplerKind::Block(0.1), "block"),
+        ];
+        for (kind, expected) in cases {
+            assert_eq!(kind.build().unwrap().name(), expected);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_propagate() {
+        assert!(SamplerKind::UniformWithReplacement(0.0).build().is_err());
+        assert!(SamplerKind::Reservoir(0).build().is_err());
+        assert!(SamplerKind::Block(1.5).build().is_err());
+    }
+}

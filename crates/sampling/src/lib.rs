@@ -1,0 +1,26 @@
+//! # samplecf-sampling
+//!
+//! Sampling procedures for the SampleCF reproduction.
+//!
+//! The paper's estimator assumes **uniform row sampling with replacement**
+//! ([`UniformWithReplacement`]); commercial systems typically use
+//! **block-level sampling** ([`BlockSampler`]), which the paper leaves to
+//! future work.  Both — plus without-replacement, Bernoulli, systematic and
+//! reservoir variants — are provided behind the [`RowSampler`] trait so the
+//! estimator and the benchmark harness can swap them freely.
+
+pub mod block;
+pub mod error;
+pub mod kind;
+pub mod reservoir;
+pub mod sampler;
+pub mod uniform;
+
+pub use block::BlockSampler;
+pub use error::{SamplingError, SamplingResult};
+pub use kind::SamplerKind;
+pub use reservoir::ReservoirSampler;
+pub use sampler::{target_size, validate_fraction, RowSampler, SampledRow};
+pub use uniform::{
+    BernoulliSampler, SystematicSampler, UniformWithReplacement, UniformWithoutReplacement,
+};

@@ -1,0 +1,123 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+//!
+//! Draws a fixed-size uniform sample without replacement in a single pass
+//! over the table, without knowing the number of rows in advance — the
+//! classical technique referenced by the paper ([5] J.S. Vitter, "Random
+//! Sampling with a Reservoir").
+
+use crate::error::{SamplingError, SamplingResult};
+use crate::sampler::{RowSampler, SampledRow};
+use rand::Rng;
+use rand::RngCore;
+use samplecf_storage::Table;
+
+/// Fixed-size single-pass reservoir sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct ReservoirSampler {
+    size: usize,
+}
+
+impl ReservoirSampler {
+    /// Create a reservoir sampler that keeps exactly `size` rows (or every
+    /// row, if the table is smaller).
+    pub fn new(size: usize) -> SamplingResult<Self> {
+        if size == 0 {
+            return Err(SamplingError::InvalidSize(
+                "reservoir size must be at least 1".to_string(),
+            ));
+        }
+        Ok(ReservoirSampler { size })
+    }
+
+    /// The reservoir capacity.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl RowSampler for ReservoirSampler {
+    fn name(&self) -> &'static str {
+        "reservoir"
+    }
+
+    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>> {
+        let mut reservoir: Vec<SampledRow> = Vec::with_capacity(self.size);
+        for (seen, (rid, row)) in table.scan().enumerate() {
+            if reservoir.len() < self.size {
+                reservoir.push((rid, row));
+            } else {
+                let j = rng.gen_range(0..=seen);
+                if j < self.size {
+                    reservoir[j] = (rid, row);
+                }
+            }
+        }
+        Ok(reservoir)
+    }
+
+    fn expected_sample_size(&self, n: usize) -> usize {
+        self.size.min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use samplecf_storage::{Row, Schema, TableBuilder, Value};
+    use std::collections::HashSet;
+
+    fn table(n: usize) -> Table {
+        TableBuilder::new("t", Schema::single_char("a", 12))
+            .build_with_rows((0..n).map(|i| Row::new(vec![Value::str(format!("v{i:05}"))])))
+            .unwrap()
+    }
+
+    #[test]
+    fn keeps_exactly_the_requested_size() {
+        let t = table(1000);
+        let s = ReservoirSampler::new(37).unwrap();
+        let sample = s.sample(&t, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(sample.len(), 37);
+        let distinct: HashSet<_> = sample.iter().map(|(rid, _)| *rid).collect();
+        assert_eq!(distinct.len(), 37, "reservoir sampling is without replacement");
+    }
+
+    #[test]
+    fn small_tables_are_returned_whole() {
+        let t = table(5);
+        let s = ReservoirSampler::new(50).unwrap();
+        let sample = s.sample(&t, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_eq!(sample.len(), 5);
+        assert_eq!(s.expected_sample_size(5), 5);
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        assert!(ReservoirSampler::new(0).is_err());
+    }
+
+    #[test]
+    fn inclusion_is_roughly_uniform_across_positions() {
+        // Early rows must not be favoured over late rows.
+        let t = table(200);
+        let s = ReservoirSampler::new(20).unwrap();
+        let mut first_half = 0usize;
+        let mut second_half = 0usize;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..300 {
+            for (_, row) in s.sample(&t, &mut rng).unwrap() {
+                let id: usize = row.value(0).as_str().unwrap()[1..].parse().unwrap();
+                if id < 100 {
+                    first_half += 1;
+                } else {
+                    second_half += 1;
+                }
+            }
+        }
+        let ratio = first_half as f64 / second_half as f64;
+        assert!(ratio > 0.8 && ratio < 1.25, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,92 @@
+//! The [`RowSampler`] trait and shared helpers.
+
+use crate::error::{SamplingError, SamplingResult};
+use rand::RngCore;
+use samplecf_storage::{Rid, Row, Table};
+
+/// A sampled row: its identifier in the base table plus the row itself.
+pub type SampledRow = (Rid, Row);
+
+/// A procedure for drawing a random sample of rows from a table.
+///
+/// Samplers are deterministic given the RNG they are handed, which is what
+/// makes the estimator's trial runner reproducible.
+pub trait RowSampler: Send + Sync {
+    /// Short stable name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Draw a sample from the table.
+    ///
+    /// Duplicates are allowed (and expected for with-replacement samplers);
+    /// the SampleCF estimator treats the result as a bag of rows.
+    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>>;
+
+    /// Expected number of sampled rows for a table of `n` rows.
+    fn expected_sample_size(&self, n: usize) -> usize;
+}
+
+impl std::fmt::Debug for dyn RowSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RowSampler({})", self.name())
+    }
+}
+
+/// Validate a sampling fraction, which must lie in (0, 1].
+pub fn validate_fraction(fraction: f64) -> SamplingResult<f64> {
+    if !(fraction > 0.0 && fraction <= 1.0) || !fraction.is_finite() {
+        return Err(SamplingError::InvalidFraction(format!(
+            "fraction must be in (0, 1], got {fraction}"
+        )));
+    }
+    Ok(fraction)
+}
+
+/// The sample size `r = max(1, round(f·n))` used by fraction-based samplers
+/// (at least one row whenever the table is non-empty).
+#[must_use]
+pub fn target_size(n: usize, fraction: f64) -> usize {
+    if n == 0 {
+        0
+    } else {
+        ((n as f64 * fraction).round() as usize).clamp(1, n.max(1))
+    }
+}
+
+/// Fetch the rows at the given positions of the table's RID frame.
+pub fn fetch_positions(
+    table: &Table,
+    rids: &[Rid],
+    positions: &[usize],
+) -> SamplingResult<Vec<SampledRow>> {
+    positions
+        .iter()
+        .map(|&p| {
+            let rid = rids[p];
+            Ok((rid, table.get(rid)?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_validation() {
+        assert!(validate_fraction(0.01).is_ok());
+        assert!(validate_fraction(1.0).is_ok());
+        assert!(validate_fraction(0.0).is_err());
+        assert!(validate_fraction(-0.5).is_err());
+        assert!(validate_fraction(1.5).is_err());
+        assert!(validate_fraction(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn target_size_rounds_and_clamps() {
+        assert_eq!(target_size(1000, 0.01), 10);
+        assert_eq!(target_size(1000, 0.0004), 1);
+        assert_eq!(target_size(1000, 1.0), 1000);
+        assert_eq!(target_size(0, 0.5), 0);
+        assert_eq!(target_size(3, 0.99), 3);
+    }
+}

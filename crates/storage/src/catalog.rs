@@ -1,0 +1,131 @@
+//! A minimal in-memory catalog of tables.
+//!
+//! The physical-design advisor and the capacity-planning example register the
+//! tables they reason about here so they can be looked up by name, mirroring
+//! how an automated physical design tool would enumerate candidate objects
+//! from the system catalog.
+
+use crate::error::{StorageError, StorageResult};
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Thread-safe registry of named tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table.
+    ///
+    /// # Errors
+    /// Fails if a table with the same name is already registered.
+    pub fn register(&self, table: Table) -> StorageResult<Arc<Table>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(table.name()) {
+            return Err(StorageError::DuplicateTable(table.name().to_string()));
+        }
+        let arc = Arc::new(table);
+        tables.insert(arc.name().to_string(), Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Remove a table, returning it if it existed.
+    pub fn drop_table(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .write()
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all registered tables, sorted.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    /// Number of registered tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table(name: &str) -> Table {
+        Table::new(name, Schema::single_char("a", 8))
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.register(table("orders")).unwrap();
+        cat.register(table("lineitem")).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.get("orders").unwrap().name(), "orders");
+        assert!(cat.get("missing").is_err());
+        assert_eq!(cat.table_names(), vec!["lineitem", "orders"]);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let cat = Catalog::new();
+        cat.register(table("t")).unwrap();
+        assert!(matches!(
+            cat.register(table("t")),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn drop_removes_table() {
+        let cat = Catalog::new();
+        cat.register(table("t")).unwrap();
+        assert!(cat.drop_table("t").is_ok());
+        assert!(cat.get("t").is_err());
+        assert!(cat.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn catalog_is_shareable_across_threads() {
+        let cat = Arc::new(Catalog::new());
+        cat.register(table("t")).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cat = Arc::clone(&cat);
+                std::thread::spawn(move || cat.get("t").unwrap().name().to_string())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "t");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # samplecf-storage
+//!
+//! Page-based storage substrate for the SampleCF reproduction.
+//!
+//! The paper ("Estimating the Compression Fraction of an Index using
+//! Sampling", ICDE 2010) analyses an estimator that runs inside a database
+//! engine: it samples rows from a table, builds an index on the sample,
+//! compresses that index with the engine's actual compression code, and
+//! returns the observed compression fraction.  This crate provides the engine
+//! substrate those steps rely on:
+//!
+//! * [`DataType`] / [`Value`] / [`Schema`] / [`Row`] — column types, cell
+//!   values and the fixed-width uncompressed row representation whose size the
+//!   compression fraction's denominator counts,
+//! * [`Page`] — slotted pages with explicit header and slot-directory
+//!   overheads,
+//! * [`HeapFile`] / [`Table`] — base tables that samplers draw rows and blocks
+//!   from,
+//! * [`Catalog`] — a registry used by the physical-design and
+//!   capacity-planning applications.
+//!
+//! Everything is deterministic and in-memory: the estimator's accuracy only
+//! depends on sizes in bytes, not on actual disk I/O.
+
+pub mod catalog;
+pub mod datatype;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod rid;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use datatype::DataType;
+pub use error::{StorageError, StorageResult};
+pub use heap::HeapFile;
+pub use page::{Page, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_SIZE, SLOT_SIZE};
+pub use rid::{PageId, Rid};
+pub use row::{decode_cell, encode_cell, Row, RowCodec, CHAR_PAD};
+pub use schema::{Column, Schema};
+pub use table::{Table, TableBuilder};
+pub use value::Value;

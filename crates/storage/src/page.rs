@@ -1,0 +1,285 @@
+//! Slotted pages.
+//!
+//! A [`Page`] is a fixed-size byte buffer with the classical slotted layout
+//! used by disk-based engines: a small header, records growing forward from
+//! the header, and a slot directory growing backward from the end of the
+//! page.  The per-page overheads (header plus one slot entry per record) are
+//! part of what the compression fraction measures, so they are modelled
+//! explicitly rather than abstracted away.
+//!
+//! Layout of the backing buffer:
+//!
+//! ```text
+//! +--------------+-------------------------+-----------+------------------+
+//! | header (16B) | record 0 | record 1 ... |   free    | ... slot1 slot0  |
+//! +--------------+-------------------------+-----------+------------------+
+//! ```
+//!
+//! Each slot entry is 4 bytes: a 2-byte record offset and a 2-byte record
+//! length.
+
+use crate::error::{StorageError, StorageResult};
+use crate::rid::PageId;
+
+/// Default page size used throughout the library (8 KiB, as in SQL Server).
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// Fixed page header size in bytes.
+pub const PAGE_HEADER_SIZE: usize = 16;
+
+/// Size of one slot directory entry in bytes.
+pub const SLOT_SIZE: usize = 4;
+
+/// Smallest supported page size.
+pub const MIN_PAGE_SIZE: usize = 64;
+
+/// Largest supported page size (offsets are 16-bit).
+pub const MAX_PAGE_SIZE: usize = 32 * 1024;
+
+/// Validate a page size, returning it if acceptable.
+pub fn validate_page_size(page_size: usize) -> StorageResult<usize> {
+    if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) {
+        return Err(StorageError::PageCorruption(format!(
+            "page size {page_size} outside supported range [{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]"
+        )));
+    }
+    Ok(page_size)
+}
+
+/// Maximum record payload a page of `page_size` bytes can hold.
+#[must_use]
+pub fn max_record_len(page_size: usize) -> usize {
+    page_size.saturating_sub(PAGE_HEADER_SIZE + SLOT_SIZE)
+}
+
+/// A slotted page holding variable-length records.
+#[derive(Debug, Clone)]
+pub struct Page {
+    id: PageId,
+    data: Vec<u8>,
+}
+
+impl Page {
+    /// Create an empty page with the given id and size.
+    ///
+    /// # Errors
+    /// Fails if `page_size` is outside the supported range.
+    pub fn new(id: PageId, page_size: usize) -> StorageResult<Self> {
+        validate_page_size(page_size)?;
+        let mut page = Page {
+            id,
+            data: vec![0u8; page_size],
+        };
+        page.write_header(0, PAGE_HEADER_SIZE as u32);
+        page.data[..4].copy_from_slice(&id.to_be_bytes());
+        Ok(page)
+    }
+
+    fn write_header(&mut self, slot_count: u16, free_ptr: u32) {
+        self.data[4..6].copy_from_slice(&slot_count.to_be_bytes());
+        self.data[8..12].copy_from_slice(&free_ptr.to_be_bytes());
+    }
+
+    /// The page identifier.
+    #[must_use]
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// Total size of the page in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of records stored in the page.
+    #[must_use]
+    pub fn slot_count(&self) -> u16 {
+        u16::from_be_bytes([self.data[4], self.data[5]])
+    }
+
+    fn free_ptr(&self) -> usize {
+        u32::from_be_bytes([self.data[8], self.data[9], self.data[10], self.data[11]]) as usize
+    }
+
+    fn slot_dir_start(&self) -> usize {
+        self.page_size() - usize::from(self.slot_count()) * SLOT_SIZE
+    }
+
+    /// Bytes still available for a new record (including its slot entry).
+    #[must_use]
+    pub fn free_space(&self) -> usize {
+        self.slot_dir_start().saturating_sub(self.free_ptr())
+    }
+
+    /// Whether a record of `record_len` bytes fits in this page.
+    #[must_use]
+    pub fn fits(&self, record_len: usize) -> bool {
+        self.free_space() >= record_len + SLOT_SIZE
+    }
+
+    /// Number of payload bytes currently stored (sum of record lengths).
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        (0..self.slot_count())
+            .map(|s| self.slot(s).map_or(0, |(_, len)| len))
+            .sum()
+    }
+
+    /// Bytes of the page that are pure bookkeeping overhead
+    /// (header + slot directory).
+    #[must_use]
+    pub fn overhead_bytes(&self) -> usize {
+        PAGE_HEADER_SIZE + usize::from(self.slot_count()) * SLOT_SIZE
+    }
+
+    fn slot(&self, slot: u16) -> Option<(usize, usize)> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let pos = self.page_size() - (usize::from(slot) + 1) * SLOT_SIZE;
+        let offset = u16::from_be_bytes([self.data[pos], self.data[pos + 1]]) as usize;
+        let len = u16::from_be_bytes([self.data[pos + 2], self.data[pos + 3]]) as usize;
+        Some((offset, len))
+    }
+
+    /// Insert a record, returning its slot number, or `None` if it does not fit.
+    ///
+    /// # Errors
+    /// Fails if the record can never fit in a page of this size.
+    pub fn insert(&mut self, record: &[u8]) -> StorageResult<Option<u16>> {
+        if record.len() > max_record_len(self.page_size()) {
+            return Err(StorageError::RecordTooLarge {
+                record_len: record.len(),
+                max_payload: max_record_len(self.page_size()),
+            });
+        }
+        if !self.fits(record.len()) {
+            return Ok(None);
+        }
+        let slot = self.slot_count();
+        let offset = self.free_ptr();
+        self.data[offset..offset + record.len()].copy_from_slice(record);
+        let pos = self.page_size() - (usize::from(slot) + 1) * SLOT_SIZE;
+        self.data[pos..pos + 2].copy_from_slice(&(offset as u16).to_be_bytes());
+        self.data[pos + 2..pos + 4].copy_from_slice(&(record.len() as u16).to_be_bytes());
+        self.write_header(slot + 1, (offset + record.len()) as u32);
+        Ok(Some(slot))
+    }
+
+    /// Get the record stored in `slot`.
+    pub fn get(&self, slot: u16) -> StorageResult<&[u8]> {
+        let (offset, len) = self.slot(slot).ok_or(StorageError::InvalidRid {
+            page: self.id,
+            slot,
+        })?;
+        if offset + len > self.page_size() {
+            return Err(StorageError::PageCorruption(format!(
+                "slot {slot} points outside the page"
+            )));
+        }
+        Ok(&self.data[offset..offset + len])
+    }
+
+    /// Iterate over all records in slot order.
+    pub fn records(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.slot_count()).map(move |s| self.get(s).expect("slot within slot_count is valid"))
+    }
+
+    /// Borrow the raw backing bytes of the page.
+    #[must_use]
+    pub fn raw(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_empty() {
+        let p = Page::new(7, DEFAULT_PAGE_SIZE).unwrap();
+        assert_eq!(p.id(), 7);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.payload_bytes(), 0);
+        assert_eq!(p.overhead_bytes(), PAGE_HEADER_SIZE);
+        assert_eq!(p.free_space(), DEFAULT_PAGE_SIZE - PAGE_HEADER_SIZE);
+    }
+
+    #[test]
+    fn rejects_bad_page_sizes() {
+        assert!(Page::new(0, 16).is_err());
+        assert!(Page::new(0, MAX_PAGE_SIZE + 1).is_err());
+        assert!(Page::new(0, MIN_PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut p = Page::new(0, 256).unwrap();
+        let s0 = p.insert(b"hello").unwrap().unwrap();
+        let s1 = p.insert(b"world!").unwrap().unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(p.get(0).unwrap(), b"hello");
+        assert_eq!(p.get(1).unwrap(), b"world!");
+        assert_eq!(p.slot_count(), 2);
+        assert_eq!(p.payload_bytes(), 11);
+        assert!(p.get(2).is_err());
+    }
+
+    #[test]
+    fn insert_returns_none_when_full() {
+        let mut p = Page::new(0, MIN_PAGE_SIZE).unwrap();
+        let rec = vec![0xAB; 20];
+        let mut inserted = 0;
+        while p.insert(&rec).unwrap().is_some() {
+            inserted += 1;
+        }
+        assert!(inserted >= 1);
+        // The page reports no space for a further record.
+        assert!(!p.fits(rec.len()));
+        // Existing records unaffected.
+        assert_eq!(p.get(0).unwrap(), rec.as_slice());
+    }
+
+    #[test]
+    fn oversized_record_is_an_error() {
+        let mut p = Page::new(0, 128).unwrap();
+        assert!(matches!(
+            p.insert(&vec![0u8; 1000]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let mut p = Page::new(0, 512).unwrap();
+        for i in 0..10 {
+            p.insert(&vec![i as u8; 17]).unwrap().unwrap();
+        }
+        assert_eq!(p.payload_bytes(), 170);
+        assert_eq!(p.overhead_bytes(), PAGE_HEADER_SIZE + 10 * SLOT_SIZE);
+        assert_eq!(
+            p.free_space(),
+            512 - PAGE_HEADER_SIZE - 170 - 10 * SLOT_SIZE
+        );
+    }
+
+    #[test]
+    fn records_iterates_in_slot_order() {
+        let mut p = Page::new(0, 256).unwrap();
+        p.insert(b"a").unwrap();
+        p.insert(b"bb").unwrap();
+        p.insert(b"ccc").unwrap();
+        let lens: Vec<usize> = p.records().map(<[u8]>::len).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_records_are_allowed() {
+        let mut p = Page::new(0, 128).unwrap();
+        let s = p.insert(b"").unwrap().unwrap();
+        assert_eq!(p.get(s).unwrap(), b"");
+    }
+}

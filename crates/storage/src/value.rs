@@ -1,0 +1,250 @@
+//! Runtime cell values.
+
+use crate::datatype::DataType;
+use crate::error::{StorageError, StorageResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value.
+///
+/// Values are dynamically typed; [`Value::conforms_to`] checks whether a value
+/// can be stored in a column of a given [`DataType`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Character data (for `Char`/`VarChar` columns).
+    Str(String),
+    /// Integer data (for `Int32`/`Int64` columns).
+    Int(i64),
+    /// Boolean data.
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Construct an integer value.
+    #[must_use]
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Whether the value is NULL.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Check whether this value can be stored in a column of type `dt` named
+    /// `column` (the name is only used for error messages).
+    pub fn conforms_to(&self, dt: &DataType, column: &str) -> StorageResult<()> {
+        match (self, dt) {
+            (Value::Null, _) => Ok(()),
+            (Value::Str(s), DataType::Char(k)) | (Value::Str(s), DataType::VarChar(k)) => {
+                if s.len() > *k as usize {
+                    Err(StorageError::ValueTooWide {
+                        column: column.to_string(),
+                        declared: *k as usize,
+                        actual: s.len(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            (Value::Int(i), DataType::Int32) => {
+                if i32::try_from(*i).is_ok() {
+                    Ok(())
+                } else {
+                    Err(StorageError::TypeMismatch {
+                        column: column.to_string(),
+                        expected: dt.sql_name(),
+                        found: format!("out-of-range integer {i}"),
+                    })
+                }
+            }
+            (Value::Int(_), DataType::Int64) => Ok(()),
+            (Value::Bool(_), DataType::Bool) => Ok(()),
+            (v, dt) => Err(StorageError::TypeMismatch {
+                column: column.to_string(),
+                expected: dt.sql_name(),
+                found: v.kind_name().to_string(),
+            }),
+        }
+    }
+
+    /// Short name of the value's runtime kind.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Bool(_) => "bool",
+            Value::Null => "null",
+        }
+    }
+
+    /// The *logical* length of the value in bytes, i.e. the number of bytes
+    /// that null suppression would retain (the paper's `ℓᵢ`).
+    ///
+    /// For strings this is the unpadded length, for integers the full width,
+    /// and for NULL zero.
+    #[must_use]
+    pub fn logical_len(&self) -> usize {
+        match self {
+            Value::Str(s) => s.len(),
+            Value::Int(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Null => 0,
+        }
+    }
+
+    /// Borrow the string contents if this is a string value.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Return the integer if this is an integer value.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order used for index key comparison.  NULLs sort first, then
+    /// booleans, integers and strings; cross-kind comparisons order by kind.
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_checks_width() {
+        let v = Value::str("abcdef");
+        assert!(v.conforms_to(&DataType::Char(6), "c").is_ok());
+        assert!(v.conforms_to(&DataType::Char(5), "c").is_err());
+        assert!(v.conforms_to(&DataType::VarChar(10), "c").is_ok());
+    }
+
+    #[test]
+    fn conformance_checks_kind() {
+        assert!(Value::int(5).conforms_to(&DataType::Char(5), "c").is_err());
+        assert!(Value::str("x").conforms_to(&DataType::Int32, "c").is_err());
+        assert!(Value::Bool(true).conforms_to(&DataType::Bool, "c").is_ok());
+        assert!(Value::Null.conforms_to(&DataType::Char(1), "c").is_ok());
+    }
+
+    #[test]
+    fn int32_range_enforced() {
+        assert!(Value::int(1 << 40).conforms_to(&DataType::Int32, "c").is_err());
+        assert!(Value::int(12).conforms_to(&DataType::Int32, "c").is_ok());
+        assert!(Value::int(1 << 40).conforms_to(&DataType::Int64, "c").is_ok());
+    }
+
+    #[test]
+    fn logical_len_is_unpadded_length() {
+        assert_eq!(Value::str("abc").logical_len(), 3);
+        assert_eq!(Value::str("").logical_len(), 0);
+        assert_eq!(Value::int(7).logical_len(), 8);
+        assert_eq!(Value::Null.logical_len(), 0);
+    }
+
+    #[test]
+    fn ordering_within_and_across_kinds() {
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::Null < Value::int(i64::MIN));
+        assert!(Value::int(i64::MAX) < Value::str(""));
+        assert_eq!(Value::Null.cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::str("ab").to_string(), "'ab'");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

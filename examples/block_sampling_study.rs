@@ -1,0 +1,70 @@
+//! Block-level sampling vs. uniform row sampling.
+//!
+//! Commercial systems sample whole pages rather than rows (paper, Section
+//! II-C); the paper's analysis covers row sampling and leaves block sampling
+//! to future work.  This example shows *why* that distinction matters: when
+//! equal values cluster on pages, a block sample badly misjudges the number
+//! of distinct values and therefore the dictionary-compression fraction,
+//! while row sampling stays accurate.
+//!
+//! Run with: `cargo run --release --example block_sampling_study`
+
+use samplecf::prelude::*;
+use samplecf::core::{TrialConfig, TrialRunner};
+
+fn run_case(
+    label: &str,
+    table: &Table,
+    sampler: SamplerKind,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = IndexSpec::nonclustered("idx_a", ["a"])?;
+    let scheme = GlobalDictionaryCompression::default();
+    let summary = TrialRunner::new(TrialConfig::new(30).base_seed(17)).run(
+        table,
+        &spec,
+        &scheme,
+        sampler,
+    )?;
+    println!(
+        "{:<34} true CF {:.4}   mean est {:.4}   mean ratio err {:.3}   max ratio err {:.3}",
+        label,
+        summary.true_cf(),
+        summary.estimate_stats.mean,
+        summary.mean_ratio_error(),
+        summary.max_ratio_error(),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 40_000;
+    let d = 200;
+
+    // Same logical data, two physical layouts.
+    let shuffled = presets::single_char_table("shuffled", n, 24, d, 10, 21)
+        .generate()?
+        .table;
+    let clustered = presets::single_char_table("clustered", n, 24, d, 10, 21)
+        .layout(RowLayout::ClusteredBy(0))
+        .generate()?
+        .table;
+
+    println!("n = {n}, d = {d}, 2% samples, dictionary compression (global model)\n");
+    println!("-- shuffled layout (values spread across pages) --");
+    run_case("uniform row sampling", &shuffled, SamplerKind::UniformWithReplacement(0.02))?;
+    run_case("block (page) sampling", &shuffled, SamplerKind::Block(0.02))?;
+
+    println!("\n-- clustered layout (equal values packed together) --");
+    run_case("uniform row sampling", &clustered, SamplerKind::UniformWithReplacement(0.02))?;
+    run_case("block (page) sampling", &clustered, SamplerKind::Block(0.02))?;
+
+    println!(
+        "\nOn the clustered layout the two samplers disagree sharply for dictionary \
+         compression: the row sample's distinct ratio d'/r far exceeds d/n and overestimates \
+         CF, while a block sample inherits each page's local distinct ratio — which on \
+         clustered data happens to mirror the global d/n.  Block sampling's accuracy therefore \
+         depends entirely on the physical layout, which is exactly why the paper restricts its \
+         analysis to uniform row sampling and leaves block sampling to future work."
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Compression-aware physical design: decide which indexes of a small
+//! "orders" workload to compress, with and without a storage budget.
+//!
+//! This is the application that motivates the paper (Section I): automated
+//! physical design tools need cheap, accurate estimates of compressed index
+//! sizes in order to meet a storage bound.
+//!
+//! Run with: `cargo run --release --example physical_design_advisor`
+
+use samplecf::prelude::*;
+
+fn print_report(title: &str, report: &samplecf::core::AdvisorReport) {
+    println!("== {title} ==");
+    println!(
+        "{:<14} {:<22} {:>14} {:>16} {:>8} {:>10}",
+        "table", "index", "uncompressed", "est. compressed", "CF", "compress?"
+    );
+    for r in &report.recommendations {
+        println!(
+            "{:<14} {:<22} {:>14} {:>16} {:>8.3} {:>10}",
+            r.table,
+            r.index,
+            r.uncompressed_bytes,
+            r.estimated_compressed_bytes,
+            r.estimated_cf,
+            if r.compress { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "total: {} bytes uncompressed -> {} bytes under the recommendations (budget: {})",
+        report.total_uncompressed_bytes(),
+        report.total_chosen_bytes(),
+        report
+            .budget_bytes
+            .map_or("none".to_string(), |b| b.to_string())
+    );
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small schema: a fact table plus an archive table.
+    let orders = presets::orders_table("orders", 30_000, 1).generate()?.table;
+    let archive =
+        presets::variable_length_table("archive", 20_000, 64, 400, 6, 24, 2).generate()?.table;
+
+    let candidates = vec![
+        Candidate {
+            table: &orders,
+            spec: IndexSpec::clustered("orders_pk", ["order_id"])?,
+        },
+        Candidate {
+            table: &orders,
+            spec: IndexSpec::nonclustered("orders_by_status", ["status"])?,
+        },
+        Candidate {
+            table: &orders,
+            spec: IndexSpec::nonclustered("orders_by_customer", ["customer"])?,
+        },
+        Candidate {
+            table: &archive,
+            spec: IndexSpec::nonclustered("archive_by_a", ["a"])?,
+        },
+    ];
+
+    // Pass 1: no budget — compress whatever saves at least 20%.
+    let advisor = CompressionAdvisor::new(AdvisorConfig {
+        sampling_fraction: 0.01,
+        min_saving_fraction: 0.20,
+        budget_bytes: None,
+        seed: 3,
+    })?;
+    let scheme = DictionaryCompression::default();
+    let unconstrained = advisor.recommend(&candidates, &scheme)?;
+    print_report("No storage budget (compress when saving ≥ 20%)", &unconstrained);
+
+    // Pass 2: a tight budget forces more aggressive compression.
+    let budget = unconstrained.total_uncompressed_bytes() * 6 / 10;
+    let constrained = CompressionAdvisor::new(AdvisorConfig {
+        sampling_fraction: 0.01,
+        min_saving_fraction: 0.20,
+        budget_bytes: Some(budget),
+        seed: 3,
+    })?;
+    let constrained_report = constrained.recommend(&candidates, &scheme)?;
+    print_report(
+        &format!("Storage budget of {budget} bytes (60% of uncompressed)"),
+        &constrained_report,
+    );
+    println!(
+        "fits budget: {}",
+        if constrained_report.fits_budget() { "yes" } else { "no" }
+    );
+    Ok(())
+}

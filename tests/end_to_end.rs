@@ -1,0 +1,187 @@
+//! End-to-end integration tests spanning every crate: generate data, build
+//! indexes, compress them, sample, estimate, and compare with ground truth.
+
+use samplecf::prelude::*;
+
+fn demo_table(n: usize, d: usize, seed: u64) -> Table {
+    presets::variable_length_table("t", n, 32, d, 4, 28, seed)
+        .generate()
+        .expect("generation succeeds")
+        .table
+}
+
+#[test]
+fn every_scheme_and_sampler_combination_produces_a_sane_estimate() {
+    let table = demo_table(8_000, 400, 1);
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    let samplers = [
+        SamplerKind::UniformWithReplacement(0.05),
+        SamplerKind::UniformWithoutReplacement(0.05),
+        SamplerKind::Bernoulli(0.05),
+        SamplerKind::Systematic(0.05),
+        SamplerKind::Reservoir(400),
+        SamplerKind::Block(0.05),
+    ];
+    for scheme_name in scheme_names() {
+        let scheme = scheme_by_name(scheme_name).unwrap();
+        let exact = ExactCf::new().compute(&table, &spec, scheme.as_ref()).unwrap();
+        assert!(exact.cf > 0.0 && exact.cf < 1.2, "{scheme_name}: exact cf {}", exact.cf);
+        for sampler in samplers {
+            let est = SampleCf::new(sampler)
+                .seed(3)
+                .estimate(&table, &spec, scheme.as_ref())
+                .unwrap();
+            assert!(
+                est.cf > 0.0 && est.cf < 1.5,
+                "{scheme_name} with {sampler:?}: estimate {}",
+                est.cf
+            );
+            assert!(est.data.rows > 0);
+            assert!(est.data.rows < table.num_rows());
+        }
+    }
+}
+
+#[test]
+fn clustered_and_nonclustered_indexes_compress_consistently() {
+    let generated = presets::orders_table("orders", 6_000, 2).generate().unwrap();
+    let table = generated.table;
+    let clustered = IndexSpec::clustered("pk", ["order_id"]).unwrap();
+    let secondary = IndexSpec::nonclustered("by_status", ["status"]).unwrap();
+    let scheme = DictionaryCompression::default();
+
+    let pk = ExactCf::new().compute(&table, &clustered, &scheme).unwrap();
+    let by_status = ExactCf::new().compute(&table, &secondary, &scheme).unwrap();
+
+    // The clustered index stores every column so its uncompressed footprint
+    // is much larger than the single-column secondary index's.
+    assert!(pk.report.uncompressed_data_bytes() > by_status.report.uncompressed_data_bytes());
+    // The status column has 5 distinct values, so dictionary compression
+    // crushes the secondary index.
+    assert!(by_status.cf < 0.45, "status index cf = {}", by_status.cf);
+    // Estimates track both.
+    for (spec, exact) in [(&clustered, &pk), (&secondary, &by_status)] {
+        let est = SampleCf::with_fraction(0.05)
+            .seed(5)
+            .estimate(&table, spec, &scheme)
+            .unwrap();
+        assert!(
+            ratio_error(est.cf, exact.cf) < 1.6,
+            "{}: est {} vs exact {}",
+            spec.name(),
+            est.cf,
+            exact.cf
+        );
+    }
+}
+
+#[test]
+fn index_lookup_agrees_with_table_scan_after_compression_roundtrip() {
+    let table = demo_table(3_000, 40, 3);
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    let index = IndexBuilder::new().build_from_table(&table, &spec).unwrap();
+
+    // Pick an existing key and check the index finds all of its rows.
+    let needle = table.scan().nth(17).unwrap().1.value(0).clone();
+    let from_scan = table
+        .scan()
+        .filter(|(_, row)| row.value(0) == &needle)
+        .count();
+    let from_index = index.lookup(std::slice::from_ref(&needle)).unwrap();
+    assert_eq!(from_index.len(), from_scan);
+    for entry in from_index {
+        let rid = entry.rid.expect("nonclustered entries have rids");
+        assert_eq!(table.get(rid).unwrap().value(0), &needle);
+    }
+
+    // Compressing and decompressing the leaf level preserves every value.
+    for scheme_name in scheme_names() {
+        let scheme = scheme_by_name(scheme_name).unwrap();
+        let report = compress_index(&index, scheme.as_ref()).unwrap();
+        assert_eq!(report.num_entries, 3_000, "{scheme_name}");
+    }
+}
+
+#[test]
+fn estimator_handles_tiny_tables_and_full_sampling() {
+    let table = demo_table(25, 5, 4);
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    // A 100% "sample" reproduces the exact CF for deterministic samplers.
+    let exact = ExactCf::new().compute(&table, &spec, &NullSuppression).unwrap();
+    let est = SampleCf::new(SamplerKind::UniformWithoutReplacement(1.0))
+        .estimate(&table, &spec, &NullSuppression)
+        .unwrap();
+    assert!((est.cf - exact.cf).abs() < 1e-9);
+    // Tiny fractions still work (they draw at least one row).
+    let est = SampleCf::with_fraction(0.001)
+        .estimate(&table, &spec, &NullSuppression)
+        .unwrap();
+    assert!(est.data.rows >= 1);
+}
+
+#[test]
+fn advisor_and_capacity_planner_agree_on_sizes() {
+    let table = presets::variable_length_table("wide", 5_000, 50, 100, 4, 12, 6)
+        .generate()
+        .unwrap()
+        .table;
+    let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
+    let scheme = NullSuppression;
+
+    let advisor = CompressionAdvisor::new(AdvisorConfig {
+        sampling_fraction: 0.05,
+        min_saving_fraction: 0.1,
+        budget_bytes: None,
+        seed: 1,
+    })
+    .unwrap();
+    let advice = advisor
+        .recommend(
+            &[Candidate {
+                table: &table,
+                spec: spec.clone(),
+            }],
+            &scheme,
+        )
+        .unwrap();
+
+    let plan = CapacityPlanner::new(0.05)
+        .plan(
+            &[PlannedObject {
+                table: &table,
+                spec,
+            }],
+            &scheme,
+        )
+        .unwrap();
+
+    let a = &advice.recommendations[0];
+    let p = &plan.objects[0];
+    assert_eq!(a.uncompressed_bytes, p.uncompressed_bytes);
+    // Both derive their compressed sizes from SampleCF estimates; they use
+    // independent samples so allow a modest tolerance.
+    let ratio = a.estimated_compressed_bytes as f64 / p.estimated_compressed_bytes as f64;
+    assert!((0.8..1.25).contains(&ratio), "advisor {} vs planner {}", a.estimated_compressed_bytes, p.estimated_compressed_bytes);
+    // This table pads heavily, so both should want to compress it.
+    assert!(a.compress);
+    assert!(p.estimated_cf < 0.6);
+}
+
+#[test]
+fn catalog_supports_the_full_workflow() {
+    let catalog = Catalog::new();
+    catalog
+        .register(presets::single_char_table("a", 1_000, 16, 20, 6, 1).generate().unwrap().table)
+        .unwrap();
+    catalog
+        .register(presets::single_char_table("b", 2_000, 16, 2_000, 12, 2).generate().unwrap().table)
+        .unwrap();
+    assert_eq!(catalog.table_names(), vec!["a", "b"]);
+
+    let table = catalog.get("a").unwrap();
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    let est = SampleCf::with_fraction(0.1)
+        .estimate(&table, &spec, &DictionaryCompression::default())
+        .unwrap();
+    assert!(est.cf < 0.7, "low-cardinality table should compress, cf = {}", est.cf);
+}

@@ -1,0 +1,150 @@
+//! Regression tests for the paper's analytical claims (its Table II),
+//! checked empirically on scaled-down workloads:
+//!
+//! | Compression | Bias | Small d (o(n)) | Large d (O(n)) |
+//! |---|---|---|---|
+//! | Null suppression | unbiased | variance ≤ 1/(4·f·n) | variance ≤ 1/(4·f·n) |
+//! | Dictionary (simplified model) | biased | ratio error ≈ 1 | ratio error ≤ constant |
+
+use samplecf::core::theory;
+use samplecf::prelude::*;
+use samplecf::core::{TrialConfig, TrialRunner};
+
+const N: usize = 20_000;
+const WIDTH: u16 = 32;
+const FRACTION: f64 = 0.02;
+const TRIALS: usize = 40;
+
+fn table(distinct: usize, seed: u64) -> Table {
+    presets::variable_length_table("t", N, WIDTH, distinct, 4, 28, seed)
+        .generate()
+        .unwrap()
+        .table
+}
+
+fn run(table: &Table, scheme: &dyn CompressionScheme, fraction: f64) -> samplecf::core::TrialSummary {
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    TrialRunner::new(TrialConfig::new(TRIALS).base_seed(1234))
+        .run(table, &spec, scheme, SamplerKind::UniformWithReplacement(fraction))
+        .unwrap()
+}
+
+#[test]
+fn table2_null_suppression_is_unbiased_with_bounded_variance_small_d() {
+    let small_d = table((N as f64).sqrt() as usize, 10);
+    let summary = run(&small_d, &NullSuppression, FRACTION);
+    assert!(
+        summary.relative_bias().abs() < 0.03,
+        "NS should be unbiased; relative bias = {}",
+        summary.relative_bias()
+    );
+    let bound = theory::ns_variance_bound(N, FRACTION);
+    assert!(
+        summary.estimate_stats.population_variance() <= bound * 2.0,
+        "variance {} exceeds Theorem 1 bound {}",
+        summary.estimate_stats.population_variance(),
+        bound
+    );
+}
+
+#[test]
+fn table2_null_suppression_is_unbiased_with_bounded_variance_large_d() {
+    let large_d = table(N / 4, 11);
+    let summary = run(&large_d, &NullSuppression, FRACTION);
+    assert!(
+        summary.relative_bias().abs() < 0.03,
+        "NS should be unbiased; relative bias = {}",
+        summary.relative_bias()
+    );
+    let bound = theory::ns_variance_bound(N, FRACTION);
+    assert!(summary.estimate_stats.population_variance() <= bound * 2.0);
+}
+
+#[test]
+fn table2_dictionary_small_d_ratio_error_close_to_one() {
+    // Small d: with d = 20 and r = 0.1·n = 2000, the estimator's d'/r term is
+    // negligible and the expected ratio error approaches 1 (Theorem 2).
+    let small_d = table(20, 12);
+    let summary = run(&small_d, &GlobalDictionaryCompression::default(), 0.1);
+    assert!(
+        summary.mean_ratio_error() < 1.3,
+        "mean ratio error = {}",
+        summary.mean_ratio_error()
+    );
+}
+
+#[test]
+fn table2_dictionary_large_d_ratio_error_bounded_by_constant() {
+    // Large d: d = n/4.  Theorem 3 promises a constant bound.
+    let large_d = table(N / 4, 13);
+    let summary = run(&large_d, &GlobalDictionaryCompression::default(), FRACTION);
+    let bound = theory::dc_ratio_error_bound_large_d(0.25, u64::from(WIDTH), 1);
+    assert!(
+        summary.mean_ratio_error() <= bound,
+        "mean ratio error {} exceeds the Theorem 3 style bound {}",
+        summary.mean_ratio_error(),
+        bound
+    );
+    assert!(summary.max_ratio_error() < bound * 1.5);
+}
+
+#[test]
+fn table2_dictionary_estimator_is_biased_unlike_null_suppression() {
+    // The paper's Table II marks dictionary compression as biased: at
+    // intermediate d the sample systematically misses duplicates, so the
+    // estimate's mean deviates from the truth by far more than NS's does.
+    let mid_d = table(N / 10, 14);
+    let ns = run(&mid_d, &NullSuppression, FRACTION);
+    let dc = run(&mid_d, &GlobalDictionaryCompression::default(), FRACTION);
+    assert!(
+        dc.relative_bias().abs() > ns.relative_bias().abs() * 3.0,
+        "DC relative bias {} should dwarf NS relative bias {}",
+        dc.relative_bias(),
+        ns.relative_bias()
+    );
+    assert!(dc.relative_bias() > 0.0, "DC overestimates CF (d'/r > d/n)");
+}
+
+#[test]
+fn theorem1_bound_holds_across_sampling_fractions() {
+    let t = table(N, 15);
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    for fraction in [0.005, 0.01, 0.05] {
+        let summary = TrialRunner::new(TrialConfig::new(30).base_seed(7))
+            .run(&t, &spec, &NullSuppression, SamplerKind::UniformWithReplacement(fraction))
+            .unwrap();
+        let bound = theory::ns_stddev_bound(N, fraction);
+        assert!(
+            summary.empirical_std_dev() <= bound * 1.5,
+            "f = {fraction}: std {} vs bound {}",
+            summary.empirical_std_dev(),
+            bound
+        );
+    }
+}
+
+#[test]
+fn expected_distinct_model_matches_simulation() {
+    // The analytic E[d'] model used by the theory module matches what uniform
+    // with-replacement sampling actually observes.
+    let d = 500;
+    let t = table(d, 16);
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    let fraction = 0.05;
+    let mut observed = Vec::new();
+    for seed in 0..20u64 {
+        let est = SampleCf::with_fraction(fraction)
+            .seed(seed)
+            .estimate(&t, &spec, &GlobalDictionaryCompression::default())
+            .unwrap();
+        observed.push(est.data.distinct_first_key as f64);
+    }
+    let mean_d_prime = observed.iter().sum::<f64>() / observed.len() as f64;
+    let r = (N as f64 * fraction).round() as u64;
+    let expected = theory::expected_sample_distinct(d as u64, r);
+    let ratio = mean_d_prime / expected;
+    assert!(
+        (0.95..1.05).contains(&ratio),
+        "observed mean d' {mean_d_prime} vs model {expected}"
+    );
+}
