@@ -38,7 +38,12 @@ fn bench_samplecf_vs_exact(c: &mut Criterion) {
                 &table,
                 |b, t| {
                     b.iter(|| {
-                        black_box(ExactCf::new().compute(t, &spec(), scheme.as_ref()).unwrap().cf)
+                        black_box(
+                            ExactCf::new()
+                                .compute(t, &spec(), scheme.as_ref())
+                                .unwrap()
+                                .cf,
+                        )
                     });
                 },
             );
@@ -104,13 +109,16 @@ fn bench_sampling_throughput(c: &mut Criterion) {
     ];
     for kind in kinds {
         let sampler = kind.build().unwrap();
-        group.bench_function(BenchmarkId::new("sample_1pct_of_100k", sampler.name()), |b| {
-            b.iter(|| {
-                use rand::SeedableRng;
-                let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-                black_box(sampler.sample(&table, &mut rng).unwrap().len())
-            });
-        });
+        group.bench_function(
+            BenchmarkId::new("sample_1pct_of_100k", sampler.name()),
+            |b| {
+                b.iter(|| {
+                    use rand::SeedableRng;
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+                    black_box(sampler.sample(&table, &mut rng).unwrap().len())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -122,16 +130,20 @@ fn bench_index_build(c: &mut Criterion) {
         let generated = paper_table(n, WIDTH, n / 10, 3);
         let table = generated.table;
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("bulk_load_nonclustered", n), &table, |b, t| {
-            b.iter(|| {
-                black_box(
-                    IndexBuilder::new()
-                        .build_from_table(t, &spec())
-                        .unwrap()
-                        .num_leaf_pages(),
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bulk_load_nonclustered", n),
+            &table,
+            |b, t| {
+                b.iter(|| {
+                    black_box(
+                        IndexBuilder::new()
+                            .build_from_table(t, &spec())
+                            .unwrap()
+                            .num_leaf_pages(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

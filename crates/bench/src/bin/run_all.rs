@@ -6,7 +6,8 @@ use samplecf_bench::experiments;
 
 fn main() {
     let quick = experiments::quick_mode();
-    let runs: Vec<(&str, fn(bool) -> samplecf_bench::Report)> = vec![
+    type ExperimentRun = fn(bool) -> samplecf_bench::Report;
+    let runs: Vec<(&str, ExperimentRun)> = vec![
         ("table2", experiments::table2::run),
         ("theorem1", experiments::theorem1::run),
         ("ns_fraction_sweep", experiments::ns_fraction_sweep::run),

@@ -31,7 +31,10 @@ pub fn run(quick: bool) -> Report {
 
     let schemes: Vec<(&str, Box<dyn CompressionScheme>)> = vec![
         ("null-suppression", Box::new(NullSuppression)),
-        ("dictionary-global", Box::new(GlobalDictionaryCompression::default())),
+        (
+            "dictionary-global",
+            Box::new(GlobalDictionaryCompression::default()),
+        ),
     ];
 
     let mut report = Report::new("exp_block_sampling");
@@ -43,7 +46,10 @@ pub fn run(quick: bool) -> Report {
     );
     for (layout_label, table) in [("shuffled", &shuffled), ("clustered", &clustered)] {
         for (scheme_label, scheme) in &schemes {
-            for sampler in [SamplerKind::UniformWithReplacement(f), SamplerKind::Block(f)] {
+            for sampler in [
+                SamplerKind::UniformWithReplacement(f),
+                SamplerKind::Block(f),
+            ] {
                 let summary = runner
                     .run(table, &spec, scheme.as_ref(), sampler)
                     .expect("trials succeed");

@@ -30,13 +30,20 @@ pub fn run(quick: bool) -> Report {
         );
         for &ratio in &ratios {
             let d = ((rows as f64 * ratio).round() as usize).max(2);
-            let generated = presets::variable_length_table("t", rows, width, d, 4, 36, 99 + d as u64)
-                .generate()
-                .expect("generation succeeds");
+            let generated =
+                presets::variable_length_table("t", rows, width, d, 4, 36, 99 + d as u64)
+                    .generate()
+                    .expect("generation succeeds");
             let summary = runner
-                .run(&generated.table, &spec, &scheme, SamplerKind::UniformWithReplacement(f))
+                .run(
+                    &generated.table,
+                    &spec,
+                    &scheme,
+                    SamplerKind::UniformWithReplacement(f),
+                )
                 .expect("trials succeed");
-            let model = theory::dc_expected_ratio_error(rows as u64, d as u64, u64::from(width), 1, f);
+            let model =
+                theory::dc_expected_ratio_error(rows as u64, d as u64, u64::from(width), 1, f);
             t.row(&[
                 format!("{ratio}"),
                 d.to_string(),
@@ -62,9 +69,20 @@ pub fn run(quick: bool) -> Report {
     let d = rows / 10;
     let mut t = Table::new(
         format!("Dictionary (global model): effect of frequency skew at d/n = 0.1, f = {f}"),
-        &["frequency distribution", "true CF", "mean estimate", "mean ratio error", "max ratio error"],
+        &[
+            "frequency distribution",
+            "true CF",
+            "mean estimate",
+            "mean ratio error",
+            "max ratio error",
+        ],
     );
-    for (label, theta) in [("uniform", 0.0), ("zipf(0.5)", 0.5), ("zipf(1.0)", 1.0), ("zipf(1.5)", 1.5)] {
+    for (label, theta) in [
+        ("uniform", 0.0),
+        ("zipf(0.5)", 0.5),
+        ("zipf(1.0)", 1.0),
+        ("zipf(1.5)", 1.5),
+    ] {
         let generated = if theta == 0.0 {
             presets::variable_length_table("t", rows, width, d, 4, 36, 7).generate()
         } else {
@@ -72,7 +90,12 @@ pub fn run(quick: bool) -> Report {
         }
         .expect("generation succeeds");
         let summary = runner
-            .run(&generated.table, &spec, &scheme, SamplerKind::UniformWithReplacement(f))
+            .run(
+                &generated.table,
+                &spec,
+                &scheme,
+                SamplerKind::UniformWithReplacement(f),
+            )
             .expect("trials succeed");
         t.row(&[
             label.to_string(),

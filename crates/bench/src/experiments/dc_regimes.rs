@@ -26,20 +26,35 @@ pub fn run(quick: bool) -> Report {
     };
 
     let mut report = Report::new("exp_dc_regimes");
-    let regimes: Vec<(&str, fn(usize) -> usize)> = vec![
-        ("small d: d = sqrt(n)", |n| (n as f64).sqrt().round() as usize),
+    type DistinctLaw = fn(usize) -> usize;
+    let regimes: Vec<(&str, DistinctLaw)> = vec![
+        ("small d: d = sqrt(n)", |n| {
+            (n as f64).sqrt().round() as usize
+        }),
         ("large d: d = n/4", |n| n / 4),
     ];
     for (regime, law) in regimes {
         let mut t = Table::new(
             format!("Dictionary (global model), {regime}, f = {f}, {trials} trials"),
-            &["n", "d", "true CF", "mean ratio error", "max ratio error", "theorem bound"],
+            &[
+                "n",
+                "d",
+                "true CF",
+                "mean ratio error",
+                "max ratio error",
+                "theorem bound",
+            ],
         );
         for &n in &sizes {
             let d = law(n).max(2);
             let generated = paper_table(n, width, d, 300 + n as u64);
             let summary = runner
-                .run(&generated.table, &spec, &scheme, SamplerKind::UniformWithReplacement(f))
+                .run(
+                    &generated.table,
+                    &spec,
+                    &scheme,
+                    SamplerKind::UniformWithReplacement(f),
+                )
                 .expect("trials succeed");
             let bound = if regime.starts_with("small") {
                 theory::dc_ratio_error_bound_small_d(n as u64, d as u64, u64::from(width), 1, f)
@@ -78,14 +93,26 @@ pub fn run(quick: bool) -> Report {
             n.to_string(),
             label.to_string(),
             d.to_string(),
-            fmt(theory::dc_expected_ratio_error(n, d, u64::from(width), 1, 0.01)),
+            fmt(theory::dc_expected_ratio_error(
+                n,
+                d,
+                u64::from(width),
+                1,
+                0.01,
+            )),
         ]);
     }
     t.row(&[
         "1e9".to_string(),
         "sqrt(n)".to_string(),
         "31623".to_string(),
-        fmt(theory::dc_expected_ratio_error(1_000_000_000, 31_623, u64::from(width), 1, 0.01)),
+        fmt(theory::dc_expected_ratio_error(
+            1_000_000_000,
+            31_623,
+            u64::from(width),
+            1,
+            0.01,
+        )),
     ]);
     t.note("At the 100M-row scale of the paper's Example 1 the small-d expected ratio error is already indistinguishable from 1.");
     report.add(t);

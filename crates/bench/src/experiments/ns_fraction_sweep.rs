@@ -23,11 +23,24 @@ pub fn run(quick: bool) -> Report {
 
     let mut t = Table::new(
         format!("Null suppression: accuracy vs sampling fraction (n = {rows}, {trials} trials)"),
-        &["f", "sample rows", "relative bias", "empirical std", "Theorem-1 bound", "mean ratio error", "p95 ratio error"],
+        &[
+            "f",
+            "sample rows",
+            "relative bias",
+            "empirical std",
+            "Theorem-1 bound",
+            "mean ratio error",
+            "p95 ratio error",
+        ],
     );
     for &f in &fractions {
         let summary = runner
-            .run(&generated.table, &spec, &NullSuppression, SamplerKind::UniformWithReplacement(f))
+            .run(
+                &generated.table,
+                &spec,
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(f),
+            )
             .expect("trials succeed");
         t.row(&[
             format!("{f}"),
@@ -56,7 +69,13 @@ pub fn run(quick: bool) -> Report {
     ];
     let mut t2 = Table::new(
         format!("Null suppression: sampler comparison at f = {f}"),
-        &["sampler", "relative bias", "empirical std", "mean ratio error", "max ratio error"],
+        &[
+            "sampler",
+            "relative bias",
+            "empirical std",
+            "mean ratio error",
+            "max ratio error",
+        ],
     );
     for sampler in samplers {
         let summary = runner

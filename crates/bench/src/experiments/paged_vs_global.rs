@@ -23,12 +23,18 @@ pub fn run(quick: bool) -> Report {
     // Part 1: true CF of the two dictionary variants across d/n.
     let ratios = [0.001, 0.01, 0.05, 0.1, 0.25, 0.5];
     let mut t = Table::new(
-        format!("True CF: paged (inline per-page dictionary) vs global model (n = {rows}, k = {width})"),
+        format!(
+            "True CF: paged (inline per-page dictionary) vs global model (n = {rows}, k = {width})"
+        ),
         &["d/n", "d", "CF paged", "CF global", "paged / global"],
     );
     let mut t_err = Table::new(
         format!("Estimator error against each variant (f = {f}, {trials} trials)"),
-        &["d/n", "mean ratio error vs paged", "mean ratio error vs global"],
+        &[
+            "d/n",
+            "mean ratio error vs paged",
+            "mean ratio error vs global",
+        ],
     );
     for &ratio in &ratios {
         let d = ((rows as f64 * ratio).round() as usize).max(2);
@@ -37,7 +43,11 @@ pub fn run(quick: bool) -> Report {
             .compute(&generated.table, &spec, &DictionaryCompression::default())
             .expect("exact paged succeeds");
         let exact_global = ExactCf::new()
-            .compute(&generated.table, &spec, &GlobalDictionaryCompression::default())
+            .compute(
+                &generated.table,
+                &spec,
+                &GlobalDictionaryCompression::default(),
+            )
             .expect("exact global succeeds");
         t.row(&[
             format!("{ratio}"),
@@ -48,10 +58,20 @@ pub fn run(quick: bool) -> Report {
         ]);
 
         let paged_summary = runner
-            .run(&generated.table, &spec, &DictionaryCompression::default(), SamplerKind::UniformWithReplacement(f))
+            .run(
+                &generated.table,
+                &spec,
+                &DictionaryCompression::default(),
+                SamplerKind::UniformWithReplacement(f),
+            )
             .expect("paged trials succeed");
         let global_summary = runner
-            .run(&generated.table, &spec, &GlobalDictionaryCompression::default(), SamplerKind::UniformWithReplacement(f))
+            .run(
+                &generated.table,
+                &spec,
+                &GlobalDictionaryCompression::default(),
+                SamplerKind::UniformWithReplacement(f),
+            )
             .expect("global trials succeed");
         t_err.row(&[
             format!("{ratio}"),
@@ -79,7 +99,13 @@ pub fn run(quick: bool) -> Report {
     let generated = paper_table(rows, width, d, 4_321);
     let mut t2 = Table::new(
         format!("Page-size ablation (paged dictionary, d = {d})"),
-        &["page size", "leaf pages", "true CF", "estimate (single run)", "ratio error"],
+        &[
+            "page size",
+            "leaf pages",
+            "true CF",
+            "estimate (single run)",
+            "ratio error",
+        ],
     );
     for page_size in [1024usize, 4096, 8192, 16384] {
         let builder = IndexBuilder::new().page_size(page_size);

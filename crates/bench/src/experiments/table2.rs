@@ -35,10 +35,26 @@ pub fn run(quick: bool) -> Report {
     let small_d = 25;
     let large_d = rows / 4;
     let cells = [
-        Cell { scheme: "null-suppression", regime: "small d (o(n))", distinct: small_d },
-        Cell { scheme: "null-suppression", regime: "large d (n/4)", distinct: large_d },
-        Cell { scheme: "dictionary-global", regime: "small d (o(n))", distinct: small_d },
-        Cell { scheme: "dictionary-global", regime: "large d (n/4)", distinct: large_d },
+        Cell {
+            scheme: "null-suppression",
+            regime: "small d (o(n))",
+            distinct: small_d,
+        },
+        Cell {
+            scheme: "null-suppression",
+            regime: "large d (n/4)",
+            distinct: large_d,
+        },
+        Cell {
+            scheme: "dictionary-global",
+            regime: "small d (o(n))",
+            distinct: small_d,
+        },
+        Cell {
+            scheme: "dictionary-global",
+            regime: "large d (n/4)",
+            distinct: large_d,
+        },
     ];
 
     let mut table = Table::new(
@@ -84,7 +100,11 @@ pub fn run(quick: bool) -> Report {
                     fraction,
                 ))
             } else {
-                fmt(theory::dc_ratio_error_bound_large_d(0.25, u64::from(width), 1))
+                fmt(theory::dc_ratio_error_bound_large_d(
+                    0.25,
+                    u64::from(width),
+                    1,
+                ))
             }
         } else {
             "-".to_string()

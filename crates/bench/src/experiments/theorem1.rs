@@ -3,20 +3,25 @@
 //! fractions and value-length distributions.
 
 use crate::report::{fmt, Report, Table};
+use samplecf_compression::NullSuppression;
 use samplecf_core::{theory, TrialConfig, TrialRunner};
 use samplecf_datagen::{ColumnSpec, FrequencyDistribution, LengthDistribution, TableSpec};
 use samplecf_index::IndexSpec;
 use samplecf_sampling::SamplerKind;
-use samplecf_compression::NullSuppression;
 
-fn make_table(rows: usize, width: u16, length: LengthDistribution, seed: u64) -> samplecf_storage::Table {
+fn make_table(
+    rows: usize,
+    width: u16,
+    length: LengthDistribution,
+    seed: u64,
+) -> samplecf_storage::Table {
     TableSpec::new(
         "t",
         rows,
         vec![ColumnSpec::Char {
             name: "a".to_string(),
             width,
-            distinct: rows.min(10_000).max(1),
+            distinct: rows.clamp(1, 10_000),
             length,
             frequency: FrequencyDistribution::Uniform,
             null_fraction: 0.0,
@@ -40,8 +45,17 @@ pub fn run(quick: bool) -> Report {
     let rows = if quick { 20_000 } else { 100_000 };
     let dists: [(&str, LengthDistribution); 3] = [
         ("constant(8)", LengthDistribution::Constant(8)),
-        ("uniform(4,36)", LengthDistribution::Uniform { min: 4, max: 36 }),
-        ("normal(20,6)", LengthDistribution::Normal { mean: 20.0, std_dev: 6.0 }),
+        (
+            "uniform(4,36)",
+            LengthDistribution::Uniform { min: 4, max: 36 },
+        ),
+        (
+            "normal(20,6)",
+            LengthDistribution::Normal {
+                mean: 20.0,
+                std_dev: 6.0,
+            },
+        ),
     ];
     let fractions = [0.001, 0.005, 0.01, 0.05, 0.1];
 
@@ -53,7 +67,12 @@ pub fn run(quick: bool) -> Report {
         let table = make_table(rows, width, *dist, 31);
         for &f in &fractions {
             let summary = runner
-                .run(&table, &spec, &NullSuppression, SamplerKind::UniformWithReplacement(f))
+                .run(
+                    &table,
+                    &spec,
+                    &NullSuppression,
+                    SamplerKind::UniformWithReplacement(f),
+                )
                 .expect("trials succeed");
             let bound = theory::ns_stddev_bound(rows, f);
             t1.row(&[
@@ -85,12 +104,28 @@ pub fn run(quick: bool) -> Report {
     };
     let mut t2 = Table::new(
         format!("Std-dev vs table size at f = {f} (uniform lengths 4..36)"),
-        &["n", "sample rows", "empirical std", "bound", "bound / empirical"],
+        &[
+            "n",
+            "sample rows",
+            "empirical std",
+            "bound",
+            "bound / empirical",
+        ],
     );
     for &n in &sizes {
-        let table = make_table(n, width, LengthDistribution::Uniform { min: 4, max: 36 }, 32);
+        let table = make_table(
+            n,
+            width,
+            LengthDistribution::Uniform { min: 4, max: 36 },
+            32,
+        );
         let summary = runner
-            .run(&table, &spec, &NullSuppression, SamplerKind::UniformWithReplacement(f))
+            .run(
+                &table,
+                &spec,
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(f),
+            )
             .expect("trials succeed");
         let bound = theory::ns_stddev_bound(n, f);
         t2.row(&[

@@ -23,7 +23,16 @@ pub fn run(quick: bool) -> Report {
     let mut report = Report::new("exp_timing");
     let mut t = Table::new(
         format!("Wall-clock cost of exact CF vs SampleCF (f = {f}), single run per cell"),
-        &["n", "scheme", "exact CF", "estimate", "ratio error", "exact ms", "estimate ms", "speed-up"],
+        &[
+            "n",
+            "scheme",
+            "exact CF",
+            "estimate",
+            "ratio error",
+            "exact ms",
+            "estimate ms",
+            "speed-up",
+        ],
     );
     for &n in &sizes {
         let generated = paper_table(n, width, n / 10, 12_345);

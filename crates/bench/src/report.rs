@@ -57,7 +57,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -183,7 +187,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.12345678), "0.12346");
-        assert_eq!(fmt(3.14159), "3.142");
+        assert_eq!(fmt(1.23456), "1.235");
         assert_eq!(fmt(123456.7), "123457");
     }
 }

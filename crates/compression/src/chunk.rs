@@ -20,12 +20,11 @@ impl ColumnChunk {
     /// Create a chunk, validating every value against the data type.
     pub fn new(datatype: DataType, values: Vec<Value>) -> CompressionResult<Self> {
         for v in &values {
-            v.conforms_to(&datatype, "<chunk>").map_err(|_| {
-                CompressionError::TypeMismatch {
+            v.conforms_to(&datatype, "<chunk>")
+                .map_err(|_| CompressionError::TypeMismatch {
                     expected: datatype.sql_name(),
                     found: v.kind_name().to_string(),
-                }
-            })?;
+                })?;
         }
         Ok(ColumnChunk { datatype, values })
     }
@@ -131,7 +130,12 @@ impl CompressedColumn {
     /// Total compressed size in bytes, counting the shared section once.
     #[must_use]
     pub fn compressed_bytes(&self) -> usize {
-        self.shared.len() + self.chunks.iter().map(CompressedChunk::compressed_bytes).sum::<usize>()
+        self.shared.len()
+            + self
+                .chunks
+                .iter()
+                .map(CompressedChunk::compressed_bytes)
+                .sum::<usize>()
     }
 }
 

@@ -21,10 +21,11 @@ use samplecf_storage::{DataType, Value};
 use std::collections::HashMap;
 
 /// How wide the per-row dictionary pointers are.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PointerWidth {
     /// Use the minimal whole number of bytes able to address the dictionary
     /// (⌈log₂ d / 8⌉, at least one byte).
+    #[default]
     Auto,
     /// Use a fixed number of bytes (1..=8), as engines with a fixed symbol
     /// width do.
@@ -58,12 +59,6 @@ impl PointerWidth {
                 Ok(*b)
             }
         }
-    }
-}
-
-impl Default for PointerWidth {
-    fn default() -> Self {
-        PointerWidth::Auto
     }
 }
 
@@ -171,7 +166,9 @@ impl CompressionScheme for DictionaryCompression {
     ) -> CompressionResult<ColumnChunk> {
         let bytes = chunk.bytes();
         if bytes.len() < 5 {
-            return Err(CompressionError::Corrupt("dictionary chunk header truncated".into()));
+            return Err(CompressionError::Corrupt(
+                "dictionary chunk header truncated".into(),
+            ));
         }
         let n = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
         let dict_len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
@@ -192,7 +189,9 @@ impl CompressionScheme for DictionaryCompression {
             values.push(v.clone());
         }
         if offset != bytes.len() {
-            return Err(CompressionError::Corrupt("trailing bytes in dictionary chunk".into()));
+            return Err(CompressionError::Corrupt(
+                "trailing bytes in dictionary chunk".into(),
+            ));
         }
         ColumnChunk::new(datatype, values)
     }
@@ -290,7 +289,9 @@ impl CompressionScheme for GlobalDictionaryCompression {
         }
         let shared = &column.shared;
         if shared.len() < 5 {
-            return Err(CompressionError::Corrupt("global dictionary header truncated".into()));
+            return Err(CompressionError::Corrupt(
+                "global dictionary header truncated".into(),
+            ));
         }
         let dict_len = u32::from_be_bytes([shared[0], shared[1], shared[2], shared[3]]) as usize;
         let ptr_width = shared[4] as usize;
@@ -356,7 +357,11 @@ mod tests {
         let c = chunk(12, &["aa", "bb", "aa", "cc", "aa", "bb"]);
         let dict = DictionaryCompression::default();
         let compressed = dict.compress_chunk(&c).unwrap();
-        assert_eq!(dict.decompress_chunk(&compressed, DataType::Char(12)).unwrap(), c);
+        assert_eq!(
+            dict.decompress_chunk(&compressed, DataType::Char(12))
+                .unwrap(),
+            c
+        );
     }
 
     #[test]
@@ -368,7 +373,11 @@ mod tests {
         .unwrap();
         let dict = DictionaryCompression::default();
         let compressed = dict.compress_chunk(&c).unwrap();
-        assert_eq!(dict.decompress_chunk(&compressed, DataType::Char(6)).unwrap(), c);
+        assert_eq!(
+            dict.decompress_chunk(&compressed, DataType::Char(6))
+                .unwrap(),
+            c
+        );
     }
 
     #[test]
@@ -377,7 +386,10 @@ mod tests {
         let dict = DictionaryCompression::default();
         let compressed = dict.compress_chunk(&c).unwrap();
         let cf = compressed.compressed_bytes() as f64 / c.uncompressed_bytes() as f64;
-        assert!(cf < 0.1, "one distinct value over 500 rows should compress hard, cf = {cf}");
+        assert!(
+            cf < 0.1,
+            "one distinct value over 500 rows should compress hard, cf = {cf}"
+        );
     }
 
     #[test]
@@ -388,7 +400,10 @@ mod tests {
         let dict = DictionaryCompression::default();
         let compressed = dict.compress_chunk(&c).unwrap();
         let cf = compressed.compressed_bytes() as f64 / c.uncompressed_bytes() as f64;
-        assert!(cf > 0.9, "all-distinct data should not shrink much, cf = {cf}");
+        assert!(
+            cf > 0.9,
+            "all-distinct data should not shrink much, cf = {cf}"
+        );
     }
 
     #[test]
@@ -464,7 +479,10 @@ mod tests {
         let global = GlobalDictionaryCompression::default();
         let col = global.compress_column(&[]).unwrap();
         assert_eq!(col.compressed_bytes(), 0);
-        assert!(global.decompress_column(&col, DataType::Char(4)).unwrap().is_empty());
+        assert!(global
+            .decompress_column(&col, DataType::Char(4))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -109,7 +109,9 @@ pub fn value_from_ns_payload(payload: &[u8], dt: &DataType) -> CompressionResult
         }
         DataType::Bool => {
             if payload.len() != 1 {
-                return Err(CompressionError::Corrupt("bool payload must be 1 byte".into()));
+                return Err(CompressionError::Corrupt(
+                    "bool payload must be 1 byte".into(),
+                ));
             }
             Ok(Value::Bool(payload[0] != 0))
         }
@@ -224,7 +226,11 @@ mod tests {
                 let mut out = Vec::new();
                 write_ns_cell(&mut out, &Value::int(i), &dt).unwrap();
                 let mut off = 0;
-                assert_eq!(read_ns_cell(&out, &mut off, &dt).unwrap(), Value::int(i), "{dt:?} {i}");
+                assert_eq!(
+                    read_ns_cell(&out, &mut off, &dt).unwrap(),
+                    Value::int(i),
+                    "{dt:?} {i}"
+                );
             }
         }
     }
@@ -234,7 +240,10 @@ mod tests {
         // The order-preserving encoding flips the sign bit, so typical values
         // keep their full width (only values near i64::MIN gain from zero
         // suppression); the payload must never exceed width + marker though.
-        assert_eq!(ns_cell_size(&Value::int(5), &DataType::Int64).unwrap(), 1 + 8);
+        assert_eq!(
+            ns_cell_size(&Value::int(5), &DataType::Int64).unwrap(),
+            1 + 8
+        );
         assert!(ns_cell_size(&Value::int(i64::MIN), &DataType::Int64).unwrap() < 1 + 8);
         assert!(ns_cell_size(&Value::int(-7), &DataType::Int32).unwrap() <= 1 + 4);
     }

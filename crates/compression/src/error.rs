@@ -24,7 +24,10 @@ impl fmt::Display for CompressionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompressionError::TypeMismatch { expected, found } => {
-                write!(f, "type mismatch: chunk declared {expected}, found {found} value")
+                write!(
+                    f,
+                    "type mismatch: chunk declared {expected}, found {found} value"
+                )
             }
             CompressionError::Corrupt(msg) => write!(f, "corrupt compressed data: {msg}"),
             CompressionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),

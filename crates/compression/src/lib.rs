@@ -22,6 +22,25 @@
 //! sizes the estimator sees are the sizes an engine would actually write.
 //! The closed-form size models from Section III of the paper live in
 //! [`model`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use samplecf_compression::{ColumnChunk, CompressionScheme, NullSuppression};
+//! use samplecf_storage::{DataType, Value};
+//!
+//! // A chunk of char(12) values that are shorter than their padded width.
+//! let values: Vec<Value> = (0..200).map(|i| Value::str(format!("v{}", i % 20))).collect();
+//! let chunk = ColumnChunk::new(DataType::Char(12), values)?;
+//!
+//! let compressed = NullSuppression.compress_chunk(&chunk)?;
+//! assert!(compressed.compressed_bytes() < chunk.uncompressed_bytes());
+//!
+//! // Schemes are real codecs: the bytes decompress back to the same chunk.
+//! let back = NullSuppression.decompress_chunk(&compressed, DataType::Char(12))?;
+//! assert_eq!(back, chunk);
+//! # Ok::<(), samplecf_compression::CompressionError>(())
+//! ```
 
 pub mod chunk;
 pub mod dictionary;

@@ -70,8 +70,7 @@ pub fn global_dictionary_cf(model: TableModel, distinct: u64, pointer_bytes: u64
     if model.rows == 0 || model.width == 0 {
         return 1.0;
     }
-    (model.rows * pointer_bytes + distinct * model.width) as f64
-        / model.uncompressed_bytes() as f64
+    (model.rows * pointer_bytes + distinct * model.width) as f64 / model.uncompressed_bytes() as f64
 }
 
 /// The SampleCF estimate of `CF_DC` under the simplified model, computed from

@@ -83,7 +83,9 @@ mod tests {
         let c = Uncompressed.compress_chunk(&chunk).unwrap();
         // count (2) + bitmap (1) + 3 cells of 10 bytes.
         assert_eq!(c.compressed_bytes(), 2 + 1 + 30);
-        let back = Uncompressed.decompress_chunk(&c, DataType::Char(10)).unwrap();
+        let back = Uncompressed
+            .decompress_chunk(&c, DataType::Char(10))
+            .unwrap();
         assert_eq!(back, chunk);
     }
 

@@ -160,6 +160,9 @@ mod tests {
         let ns = NullSuppression;
         let c = ns.compress_chunk(&chunk).unwrap();
         assert_eq!(c.compressed_bytes(), 2);
-        assert!(ns.decompress_chunk(&c, DataType::Char(8)).unwrap().is_empty());
+        assert!(ns
+            .decompress_chunk(&c, DataType::Char(8))
+            .unwrap()
+            .is_empty());
     }
 }

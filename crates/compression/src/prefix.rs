@@ -104,7 +104,9 @@ impl CompressionScheme for PrefixCompression {
         let mut offset = 2;
         let prefix_len = read_uint(bytes, &mut offset, width)? as usize;
         if offset + prefix_len > bytes.len() {
-            return Err(CompressionError::Corrupt("prefix extends past chunk end".into()));
+            return Err(CompressionError::Corrupt(
+                "prefix extends past chunk end".into(),
+            ));
         }
         let prefix = bytes[offset..offset + prefix_len].to_vec();
         offset += prefix_len;
@@ -118,7 +120,9 @@ impl CompressionScheme for PrefixCompression {
             }
             let suffix_len = marker as usize;
             if offset + suffix_len > bytes.len() {
-                return Err(CompressionError::Corrupt("suffix extends past chunk end".into()));
+                return Err(CompressionError::Corrupt(
+                    "suffix extends past chunk end".into(),
+                ));
             }
             let mut payload = prefix.clone();
             payload.extend_from_slice(&bytes[offset..offset + suffix_len]);
@@ -126,7 +130,9 @@ impl CompressionScheme for PrefixCompression {
             values.push(value_from_ns_payload(&payload, &datatype)?);
         }
         if offset != bytes.len() {
-            return Err(CompressionError::Corrupt("trailing bytes in prefix chunk".into()));
+            return Err(CompressionError::Corrupt(
+                "trailing bytes in prefix chunk".into(),
+            ));
         }
         ColumnChunk::new(datatype, values)
     }
@@ -150,7 +156,10 @@ mod tests {
         let c = chunk(32, &["prefix-alpha", "prefix-beta", "prefix-gamma", "pre"]);
         let p = PrefixCompression;
         let compressed = p.compress_chunk(&c).unwrap();
-        assert_eq!(p.decompress_chunk(&compressed, DataType::Char(32)).unwrap(), c);
+        assert_eq!(
+            p.decompress_chunk(&compressed, DataType::Char(32)).unwrap(),
+            c
+        );
     }
 
     #[test]
@@ -162,7 +171,10 @@ mod tests {
         .unwrap();
         let p = PrefixCompression;
         let compressed = p.compress_chunk(&c).unwrap();
-        assert_eq!(p.decompress_chunk(&compressed, DataType::Char(10)).unwrap(), c);
+        assert_eq!(
+            p.decompress_chunk(&compressed, DataType::Char(10)).unwrap(),
+            c
+        );
     }
 
     #[test]
@@ -194,7 +206,10 @@ mod tests {
         let c = ColumnChunk::new(DataType::Char(4), vec![]).unwrap();
         let p = PrefixCompression;
         let compressed = p.compress_chunk(&c).unwrap();
-        assert!(p.decompress_chunk(&compressed, DataType::Char(4)).unwrap().is_empty());
+        assert!(p
+            .decompress_chunk(&compressed, DataType::Char(4))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

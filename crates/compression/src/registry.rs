@@ -30,9 +30,7 @@ pub fn scheme_by_name(name: &str) -> CompressionResult<Box<dyn CompressionScheme
     match name {
         "none" => Ok(Box::new(Uncompressed)),
         "null-suppression" | "ns" => Ok(Box::new(NullSuppression)),
-        "dictionary-paged" | "dictionary" | "dc" => {
-            Ok(Box::new(DictionaryCompression::default()))
-        }
+        "dictionary-paged" | "dictionary" | "dc" => Ok(Box::new(DictionaryCompression::default())),
         "dictionary-global" | "dc-global" => Ok(Box::new(GlobalDictionaryCompression::default())),
         "rle" => Ok(Box::new(RunLengthEncoding)),
         "prefix" => Ok(Box::new(PrefixCompression)),
@@ -59,7 +57,10 @@ mod tests {
     fn aliases_resolve() {
         assert_eq!(scheme_by_name("ns").unwrap().name(), "null-suppression");
         assert_eq!(scheme_by_name("dc").unwrap().name(), "dictionary-paged");
-        assert_eq!(scheme_by_name("dc-global").unwrap().name(), "dictionary-global");
+        assert_eq!(
+            scheme_by_name("dc-global").unwrap().name(),
+            "dictionary-global"
+        );
     }
 
     #[test]

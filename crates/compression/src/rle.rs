@@ -65,12 +65,16 @@ impl CompressionScheme for RunLengthEncoding {
             }
             let v = read_ns_cell(bytes, &mut offset, &datatype)?;
             if values.len() + run_len > n {
-                return Err(CompressionError::Corrupt("runs exceed declared cell count".into()));
+                return Err(CompressionError::Corrupt(
+                    "runs exceed declared cell count".into(),
+                ));
             }
-            values.extend(std::iter::repeat(v).take(run_len));
+            values.extend(std::iter::repeat_n(v, run_len));
         }
         if offset != bytes.len() {
-            return Err(CompressionError::Corrupt("trailing bytes in RLE chunk".into()));
+            return Err(CompressionError::Corrupt(
+                "trailing bytes in RLE chunk".into(),
+            ));
         }
         ColumnChunk::new(datatype, values)
     }
@@ -94,7 +98,11 @@ mod tests {
         let c = chunk(&["a", "a", "a", "b", "c", "c", "a"]);
         let rle = RunLengthEncoding;
         let compressed = rle.compress_chunk(&c).unwrap();
-        assert_eq!(rle.decompress_chunk(&compressed, DataType::Char(16)).unwrap(), c);
+        assert_eq!(
+            rle.decompress_chunk(&compressed, DataType::Char(16))
+                .unwrap(),
+            c
+        );
     }
 
     #[test]
@@ -106,12 +114,20 @@ mod tests {
         .unwrap();
         let rle = RunLengthEncoding;
         let compressed = rle.compress_chunk(&c).unwrap();
-        assert_eq!(rle.decompress_chunk(&compressed, DataType::Char(8)).unwrap(), c);
+        assert_eq!(
+            rle.decompress_chunk(&compressed, DataType::Char(8))
+                .unwrap(),
+            c
+        );
     }
 
     #[test]
     fn sorted_data_compresses_much_better_than_shuffled() {
-        let sorted: Vec<&str> = ["aaa"; 200].iter().chain(["bbb"; 200].iter()).copied().collect();
+        let sorted: Vec<&str> = ["aaa"; 200]
+            .iter()
+            .chain(["bbb"; 200].iter())
+            .copied()
+            .collect();
         let mut interleaved = Vec::new();
         for _ in 0..200 {
             interleaved.push("aaa");
@@ -129,7 +145,10 @@ mod tests {
         let rle = RunLengthEncoding;
         let compressed = rle.compress_chunk(&c).unwrap();
         assert_eq!(compressed.compressed_bytes(), 2);
-        assert!(rle.decompress_chunk(&compressed, DataType::Char(4)).unwrap().is_empty());
+        assert!(rle
+            .decompress_chunk(&compressed, DataType::Char(4))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -53,7 +53,12 @@ fn roundtrip(scheme: &dyn CompressionScheme, chunk: &ColumnChunk) -> Result<(), 
     let decompressed = scheme
         .decompress_chunk(&compressed, chunk.datatype())
         .expect("decompression succeeds");
-    prop_assert_eq!(&decompressed, chunk, "scheme {} failed to round-trip", scheme.name());
+    prop_assert_eq!(
+        &decompressed,
+        chunk,
+        "scheme {} failed to round-trip",
+        scheme.name()
+    );
     Ok(())
 }
 

@@ -79,13 +79,19 @@ impl AdvisorReport {
     /// Total estimated size of all candidates under the recommendations.
     #[must_use]
     pub fn total_chosen_bytes(&self) -> usize {
-        self.recommendations.iter().map(Recommendation::chosen_bytes).sum()
+        self.recommendations
+            .iter()
+            .map(Recommendation::chosen_bytes)
+            .sum()
     }
 
     /// Total estimated size with nothing compressed.
     #[must_use]
     pub fn total_uncompressed_bytes(&self) -> usize {
-        self.recommendations.iter().map(|r| r.uncompressed_bytes).sum()
+        self.recommendations
+            .iter()
+            .map(|r| r.uncompressed_bytes)
+            .sum()
     }
 
     /// Whether the recommendations fit the budget (always true when no budget
@@ -182,7 +188,9 @@ impl CompressionAdvisor {
 
         // Pass 1: compress whatever clears the saving threshold.
         for r in &mut recommendations {
-            let saving = r.uncompressed_bytes.saturating_sub(r.estimated_compressed_bytes);
+            let saving = r
+                .uncompressed_bytes
+                .saturating_sub(r.estimated_compressed_bytes);
             let saving_fraction = if r.uncompressed_bytes == 0 {
                 0.0
             } else {
@@ -194,7 +202,10 @@ impl CompressionAdvisor {
         // Pass 2: if a budget is set and we still do not fit, force-compress
         // the remaining candidates in order of decreasing absolute saving.
         if let Some(budget) = self.config.budget_bytes {
-            let mut total: usize = recommendations.iter().map(Recommendation::chosen_bytes).sum();
+            let mut total: usize = recommendations
+                .iter()
+                .map(Recommendation::chosen_bytes)
+                .sum();
             if total > budget {
                 let mut order: Vec<usize> = (0..recommendations.len())
                     .filter(|&i| !recommendations[i].compress)
@@ -271,10 +282,18 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let report = advisor.recommend(&candidates, &DictionaryCompression::default()).unwrap();
+        let report = advisor
+            .recommend(&candidates, &DictionaryCompression::default())
+            .unwrap();
         assert_eq!(report.recommendations.len(), 2);
-        assert!(report.recommendations[0].compress, "highly compressible index should be compressed");
-        assert!(!report.recommendations[1].compress, "incompressible index should be left alone");
+        assert!(
+            report.recommendations[0].compress,
+            "highly compressible index should be compressed"
+        );
+        assert!(
+            !report.recommendations[1].compress,
+            "incompressible index should be left alone"
+        );
         assert!(report.recommendations[0].estimated_cf < 0.5);
         assert!(report.recommendations[1].estimated_cf > 0.8);
         assert!(report.total_chosen_bytes() < report.total_uncompressed_bytes());
@@ -306,7 +325,9 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let report = lazy.recommend(&candidates, &DictionaryCompression::default()).unwrap();
+        let report = lazy
+            .recommend(&candidates, &DictionaryCompression::default())
+            .unwrap();
         assert!(report.recommendations.iter().all(|r| !r.compress));
 
         // ...but a tight budget forces the advisor to compress anyway.
@@ -318,7 +339,9 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let report = constrained.recommend(&candidates, &DictionaryCompression::default()).unwrap();
+        let report = constrained
+            .recommend(&candidates, &DictionaryCompression::default())
+            .unwrap();
         assert!(report.recommendations.iter().any(|r| r.compress));
         assert!(report.budget_bytes == Some(budget));
     }
@@ -349,7 +372,10 @@ mod tests {
         };
         assert_eq!(r.estimated_saving(), 600);
         assert_eq!(r.chosen_bytes(), 400);
-        let r2 = Recommendation { compress: false, ..r };
+        let r2 = Recommendation {
+            compress: false,
+            ..r
+        };
         assert_eq!(r2.estimated_saving(), 0);
         assert_eq!(r2.chosen_bytes(), 1000);
     }

@@ -55,7 +55,10 @@ impl CapacityPlan {
     /// Total estimated compressed bytes across all objects.
     #[must_use]
     pub fn total_estimated_compressed_bytes(&self) -> usize {
-        self.objects.iter().map(|o| o.estimated_compressed_bytes).sum()
+        self.objects
+            .iter()
+            .map(|o| o.estimated_compressed_bytes)
+            .sum()
     }
 
     /// Overall estimated compression fraction of the whole database.
@@ -141,7 +144,10 @@ mod tests {
 
     #[test]
     fn plan_covers_every_object_and_aggregates() {
-        let orders = presets::orders_table("orders", 4_000, 1).generate().unwrap().table;
+        let orders = presets::orders_table("orders", 4_000, 1)
+            .generate()
+            .unwrap()
+            .table;
         let archive = presets::variable_length_table("archive", 3_000, 60, 300, 5, 20, 2)
             .generate()
             .unwrap()
@@ -160,7 +166,9 @@ mod tests {
                 spec: IndexSpec::nonclustered("archive_by_a", ["a"]).unwrap(),
             },
         ];
-        let plan = CapacityPlanner::new(0.05).plan(&objects, &NullSuppression).unwrap();
+        let plan = CapacityPlanner::new(0.05)
+            .plan(&objects, &NullSuppression)
+            .unwrap();
         assert_eq!(plan.objects.len(), 3);
         assert!(plan.total_uncompressed_bytes() > 0);
         assert!(plan.total_estimated_compressed_bytes() <= plan.total_uncompressed_bytes());
@@ -178,7 +186,9 @@ mod tests {
 
     #[test]
     fn empty_plan_is_neutral() {
-        let plan = CapacityPlanner::default().plan(&[], &NullSuppression).unwrap();
+        let plan = CapacityPlanner::default()
+            .plan(&[], &NullSuppression)
+            .unwrap();
         assert_eq!(plan.total_uncompressed_bytes(), 0);
         assert_eq!(plan.overall_cf(), 1.0);
     }

@@ -2,7 +2,7 @@
 //!
 //! The paper relates dictionary-compression estimation to distinct-value
 //! estimation, which is provably hard from uniform samples (its reference
-//! [1], Charikar et al., PODS 2000).  SampleCF sidesteps the problem by
+//! \[1\], Charikar et al., PODS 2000).  SampleCF sidesteps the problem by
 //! returning the *sample's own* compression fraction instead of scaling up a
 //! distinct-value estimate.  For the baseline experiment (`exp_dv_baselines`)
 //! we also implement the classical scale-up estimators so the two approaches
@@ -222,7 +222,7 @@ mod tests {
     fn sample_with(counts: &[(i64, usize)]) -> Vec<Value> {
         let mut out = Vec::new();
         for &(v, c) in counts {
-            out.extend(std::iter::repeat(Value::Int(v)).take(c));
+            out.extend(std::iter::repeat_n(Value::Int(v), c));
         }
         out
     }

@@ -70,6 +70,8 @@ mod tests {
         assert!(matches!(e, CoreError::Sampling(_)));
         let e: CoreError = IndexError::Empty("e".into()).into();
         assert!(matches!(e, CoreError::Index(_)));
-        assert!(CoreError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -152,7 +152,14 @@ impl ExactCf {
         scheme: &dyn CompressionScheme,
     ) -> CoreResult<CfMeasurement> {
         let rows: Vec<_> = table.scan().collect();
-        measure_rows(table, &rows, spec, scheme, &self.builder, "exact".to_string())
+        measure_rows(
+            table,
+            &rows,
+            spec,
+            scheme,
+            &self.builder,
+            "exact".to_string(),
+        )
     }
 }
 
@@ -268,7 +275,9 @@ mod tests {
     #[test]
     fn exact_cf_matches_direct_report() {
         let t = table(2000, 100, 1);
-        let exact = ExactCf::new().compute(&t, &spec(), &NullSuppression).unwrap();
+        let exact = ExactCf::new()
+            .compute(&t, &spec(), &NullSuppression)
+            .unwrap();
         assert_eq!(exact.sampler, "exact");
         assert_eq!(exact.data.rows, 2000);
         assert_eq!(exact.data.distinct_first_key, 100);
@@ -279,12 +288,18 @@ mod tests {
     #[test]
     fn sample_estimate_is_close_for_null_suppression() {
         let t = table(20_000, 20_000, 2);
-        let exact = ExactCf::new().compute(&t, &spec(), &NullSuppression).unwrap();
+        let exact = ExactCf::new()
+            .compute(&t, &spec(), &NullSuppression)
+            .unwrap();
         let est = SampleCf::with_fraction(0.05)
             .seed(7)
             .estimate(&t, &spec(), &NullSuppression)
             .unwrap();
-        assert!(est.data.rows == 1000, "expected 5% of 20k rows, got {}", est.data.rows);
+        assert!(
+            est.data.rows == 1000,
+            "expected 5% of 20k rows, got {}",
+            est.data.rows
+        );
         let err = est.ratio_error_vs(&exact);
         assert!(err < 1.05, "ratio error {err} too large for NS");
     }
@@ -296,7 +311,10 @@ mod tests {
         let t = table(20_000, 20, 3);
         let scheme = GlobalDictionaryCompression::default();
         let exact = ExactCf::new().compute(&t, &spec(), &scheme).unwrap();
-        let est = SampleCf::with_fraction(0.2).seed(11).estimate(&t, &spec(), &scheme).unwrap();
+        let est = SampleCf::with_fraction(0.2)
+            .seed(11)
+            .estimate(&t, &spec(), &scheme)
+            .unwrap();
         let err = est.ratio_error_vs(&exact);
         assert!(err < 1.25, "ratio error {err} too large for small-d DC");
     }
@@ -311,8 +329,16 @@ mod tests {
         let t = table(20_000, 50, 3);
         let scheme = DictionaryCompression::default();
         let exact = ExactCf::new().compute(&t, &spec(), &scheme).unwrap();
-        let est = SampleCf::with_fraction(0.02).seed(11).estimate(&t, &spec(), &scheme).unwrap();
-        assert!(est.cf > exact.cf, "sample {} should exceed exact {}", est.cf, exact.cf);
+        let est = SampleCf::with_fraction(0.02)
+            .seed(11)
+            .estimate(&t, &spec(), &scheme)
+            .unwrap();
+        assert!(
+            est.cf > exact.cf,
+            "sample {} should exceed exact {}",
+            est.cf,
+            exact.cf
+        );
     }
 
     #[test]
@@ -322,17 +348,34 @@ mod tests {
         let t = table(20_000, 2_000, 4);
         let scheme = GlobalDictionaryCompression::default();
         let exact = ExactCf::new().compute(&t, &spec(), &scheme).unwrap();
-        let est = SampleCf::with_fraction(0.01).seed(5).estimate(&t, &spec(), &scheme).unwrap();
-        assert!(est.cf > exact.cf, "sample CF should overestimate: {} vs {}", est.cf, exact.cf);
+        let est = SampleCf::with_fraction(0.01)
+            .seed(5)
+            .estimate(&t, &spec(), &scheme)
+            .unwrap();
+        assert!(
+            est.cf > exact.cf,
+            "sample CF should overestimate: {} vs {}",
+            est.cf,
+            exact.cf
+        );
     }
 
     #[test]
     fn estimator_is_deterministic_per_seed() {
         let t = table(5_000, 500, 6);
-        let a = SampleCf::with_fraction(0.02).seed(42).estimate(&t, &spec(), &NullSuppression).unwrap();
-        let b = SampleCf::with_fraction(0.02).seed(42).estimate(&t, &spec(), &NullSuppression).unwrap();
+        let a = SampleCf::with_fraction(0.02)
+            .seed(42)
+            .estimate(&t, &spec(), &NullSuppression)
+            .unwrap();
+        let b = SampleCf::with_fraction(0.02)
+            .seed(42)
+            .estimate(&t, &spec(), &NullSuppression)
+            .unwrap();
         assert_eq!(a.cf, b.cf);
-        let c = SampleCf::with_fraction(0.02).seed(43).estimate(&t, &spec(), &NullSuppression).unwrap();
+        let c = SampleCf::with_fraction(0.02)
+            .seed(43)
+            .estimate(&t, &spec(), &NullSuppression)
+            .unwrap();
         assert_ne!(a.cf, c.cf);
     }
 
@@ -347,8 +390,15 @@ mod tests {
             SamplerKind::Reservoir(150),
             SamplerKind::Block(0.05),
         ] {
-            let est = SampleCf::new(kind).seed(1).estimate(&t, &spec(), &NullSuppression).unwrap();
-            assert!(est.cf > 0.0 && est.cf < 1.5, "{kind:?} produced cf = {}", est.cf);
+            let est = SampleCf::new(kind)
+                .seed(1)
+                .estimate(&t, &spec(), &NullSuppression)
+                .unwrap();
+            assert!(
+                est.cf > 0.0 && est.cf < 1.5,
+                "{kind:?} produced cf = {}",
+                est.cf
+            );
             assert!(est.data.rows > 0);
         }
     }
@@ -356,7 +406,9 @@ mod tests {
     #[test]
     fn uncompressed_scheme_estimates_cf_of_one() {
         let t = table(2_000, 200, 9);
-        let est = SampleCf::with_fraction(0.05).estimate(&t, &spec(), &Uncompressed).unwrap();
+        let est = SampleCf::with_fraction(0.05)
+            .estimate(&t, &spec(), &Uncompressed)
+            .unwrap();
         assert!((est.cf - 1.0).abs() < 0.05, "cf = {}", est.cf);
     }
 
@@ -365,7 +417,9 @@ mod tests {
         let t = table(30_000, 3_000, 10);
         let scheme = DictionaryCompression::default();
         let exact = ExactCf::new().compute(&t, &spec(), &scheme).unwrap();
-        let est = SampleCf::with_fraction(0.01).estimate(&t, &spec(), &scheme).unwrap();
+        let est = SampleCf::with_fraction(0.01)
+            .estimate(&t, &spec(), &scheme)
+            .unwrap();
         // The sample is 1% of the data; building + compressing it should be
         // well under half the exact cost even with fixed overheads.
         assert!(
@@ -378,9 +432,13 @@ mod tests {
 
     #[test]
     fn multi_column_indexes_are_supported() {
-        let g = presets::orders_table("orders", 3_000, 11).generate().unwrap();
+        let g = presets::orders_table("orders", 3_000, 11)
+            .generate()
+            .unwrap();
         let spec = IndexSpec::clustered("pk", ["order_id", "status"]).unwrap();
-        let exact = ExactCf::new().compute(&g.table, &spec, &NullSuppression).unwrap();
+        let exact = ExactCf::new()
+            .compute(&g.table, &spec, &NullSuppression)
+            .unwrap();
         let est = SampleCf::with_fraction(0.05)
             .estimate(&g.table, &spec, &NullSuppression)
             .unwrap();

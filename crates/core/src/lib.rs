@@ -25,6 +25,30 @@
 //!   dictionary compression,
 //! * [`advisor`] / [`capacity`] — the two applications the paper motivates:
 //!   compression-aware physical design and capacity planning.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use samplecf_compression::NullSuppression;
+//! use samplecf_core::{ratio_error, ExactCf, SampleCf};
+//! use samplecf_datagen::presets;
+//! use samplecf_index::IndexSpec;
+//!
+//! let table = presets::variable_length_table("t", 10_000, 40, 200, 4, 32, 7)
+//!     .generate()?
+//!     .table;
+//! let spec = IndexSpec::nonclustered("idx_a", ["a"])?;
+//!
+//! // Estimate the compression fraction from a 1% sample...
+//! let estimate = SampleCf::with_fraction(0.01)
+//!     .seed(42)
+//!     .estimate(&table, &spec, &NullSuppression)?;
+//! // ...and compare with the exact value from compressing the full index.
+//! let exact = ExactCf::new().compute(&table, &spec, &NullSuppression)?;
+//!
+//! assert!(ratio_error(estimate.cf, exact.cf) < 1.1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub mod advisor;
 pub mod capacity;

@@ -172,7 +172,10 @@ mod tests {
         let err = dc_expected_ratio_error(100_000_000, 10_000, 20, 2, 0.01);
         assert!(err < 1.15, "expected ratio error close to 1, got {err}");
         let bound = dc_ratio_error_bound_small_d(100_000_000, 10_000, 20, 2, 0.01);
-        assert!(bound + 1e-9 >= err, "bound {bound} below expected error {err}");
+        assert!(
+            bound + 1e-9 >= err,
+            "bound {bound} below expected error {err}"
+        );
         assert!(bound < 1.2);
         // The error shrinks further as n grows, as Theorem 2 requires.
         let err_bigger_n = dc_expected_ratio_error(1_000_000_000, 10_000, 20, 2, 0.01);
@@ -209,6 +212,6 @@ mod tests {
         // Under the simplified model the estimate's d'/r >= d/n in expectation
         // is false in general; but the estimate is always >= p/k and <= p/k + 1.
         let est = dc_expected_estimate(1_000_000, 200_000, 20, 2, 0.05);
-        assert!(est >= 2.0 / 20.0 && est <= 2.0 / 20.0 + 1.0);
+        assert!((2.0 / 20.0..=2.0 / 20.0 + 1.0).contains(&est));
     }
 }

@@ -150,7 +150,10 @@ impl TrialRunner {
         let truth = ExactCf::new().compute(table, spec, scheme)?;
         let estimates = self.run_estimates(table, spec, scheme, sampler)?;
 
-        let ratio_errors: Vec<f64> = estimates.iter().map(|&e| ratio_error(e, truth.cf)).collect();
+        let ratio_errors: Vec<f64> = estimates
+            .iter()
+            .map(|&e| ratio_error(e, truth.cf))
+            .collect();
         let estimate_stats = SummaryStats::from_values(&estimates)
             .ok_or_else(|| CoreError::InvalidConfig("no estimates produced".to_string()))?;
         let ratio_error_stats = SummaryStats::from_values(&ratio_errors)
@@ -189,12 +192,12 @@ impl TrialRunner {
         let base_seed = self.config.base_seed;
         let mut results: Vec<CoreResult<(usize, f64)>> = Vec::with_capacity(trials);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
                 let estimator = &estimator;
                 let sampler_obj = sampler;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut local = Vec::new();
                     let mut trial = worker;
                     while trial < trials {
@@ -216,8 +219,7 @@ impl TrialRunner {
             for h in handles {
                 results.extend(h.join().expect("trial worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut indexed: Vec<(usize, f64)> = Vec::with_capacity(trials);
         for r in results {
@@ -251,11 +253,20 @@ mod tests {
         let t = table(20_000, 20_000, 1);
         let runner = TrialRunner::new(TrialConfig::new(60).base_seed(100));
         let summary = runner
-            .run(&t, &spec(), &NullSuppression, SamplerKind::UniformWithReplacement(0.02))
+            .run(
+                &t,
+                &spec(),
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(0.02),
+            )
             .unwrap();
         assert_eq!(summary.estimates.len(), 60);
         // Unbiased: relative bias within 2%.
-        assert!(summary.relative_bias().abs() < 0.02, "relative bias = {}", summary.relative_bias());
+        assert!(
+            summary.relative_bias().abs() < 0.02,
+            "relative bias = {}",
+            summary.relative_bias()
+        );
         // Theorem 1 bound holds empirically (with slack for sampling noise).
         let bound = theory::ns_stddev_bound(20_000, 0.02);
         assert!(
@@ -279,18 +290,36 @@ mod tests {
                 SamplerKind::UniformWithReplacement(0.15),
             )
             .unwrap();
-        assert!(summary.mean_ratio_error() < 1.35, "mean ratio error {}", summary.mean_ratio_error());
-        assert!(summary.max_ratio_error() < 1.8, "max ratio error {}", summary.max_ratio_error());
+        assert!(
+            summary.mean_ratio_error() < 1.35,
+            "mean ratio error {}",
+            summary.mean_ratio_error()
+        );
+        assert!(
+            summary.max_ratio_error() < 1.8,
+            "max ratio error {}",
+            summary.max_ratio_error()
+        );
     }
 
     #[test]
     fn results_are_independent_of_thread_count() {
         let t = table(3_000, 300, 3);
         let single = TrialRunner::new(TrialConfig::new(12).base_seed(7).threads(1))
-            .run_estimates(&t, &spec(), &NullSuppression, SamplerKind::UniformWithReplacement(0.05))
+            .run_estimates(
+                &t,
+                &spec(),
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(0.05),
+            )
             .unwrap();
         let multi = TrialRunner::new(TrialConfig::new(12).base_seed(7).threads(4))
-            .run_estimates(&t, &spec(), &NullSuppression, SamplerKind::UniformWithReplacement(0.05))
+            .run_estimates(
+                &t,
+                &spec(),
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(0.05),
+            )
             .unwrap();
         assert_eq!(single, multi);
     }
@@ -300,7 +329,12 @@ mod tests {
         let t = table(500, 50, 4);
         let runner = TrialRunner::new(TrialConfig::new(0));
         assert!(runner
-            .run(&t, &spec(), &NullSuppression, SamplerKind::UniformWithReplacement(0.1))
+            .run(
+                &t,
+                &spec(),
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(0.1)
+            )
             .is_err());
     }
 
@@ -308,10 +342,20 @@ mod tests {
     fn variance_shrinks_with_larger_samples() {
         let t = table(10_000, 10_000, 6);
         let small = TrialRunner::new(TrialConfig::new(40).base_seed(1))
-            .run(&t, &spec(), &NullSuppression, SamplerKind::UniformWithReplacement(0.005))
+            .run(
+                &t,
+                &spec(),
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(0.005),
+            )
             .unwrap();
         let large = TrialRunner::new(TrialConfig::new(40).base_seed(1))
-            .run(&t, &spec(), &NullSuppression, SamplerKind::UniformWithReplacement(0.08))
+            .run(
+                &t,
+                &spec(),
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(0.08),
+            )
             .unwrap();
         assert!(
             large.empirical_std_dev() < small.empirical_std_dev(),

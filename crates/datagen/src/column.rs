@@ -45,7 +45,12 @@ pub enum ColumnSpec {
 impl ColumnSpec {
     /// Convenience constructor for the paper's canonical `char(k)` column with
     /// uniform frequencies and a fixed value length.
-    pub fn char_uniform(name: impl Into<String>, width: u16, distinct: usize, value_len: usize) -> Self {
+    pub fn char_uniform(
+        name: impl Into<String>,
+        width: u16,
+        distinct: usize,
+        value_len: usize,
+    ) -> Self {
         ColumnSpec::Char {
             name: name.into(),
             width,
@@ -112,7 +117,11 @@ impl ColumnSpec {
                     null_fraction: *null_fraction,
                 })
             }
-            ColumnSpec::Int { distinct, frequency, .. } => {
+            ColumnSpec::Int {
+                distinct,
+                frequency,
+                ..
+            } => {
                 let sampler = frequency.build_sampler(*distinct)?;
                 Ok(ColumnGenerator::Int { sampler })
             }
@@ -221,7 +230,9 @@ mod tests {
         assert!(spec.schema_column().nullable);
         let mut r = rng(2);
         let mut gen = spec.build(&mut r).unwrap();
-        let nulls = (0..5000).filter(|_| gen.next_value(&mut r).is_null()).count();
+        let nulls = (0..5000)
+            .filter(|_| gen.next_value(&mut r).is_null())
+            .count();
         assert!((1200..1800).contains(&nulls), "nulls = {nulls}");
     }
 
@@ -252,7 +263,9 @@ mod tests {
             let v = int_gen.next_value(&mut r).as_int().unwrap();
             assert!((0..7).contains(&v));
         }
-        let mut seq = ColumnSpec::SequentialInt { name: "s".into() }.build(&mut r).unwrap();
+        let mut seq = ColumnSpec::SequentialInt { name: "s".into() }
+            .build(&mut r)
+            .unwrap();
         assert_eq!(seq.domain_size(), None);
         assert_eq!(seq.next_value(&mut r), Value::Int(0));
         assert_eq!(seq.next_value(&mut r), Value::Int(1));
@@ -262,11 +275,15 @@ mod tests {
     #[test]
     fn schema_columns_have_expected_types() {
         assert_eq!(
-            ColumnSpec::char_uniform("a", 12, 3, 4).schema_column().datatype,
+            ColumnSpec::char_uniform("a", 12, 3, 4)
+                .schema_column()
+                .datatype,
             DataType::Char(12)
         );
         assert_eq!(
-            ColumnSpec::SequentialInt { name: "id".into() }.schema_column().datatype,
+            ColumnSpec::SequentialInt { name: "id".into() }
+                .schema_column()
+                .datatype,
             DataType::Int64
         );
     }

@@ -177,7 +177,9 @@ impl FrequencySampler {
             FrequencySampler::Uniform { d } => rng.gen_range(0..*d),
             FrequencySampler::Zipf { cumulative, total } => {
                 let u = rng.gen::<f64>() * total;
-                cumulative.partition_point(|&c| c < u).min(cumulative.len() - 1)
+                cumulative
+                    .partition_point(|&c| c < u)
+                    .min(cumulative.len() - 1)
             }
         }
     }
@@ -207,8 +209,12 @@ mod tests {
         assert!(LengthDistribution::Constant(10).validate(20, 5).is_ok());
         assert!(LengthDistribution::Constant(30).validate(20, 5).is_err());
         assert!(LengthDistribution::Constant(3).validate(20, 5).is_err());
-        assert!(LengthDistribution::Uniform { min: 8, max: 4 }.validate(20, 1).is_err());
-        assert!(LengthDistribution::Uniform { min: 4, max: 12 }.validate(20, 4).is_ok());
+        assert!(LengthDistribution::Uniform { min: 8, max: 4 }
+            .validate(20, 1)
+            .is_err());
+        assert!(LengthDistribution::Uniform { min: 4, max: 12 }
+            .validate(20, 4)
+            .is_ok());
     }
 
     #[test]
@@ -217,7 +223,10 @@ mod tests {
         for dist in [
             LengthDistribution::Constant(7),
             LengthDistribution::Uniform { min: 3, max: 15 },
-            LengthDistribution::Normal { mean: 10.0, std_dev: 3.0 },
+            LengthDistribution::Normal {
+                mean: 10.0,
+                std_dev: 3.0,
+            },
         ] {
             for _ in 0..500 {
                 let l = dist.sample(&mut r, 20, 2);
@@ -238,9 +247,15 @@ mod tests {
     #[test]
     fn frequency_validation() {
         assert!(FrequencyDistribution::Uniform.build_sampler(0).is_err());
-        assert!(FrequencyDistribution::Zipf { theta: -1.0 }.build_sampler(5).is_err());
-        assert!(FrequencyDistribution::Zipf { theta: f64::NAN }.build_sampler(5).is_err());
-        assert!(FrequencyDistribution::Zipf { theta: 1.0 }.build_sampler(5).is_ok());
+        assert!(FrequencyDistribution::Zipf { theta: -1.0 }
+            .build_sampler(5)
+            .is_err());
+        assert!(FrequencyDistribution::Zipf { theta: f64::NAN }
+            .build_sampler(5)
+            .is_err());
+        assert!(FrequencyDistribution::Zipf { theta: 1.0 }
+            .build_sampler(5)
+            .is_ok());
     }
 
     #[test]
@@ -259,19 +274,27 @@ mod tests {
 
     #[test]
     fn zipf_skews_towards_low_indexes() {
-        let s = FrequencyDistribution::Zipf { theta: 1.2 }.build_sampler(100).unwrap();
+        let s = FrequencyDistribution::Zipf { theta: 1.2 }
+            .build_sampler(100)
+            .unwrap();
         let mut counts = vec![0usize; 100];
         let mut r = rng(4);
         for _ in 0..20_000 {
             counts[s.sample(&mut r)] += 1;
         }
         assert!(counts[0] > counts[10] && counts[10] > counts[90]);
-        assert!(counts[0] > 20_000 / 20, "head value should dominate, got {}", counts[0]);
+        assert!(
+            counts[0] > 20_000 / 20,
+            "head value should dominate, got {}",
+            counts[0]
+        );
     }
 
     #[test]
     fn zipf_theta_zero_is_uniform() {
-        let s = FrequencyDistribution::Zipf { theta: 0.0 }.build_sampler(4).unwrap();
+        let s = FrequencyDistribution::Zipf { theta: 0.0 }
+            .build_sampler(4)
+            .unwrap();
         assert!(matches!(s, FrequencySampler::Uniform { d: 4 }));
     }
 }

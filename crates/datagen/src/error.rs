@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        assert!(DatagenError::InvalidSpec("d = 0".into()).to_string().contains("d = 0"));
+        assert!(DatagenError::InvalidSpec("d = 0".into())
+            .to_string()
+            .contains("d = 0"));
         let e: DatagenError = StorageError::UnknownColumn("c".into()).into();
         assert!(e.to_string().contains("storage"));
     }

@@ -12,6 +12,24 @@
 //! every generated table comes with its ground-truth statistics
 //! ([`ColumnStats`]) so experiments can compare estimates against exact
 //! values without rescanning.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use samplecf_datagen::presets;
+//!
+//! // 1 000 rows, one char(20) column, 50 distinct 8-byte values, seed 42.
+//! let generated = presets::single_char_table("demo", 1_000, 20, 50, 8, 42)
+//!     .generate()?;
+//!
+//! assert_eq!(generated.table.num_rows(), 1_000);
+//! // Ground truth comes with the table: exactly 50 distinct values, and
+//! // every value stores 8 of its 20 padded bytes.
+//! let stats = &generated.column_stats[0];
+//! assert_eq!(stats.distinct_values, 50);
+//! assert_eq!(stats.sum_logical_len, 8 * 1_000);
+//! # Ok::<(), samplecf_datagen::DatagenError>(())
+//! ```
 
 pub mod column;
 pub mod distribution;

@@ -76,7 +76,7 @@ impl ValuePool {
             let prefix_len = len - min_required;
             let mut s = String::with_capacity(len);
             for _ in 0..prefix_len {
-                s.push(ALPHABET[rng.gen_range(0..26)] as char);
+                s.push(ALPHABET[rng.gen_range(0..ALPHABET.len())] as char);
             }
             s.push_str(&suffix);
             values.push(s);
@@ -150,13 +150,8 @@ mod tests {
 
     #[test]
     fn lengths_follow_the_distribution() {
-        let pool = ValuePool::generate(
-            2000,
-            40,
-            &LengthDistribution::Constant(10),
-            &mut rng(2),
-        )
-        .unwrap();
+        let pool =
+            ValuePool::generate(2000, 40, &LengthDistribution::Constant(10), &mut rng(2)).unwrap();
         assert!(pool.values().iter().all(|v| v.len() == 10));
         assert_eq!(pool.total_length(), 20_000);
     }
@@ -164,7 +159,9 @@ mod tests {
     #[test]
     fn rejects_impossible_requests() {
         // 10,000 distinct values cannot fit in char(2) (36^2 = 1296).
-        assert!(ValuePool::generate(10_000, 2, &LengthDistribution::Constant(2), &mut rng(3)).is_err());
+        assert!(
+            ValuePool::generate(10_000, 2, &LengthDistribution::Constant(2), &mut rng(3)).is_err()
+        );
         assert!(ValuePool::generate(0, 8, &LengthDistribution::Constant(4), &mut rng(3)).is_err());
         // Constant length longer than the column.
         assert!(ValuePool::generate(10, 4, &LengthDistribution::Constant(9), &mut rng(3)).is_err());

@@ -180,7 +180,9 @@ mod tests {
     #[test]
     fn small_and_large_distinct_regimes() {
         let small = small_distinct_table("s", 10_000, 20, 1).generate().unwrap();
-        let large = large_distinct_table("l", 10_000, 20, 0.25, 1).generate().unwrap();
+        let large = large_distinct_table("l", 10_000, 20, 0.25, 1)
+            .generate()
+            .unwrap();
         let ds = small.stats_for("a").unwrap().distinct_values;
         let dl = large.stats_for("a").unwrap().distinct_values;
         assert!(ds <= 110, "small-d regime produced d = {ds}");
@@ -190,7 +192,9 @@ mod tests {
 
     #[test]
     fn skewed_table_concentrates_mass() {
-        let g = skewed_table("z", 5_000, 20, 100, 1.2, 3).generate().unwrap();
+        let g = skewed_table("z", 5_000, 20, 100, 1.2, 3)
+            .generate()
+            .unwrap();
         let values = g.table.column_values("a").unwrap();
         let mut counts = std::collections::HashMap::new();
         for v in values {
@@ -221,8 +225,12 @@ mod tests {
 
     #[test]
     fn presets_honour_seed() {
-        let a = single_char_table("t", 100, 20, 10, 6, 42).generate().unwrap();
-        let b = single_char_table("t", 100, 20, 10, 6, 42).generate().unwrap();
+        let a = single_char_table("t", 100, 20, 10, 6, 42)
+            .generate()
+            .unwrap();
+        let b = single_char_table("t", 100, 20, 10, 6, 42)
+            .generate()
+            .unwrap();
         assert_eq!(
             a.table.column_values("a").unwrap(),
             b.table.column_values("a").unwrap()

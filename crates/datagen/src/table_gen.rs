@@ -218,7 +218,10 @@ mod tests {
         assert!((4 * 5000..=16 * 5000).contains(&stats.sum_logical_len));
         // Ground truth matches a direct scan of the stored table.
         let column = g.table.column_values("a").unwrap();
-        let direct_sum: usize = column.iter().map(samplecf_storage::Value::logical_len).sum();
+        let direct_sum: usize = column
+            .iter()
+            .map(samplecf_storage::Value::logical_len)
+            .sum();
         assert_eq!(direct_sum, stats.sum_logical_len);
         let direct: std::collections::HashSet<_> = column.into_iter().collect();
         assert_eq!(direct.len(), 50);
@@ -251,7 +254,10 @@ mod tests {
     #[test]
     fn invalid_specs_rejected() {
         assert!(TableSpec::new("t", 10, vec![]).generate().is_err());
-        assert!(spec(10, 5).layout(RowLayout::ClusteredBy(9)).generate().is_err());
+        assert!(spec(10, 5)
+            .layout(RowLayout::ClusteredBy(9))
+            .generate()
+            .is_err());
     }
 
     #[test]

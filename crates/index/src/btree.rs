@@ -133,13 +133,13 @@ impl IndexBuilder {
                 current = Page::new(leaf_pages.len() as u32, self.page_size)?;
                 current_used = 0;
             }
-            current
-                .insert(record)?
-                .ok_or_else(|| IndexError::InvalidSpec(format!(
+            current.insert(record)?.ok_or_else(|| {
+                IndexError::InvalidSpec(format!(
                     "index entry of {} bytes does not fit in a {}-byte page",
                     record.len(),
                     self.page_size
-                )))?;
+                ))
+            })?;
             current_used += needed;
             // sort_key only participates in ordering; silence the unused warning.
             let _ = sort_key;
@@ -486,7 +486,10 @@ mod tests {
         let entries = idx.all_entries().unwrap();
         assert_eq!(entries.len(), 1000);
         for w in entries.windows(2) {
-            assert!(w[0].stored.value(0) <= w[1].stored.value(0), "leaf order violated");
+            assert!(
+                w[0].stored.value(0) <= w[1].stored.value(0),
+                "leaf order violated"
+            );
         }
         // Non-clustered entries carry RIDs that resolve back to the table.
         for e in entries.iter().take(20) {
@@ -500,7 +503,10 @@ mod tests {
     fn clustered_index_stores_all_columns_without_rids() {
         let t = table(200);
         let spec = IndexSpec::clustered("i", ["id"]).unwrap();
-        let idx = IndexBuilder::new().page_size(1024).build_from_table(&t, &spec).unwrap();
+        let idx = IndexBuilder::new()
+            .page_size(1024)
+            .build_from_table(&t, &spec)
+            .unwrap();
         let entries = idx.all_entries().unwrap();
         assert_eq!(entries.len(), 200);
         assert!(entries.iter().all(|e| e.rid.is_none()));
@@ -515,39 +521,55 @@ mod tests {
     fn multi_page_trees_have_internal_levels() {
         let t = table(5000);
         let spec = IndexSpec::nonclustered("i", ["name", "id"]).unwrap();
-        let idx = IndexBuilder::new().page_size(512).build_from_table(&t, &spec).unwrap();
+        let idx = IndexBuilder::new()
+            .page_size(512)
+            .build_from_table(&t, &spec)
+            .unwrap();
         assert!(idx.num_leaf_pages() > 10);
-        assert!(idx.height() >= 2, "expected internal levels, height = {}", idx.height());
+        assert!(
+            idx.height() >= 2,
+            "expected internal levels, height = {}",
+            idx.height()
+        );
         assert!(idx.num_internal_pages() >= 1);
-        assert_eq!(idx.total_bytes(), (idx.num_leaf_pages() + idx.num_internal_pages()) * 512);
+        assert_eq!(
+            idx.total_bytes(),
+            (idx.num_leaf_pages() + idx.num_internal_pages()) * 512
+        );
     }
 
     #[test]
     fn fill_factor_spreads_entries_over_more_pages() {
         let t = table(2000);
         let spec = IndexSpec::nonclustered("i", ["name"]).unwrap();
-        let full = IndexBuilder::new().page_size(1024).build_from_table(&t, &spec).unwrap();
+        let full = IndexBuilder::new()
+            .page_size(1024)
+            .build_from_table(&t, &spec)
+            .unwrap();
         let half = IndexBuilder::new()
             .page_size(1024)
             .fill_factor(0.5)
             .build_from_table(&t, &spec)
             .unwrap();
         assert!(half.num_leaf_pages() > full.num_leaf_pages());
-        assert!(IndexBuilder::new().fill_factor(0.0).build_from_table(&t, &spec).is_err());
+        assert!(IndexBuilder::new()
+            .fill_factor(0.0)
+            .build_from_table(&t, &spec)
+            .is_err());
     }
 
     #[test]
     fn lookup_finds_all_matching_rows() {
         let t = table(3000);
         let spec = IndexSpec::nonclustered("i", ["name"]).unwrap();
-        let idx = IndexBuilder::new().page_size(512).build_from_table(&t, &spec).unwrap();
+        let idx = IndexBuilder::new()
+            .page_size(512)
+            .build_from_table(&t, &spec)
+            .unwrap();
         let needle = Value::str("name0042");
-        let expected = t
-            .scan()
-            .filter(|(_, r)| r.value(0) == &needle)
-            .count();
+        let expected = t.scan().filter(|(_, r)| r.value(0) == &needle).count();
         assert!(expected > 0);
-        let found = idx.lookup(&[needle.clone()]).unwrap();
+        let found = idx.lookup(std::slice::from_ref(&needle)).unwrap();
         assert_eq!(found.len(), expected);
         assert!(found.iter().all(|e| e.stored.value(0) == &needle));
         // Missing key returns nothing.
@@ -597,8 +619,16 @@ mod tests {
             })
             .collect();
         let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
-        let idx = IndexBuilder::new().build_from_rows(&schema, &rows, &spec).unwrap();
+        let idx = IndexBuilder::new()
+            .build_from_rows(&schema, &rows, &spec)
+            .unwrap();
         let entries = idx.all_entries().unwrap();
-        assert_eq!(entries.iter().filter(|e| e.stored.value(0).is_null()).count(), 17);
+        assert_eq!(
+            entries
+                .iter()
+                .filter(|e| e.stored.value(0).is_null())
+                .count(),
+            17
+        );
     }
 }

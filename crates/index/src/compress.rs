@@ -143,7 +143,10 @@ pub fn compress_index(
             .map(|entries| {
                 ColumnChunk::new(
                     column.datatype,
-                    entries.iter().map(|e| e.stored.value(pos).clone()).collect(),
+                    entries
+                        .iter()
+                        .map(|e| e.stored.value(pos).clone())
+                        .collect(),
                 )
             })
             .collect::<Result<_, _>>()?;
@@ -204,7 +207,10 @@ mod tests {
 
     fn build(t: &Table) -> BTreeIndex {
         let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
-        IndexBuilder::new().page_size(2048).build_from_table(t, &spec).unwrap()
+        IndexBuilder::new()
+            .page_size(2048)
+            .build_from_table(t, &spec)
+            .unwrap()
     }
 
     #[test]
@@ -225,7 +231,10 @@ mod tests {
         let report = compress_index(&idx, &NullSuppression).unwrap();
         let cf = report.cf();
         let expected = 9.0 / 32.0;
-        assert!((cf - expected).abs() < 0.02, "cf = {cf}, expected ≈ {expected}");
+        assert!(
+            (cf - expected).abs() < 0.02,
+            "cf = {cf}, expected ≈ {expected}"
+        );
     }
 
     #[test]
@@ -256,7 +265,10 @@ mod tests {
     fn per_column_stats_cover_all_stored_columns() {
         let t = table(500, 20, 6, 16);
         let spec = IndexSpec::clustered("i", ["a"]).unwrap();
-        let idx = IndexBuilder::new().page_size(2048).build_from_table(&t, &spec).unwrap();
+        let idx = IndexBuilder::new()
+            .page_size(2048)
+            .build_from_table(&t, &spec)
+            .unwrap();
         let report = compress_index(&idx, &NullSuppression).unwrap();
         assert_eq!(report.per_column.len(), 2);
         assert_eq!(report.per_column[0].column, "a");
@@ -282,7 +294,9 @@ mod tests {
     fn empty_index_reports_neutral_cf() {
         let schema = Schema::single_char("a", 8);
         let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
-        let idx = IndexBuilder::new().build_from_rows(&schema, &[], &spec).unwrap();
+        let idx = IndexBuilder::new()
+            .build_from_rows(&schema, &[], &spec)
+            .unwrap();
         let report = compress_index(&idx, &NullSuppression).unwrap();
         assert_eq!(report.cf(), 1.0);
         assert_eq!(report.cf_pages(), 1.0);

@@ -14,6 +14,31 @@
 //!   compression of the leaf level with any
 //!   [`CompressionScheme`](samplecf_compression::CompressionScheme), and the
 //!   resulting compression fraction.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use samplecf_compression::NullSuppression;
+//! use samplecf_index::{compress_index, IndexBuilder, IndexSpec};
+//! use samplecf_storage::{Column, DataType, Row, Schema, TableBuilder, Value};
+//!
+//! let schema = Schema::new(vec![Column::new("a", DataType::Char(12))])?;
+//! let rows: Vec<Row> = (0..500)
+//!     .map(|i| Row::new(vec![Value::str(format!("val-{:03}", i % 50))]))
+//!     .collect();
+//! let table = TableBuilder::new("t", schema).build_with_rows(rows)?;
+//!
+//! // Bulk-load a non-clustered B+-tree on column "a", then compress its
+//! // leaf level with Null Suppression.
+//! let spec = IndexSpec::nonclustered("idx_a", ["a"])?;
+//! let index = IndexBuilder::new().build_from_table(&table, &spec)?;
+//! let report = compress_index(&index, &NullSuppression)?;
+//!
+//! assert_eq!(index.num_entries(), 500);
+//! // "val-000" stores 7 of its 12 padded bytes, so CF is well below 1.
+//! assert!(report.cf() < 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub mod btree;
 pub mod compress;

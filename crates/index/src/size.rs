@@ -101,7 +101,9 @@ mod tests {
     use super::*;
     use crate::btree::IndexBuilder;
     use crate::spec::IndexSpec;
-    use samplecf_storage::{Column, DataType, Row, Schema, TableBuilder, Value, PAGE_HEADER_SIZE, SLOT_SIZE};
+    use samplecf_storage::{
+        Column, DataType, Row, Schema, TableBuilder, Value, PAGE_HEADER_SIZE, SLOT_SIZE,
+    };
 
     fn build(n: usize, kind_clustered: bool) -> BTreeIndex {
         let schema = Schema::new(vec![
@@ -111,7 +113,8 @@ mod tests {
         .unwrap();
         let table = TableBuilder::new("t", schema)
             .build_with_rows(
-                (0..n).map(|i| Row::new(vec![Value::str(format!("v{i:05}")), Value::int(i as i64)])),
+                (0..n)
+                    .map(|i| Row::new(vec![Value::str(format!("v{i:05}")), Value::int(i as i64)])),
             )
             .unwrap();
         let spec = if kind_clustered {
@@ -119,7 +122,10 @@ mod tests {
         } else {
             IndexSpec::nonclustered("i", ["a"]).unwrap()
         };
-        IndexBuilder::new().page_size(1024).build_from_table(&table, &spec).unwrap()
+        IndexBuilder::new()
+            .page_size(1024)
+            .build_from_table(&table, &spec)
+            .unwrap()
     }
 
     #[test]
@@ -150,7 +156,11 @@ mod tests {
         let r = IndexSizeReport::measure(&idx);
         // data + bitmaps + rids + overhead + free == leaf bytes
         assert_eq!(
-            r.stored_cell_bytes + r.bitmap_bytes + r.rid_bytes + r.leaf_overhead_bytes + r.leaf_free_bytes,
+            r.stored_cell_bytes
+                + r.bitmap_bytes
+                + r.rid_bytes
+                + r.leaf_overhead_bytes
+                + r.leaf_free_bytes,
             r.leaf_bytes()
         );
         // Sanity on the overhead model.
@@ -162,7 +172,9 @@ mod tests {
     fn empty_index_report() {
         let schema = Schema::single_char("a", 8);
         let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
-        let idx = IndexBuilder::new().build_from_rows(&schema, &[], &spec).unwrap();
+        let idx = IndexBuilder::new()
+            .build_from_rows(&schema, &[], &spec)
+            .unwrap();
         let r = IndexSizeReport::measure(&idx);
         assert_eq!(r.num_entries, 0);
         assert_eq!(r.entries_per_leaf(), 0.0);

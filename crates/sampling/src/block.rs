@@ -126,9 +126,14 @@ mod tests {
 
     #[test]
     fn empty_table_yields_empty_sample() {
-        let t = TableBuilder::new("t", Schema::single_char("a", 8)).build().unwrap();
+        let t = TableBuilder::new("t", Schema::single_char("a", 8))
+            .build()
+            .unwrap();
         let s = BlockSampler::new(0.5).unwrap();
-        assert!(s.sample(&t, &mut StdRng::seed_from_u64(3)).unwrap().is_empty());
+        assert!(s
+            .sample(&t, &mut StdRng::seed_from_u64(3))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -152,16 +157,17 @@ mod tests {
             .unwrap();
         let block = BlockSampler::new(0.05).unwrap();
         let block_sample = block.sample(&t, &mut StdRng::seed_from_u64(5)).unwrap();
-        let block_distinct: HashSet<_> =
-            block_sample.iter().map(|(_, r)| r.value(0).clone()).collect();
+        let block_distinct: HashSet<_> = block_sample
+            .iter()
+            .map(|(_, r)| r.value(0).clone())
+            .collect();
 
         let row = crate::uniform::UniformWithoutReplacement::new(
             block_sample.len() as f64 / t.num_rows() as f64,
         )
         .unwrap();
         let row_sample = row.sample(&t, &mut StdRng::seed_from_u64(5)).unwrap();
-        let row_distinct: HashSet<_> =
-            row_sample.iter().map(|(_, r)| r.value(0).clone()).collect();
+        let row_distinct: HashSet<_> = row_sample.iter().map(|(_, r)| r.value(0).clone()).collect();
 
         assert!(
             block_distinct.len() * 2 < row_distinct.len(),

@@ -64,8 +64,14 @@ mod tests {
     #[test]
     fn every_kind_builds_its_sampler() {
         let cases = [
-            (SamplerKind::UniformWithReplacement(0.1), "uniform-with-replacement"),
-            (SamplerKind::UniformWithoutReplacement(0.1), "uniform-without-replacement"),
+            (
+                SamplerKind::UniformWithReplacement(0.1),
+                "uniform-with-replacement",
+            ),
+            (
+                SamplerKind::UniformWithoutReplacement(0.1),
+                "uniform-without-replacement",
+            ),
             (SamplerKind::Bernoulli(0.1), "bernoulli"),
             (SamplerKind::Systematic(0.1), "systematic"),
             (SamplerKind::Reservoir(10), "reservoir"),

@@ -8,6 +8,27 @@
 //! future work.  Both — plus without-replacement, Bernoulli, systematic and
 //! reservoir variants — are provided behind the [`RowSampler`] trait so the
 //! estimator and the benchmark harness can swap them freely.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use samplecf_sampling::SamplerKind;
+//! use samplecf_storage::{Column, DataType, Row, Schema, TableBuilder, Value};
+//!
+//! let schema = Schema::new(vec![Column::new("a", DataType::Int64)])?;
+//! let rows: Vec<Row> = (0..1_000).map(|i| Row::new(vec![Value::int(i)])).collect();
+//! let table = TableBuilder::new("t", schema).build_with_rows(rows)?;
+//!
+//! // Draw a 10% uniform-with-replacement sample, as the paper's estimator does.
+//! let sampler = SamplerKind::UniformWithReplacement(0.1).build()?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let sample = sampler.sample(&table, &mut rng)?;
+//!
+//! assert_eq!(sample.len(), 100);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub mod block;
 pub mod error;

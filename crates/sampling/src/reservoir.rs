@@ -2,7 +2,7 @@
 //!
 //! Draws a fixed-size uniform sample without replacement in a single pass
 //! over the table, without knowing the number of rows in advance — the
-//! classical technique referenced by the paper ([5] J.S. Vitter, "Random
+//! classical technique referenced by the paper (\[5\] J.S. Vitter, "Random
 //! Sampling with a Reservoir").
 
 use crate::error::{SamplingError, SamplingResult};
@@ -82,7 +82,11 @@ mod tests {
         let sample = s.sample(&t, &mut StdRng::seed_from_u64(1)).unwrap();
         assert_eq!(sample.len(), 37);
         let distinct: HashSet<_> = sample.iter().map(|(rid, _)| *rid).collect();
-        assert_eq!(distinct.len(), 37, "reservoir sampling is without replacement");
+        assert_eq!(
+            distinct.len(),
+            37,
+            "reservoir sampling is without replacement"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl std::fmt::Debug for dyn RowSampler {
 
 /// Validate a sampling fraction, which must lie in (0, 1].
 pub fn validate_fraction(fraction: f64) -> SamplingResult<f64> {
-    if !(fraction > 0.0 && fraction <= 1.0) || !fraction.is_finite() {
+    if !(fraction > 0.0 && fraction <= 1.0 && fraction.is_finite()) {
         return Err(SamplingError::InvalidFraction(format!(
             "fraction must be in (0, 1], got {fraction}"
         )));

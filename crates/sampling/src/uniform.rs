@@ -239,10 +239,26 @@ mod tests {
     #[test]
     fn empty_table_yields_empty_samples() {
         let t = table(0);
-        assert!(UniformWithReplacement::new(0.1).unwrap().sample(&t, &mut rng(6)).unwrap().is_empty());
-        assert!(UniformWithoutReplacement::new(0.1).unwrap().sample(&t, &mut rng(6)).unwrap().is_empty());
-        assert!(BernoulliSampler::new(0.1).unwrap().sample(&t, &mut rng(6)).unwrap().is_empty());
-        assert!(SystematicSampler::new(0.1).unwrap().sample(&t, &mut rng(6)).unwrap().is_empty());
+        assert!(UniformWithReplacement::new(0.1)
+            .unwrap()
+            .sample(&t, &mut rng(6))
+            .unwrap()
+            .is_empty());
+        assert!(UniformWithoutReplacement::new(0.1)
+            .unwrap()
+            .sample(&t, &mut rng(6))
+            .unwrap()
+            .is_empty());
+        assert!(BernoulliSampler::new(0.1)
+            .unwrap()
+            .sample(&t, &mut rng(6))
+            .unwrap()
+            .is_empty());
+        assert!(SystematicSampler::new(0.1)
+            .unwrap()
+            .sample(&t, &mut rng(6))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -281,7 +297,10 @@ mod tests {
         let total: usize = counts.iter().sum();
         let mean = total as f64 / 50.0;
         for c in counts {
-            assert!((c as f64) > mean / 3.0 && (c as f64) < mean * 3.0, "count {c} vs mean {mean}");
+            assert!(
+                (c as f64) > mean / 3.0 && (c as f64) < mean * 3.0,
+                "count {c} vs mean {mean}"
+            );
         }
     }
 }

@@ -78,7 +78,10 @@ impl fmt::Display for StorageError {
                 "value too wide for column `{column}`: declared {declared} bytes, got {actual}"
             ),
             StorageError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {found}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {found}"
+                )
             }
             StorageError::RecordTooLarge {
                 record_len,

@@ -158,7 +158,10 @@ mod tests {
             h.insert(&rec).unwrap();
         }
         assert_eq!(h.num_records(), 12);
-        assert!(h.num_pages() >= 4, "30-byte records cannot all fit one 128B page");
+        assert!(
+            h.num_pages() >= 4,
+            "30-byte records cannot all fit one 128B page"
+        );
         assert_eq!(h.payload_bytes(), 12 * 30);
         assert_eq!(h.total_bytes(), h.num_pages() * 128);
     }

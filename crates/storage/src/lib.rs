@@ -21,6 +21,28 @@
 //!
 //! Everything is deterministic and in-memory: the estimator's accuracy only
 //! depends on sizes in bytes, not on actual disk I/O.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use samplecf_storage::{Column, DataType, Row, Schema, TableBuilder, Value};
+//!
+//! let schema = Schema::new(vec![
+//!     Column::new("a", DataType::Char(16)),
+//!     Column::new("id", DataType::Int64),
+//! ])?;
+//! let rows: Vec<Row> = (0..100)
+//!     .map(|i| Row::new(vec![Value::str(format!("value-{:02}", i % 10)), Value::int(i)]))
+//!     .collect();
+//! let table = TableBuilder::new("demo", schema)
+//!     .page_size(4096)
+//!     .build_with_rows(rows)?;
+//!
+//! assert_eq!(table.num_rows(), 100);
+//! // Every stored row reads back through the slotted pages.
+//! assert_eq!(table.scan().count(), 100);
+//! # Ok::<(), samplecf_storage::StorageError>(())
+//! ```
 
 pub mod catalog;
 pub mod datatype;
@@ -37,7 +59,9 @@ pub use catalog::Catalog;
 pub use datatype::DataType;
 pub use error::{StorageError, StorageResult};
 pub use heap::HeapFile;
-pub use page::{Page, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_SIZE, SLOT_SIZE};
+pub use page::{
+    Page, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_SIZE, SLOT_SIZE,
+};
 pub use rid::{PageId, Rid};
 pub use row::{decode_cell, encode_cell, Row, RowCodec, CHAR_PAD};
 pub use schema::{Column, Schema};

@@ -256,7 +256,7 @@ mod tests {
     fn accounting_adds_up() {
         let mut p = Page::new(0, 512).unwrap();
         for i in 0..10 {
-            p.insert(&vec![i as u8; 17]).unwrap().unwrap();
+            p.insert(&[i as u8; 17]).unwrap().unwrap();
         }
         assert_eq!(p.payload_bytes(), 170);
         assert_eq!(p.overhead_bytes(), PAGE_HEADER_SIZE + 10 * SLOT_SIZE);

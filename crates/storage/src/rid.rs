@@ -63,7 +63,11 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        for rid in [Rid::new(0, 0), Rid::new(17, 3), Rid::new(u32::MAX, u16::MAX)] {
+        for rid in [
+            Rid::new(0, 0),
+            Rid::new(17, 3),
+            Rid::new(u32::MAX, u16::MAX),
+        ] {
             assert_eq!(Rid::decode(&rid.encode()), rid);
         }
     }

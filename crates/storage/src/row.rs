@@ -93,11 +93,11 @@ pub fn encode_cell(value: &Value, dt: &DataType, out: &mut Vec<u8>) -> StorageRe
         (Value::Null, _) => {
             // NULL cells are materialised as all-pad bytes; the null bitmap in
             // the record header is authoritative.
-            out.extend(std::iter::repeat(0u8).take(dt.uncompressed_width()));
+            out.extend(std::iter::repeat_n(0u8, dt.uncompressed_width()));
         }
         (Value::Str(s), DataType::Char(k)) | (Value::Str(s), DataType::VarChar(k)) => {
             out.extend_from_slice(s.as_bytes());
-            out.extend(std::iter::repeat(CHAR_PAD).take(*k as usize - s.len()));
+            out.extend(std::iter::repeat_n(CHAR_PAD, *k as usize - s.len()));
         }
         (Value::Int(i), DataType::Int32) => {
             // Flip the sign bit so that big-endian byte order matches numeric order.

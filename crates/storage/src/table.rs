@@ -203,7 +203,10 @@ mod tests {
             .unwrap();
         assert_eq!(t.page_size(), 512);
         assert_eq!(t.num_rows(), 64);
-        assert!(t.num_pages() > 1, "64 rows of 29 bytes cannot fit one 512B page");
+        assert!(
+            t.num_pages() > 1,
+            "64 rows of 29 bytes cannot fit one 512B page"
+        );
     }
 
     #[test]
@@ -228,7 +231,9 @@ mod tests {
     #[test]
     fn insert_rejects_invalid_rows() {
         let mut t = Table::new("t", schema());
-        assert!(t.insert(&Row::new(vec![Value::int(3), Value::int(4)])).is_err());
+        assert!(t
+            .insert(&Row::new(vec![Value::int(3), Value::int(4)]))
+            .is_err());
         assert_eq!(t.num_rows(), 0);
     }
 }

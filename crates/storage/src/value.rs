@@ -212,9 +212,13 @@ mod tests {
 
     #[test]
     fn int32_range_enforced() {
-        assert!(Value::int(1 << 40).conforms_to(&DataType::Int32, "c").is_err());
+        assert!(Value::int(1 << 40)
+            .conforms_to(&DataType::Int32, "c")
+            .is_err());
         assert!(Value::int(12).conforms_to(&DataType::Int32, "c").is_ok());
-        assert!(Value::int(1 << 40).conforms_to(&DataType::Int64, "c").is_ok());
+        assert!(Value::int(1 << 40)
+            .conforms_to(&DataType::Int64, "c")
+            .is_ok());
     }
 
     #[test]

@@ -9,8 +9,7 @@ use samplecf_storage::{
 
 /// A string value that survives CHAR round-trips (no trailing spaces, ASCII).
 fn char_value(max_len: usize) -> impl Strategy<Value = String> {
-    proptest::string::string_regex(&format!("[a-zA-Z0-9_-]{{0,{max_len}}}"))
-        .expect("valid regex")
+    proptest::string::string_regex(&format!("[a-zA-Z0-9_-]{{0,{max_len}}}")).expect("valid regex")
 }
 
 fn arbitrary_schema_and_row() -> impl Strategy<Value = (Schema, Row)> {
@@ -29,11 +28,7 @@ fn arbitrary_schema_and_row() -> impl Strategy<Value = (Schema, Row)> {
         let value_strategies: Vec<BoxedStrategy<Value>> = kinds
             .iter()
             .map(|k| match k {
-                0 => prop_oneof![
-                    char_value(24).prop_map(Value::Str),
-                    Just(Value::Null)
-                ]
-                .boxed(),
+                0 => prop_oneof![char_value(24).prop_map(Value::Str), Just(Value::Null)].boxed(),
                 1 => prop_oneof![
                     (i32::MIN..i32::MAX).prop_map(|i| Value::Int(i64::from(i))),
                     Just(Value::Null)

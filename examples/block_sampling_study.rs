@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example block_sampling_study`
 
-use samplecf::prelude::*;
 use samplecf::core::{TrialConfig, TrialRunner};
+use samplecf::prelude::*;
 
 fn run_case(
     label: &str,
@@ -19,12 +19,8 @@ fn run_case(
 ) -> Result<(), Box<dyn std::error::Error>> {
     let spec = IndexSpec::nonclustered("idx_a", ["a"])?;
     let scheme = GlobalDictionaryCompression::default();
-    let summary = TrialRunner::new(TrialConfig::new(30).base_seed(17)).run(
-        table,
-        &spec,
-        &scheme,
-        sampler,
-    )?;
+    let summary =
+        TrialRunner::new(TrialConfig::new(30).base_seed(17)).run(table, &spec, &scheme, sampler)?;
     println!(
         "{:<34} true CF {:.4}   mean est {:.4}   mean ratio err {:.3}   max ratio err {:.3}",
         label,
@@ -51,12 +47,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("n = {n}, d = {d}, 2% samples, dictionary compression (global model)\n");
     println!("-- shuffled layout (values spread across pages) --");
-    run_case("uniform row sampling", &shuffled, SamplerKind::UniformWithReplacement(0.02))?;
+    run_case(
+        "uniform row sampling",
+        &shuffled,
+        SamplerKind::UniformWithReplacement(0.02),
+    )?;
     run_case("block (page) sampling", &shuffled, SamplerKind::Block(0.02))?;
 
     println!("\n-- clustered layout (equal values packed together) --");
-    run_case("uniform row sampling", &clustered, SamplerKind::UniformWithReplacement(0.02))?;
-    run_case("block (page) sampling", &clustered, SamplerKind::Block(0.02))?;
+    run_case(
+        "uniform row sampling",
+        &clustered,
+        SamplerKind::UniformWithReplacement(0.02),
+    )?;
+    run_case(
+        "block (page) sampling",
+        &clustered,
+        SamplerKind::Block(0.02),
+    )?;
 
     println!(
         "\nOn the clustered layout the two samplers disagree sharply for dictionary \

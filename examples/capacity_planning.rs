@@ -12,7 +12,11 @@ use samplecf::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A catalog with a few tables of different shapes.
     let catalog = Catalog::new();
-    catalog.register(presets::orders_table("orders", 40_000, 11).generate()?.table)?;
+    catalog.register(
+        presets::orders_table("orders", 40_000, 11)
+            .generate()?
+            .table,
+    )?;
     catalog.register(
         presets::variable_length_table("eventlog", 60_000, 120, 30_000, 10, 90, 12)
             .generate()?
@@ -61,7 +65,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for o in &plan.objects {
             println!(
                 "{:<12} {:<22} {:>10} {:>14} {:>16} {:>8.3}",
-                o.table, o.index, o.rows, o.uncompressed_bytes, o.estimated_compressed_bytes, o.estimated_cf
+                o.table,
+                o.index,
+                o.rows,
+                o.uncompressed_bytes,
+                o.estimated_compressed_bytes,
+                o.estimated_cf
             );
         }
         println!(

@@ -40,8 +40,9 @@ fn print_report(title: &str, report: &samplecf::core::AdvisorReport) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small schema: a fact table plus an archive table.
     let orders = presets::orders_table("orders", 30_000, 1).generate()?.table;
-    let archive =
-        presets::variable_length_table("archive", 20_000, 64, 400, 6, 24, 2).generate()?.table;
+    let archive = presets::variable_length_table("archive", 20_000, 64, 400, 6, 24, 2)
+        .generate()?
+        .table;
 
     let candidates = vec![
         Candidate {
@@ -71,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     let scheme = DictionaryCompression::default();
     let unconstrained = advisor.recommend(&candidates, &scheme)?;
-    print_report("No storage budget (compress when saving ≥ 20%)", &unconstrained);
+    print_report(
+        "No storage budget (compress when saving ≥ 20%)",
+        &unconstrained,
+    );
 
     // Pass 2: a tight budget forces more aggressive compression.
     let budget = unconstrained.total_uncompressed_bytes() * 6 / 10;
@@ -88,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "fits budget: {}",
-        if constrained_report.fits_budget() { "yes" } else { "no" }
+        if constrained_report.fits_budget() {
+            "yes"
+        } else {
+            "no"
+        }
     );
     Ok(())
 }

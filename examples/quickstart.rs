@@ -33,9 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in scheme_names() {
         let scheme = scheme_by_name(name)?;
         let exact = ExactCf::new().compute(&table, &spec, scheme.as_ref())?;
-        let estimate = SampleCf::with_fraction(0.01)
-            .seed(7)
-            .estimate(&table, &spec, scheme.as_ref())?;
+        let estimate =
+            SampleCf::with_fraction(0.01)
+                .seed(7)
+                .estimate(&table, &spec, scheme.as_ref())?;
         println!(
             "{:<20} {:>10.4} {:>10.4} {:>12.3} {:>14.2} {:>14.2}",
             name,

@@ -24,8 +24,14 @@ fn every_scheme_and_sampler_combination_produces_a_sane_estimate() {
     ];
     for scheme_name in scheme_names() {
         let scheme = scheme_by_name(scheme_name).unwrap();
-        let exact = ExactCf::new().compute(&table, &spec, scheme.as_ref()).unwrap();
-        assert!(exact.cf > 0.0 && exact.cf < 1.2, "{scheme_name}: exact cf {}", exact.cf);
+        let exact = ExactCf::new()
+            .compute(&table, &spec, scheme.as_ref())
+            .unwrap();
+        assert!(
+            exact.cf > 0.0 && exact.cf < 1.2,
+            "{scheme_name}: exact cf {}",
+            exact.cf
+        );
         for sampler in samplers {
             let est = SampleCf::new(sampler)
                 .seed(3)
@@ -44,7 +50,9 @@ fn every_scheme_and_sampler_combination_produces_a_sane_estimate() {
 
 #[test]
 fn clustered_and_nonclustered_indexes_compress_consistently() {
-    let generated = presets::orders_table("orders", 6_000, 2).generate().unwrap();
+    let generated = presets::orders_table("orders", 6_000, 2)
+        .generate()
+        .unwrap();
     let table = generated.table;
     let clustered = IndexSpec::clustered("pk", ["order_id"]).unwrap();
     let secondary = IndexSpec::nonclustered("by_status", ["status"]).unwrap();
@@ -107,7 +115,9 @@ fn estimator_handles_tiny_tables_and_full_sampling() {
     let table = demo_table(25, 5, 4);
     let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
     // A 100% "sample" reproduces the exact CF for deterministic samplers.
-    let exact = ExactCf::new().compute(&table, &spec, &NullSuppression).unwrap();
+    let exact = ExactCf::new()
+        .compute(&table, &spec, &NullSuppression)
+        .unwrap();
     let est = SampleCf::new(SamplerKind::UniformWithoutReplacement(1.0))
         .estimate(&table, &spec, &NullSuppression)
         .unwrap();
@@ -161,7 +171,12 @@ fn advisor_and_capacity_planner_agree_on_sizes() {
     // Both derive their compressed sizes from SampleCF estimates; they use
     // independent samples so allow a modest tolerance.
     let ratio = a.estimated_compressed_bytes as f64 / p.estimated_compressed_bytes as f64;
-    assert!((0.8..1.25).contains(&ratio), "advisor {} vs planner {}", a.estimated_compressed_bytes, p.estimated_compressed_bytes);
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "advisor {} vs planner {}",
+        a.estimated_compressed_bytes,
+        p.estimated_compressed_bytes
+    );
     // This table pads heavily, so both should want to compress it.
     assert!(a.compress);
     assert!(p.estimated_cf < 0.6);
@@ -171,10 +186,20 @@ fn advisor_and_capacity_planner_agree_on_sizes() {
 fn catalog_supports_the_full_workflow() {
     let catalog = Catalog::new();
     catalog
-        .register(presets::single_char_table("a", 1_000, 16, 20, 6, 1).generate().unwrap().table)
+        .register(
+            presets::single_char_table("a", 1_000, 16, 20, 6, 1)
+                .generate()
+                .unwrap()
+                .table,
+        )
         .unwrap();
     catalog
-        .register(presets::single_char_table("b", 2_000, 16, 2_000, 12, 2).generate().unwrap().table)
+        .register(
+            presets::single_char_table("b", 2_000, 16, 2_000, 12, 2)
+                .generate()
+                .unwrap()
+                .table,
+        )
         .unwrap();
     assert_eq!(catalog.table_names(), vec!["a", "b"]);
 
@@ -183,5 +208,9 @@ fn catalog_supports_the_full_workflow() {
     let est = SampleCf::with_fraction(0.1)
         .estimate(&table, &spec, &DictionaryCompression::default())
         .unwrap();
-    assert!(est.cf < 0.7, "low-cardinality table should compress, cf = {}", est.cf);
+    assert!(
+        est.cf < 0.7,
+        "low-cardinality table should compress, cf = {}",
+        est.cf
+    );
 }

@@ -7,8 +7,8 @@
 //! | Dictionary (simplified model) | biased | ratio error ≈ 1 | ratio error ≤ constant |
 
 use samplecf::core::theory;
-use samplecf::prelude::*;
 use samplecf::core::{TrialConfig, TrialRunner};
+use samplecf::prelude::*;
 
 const N: usize = 20_000;
 const WIDTH: u16 = 32;
@@ -22,10 +22,19 @@ fn table(distinct: usize, seed: u64) -> Table {
         .table
 }
 
-fn run(table: &Table, scheme: &dyn CompressionScheme, fraction: f64) -> samplecf::core::TrialSummary {
+fn run(
+    table: &Table,
+    scheme: &dyn CompressionScheme,
+    fraction: f64,
+) -> samplecf::core::TrialSummary {
     let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
     TrialRunner::new(TrialConfig::new(TRIALS).base_seed(1234))
-        .run(table, &spec, scheme, SamplerKind::UniformWithReplacement(fraction))
+        .run(
+            table,
+            &spec,
+            scheme,
+            SamplerKind::UniformWithReplacement(fraction),
+        )
         .unwrap()
 }
 
@@ -111,7 +120,12 @@ fn theorem1_bound_holds_across_sampling_fractions() {
     let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
     for fraction in [0.005, 0.01, 0.05] {
         let summary = TrialRunner::new(TrialConfig::new(30).base_seed(7))
-            .run(&t, &spec, &NullSuppression, SamplerKind::UniformWithReplacement(fraction))
+            .run(
+                &t,
+                &spec,
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(fraction),
+            )
             .unwrap();
         let bound = theory::ns_stddev_bound(N, fraction);
         assert!(

@@ -1,0 +1,347 @@
+//! Minimal stand-in for the parts of `criterion 0.5` that the `samplecf`
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `criterion` to this crate by path (see the
+//! `[workspace.dependencies]` entries in the root `Cargo.toml`).  It runs
+//! each benchmark with a short warm-up, then a
+//! fixed number of timed samples, and prints mean / min / max wall-clock
+//! time per iteration (plus throughput when configured).  There is no
+//! statistical outlier analysis, HTML report, or baseline comparison — the
+//! numbers are honest wall-clock measurements suitable for spotting
+//! order-of-magnitude differences like "SampleCF at 1% vs. exact CF".
+//!
+//! Benchmarks honour two environment variables:
+//!
+//! * `CRITERION_SAMPLES` — override the per-benchmark sample count,
+//! * `CRITERION_FILTER` — only run benchmarks whose id contains the string
+//!   (the first CLI argument is treated the same way, matching how
+//!   `cargo bench -- <filter>` behaves).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parameter.is_empty() {
+            f.write_str(&self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Option<SampleStats>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, running it once per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms or 3 iterations, whichever is later.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u32;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            times.push(start.elapsed());
+        }
+        *self.result = Some(SampleStats::from_times(&times));
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SampleStats {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl SampleStats {
+    fn from_times(times: &[Duration]) -> Self {
+        let total: Duration = times.iter().sum();
+        SampleStats {
+            mean: total / times.len().max(1) as u32,
+            min: times.iter().copied().min().unwrap_or_default(),
+            max: times.iter().copied().max().unwrap_or_default(),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn format_throughput(throughput: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match throughput {
+        Throughput::Bytes(bytes) => {
+            format!("{:.1} MiB/s", bytes as f64 / secs / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(elements) => {
+            format!("{:.0} elem/s", elements as f64 / secs)
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Annotate benchmarks with work-per-iteration for throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run `routine` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.run(&id, |bencher| routine(bencher));
+        self
+    }
+
+    /// Run `routine` as a benchmark named `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(&id, |bencher| routine(bencher, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&self, id: &BenchmarkId, mut routine: F) {
+        let full_name = format!("{}/{id}", self.name);
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        let samples = self
+            .criterion
+            .sample_override
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples,
+            result: &mut result,
+        };
+        routine(&mut bencher);
+        match result {
+            Some(stats) => {
+                let throughput = self
+                    .throughput
+                    .map(|t| format!("  [{}]", format_throughput(t, stats.mean)))
+                    .unwrap_or_default();
+                println!(
+                    "{full_name:<60} mean {:>10}  min {:>10}  max {:>10}  ({samples} samples){throughput}",
+                    format_duration(stats.mean),
+                    format_duration(stats.min),
+                    format_duration(stats.max),
+                );
+            }
+            None => println!("{full_name:<60} (no measurement recorded)"),
+        }
+    }
+
+    /// Finish the group (prints a trailing separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_override: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::var("CRITERION_FILTER").ok().or_else(|| {
+            // `cargo bench -- <filter>`: first non-flag CLI argument.
+            std::env::args().skip(1).find(|a| !a.starts_with('-'))
+        });
+        let sample_override = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok());
+        Criterion {
+            filter,
+            sample_override,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the workspace benches already use).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark `main` function, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut criterion = Criterion {
+            filter: None,
+            sample_override: Some(3),
+        };
+        let mut group = criterion.benchmark_group("test_group");
+        group.sample_size(5).throughput(Throughput::Bytes(1024));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let criterion = Criterion {
+            filter: Some("only_this".into()),
+            sample_override: None,
+        };
+        assert!(criterion.matches("group/only_this/5"));
+        assert!(!criterion.matches("group/other/5"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,175 @@
+//! Minimal stand-in for the parts of `proptest 1.x` that the `samplecf`
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `proptest` to this crate by path (see the
+//! `[workspace.dependencies]` entries in the root `Cargo.toml`).  It
+//! keeps the property-based *testing model* — strategies
+//! compose with `prop_map`/`prop_flat_map`/`prop_oneof!`, the [`proptest!`]
+//! macro runs each property over many generated cases, and `prop_assert*!`
+//! report failures as [`test_runner::TestCaseError`] — but drops shrinking:
+//! a failing case reports its case number and the deterministic per-test
+//! seed instead of a minimised counterexample.
+//!
+//! Supported surface:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`, `boxed`,
+//!   implemented for integer ranges, tuples, `Vec<S>`, [`strategy::Just`],
+//! * [`collection::vec`] with `Range`/`RangeInclusive`/`usize` sizes,
+//! * [`string::string_regex`] for a practical regex subset (character
+//!   classes, `.`, escapes, `{m,n}`/`*`/`+`/`?` quantifiers),
+//! * [`arbitrary::Arbitrary`] / [`prelude::any`] for primitives (with
+//!   edge-case biasing toward `MIN`/`MAX`/zero),
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface test files use: `use proptest::prelude::*;`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the configuration
+/// (only the case count is honoured by this stand-in).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for_case(case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = result {
+                        ::std::panic!(
+                            "property '{}' failed at case {}/{} (seed {}): {}",
+                            stringify!($name),
+                            case,
+                            runner.cases(),
+                            runner.seed(),
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Choose between several strategies producing the same value type, with
+/// optional integer weights: `prop_oneof![2 => a, 1 => b]` or
+/// `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Like `assert!`, but reports the failure as a [`test_runner::TestCaseError`]
+/// (usable with `?` inside [`proptest!`] bodies and helper functions).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the failure as a
+/// [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left), stringify!($right), l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            ::std::format!($($fmt)+), l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Like `assert_ne!`, but reports the failure as a
+/// [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}

@@ -1,0 +1,252 @@
+//! The [`Strategy`] trait and its combinators.
+//!
+//! A strategy is a recipe for generating values of one type.  Unlike real
+//! proptest there is no value tree and no shrinking: `generate` draws a
+//! value directly from the case RNG.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A recipe for generating values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate an intermediate value, then generate from the strategy `f`
+    /// builds out of it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let intermediate = self.source.generate(rng);
+        (self.f)(intermediate).generate(rng)
+    }
+}
+
+/// Weighted choice between strategies of one value type (the
+/// [`prop_oneof!`](crate::prop_oneof) macro builds this).
+pub struct OneOf<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Build from `(weight, strategy)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty or all weights are zero.
+    #[must_use]
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one positive weight"
+        );
+        OneOf {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut ticket = rng.gen_range(0..self.total_weight);
+        for (weight, strategy) in &self.options {
+            let weight = u64::from(*weight);
+            if ticket < weight {
+                return strategy.generate(rng);
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket exceeds total weight")
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A);
+impl_strategy_for_tuple!(A, B);
+impl_strategy_for_tuple!(A, B, C);
+impl_strategy_for_tuple!(A, B, C, D);
+impl_strategy_for_tuple!(A, B, C, D, E);
+impl_strategy_for_tuple!(A, B, C, D, E, F);
+
+/// A `Vec` of strategies generates one value per element (fixed length,
+/// heterogeneous sources) — mirrors proptest's `Vec<S>` impl.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = rng();
+        let strategy =
+            (0u32..10).prop_flat_map(|n| (Just(n), 0u32..(n + 1)).prop_map(|(n, k)| (n, k)));
+        for _ in 0..100 {
+            let (n, k) = strategy.generate(&mut rng);
+            assert!(n < 10 && k <= n);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_options_mix() {
+        let mut rng = rng();
+        let strategy = OneOf::new(vec![(3, (0u8..1).boxed()), (1, (10u8..11).boxed())]);
+        let mut saw = [false, false];
+        for _ in 0..200 {
+            match strategy.generate(&mut rng) {
+                0 => saw[0] = true,
+                10 => saw[1] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(saw[0] && saw[1], "both branches should be exercised");
+    }
+
+    #[test]
+    fn vec_of_strategies_generates_elementwise() {
+        let mut rng = rng();
+        let strategies: Vec<BoxedStrategy<u32>> = vec![(0u32..1).boxed(), (5u32..6).boxed()];
+        assert_eq!(strategies.generate(&mut rng), vec![0, 5]);
+    }
+}

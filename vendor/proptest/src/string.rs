@@ -1,0 +1,337 @@
+//! String generation from a regex subset: [`string_regex`].
+//!
+//! Supports the constructs property tests realistically use to describe
+//! flat token shapes: literal characters, `.`, escapes (`\d`, `\w`, `\s`,
+//! `\\`, `\.`, …), character classes with ranges and negation, and the
+//! quantifiers `{m}`, `{m,}`, `{m,n}`, `*`, `+`, `?`.  Groups, alternation
+//! and anchors are rejected with an error — [`string_regex`] returns
+//! `Result`, so unsupported patterns fail loudly at strategy-construction
+//! time, exactly where real proptest reports bad regexes.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+
+/// How many extra repetitions open-ended quantifiers (`*`, `+`, `{m,}`)
+/// may add beyond their minimum.
+const OPEN_ENDED_SLACK: usize = 16;
+
+/// Error from [`string_regex`] on an invalid or unsupported pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringParamError(String);
+
+impl fmt::Display for StringParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported regex for string strategy: {}", self.0)
+    }
+}
+
+impl std::error::Error for StringParamError {}
+
+/// Build a strategy generating strings matched by `pattern`.
+///
+/// # Errors
+/// Returns [`StringParamError`] if the pattern uses unsupported constructs
+/// (groups, alternation, anchors, backreferences) or is malformed.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, StringParamError> {
+    let atoms = parse(pattern)?;
+    Ok(RegexStrategy { atoms })
+}
+
+/// See [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    atoms: Vec<(CharSet, Repeat)>,
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (set, repeat) in &self.atoms {
+            let count = rng.gen_range(repeat.min..=repeat.max);
+            for _ in 0..count {
+                out.push(set.choose(rng));
+            }
+        }
+        out
+    }
+}
+
+/// A non-empty set of candidate characters.
+#[derive(Debug, Clone)]
+struct CharSet(Vec<char>);
+
+impl CharSet {
+    fn choose(&self, rng: &mut TestRng) -> char {
+        self.0[rng.gen_range(0..self.0.len())]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+const PRINTABLE: core::ops::RangeInclusive<u8> = 0x20..=0x7E;
+
+fn printable() -> Vec<char> {
+    PRINTABLE.map(char::from).collect()
+}
+
+fn digit_chars() -> Vec<char> {
+    ('0'..='9').collect()
+}
+
+fn word_chars() -> Vec<char> {
+    ('a'..='z')
+        .chain('A'..='Z')
+        .chain('0'..='9')
+        .chain(std::iter::once('_'))
+        .collect()
+}
+
+fn space_chars() -> Vec<char> {
+    vec![' ', '\t']
+}
+
+fn parse(pattern: &str) -> Result<Vec<(CharSet, Repeat)>, StringParamError> {
+    let err = |msg: &str| StringParamError(format!("{msg} in {pattern:?}"));
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => parse_class(&mut chars).map_err(|m| err(&m))?,
+            '.' => CharSet(printable()),
+            '\\' => {
+                let escaped = chars.next().ok_or_else(|| err("dangling backslash"))?;
+                parse_escape(escaped).map_err(|m| err(&m))?
+            }
+            '(' | ')' | '|' | '^' | '$' | '*' | '+' | '?' | '{' | '}' => {
+                return Err(err(&format!("unsupported construct '{c}'")));
+            }
+            literal => CharSet(vec![literal]),
+        };
+        let repeat = parse_quantifier(&mut chars).map_err(|m| err(&m))?;
+        if set.0.is_empty() {
+            return Err(err("empty character class"));
+        }
+        atoms.push((set, repeat));
+    }
+    Ok(atoms)
+}
+
+fn parse_escape(escaped: char) -> Result<CharSet, String> {
+    Ok(match escaped {
+        'd' => CharSet(digit_chars()),
+        'w' => CharSet(word_chars()),
+        's' => CharSet(space_chars()),
+        'n' => CharSet(vec!['\n']),
+        't' => CharSet(vec!['\t']),
+        'r' => CharSet(vec!['\r']),
+        c if !c.is_alphanumeric() => CharSet(vec![c]),
+        other => return Err(format!("unsupported escape '\\{other}'")),
+    })
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<CharSet, String> {
+    let negated = chars.peek() == Some(&'^');
+    if negated {
+        chars.next();
+    }
+    let mut members: Vec<char> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().ok_or("unterminated character class")?;
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                break;
+            }
+            '\\' => {
+                let escaped = chars.next().ok_or("dangling backslash in class")?;
+                if let Some(p) = pending.take() {
+                    members.push(p);
+                }
+                match parse_escape(escaped) {
+                    Ok(set) => members.extend(set.0),
+                    Err(e) => return Err(e),
+                }
+            }
+            '-' => {
+                let prev = pending.take();
+                let dash_is_literal = prev.is_none() || matches!(chars.peek(), Some(']') | None);
+                if dash_is_literal {
+                    // Leading or trailing '-' is a literal.
+                    if let Some(p) = prev {
+                        members.push(p);
+                    }
+                    members.push('-');
+                } else {
+                    let lo = prev.expect("checked above");
+                    let hi = chars.next().expect("checked above");
+                    if lo > hi {
+                        return Err(format!("inverted range {lo}-{hi}"));
+                    }
+                    members.extend(lo..=hi);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    members.push(p);
+                }
+            }
+        }
+    }
+    if negated {
+        members = printable()
+            .into_iter()
+            .filter(|c| !members.contains(c))
+            .collect();
+    }
+    members.sort_unstable();
+    members.dedup();
+    if members.is_empty() {
+        return Err("empty character class".into());
+    }
+    Ok(CharSet(members))
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<Repeat, String> {
+    let repeat = match chars.peek() {
+        Some('*') => Repeat {
+            min: 0,
+            max: OPEN_ENDED_SLACK,
+        },
+        Some('+') => Repeat {
+            min: 1,
+            max: 1 + OPEN_ENDED_SLACK,
+        },
+        Some('?') => Repeat { min: 0, max: 1 },
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => return Err("unterminated quantifier".into()),
+                }
+            }
+            let repeat = match spec.split_once(',') {
+                None => {
+                    let n = spec
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad quantifier {{{spec}}}"))?;
+                    Repeat { min: n, max: n }
+                }
+                Some((lo, "")) => {
+                    let min = lo
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad quantifier {{{spec}}}"))?;
+                    Repeat {
+                        min,
+                        max: min + OPEN_ENDED_SLACK,
+                    }
+                }
+                Some((lo, hi)) => {
+                    let min: usize = lo
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad quantifier {{{spec}}}"))?;
+                    let max: usize = hi
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad quantifier {{{spec}}}"))?;
+                    if min > max {
+                        return Err(format!("inverted quantifier {{{spec}}}"));
+                    }
+                    Repeat { min, max }
+                }
+            };
+            return Ok(repeat);
+        }
+        _ => return Ok(Repeat { min: 1, max: 1 }),
+    };
+    chars.next();
+    Ok(repeat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn class_with_ranges_and_counted_repeat() {
+        let mut rng = rng();
+        let strategy = string_regex("[a-zA-Z0-9_-]{0,24}").unwrap();
+        let mut max_len = 0;
+        for _ in 0..300 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.len() <= 24);
+            max_len = max_len.max(s.len());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+        assert!(max_len > 12, "long strings should be generated");
+    }
+
+    #[test]
+    fn class_with_space_dot_dash() {
+        let mut rng = rng();
+        let strategy = string_regex("[a-zA-Z0-9 _.-]{0,32}").unwrap();
+        for _ in 0..200 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.len() <= 32);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literals_escapes_and_simple_quantifiers() {
+        let mut rng = rng();
+        let strategy = string_regex(r"ab\.\d{2}x?z*").unwrap();
+        for _ in 0..100 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.starts_with("ab."));
+            let digits = &s[3..5];
+            assert!(digits.chars().all(|c| c.is_ascii_digit()), "{s}");
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        let mut rng = rng();
+        let strategy = string_regex("[^a-z]{4}").unwrap();
+        for _ in 0..50 {
+            let s = strategy.generate(&mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(s.chars().all(|c| !c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[a-z").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Configuration, error type and deterministic case runner behind the
+//! [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The RNG handed to strategies for each generated case.
+pub type TestRng = StdRng;
+
+/// Configuration for a property test (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+///
+/// Property bodies and helpers return `Result<(), TestCaseError>` so that
+/// `prop_assert*!` failures compose with `?`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for API compatibility.
+    #[must_use]
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs the cases of one property with a deterministic per-test seed.
+///
+/// The seed is derived from the property's name (FNV-1a), so runs are
+/// reproducible across processes and machines without any state files.  Set
+/// `PROPTEST_SEED=<u64>` to override it when chasing a specific failure.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Create a runner for the property named `name`.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        TestRunner { config, seed }
+    }
+
+    /// Number of cases to run.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The base seed for this property.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The RNG for case number `case` (independent of all other cases).
+    #[must_use]
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9)),
+        )
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        use rand::RngCore;
+        let a = TestRunner::new(ProptestConfig::default(), "prop_x");
+        let b = TestRunner::new(ProptestConfig::default(), "prop_x");
+        assert_eq!(a.seed(), b.seed());
+        assert_eq!(a.rng_for_case(3).next_u64(), b.rng_for_case(3).next_u64());
+        let c = TestRunner::new(ProptestConfig::default(), "prop_y");
+        assert_ne!(a.seed(), c.seed());
+    }
+}

@@ -1,0 +1,478 @@
+//! Minimal, self-contained stand-in for the parts of the `rand 0.8` API that
+//! the `samplecf` workspace uses.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace resolves `rand` to this crate by path (see the
+//! `[workspace.dependencies]` entries in the root `Cargo.toml`).  The
+//! surface is deliberately small but the semantics match `rand 0.8` where
+//! the workspace depends on them:
+//!
+//! * [`RngCore`] / [`SeedableRng`] / [`Rng`] traits with the blanket
+//!   `impl Rng for R: RngCore + ?Sized` (so `&mut dyn RngCore` works),
+//! * [`rngs::StdRng`] — a deterministic, seedable xoshiro256** generator,
+//! * `Rng::gen::<f64>()`, `Rng::gen_range` over integer ranges,
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates) and
+//!   [`seq::index::sample`] (distinct indices, partial Fisher–Yates).
+//!
+//! Determinism matters more than statistical perfection here: every sampler
+//! and generator in the workspace derives its stream from an explicit `u64`
+//! seed, and the repeated-trial analysis only needs the generator to be
+//! uniform enough that the paper's error bounds hold empirically.
+
+/// A random number generator core: the raw source of random bits.
+pub trait RngCore {
+    /// Return the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for [`rngs::StdRng`]).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Create a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Create a generator from a `u64`, expanding it with SplitMix64 exactly
+    /// so that distinct seeds yield well-separated streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let out = splitmix64(&mut state);
+            let bytes = out.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Convenience methods layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Generate a value of type `T` from the "standard" distribution
+    /// (`f64` in `[0, 1)`, full-range integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Generate a fair boolean with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Generate a value uniformly distributed over `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from the standard distribution (see [`Rng::gen`]).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                <$via>::from_le_bytes({
+                    let mut b = [0u8; core::mem::size_of::<$via>()];
+                    rng.fill_bytes(&mut b);
+                    b
+                }) as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => u64, u128 => u128,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64, i128 => u128,
+);
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let idx = uniform_u128(rng, span);
+                (self.start as i128 + idx as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let idx = uniform_u128(rng, span);
+                (start as i128 + idx as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// Uniform integer in `[0, span)` via 128-bit multiply-shift (Lemire); the
+/// bias for the span sizes used in this workspace is below 2⁻⁶⁴.
+#[inline]
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        (rng.next_u64() as u128 * span) >> 64
+    } else {
+        // Spans wider than 64 bits never occur in practice here; fall back to
+        // rejection-free modulo of a 128-bit draw.
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        ((hi << 64) | lo) % span
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators ([`StdRng`]).
+
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** seeded via
+    /// SplitMix64.  Not the same stream as crates.io `StdRng` (ChaCha12),
+    /// but the workspace only relies on determinism-given-seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            let mut rng = StdRng { s };
+            // Warm up so weak seeds decorrelate.
+            for _ in 0..4 {
+                rng.next_u64();
+            }
+            rng
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers: shuffling and index sampling.
+
+    use super::{Rng, RngCore};
+
+    /// Extension trait for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Return a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    pub mod index {
+        //! Distinct-index sampling, mirroring `rand::seq::index::sample`.
+
+        use crate::{Rng, RngCore};
+
+        /// The result of [`sample`]: a set of distinct indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            #[must_use]
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            #[must_use]
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Convert into a plain vector of indices.
+            #[must_use]
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length`, uniformly at
+        /// random.
+        ///
+        /// Sparse draws (`amount` well below `length`) use a sparse partial
+        /// Fisher–Yates shuffle — O(`amount`) time and memory — so sampling
+        /// 1% of a large table does not pay for materialising `0..length`;
+        /// dense draws fall back to the plain partial shuffle.
+        ///
+        /// # Panics
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from 0..{length}"
+            );
+            if amount * 4 >= length {
+                let mut pool: Vec<usize> = (0..length).collect();
+                for i in 0..amount {
+                    let j = rng.gen_range(i..length);
+                    pool.swap(i, j);
+                }
+                pool.truncate(amount);
+                return IndexVec(pool);
+            }
+            // Sparse partial Fisher–Yates: track only the displaced slots.
+            let mut swaps: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::with_capacity(amount * 2);
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                let picked = swaps.get(&j).copied().unwrap_or(j);
+                let displaced = swaps.get(&i).copied().unwrap_or(i);
+                swaps.insert(j, displaced);
+                out.push(picked);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{index, SliceRandom};
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = index::sample(&mut rng, 100, 30).into_vec();
+        assert_eq!(picked.len(), 30);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 30, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn index_sample_sparse_path_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // amount * 4 < length → exercises the sparse HashMap path.
+        let picked = index::sample(&mut rng, 100_000, 1_000).into_vec();
+        assert_eq!(picked.len(), 1_000);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1_000, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 100_000));
+        // Roughly uniform: the mean index should be near the midpoint.
+        let mean = picked.iter().sum::<usize>() as f64 / 1_000.0;
+        assert!(
+            (mean - 50_000.0).abs() < 5_000.0,
+            "mean {mean} far from midpoint"
+        );
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn crate::RngCore = &mut rng;
+        let x: f64 = dyn_rng.gen();
+        assert!((0.0..1.0).contains(&x));
+        let y = dyn_rng.gen_range(0..7usize);
+        assert!(y < 7);
+    }
+}
