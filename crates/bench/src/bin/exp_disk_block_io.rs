@@ -1,0 +1,10 @@
+//! Regenerates the `disk_block_io` experiment (on-disk block vs row sampling
+//! I/O).  Pass `--quick` (or set `SAMPLECF_QUICK=1`) for a fast,
+//! reduced-size run.
+
+fn main() {
+    let quick = samplecf_bench::experiments::quick_mode();
+    let report = samplecf_bench::experiments::disk_block_io::run(quick);
+    let path = report.finish().expect("writing the report succeeds");
+    eprintln!("wrote {}", path.display());
+}

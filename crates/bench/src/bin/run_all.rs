@@ -15,6 +15,7 @@ fn main() {
         ("dc_regimes", experiments::dc_regimes::run),
         ("paged_vs_global", experiments::paged_vs_global::run),
         ("block_sampling", experiments::block_sampling::run),
+        ("disk_block_io", experiments::disk_block_io::run),
         ("dv_baselines", experiments::dv_baselines::run),
         ("timing", experiments::timing::run),
     ];

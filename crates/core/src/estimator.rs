@@ -19,7 +19,7 @@ use rand::SeedableRng;
 use samplecf_compression::CompressionScheme;
 use samplecf_index::{compress_index, CompressedIndexReport, IndexBuilder, IndexSpec};
 use samplecf_sampling::{RowSampler, SamplerKind};
-use samplecf_storage::{Table, Value};
+use samplecf_storage::{TableSource, Value};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -93,7 +93,7 @@ impl CfMeasurement {
 }
 
 fn measure_rows(
-    table: &Table,
+    source: &dyn TableSource,
     rows: &[(samplecf_storage::Rid, samplecf_storage::Row)],
     spec: &IndexSpec,
     scheme: &dyn CompressionScheme,
@@ -101,12 +101,12 @@ fn measure_rows(
     sampler_label: String,
 ) -> CoreResult<CfMeasurement> {
     let start = Instant::now();
-    let index = builder.build_from_rows(table.schema(), rows, spec)?;
+    let index = builder.build_from_rows(source.schema(), rows, spec)?;
     let report = compress_index(&index, scheme)?;
     let elapsed = start.elapsed();
 
     let first_key = spec
-        .key_indexes(table.schema())?
+        .key_indexes(source.schema())?
         .first()
         .copied()
         .ok_or_else(|| CoreError::InvalidConfig("index has no key columns".to_string()))?;
@@ -145,15 +145,18 @@ impl ExactCf {
     }
 
     /// Build the full index, compress it, and report the true CF.
+    ///
+    /// Works over any [`TableSource`]; on a disk-resident table this scans
+    /// every page — exactly the cost SampleCF exists to avoid.
     pub fn compute(
         &self,
-        table: &Table,
+        source: &dyn TableSource,
         spec: &IndexSpec,
         scheme: &dyn CompressionScheme,
     ) -> CoreResult<CfMeasurement> {
-        let rows: Vec<_> = table.scan().collect();
+        let rows = source.scan_rows()?;
         measure_rows(
-            table,
+            source,
             &rows,
             spec,
             scheme,
@@ -216,32 +219,36 @@ impl SampleCf {
 
     /// Run the estimator: sample, build the index on the sample, compress it,
     /// and return the sample's compression fraction as the estimate.
+    ///
+    /// Works over any [`TableSource`] — in-memory or disk-resident.  On a
+    /// [`DiskTable`](samplecf_storage::DiskTable) with a block sampler, only
+    /// the sampled pages are physically read.
     pub fn estimate(
         &self,
-        table: &Table,
+        source: &dyn TableSource,
         spec: &IndexSpec,
         scheme: &dyn CompressionScheme,
     ) -> CoreResult<CfMeasurement> {
         let sampler = self.sampler.build()?;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        self.estimate_with(table, spec, scheme, sampler.as_ref(), &mut rng)
+        self.estimate_with(source, spec, scheme, sampler.as_ref(), &mut rng)
     }
 
     /// Run the estimator with an explicit sampler instance and RNG (used by
     /// the trial runner to control seeds per trial).
     pub fn estimate_with(
         &self,
-        table: &Table,
+        source: &dyn TableSource,
         spec: &IndexSpec,
         scheme: &dyn CompressionScheme,
         sampler: &dyn RowSampler,
         rng: &mut dyn rand::RngCore,
     ) -> CoreResult<CfMeasurement> {
         let sample_start = Instant::now();
-        let sample = sampler.sample(table, rng)?;
+        let sample = sampler.sample(source, rng)?;
         let sampling_time = sample_start.elapsed();
         let mut m = measure_rows(
-            table,
+            source,
             &sample,
             spec,
             scheme,
@@ -260,6 +267,7 @@ mod tests {
         DictionaryCompression, GlobalDictionaryCompression, NullSuppression, Uncompressed,
     };
     use samplecf_datagen::presets;
+    use samplecf_storage::Table;
 
     fn table(n: usize, d: usize, seed: u64) -> Table {
         presets::variable_length_table("t", n, 40, d, 4, 36, seed)

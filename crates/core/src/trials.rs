@@ -15,7 +15,7 @@ use rand::SeedableRng;
 use samplecf_compression::CompressionScheme;
 use samplecf_index::IndexSpec;
 use samplecf_sampling::SamplerKind;
-use samplecf_storage::Table;
+use samplecf_storage::TableSource;
 
 /// Configuration of a repeated-trial run.
 #[derive(Debug, Clone, Copy)]
@@ -134,10 +134,10 @@ impl TrialRunner {
         TrialRunner { config }
     }
 
-    /// Run the trials.
+    /// Run the trials over any [`TableSource`] (in-memory or disk-resident).
     pub fn run(
         &self,
-        table: &Table,
+        source: &dyn TableSource,
         spec: &IndexSpec,
         scheme: &dyn CompressionScheme,
         sampler: SamplerKind,
@@ -147,8 +147,8 @@ impl TrialRunner {
                 "at least one trial is required".to_string(),
             ));
         }
-        let truth = ExactCf::new().compute(table, spec, scheme)?;
-        let estimates = self.run_estimates(table, spec, scheme, sampler)?;
+        let truth = ExactCf::new().compute(source, spec, scheme)?;
+        let estimates = self.run_estimates(source, spec, scheme, sampler)?;
 
         let ratio_errors: Vec<f64> = estimates
             .iter()
@@ -173,9 +173,14 @@ impl TrialRunner {
 
     /// Run only the estimator trials (no exact baseline), returning the raw
     /// estimates in trial order.
+    ///
+    /// Trials fan out across `std::thread::scope` workers; each trial derives
+    /// its own RNG seed from the base seed, so the estimates are identical
+    /// whatever the thread count.  The source is shared immutably across
+    /// workers (the [`TableSource`] contract requires `Send + Sync`).
     pub fn run_estimates(
         &self,
-        table: &Table,
+        source: &dyn TableSource,
         spec: &IndexSpec,
         scheme: &dyn CompressionScheme,
         sampler: SamplerKind,
@@ -207,7 +212,7 @@ impl TrialRunner {
                             .build()
                             .map_err(CoreError::from)
                             .and_then(|s| {
-                                estimator.estimate_with(table, spec, scheme, s.as_ref(), &mut rng)
+                                estimator.estimate_with(source, spec, scheme, s.as_ref(), &mut rng)
                             })
                             .map(|m| (trial, m.cf));
                         local.push(result);
@@ -236,6 +241,7 @@ mod tests {
     use crate::theory;
     use samplecf_compression::{GlobalDictionaryCompression, NullSuppression};
     use samplecf_datagen::presets;
+    use samplecf_storage::Table;
 
     fn table(n: usize, d: usize, seed: u64) -> Table {
         presets::variable_length_table("t", n, 32, d, 4, 28, seed)

@@ -4,15 +4,19 @@
 //! (paper, Section II-C): a set of pages is chosen uniformly at random and
 //! *all* rows on those pages enter the sample.  This is much cheaper in I/O
 //! terms but correlates the sampled rows with their physical placement, which
-//! the paper flags as future work for the accuracy analysis.  The
-//! block-sampling experiment compares this sampler against uniform row
-//! sampling on clustered vs. shuffled data.
+//! the paper flags as future work for the accuracy analysis.
+//!
+//! Because the sampler draws through [`TableSource`], the I/O claim is
+//! literal for disk-backed tables: `sample` issues exactly one
+//! [`read_page`](TableSource::read_page) per selected page and touches
+//! nothing else in the file.  The `exp_disk_block_io` experiment and the
+//! `samplecf estimate --sampler block` CLI path measure this directly.
 
 use crate::error::SamplingResult;
-use crate::sampler::{validate_fraction, RowSampler, SampledRow};
+use crate::sampler::{target_page_count, target_size, validate_fraction, RowSampler, SampledRow};
 use rand::seq::index;
 use rand::RngCore;
-use samplecf_storage::{PageId, Table};
+use samplecf_storage::{PageId, TableSource};
 
 /// Page-level sampler: selects `max(1, round(fraction · num_pages))` pages
 /// without replacement and returns every row stored on them.
@@ -36,18 +40,27 @@ impl BlockSampler {
     }
 
     /// Select which pages to read (exposed for tests and diagnostics).
-    pub fn sample_page_ids(&self, table: &Table, rng: &mut dyn RngCore) -> Vec<PageId> {
-        let num_pages = table.num_pages();
-        if num_pages == 0 {
+    ///
+    /// Uses only [`TableSource::num_pages`] — no page is touched until the
+    /// sample is actually drawn.
+    pub fn sample_page_ids(&self, source: &dyn TableSource, rng: &mut dyn RngCore) -> Vec<PageId> {
+        let num_pages = source.num_pages();
+        let count = target_page_count(num_pages, self.fraction);
+        if count == 0 {
             return Vec::new();
         }
-        let count = ((num_pages as f64 * self.fraction).round() as usize).clamp(1, num_pages);
         let mut ids: Vec<PageId> = index::sample(rng, num_pages, count)
             .into_iter()
             .map(|i| i as PageId)
             .collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Number of pages a sample from a source with `num_pages` pages reads.
+    #[must_use]
+    pub fn expected_pages_read(&self, num_pages: usize) -> usize {
+        target_page_count(num_pages, self.fraction)
     }
 }
 
@@ -56,21 +69,21 @@ impl RowSampler for BlockSampler {
         "block"
     }
 
-    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>> {
-        let pages = self.sample_page_ids(table, rng);
+    fn sample(
+        &self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>> {
+        let pages = self.sample_page_ids(source, rng);
         let mut out = Vec::new();
         for pid in pages {
-            let page = table.heap().page(pid)?;
-            for slot in 0..page.slot_count() {
-                let rid = samplecf_storage::Rid::new(pid, slot);
-                out.push((rid, table.get(rid)?));
-            }
+            out.extend(source.page_rows(pid)?);
         }
         Ok(out)
     }
 
     fn expected_sample_size(&self, n: usize) -> usize {
-        (n as f64 * self.fraction).round() as usize
+        target_size(n, self.fraction)
     }
 }
 
@@ -112,6 +125,7 @@ mod tests {
         let ids = s.sample_page_ids(&t, &mut StdRng::seed_from_u64(2));
         let expected = (t.num_pages() as f64 * 0.2).round() as usize;
         assert_eq!(ids.len(), expected);
+        assert_eq!(s.expected_pages_read(t.num_pages()), expected);
         // Distinct and within range.
         let distinct: HashSet<_> = ids.iter().collect();
         assert_eq!(distinct.len(), ids.len());
@@ -119,21 +133,41 @@ mod tests {
     }
 
     #[test]
-    fn expected_sample_size_is_row_based() {
+    fn expected_sample_size_matches_the_shared_target() {
         let s = BlockSampler::new(0.01).unwrap();
         assert_eq!(s.expected_sample_size(100_000), 1000);
+        // Unified edge behaviour with the row samplers: empty → 0, tiny
+        // fraction on a non-empty table → at least 1.
+        assert_eq!(s.expected_sample_size(0), 0);
+        assert_eq!(s.expected_sample_size(10), 1);
     }
 
     #[test]
-    fn empty_table_yields_empty_sample() {
+    fn empty_table_yields_empty_sample_and_no_pages() {
         let t = TableBuilder::new("t", Schema::single_char("a", 8))
             .build()
             .unwrap();
         let s = BlockSampler::new(0.5).unwrap();
+        // Regression: with zero pages the old `max(1, …)` sizing would have
+        // requested one page from an empty frame.
+        assert!(s
+            .sample_page_ids(&t, &mut StdRng::seed_from_u64(3))
+            .is_empty());
+        assert_eq!(s.expected_pages_read(0), 0);
         assert!(s
             .sample(&t, &mut StdRng::seed_from_u64(3))
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn full_fraction_selects_every_page() {
+        let t = table(900);
+        let s = BlockSampler::new(1.0).unwrap();
+        let ids = s.sample_page_ids(&t, &mut StdRng::seed_from_u64(9));
+        assert_eq!(ids.len(), t.num_pages());
+        let sample = s.sample(&t, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(sample.len(), t.num_rows());
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! reservoir variants — are provided behind the [`RowSampler`] trait so the
 //! estimator and the benchmark harness can swap them freely.
 //!
+//! Samplers draw through the
+//! [`TableSource`](samplecf_storage::TableSource) abstraction, so they run
+//! unchanged over in-memory tables and disk-resident
+//! [`DiskTable`](samplecf_storage::DiskTable)s — where a block sample
+//! physically reads only the selected pages.  Wrap any source in
+//! [`CountingSource`] to measure exactly how many pages a sampling
+//! procedure touches.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -32,6 +40,7 @@
 
 pub mod block;
 pub mod error;
+pub mod io;
 pub mod kind;
 pub mod reservoir;
 pub mod sampler;
@@ -39,9 +48,10 @@ pub mod uniform;
 
 pub use block::BlockSampler;
 pub use error::{SamplingError, SamplingResult};
+pub use io::CountingSource;
 pub use kind::SamplerKind;
 pub use reservoir::ReservoirSampler;
-pub use sampler::{target_size, validate_fraction, RowSampler, SampledRow};
+pub use sampler::{target_page_count, target_size, validate_fraction, RowSampler, SampledRow};
 pub use uniform::{
     BernoulliSampler, SystematicSampler, UniformWithReplacement, UniformWithoutReplacement,
 };

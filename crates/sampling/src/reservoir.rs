@@ -9,7 +9,7 @@ use crate::error::{SamplingError, SamplingResult};
 use crate::sampler::{RowSampler, SampledRow};
 use rand::Rng;
 use rand::RngCore;
-use samplecf_storage::Table;
+use samplecf_storage::{PageId, TableSource};
 
 /// Fixed-size single-pass reservoir sampler.
 #[derive(Debug, Clone, Copy)]
@@ -41,16 +41,27 @@ impl RowSampler for ReservoirSampler {
         "reservoir"
     }
 
-    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>> {
+    fn sample(
+        &self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>> {
+        // Stream page by page: memory stays O(reservoir + one page), which
+        // is the whole point of reservoir sampling on large (disk-resident)
+        // tables.
         let mut reservoir: Vec<SampledRow> = Vec::with_capacity(self.size);
-        for (seen, (rid, row)) in table.scan().enumerate() {
-            if reservoir.len() < self.size {
-                reservoir.push((rid, row));
-            } else {
-                let j = rng.gen_range(0..=seen);
-                if j < self.size {
-                    reservoir[j] = (rid, row);
+        let mut seen = 0usize;
+        for pid in 0..source.num_pages() {
+            for (rid, row) in source.page_rows(pid as PageId)? {
+                if reservoir.len() < self.size {
+                    reservoir.push((rid, row));
+                } else {
+                    let j = rng.gen_range(0..=seen);
+                    if j < self.size {
+                        reservoir[j] = (rid, row);
+                    }
                 }
+                seen += 1;
             }
         }
         Ok(reservoir)
@@ -66,7 +77,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use samplecf_storage::{Row, Schema, TableBuilder, Value};
+    use samplecf_storage::{Row, Schema, Table, TableBuilder, Value};
     use std::collections::HashSet;
 
     fn table(n: usize) -> Table {
@@ -101,6 +112,18 @@ mod tests {
     #[test]
     fn zero_size_is_rejected() {
         assert!(ReservoirSampler::new(0).is_err());
+    }
+
+    #[test]
+    fn empty_table_yields_empty_reservoir() {
+        // Unified edge behaviour with the fraction-based samplers.
+        let t = table(0);
+        let s = ReservoirSampler::new(10).unwrap();
+        assert!(s
+            .sample(&t, &mut StdRng::seed_from_u64(9))
+            .unwrap()
+            .is_empty());
+        assert_eq!(s.expected_sample_size(0), 0);
     }
 
     #[test]

@@ -2,24 +2,32 @@
 
 use crate::error::{SamplingError, SamplingResult};
 use rand::RngCore;
-use samplecf_storage::{Rid, Row, Table};
+use samplecf_storage::{Rid, Row, TableSource};
 
 /// A sampled row: its identifier in the base table plus the row itself.
 pub type SampledRow = (Rid, Row);
 
-/// A procedure for drawing a random sample of rows from a table.
+/// A procedure for drawing a random sample of rows from a table source.
 ///
 /// Samplers are deterministic given the RNG they are handed, which is what
-/// makes the estimator's trial runner reproducible.
+/// makes the estimator's trial runner reproducible.  They draw through the
+/// [`TableSource`] abstraction, so the same sampler runs over an in-memory
+/// [`Table`](samplecf_storage::Table) or a file-backed
+/// [`DiskTable`](samplecf_storage::DiskTable) — in the latter case touching
+/// only the pages it actually needs.
 pub trait RowSampler: Send + Sync {
     /// Short stable name (used in experiment reports).
     fn name(&self) -> &'static str;
 
-    /// Draw a sample from the table.
+    /// Draw a sample from the source.
     ///
     /// Duplicates are allowed (and expected for with-replacement samplers);
     /// the SampleCF estimator treats the result as a bag of rows.
-    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>>;
+    fn sample(
+        &self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>>;
 
     /// Expected number of sampled rows for a table of `n` rows.
     fn expected_sample_size(&self, n: usize) -> usize;
@@ -41,20 +49,34 @@ pub fn validate_fraction(fraction: f64) -> SamplingResult<f64> {
     Ok(fraction)
 }
 
-/// The sample size `r = max(1, round(f·n))` used by fraction-based samplers
-/// (at least one row whenever the table is non-empty).
+/// The sample size `r = max(1, round(f·n))` used by fraction-based samplers:
+/// at least one row whenever the table is non-empty, exactly `n` at
+/// `fraction == 1.0`, and zero for an empty table.
 #[must_use]
 pub fn target_size(n: usize, fraction: f64) -> usize {
     if n == 0 {
         0
     } else {
-        ((n as f64 * fraction).round() as usize).clamp(1, n.max(1))
+        ((n as f64 * fraction).round() as usize).clamp(1, n)
     }
 }
 
-/// Fetch the rows at the given positions of the table's RID frame.
+/// The page count `max(1, round(f·num_pages))` used by page-level samplers.
+///
+/// Same edge behaviour as [`target_size`], in page units: zero pages for an
+/// empty table, at least one otherwise, all of them at `fraction == 1.0`.
+#[must_use]
+pub fn target_page_count(num_pages: usize, fraction: f64) -> usize {
+    target_size(num_pages, fraction)
+}
+
+/// Fetch the rows at the given positions of the source's RID frame.
+///
+/// Each fetch goes through [`TableSource::get`], which for disk-backed
+/// sources reads the row's containing page — the real cost of scattered row
+/// retrieval the paper's I/O argument (Section II-C) is about.
 pub fn fetch_positions(
-    table: &Table,
+    source: &dyn TableSource,
     rids: &[Rid],
     positions: &[usize],
 ) -> SamplingResult<Vec<SampledRow>> {
@@ -62,7 +84,7 @@ pub fn fetch_positions(
         .iter()
         .map(|&p| {
             let rid = rids[p];
-            Ok((rid, table.get(rid)?))
+            Ok((rid, source.get(rid)?))
         })
         .collect()
 }
@@ -88,5 +110,16 @@ mod tests {
         assert_eq!(target_size(1000, 1.0), 1000);
         assert_eq!(target_size(0, 0.5), 0);
         assert_eq!(target_size(3, 0.99), 3);
+    }
+
+    #[test]
+    fn target_page_count_mirrors_target_size() {
+        // The unified edge behaviour: empty → 0, tiny fraction → 1,
+        // fraction 1.0 → everything.
+        assert_eq!(target_page_count(0, 0.5), 0);
+        assert_eq!(target_page_count(0, 1.0), 0);
+        assert_eq!(target_page_count(40, 0.0001), 1);
+        assert_eq!(target_page_count(40, 1.0), 40);
+        assert_eq!(target_page_count(40, 0.25), 10);
     }
 }

@@ -5,7 +5,7 @@ use crate::sampler::{fetch_positions, target_size, validate_fraction, RowSampler
 use rand::seq::index;
 use rand::Rng;
 use rand::RngCore;
-use samplecf_storage::Table;
+use samplecf_storage::{PageId, TableSource};
 
 /// Uniform random sampling of rows *with replacement* — the procedure the
 /// paper's analysis assumes (Section II-C).
@@ -34,12 +34,19 @@ impl RowSampler for UniformWithReplacement {
         "uniform-with-replacement"
     }
 
-    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>> {
-        let rids = table.rids();
+    fn sample(
+        &self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>> {
+        let rids = source.rids()?;
         let n = rids.len();
         let r = target_size(n, self.fraction);
+        if r == 0 {
+            return Ok(Vec::new());
+        }
         let positions: Vec<usize> = (0..r).map(|_| rng.gen_range(0..n)).collect();
-        fetch_positions(table, &rids, &positions)
+        fetch_positions(source, &rids, &positions)
     }
 
     fn expected_sample_size(&self, n: usize) -> usize {
@@ -67,15 +74,19 @@ impl RowSampler for UniformWithoutReplacement {
         "uniform-without-replacement"
     }
 
-    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>> {
-        let rids = table.rids();
+    fn sample(
+        &self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>> {
+        let rids = source.rids()?;
         let n = rids.len();
         let r = target_size(n, self.fraction);
         if r == 0 {
             return Ok(Vec::new());
         }
         let positions = index::sample(rng, n, r).into_vec();
-        fetch_positions(table, &rids, &positions)
+        fetch_positions(source, &rids, &positions)
     }
 
     fn expected_sample_size(&self, n: usize) -> usize {
@@ -104,11 +115,18 @@ impl RowSampler for BernoulliSampler {
         "bernoulli"
     }
 
-    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>> {
+    fn sample(
+        &self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>> {
+        // Stream page by page; only the sample accumulates in memory.
         let mut out = Vec::new();
-        for (rid, row) in table.scan() {
-            if rng.gen::<f64>() < self.fraction {
-                out.push((rid, row));
+        for pid in 0..source.num_pages() {
+            for (rid, row) in source.page_rows(pid as PageId)? {
+                if rng.gen::<f64>() < self.fraction {
+                    out.push((rid, row));
+                }
             }
         }
         Ok(out)
@@ -141,19 +159,29 @@ impl RowSampler for SystematicSampler {
         "systematic"
     }
 
-    fn sample(&self, table: &Table, rng: &mut dyn RngCore) -> SamplingResult<Vec<SampledRow>> {
-        let n = table.num_rows();
+    fn sample(
+        &self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>> {
+        let n = source.num_rows();
         if n == 0 {
             return Ok(Vec::new());
         }
         let step = (1.0 / self.fraction).round().max(1.0) as usize;
         let start = rng.gen_range(0..step.min(n));
-        Ok(table
-            .scan()
-            .enumerate()
-            .filter(|(i, _)| i >= &start && (i - start) % step == 0)
-            .map(|(_, pair)| pair)
-            .collect())
+        // Stream page by page; only every `step`-th row is kept.
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        for pid in 0..source.num_pages() {
+            for pair in source.page_rows(pid as PageId)? {
+                if i >= start && (i - start) % step == 0 {
+                    out.push(pair);
+                }
+                i += 1;
+            }
+        }
+        Ok(out)
     }
 
     fn expected_sample_size(&self, n: usize) -> usize {
@@ -167,7 +195,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use samplecf_storage::{Row, Schema, TableBuilder, Value};
+    use samplecf_storage::{Row, Schema, Table, TableBuilder, Value};
     use std::collections::HashSet;
 
     fn table(n: usize) -> Table {
@@ -259,6 +287,48 @@ mod tests {
             .sample(&t, &mut rng(6))
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn empty_table_expected_sizes_are_zero() {
+        // Unified edge behaviour: every sampler expects 0 rows from 0 rows.
+        assert_eq!(
+            UniformWithReplacement::new(0.1)
+                .unwrap()
+                .expected_sample_size(0),
+            0
+        );
+        assert_eq!(
+            UniformWithoutReplacement::new(1.0)
+                .unwrap()
+                .expected_sample_size(0),
+            0
+        );
+        assert_eq!(
+            BernoulliSampler::new(0.5).unwrap().expected_sample_size(0),
+            0
+        );
+        assert_eq!(
+            SystematicSampler::new(0.5).unwrap().expected_sample_size(0),
+            0
+        );
+    }
+
+    #[test]
+    fn full_fraction_returns_the_whole_table() {
+        // Unified edge behaviour: fraction == 1.0 covers every row.
+        let t = table(120);
+        let s = UniformWithoutReplacement::new(1.0).unwrap();
+        let sample = s.sample(&t, &mut rng(8)).unwrap();
+        assert_eq!(sample.len(), 120);
+        let distinct: HashSet<_> = sample.iter().map(|(rid, _)| *rid).collect();
+        assert_eq!(distinct.len(), 120);
+
+        let s = UniformWithReplacement::new(1.0).unwrap();
+        assert_eq!(s.sample(&t, &mut rng(8)).unwrap().len(), 120);
+
+        let s = SystematicSampler::new(1.0).unwrap();
+        assert_eq!(s.sample(&t, &mut rng(8)).unwrap().len(), 120);
     }
 
     #[test]

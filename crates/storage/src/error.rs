@@ -56,6 +56,14 @@ pub enum StorageError {
     DuplicateTable(String),
     /// Raw byte decoding failed.
     Decode(String),
+    /// An on-disk file did not match the expected format (bad magic,
+    /// unsupported version, truncated metadata, ...).
+    InvalidFormat(String),
+    /// An operating-system I/O operation failed.
+    ///
+    /// Stored as the rendered message (not the [`std::io::Error`] itself) so
+    /// the error type stays `Clone + PartialEq` for the rest of the crate.
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -99,11 +107,19 @@ impl fmt::Display for StorageError {
             StorageError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
             StorageError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
             StorageError::Decode(msg) => write!(f, "decode error: {msg}"),
+            StorageError::InvalidFormat(msg) => write!(f, "invalid file format: {msg}"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
 
 /// Convenient result alias for storage operations.
 pub type StorageResult<T> = Result<T, StorageError>;

@@ -14,13 +14,19 @@
 //!   compression fraction's denominator counts,
 //! * [`Page`] — slotted pages with explicit header and slot-directory
 //!   overheads,
-//! * [`HeapFile`] / [`Table`] — base tables that samplers draw rows and blocks
-//!   from,
+//! * [`HeapFile`] / [`Table`] — in-memory base tables that samplers draw rows
+//!   and blocks from,
+//! * [`TableSource`] — the read abstraction samplers and the estimator run
+//!   over, implemented by both [`Table`] and [`DiskTable`],
+//! * [`disk`] — the persistent counterpart: checksummed page files,
+//!   [`DiskHeapFile`] and [`DiskTable`], where block sampling's "read only
+//!   the selected pages" is physically true,
 //! * [`Catalog`] — a registry used by the physical-design and
 //!   capacity-planning applications.
 //!
-//! Everything is deterministic and in-memory: the estimator's accuracy only
-//! depends on sizes in bytes, not on actual disk I/O.
+//! Everything is deterministic: a table materialised to disk has the same
+//! page layout (and therefore the same sampling frame) as its in-memory
+//! source, so estimates match seed-for-seed across backends.
 //!
 //! ## Quickstart
 //!
@@ -46,17 +52,20 @@
 
 pub mod catalog;
 pub mod datatype;
+pub mod disk;
 pub mod error;
 pub mod heap;
 pub mod page;
 pub mod rid;
 pub mod row;
 pub mod schema;
+pub mod source;
 pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
 pub use datatype::DataType;
+pub use disk::{DiskHeapFile, DiskTable};
 pub use error::{StorageError, StorageResult};
 pub use heap::HeapFile;
 pub use page::{
@@ -65,5 +74,6 @@ pub use page::{
 pub use rid::{PageId, Rid};
 pub use row::{decode_cell, encode_cell, Row, RowCodec, CHAR_PAD};
 pub use schema::{Column, Schema};
+pub use source::TableSource;
 pub use table::{Table, TableBuilder};
 pub use value::Value;

@@ -75,6 +75,52 @@ impl Page {
         Ok(page)
     }
 
+    /// Reconstruct a page from its raw backing bytes (as produced by
+    /// [`Page::raw`]), validating every structural invariant so that corrupt
+    /// or truncated buffers are rejected instead of causing panics later.
+    ///
+    /// # Errors
+    /// Fails if the buffer size is unsupported, the stored page id does not
+    /// match `expected_id`, or the slot directory is inconsistent.
+    pub fn from_bytes(expected_id: PageId, data: Vec<u8>) -> StorageResult<Self> {
+        validate_page_size(data.len())?;
+        let stored_id = PageId::from_be_bytes([data[0], data[1], data[2], data[3]]);
+        if stored_id != expected_id {
+            return Err(StorageError::PageCorruption(format!(
+                "page header stores id {stored_id}, expected {expected_id}"
+            )));
+        }
+        let page = Page {
+            id: stored_id,
+            data,
+        };
+        let free_ptr = page.free_ptr();
+        let dir_start = page
+            .page_size()
+            .checked_sub(usize::from(page.slot_count()) * SLOT_SIZE)
+            .ok_or_else(|| {
+                StorageError::PageCorruption(format!(
+                    "slot directory of {} entries exceeds the page",
+                    page.slot_count()
+                ))
+            })?;
+        if free_ptr < PAGE_HEADER_SIZE || free_ptr > dir_start {
+            return Err(StorageError::PageCorruption(format!(
+                "free pointer {free_ptr} outside the valid range [{PAGE_HEADER_SIZE}, {dir_start}]"
+            )));
+        }
+        for slot in 0..page.slot_count() {
+            let (offset, len) = page.slot(slot).expect("slot below slot_count");
+            if offset < PAGE_HEADER_SIZE || offset + len > free_ptr {
+                return Err(StorageError::PageCorruption(format!(
+                    "slot {slot} spans [{offset}, {}) outside the record area",
+                    offset + len
+                )));
+            }
+        }
+        Ok(page)
+    }
+
     fn write_header(&mut self, slot_count: u16, free_ptr: u32) {
         self.data[4..6].copy_from_slice(&slot_count.to_be_bytes());
         self.data[8..12].copy_from_slice(&free_ptr.to_be_bytes());
@@ -274,6 +320,37 @@ mod tests {
         p.insert(b"ccc").unwrap();
         let lens: Vec<usize> = p.records().map(<[u8]>::len).collect();
         assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_bytes_roundtrips_a_populated_page() {
+        let mut p = Page::new(9, 256).unwrap();
+        p.insert(b"hello").unwrap();
+        p.insert(b"world").unwrap();
+        let restored = Page::from_bytes(9, p.raw().to_vec()).unwrap();
+        assert_eq!(restored.id(), 9);
+        assert_eq!(restored.slot_count(), 2);
+        assert_eq!(restored.get(0).unwrap(), b"hello");
+        assert_eq!(restored.get(1).unwrap(), b"world");
+    }
+
+    #[test]
+    fn from_bytes_rejects_structural_corruption() {
+        let mut p = Page::new(3, 128).unwrap();
+        p.insert(b"abc").unwrap();
+        // Wrong expected id.
+        assert!(Page::from_bytes(4, p.raw().to_vec()).is_err());
+        // Slot count pointing past the page.
+        let mut data = p.raw().to_vec();
+        data[4] = 0xFF;
+        data[5] = 0xFF;
+        assert!(Page::from_bytes(3, data).is_err());
+        // Free pointer below the header.
+        let mut data = p.raw().to_vec();
+        data[8..12].copy_from_slice(&2u32.to_be_bytes());
+        assert!(Page::from_bytes(3, data).is_err());
+        // Unsupported buffer size.
+        assert!(Page::from_bytes(3, vec![0u8; 8]).is_err());
     }
 
     #[test]

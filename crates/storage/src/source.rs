@@ -1,0 +1,243 @@
+//! The [`TableSource`] abstraction: anything pages of rows can be read from.
+//!
+//! The estimator pipeline (sample → build index → compress → report CF) only
+//! needs four things from a table: its schema, its row codec, the number of
+//! pages/rows it holds, and the ability to read one page.  Abstracting those
+//! behind a trait lets the samplers and the estimator run identically over
+//! the in-memory [`Table`] and the file-backed
+//! [`DiskTable`](crate::disk::DiskTable) — which is what makes the I/O story
+//! of block sampling (paper, Section II-C) real instead of simulated: a
+//! block sample over a `DiskTable` physically reads only the selected pages.
+
+use crate::error::StorageResult;
+use crate::page::Page;
+use crate::rid::{PageId, Rid};
+use crate::row::{Row, RowCodec};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// A readable source of table pages and rows.
+///
+/// Required methods describe the table and read one page; everything else
+/// (point lookups, scans, the RID sampling frame) has a default
+/// implementation in terms of [`read_page`](TableSource::read_page), so that
+/// an I/O-counting wrapper which only intercepts `read_page` observes every
+/// physical page access.  Implementations backed by cheap metadata (the
+/// in-memory [`Table`], or [`DiskTable`](crate::disk::DiskTable) with its
+/// fixed-width records) override [`rids`](TableSource::rids) to avoid
+/// touching pages at all — mirroring how a real engine derives the sampling
+/// frame from its allocation map rather than from data pages.
+pub trait TableSource: Send + Sync {
+    /// The table name.
+    fn name(&self) -> &str;
+
+    /// The table schema.
+    fn schema(&self) -> &Schema;
+
+    /// The codec that encodes/decodes this table's rows.
+    fn codec(&self) -> &RowCodec;
+
+    /// Number of rows (the paper's `n`).
+    fn num_rows(&self) -> usize;
+
+    /// Number of pages.
+    fn num_pages(&self) -> usize;
+
+    /// Configured page size in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Read one page.  For disk-backed sources this is a physical page read.
+    fn read_page(&self, id: PageId) -> StorageResult<Page>;
+
+    /// Fetch and decode the row stored at `rid`.
+    ///
+    /// The default reads the whole containing page, which is what fetching a
+    /// single row costs on a disk-resident table without a buffer pool.
+    fn get(&self, rid: Rid) -> StorageResult<Row> {
+        let page = self.read_page(rid.page)?;
+        self.codec().decode(page.get(rid.slot)?)
+    }
+
+    /// Read one page and decode every row on it.
+    fn page_rows(&self, id: PageId) -> StorageResult<Vec<(Rid, Row)>> {
+        let page = self.read_page(id)?;
+        let codec = self.codec();
+        (0..page.slot_count())
+            .map(|slot| Ok((Rid::new(id, slot), codec.decode(page.get(slot)?)?)))
+            .collect()
+    }
+
+    /// Materialise all `(rid, row)` pairs in storage order (a full scan).
+    fn scan_rows(&self) -> StorageResult<Vec<(Rid, Row)>> {
+        let mut out = Vec::with_capacity(self.num_rows());
+        for pid in 0..self.num_pages() {
+            out.extend(self.page_rows(pid as PageId)?);
+        }
+        Ok(out)
+    }
+
+    /// All rids in storage order — the sampling frame row samplers draw from.
+    ///
+    /// The default derives it by reading every page; metadata-backed sources
+    /// override it to answer from bookkeeping alone.
+    fn rids(&self) -> StorageResult<Vec<Rid>> {
+        let mut out = Vec::with_capacity(self.num_rows());
+        for pid in 0..self.num_pages() {
+            let page = self.read_page(pid as PageId)?;
+            for slot in 0..page.slot_count() {
+                out.push(Rid::new(pid as PageId, slot));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for dyn TableSource + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TableSource({}: {} rows, {} pages)",
+            self.name(),
+            self.num_rows(),
+            self.num_pages()
+        )
+    }
+}
+
+impl TableSource for Table {
+    fn name(&self) -> &str {
+        Table::name(self)
+    }
+
+    fn schema(&self) -> &Schema {
+        Table::schema(self)
+    }
+
+    fn codec(&self) -> &RowCodec {
+        Table::codec(self)
+    }
+
+    fn num_rows(&self) -> usize {
+        Table::num_rows(self)
+    }
+
+    fn num_pages(&self) -> usize {
+        Table::num_pages(self)
+    }
+
+    fn page_size(&self) -> usize {
+        Table::page_size(self)
+    }
+
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        Ok(self.heap().page(id)?.clone())
+    }
+
+    fn get(&self, rid: Rid) -> StorageResult<Row> {
+        Table::get(self, rid)
+    }
+
+    fn scan_rows(&self) -> StorageResult<Vec<(Rid, Row)>> {
+        Ok(self.scan().collect())
+    }
+
+    fn rids(&self) -> StorageResult<Vec<Rid>> {
+        Ok(Table::rids(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::Column;
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Char(8)),
+            Column::new("id", DataType::Int64),
+        ])
+        .unwrap();
+        TableBuilder::new("t", schema)
+            .page_size(256)
+            .build_with_rows(
+                (0..n).map(|i| Row::new(vec![Value::str(format!("v{i}")), Value::int(i as i64)])),
+            )
+            .unwrap()
+    }
+
+    fn as_source(t: &Table) -> &dyn TableSource {
+        t
+    }
+
+    #[test]
+    fn table_implements_the_source_contract() {
+        let t = table(50);
+        let s = as_source(&t);
+        assert_eq!(s.name(), "t");
+        assert_eq!(s.num_rows(), 50);
+        assert_eq!(s.num_pages(), t.num_pages());
+        assert_eq!(s.page_size(), 256);
+        assert_eq!(s.scan_rows().unwrap().len(), 50);
+        assert_eq!(s.rids().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn read_page_and_defaults_agree_with_direct_access() {
+        let t = table(40);
+        let s = as_source(&t);
+        // Every page read through the trait equals the in-memory page.
+        for pid in 0..s.num_pages() {
+            let page = s.read_page(pid as PageId).unwrap();
+            assert_eq!(page.raw(), t.heap().page(pid as PageId).unwrap().raw());
+        }
+        // page_rows decodes the same rows a scan sees.
+        let scanned: Vec<(Rid, Row)> = t.scan().collect();
+        let mut via_pages = Vec::new();
+        for pid in 0..s.num_pages() {
+            via_pages.extend(s.page_rows(pid as PageId).unwrap());
+        }
+        assert_eq!(scanned, via_pages);
+        // Point lookups agree too.
+        for (rid, row) in &scanned {
+            assert_eq!(&TableSource::get(s, *rid).unwrap(), row);
+        }
+        assert!(s.read_page(9999).is_err());
+    }
+
+    #[test]
+    fn default_rids_matches_override() {
+        let t = table(33);
+        let s = as_source(&t);
+        // The trait's page-walking default must agree with Table's override.
+        struct DefaultOnly<'a>(&'a Table);
+        impl TableSource for DefaultOnly<'_> {
+            fn name(&self) -> &str {
+                TableSource::name(self.0)
+            }
+            fn schema(&self) -> &Schema {
+                TableSource::schema(self.0)
+            }
+            fn codec(&self) -> &RowCodec {
+                TableSource::codec(self.0)
+            }
+            fn num_rows(&self) -> usize {
+                TableSource::num_rows(self.0)
+            }
+            fn num_pages(&self) -> usize {
+                TableSource::num_pages(self.0)
+            }
+            fn page_size(&self) -> usize {
+                TableSource::page_size(self.0)
+            }
+            fn read_page(&self, id: PageId) -> StorageResult<Page> {
+                self.0.read_page(id)
+            }
+        }
+        let d = DefaultOnly(&t);
+        assert_eq!(d.rids().unwrap(), s.rids().unwrap());
+        assert_eq!(d.scan_rows().unwrap(), s.scan_rows().unwrap());
+    }
+}

@@ -1,0 +1,318 @@
+//! `samplecf` — the command-line front end of the SampleCF reproduction.
+//!
+//! Four subcommands cover the gen → estimate → exact loop over
+//! disk-resident tables:
+//!
+//! * `gen` writes a seeded synthetic table to a `.scf` file,
+//! * `estimate` runs the SampleCF estimator over it, reporting the CF
+//!   estimate *and* the number of pages physically read,
+//! * `exact` computes the ground-truth CF (a full scan),
+//! * `info` prints the file header without touching data pages.
+//!
+//! Argument parsing is hand-rolled (the workspace builds offline, without
+//! clap); every flag is `--name value`.
+
+use samplecf::prelude::*;
+use samplecf_sampling::CountingSource;
+use samplecf_storage::{DiskTable, TableSource};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const HELP: &str = "samplecf — estimate index compression fractions by sampling (ICDE 2010)
+
+USAGE:
+  samplecf gen --out FILE [options]       write a synthetic table to a file
+  samplecf estimate --table FILE [options]  run SampleCF over a table file
+  samplecf exact --table FILE [options]   compute the exact CF (full scan)
+  samplecf info --table FILE              print the file header and schema
+
+GEN OPTIONS:
+  --out FILE          output path (required)
+  --rows N            number of rows                     [default: 100000]
+  --distinct D        distinct values in column `a`      [default: 1000]
+  --width W           declared CHAR width in bytes       [default: 24]
+  --len-min L         minimum value length               [default: 4]
+  --len-max L         maximum value length               [default: 20]
+  --page-size B       page size in bytes                 [default: 8192]
+  --name NAME         table name stored in the file      [default: t]
+  --seed S            RNG seed                           [default: 42]
+
+ESTIMATE OPTIONS:
+  --table FILE        table file written by `gen` (required)
+  --sampler NAME      block | uniform | uniform-wor | bernoulli |
+                      systematic | reservoir             [default: uniform]
+  --fraction F        sampling fraction in (0, 1]        [default: 0.01]
+  --size R            reservoir size (reservoir sampler) [default: 1000]
+  --scheme NAME       none | null-suppression | dictionary-paged |
+                      dictionary-global | rle | prefix   [default: null-suppression]
+  --column COLS       comma-separated index key columns  [default: first column]
+  --trials T          independent estimator runs         [default: 1]
+  --threads W         worker threads for trials (0 = all) [default: 0]
+  --seed S            base RNG seed                      [default: 0]
+
+EXACT OPTIONS:
+  --table FILE        table file (required)
+  --scheme NAME       compression scheme                 [default: null-suppression]
+  --column COLS       comma-separated index key columns  [default: first column]
+
+The estimate report includes `pages read`: with `--sampler block` this is
+round(fraction x pages) physical page reads, while row samplers pay roughly
+one page read per sampled row — the I/O gap the paper's Section II-C is
+about.";
+
+/// A `--flag value` argument list.
+struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    fn new(argv: Vec<String>) -> Self {
+        Args { argv }
+    }
+
+    /// Remove and return the value of `--name`, if present.
+    fn opt(&mut self, name: &str) -> Result<Option<String>, String> {
+        let flag = format!("--{name}");
+        if let Some(i) = self.argv.iter().position(|a| *a == flag) {
+            if i + 1 >= self.argv.len() {
+                return Err(format!("flag {flag} expects a value"));
+            }
+            let value = self.argv.remove(i + 1);
+            self.argv.remove(i);
+            return Ok(Some(value));
+        }
+        Ok(None)
+    }
+
+    fn parse<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.opt(name)? {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("invalid value {raw:?} for --{name}: {e}")),
+        }
+    }
+
+    fn require(&mut self, name: &str) -> Result<String, String> {
+        self.opt(name)?
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Error out if any argument was not consumed.
+    fn finish(self) -> Result<(), String> {
+        if let Some(extra) = self.argv.first() {
+            return Err(format!("unrecognised argument {extra:?} (see --help)"));
+        }
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        println!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    let command = argv.remove(0);
+    let args = Args::new(argv);
+    let result = match command.as_str() {
+        "gen" => cmd_gen(args),
+        "estimate" => cmd_estimate(args),
+        "exact" => cmd_exact(args),
+        "info" => cmd_info(args),
+        other => Err(format!("unknown subcommand {other:?} (see --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("samplecf {command}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_gen(mut args: Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let rows: usize = args.parse("rows", 100_000)?;
+    let distinct: usize = args.parse("distinct", 1_000)?;
+    let width: u16 = args.parse("width", 24)?;
+    let len_min: usize = args.parse("len-min", 4)?;
+    let len_max: usize = args.parse("len-max", 20)?;
+    let page_size: usize = args.parse("page-size", 8192)?;
+    let name: String = args.parse("name", "t".to_string())?;
+    let seed: u64 = args.parse("seed", 42)?;
+    args.finish()?;
+    if len_max > usize::from(width) {
+        return Err(format!(
+            "--len-max {len_max} exceeds the declared --width {width}"
+        ));
+    }
+    if len_min > len_max {
+        return Err(format!("--len-min {len_min} exceeds --len-max {len_max}"));
+    }
+
+    let started = Instant::now();
+    let spec = if len_min == len_max {
+        presets::single_char_table(&name, rows, width, distinct, len_min, seed)
+    } else {
+        presets::variable_length_table(&name, rows, width, distinct, len_min, len_max, seed)
+    }
+    .page_size(page_size);
+    let generated = spec.generate().map_err(|e| e.to_string())?;
+    let disk = DiskTable::materialize(&out, &generated.table).map_err(|e| e.to_string())?;
+    let stats = generated.stats_for("a").map_err(|e| e.to_string())?;
+
+    println!("wrote          {out}");
+    println!("table          {name}");
+    println!("rows           {}", disk.num_rows());
+    println!("distinct (d)   {}", stats.distinct_values);
+    println!("pages          {}", disk.num_pages());
+    println!("page size      {} B", disk.page_size());
+    println!("file size      {} B", disk.file_len());
+    println!("elapsed        {:.3} s", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn parse_sampler(name: &str, fraction: f64, size: usize) -> Result<SamplerKind, String> {
+    Ok(match name {
+        "uniform" | "uniform-wr" => SamplerKind::UniformWithReplacement(fraction),
+        "uniform-wor" => SamplerKind::UniformWithoutReplacement(fraction),
+        "bernoulli" => SamplerKind::Bernoulli(fraction),
+        "systematic" => SamplerKind::Systematic(fraction),
+        "reservoir" => SamplerKind::Reservoir(size),
+        "block" => SamplerKind::Block(fraction),
+        other => {
+            return Err(format!(
+                "unknown sampler {other:?} (block, uniform, uniform-wor, bernoulli, systematic, reservoir)"
+            ))
+        }
+    })
+}
+
+fn open_table(path: &str) -> Result<DiskTable, String> {
+    DiskTable::open(path).map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+fn index_spec(args: &mut Args, table: &DiskTable) -> Result<IndexSpec, String> {
+    let columns = match args.opt("column")? {
+        Some(raw) => raw.split(',').map(str::to_string).collect(),
+        None => vec![table.schema().columns()[0].name.clone()],
+    };
+    IndexSpec::nonclustered("idx", columns).map_err(|e| e.to_string())
+}
+
+fn cmd_estimate(mut args: Args) -> Result<(), String> {
+    let path = args.require("table")?;
+    let sampler_name: String = args.parse("sampler", "uniform".to_string())?;
+    let fraction: f64 = args.parse("fraction", 0.01)?;
+    let size: usize = args.parse("size", 1_000)?;
+    let scheme_name: String = args.parse("scheme", "null-suppression".to_string())?;
+    let trials: usize = args.parse("trials", 1)?;
+    let threads: usize = args.parse("threads", 0)?;
+    let seed: u64 = args.parse("seed", 0)?;
+    let table = open_table(&path)?;
+    let spec = index_spec(&mut args, &table)?;
+    args.finish()?;
+
+    let sampler = parse_sampler(&sampler_name, fraction, size)?;
+    let scheme = scheme_by_name(&scheme_name).map_err(|e| e.to_string())?;
+    let counting = CountingSource::new(&table);
+    let num_pages = table.num_pages();
+
+    println!("table          {} ({path})", TableSource::name(&table));
+    println!("rows           {} on {num_pages} pages", table.num_rows());
+    println!("sampler        {}", sampler.label());
+    println!("scheme         {}", scheme.name());
+    println!("index key      {}", spec.key_columns().join(", "));
+
+    let started = Instant::now();
+    if trials <= 1 {
+        let est = SampleCf::new(sampler)
+            .seed(seed)
+            .estimate(&counting, &spec, scheme.as_ref())
+            .map_err(|e| e.to_string())?;
+        println!(
+            "sampled rows   {} (d' = {})",
+            est.data.rows, est.data.distinct_first_key
+        );
+        println!("estimated CF   {:.4}", est.cf);
+        println!("  with ptrs    {:.4}", est.cf_with_pointers);
+        println!("  page-level   {:.4}", est.cf_pages);
+    } else {
+        let estimates = TrialRunner::new(TrialConfig::new(trials).base_seed(seed).threads(threads))
+            .run_estimates(&counting, &spec, scheme.as_ref(), sampler)
+            .map_err(|e| e.to_string())?;
+        let stats = SummaryStats::from_values(&estimates)
+            .ok_or_else(|| "no estimates produced".to_string())?;
+        println!("trials         {trials}");
+        println!("estimated CF   {:.4} (mean)", stats.mean);
+        println!("  std dev      {:.4}", stats.std_dev);
+        println!("  min / max    {:.4} / {:.4}", stats.min, stats.max);
+    }
+    let pages_read = counting.pages_read();
+    let per_trial = pages_read as f64 / trials.max(1) as f64;
+    println!(
+        "pages read     {pages_read} of {num_pages} ({:.1}% per trial)",
+        100.0 * per_trial / num_pages.max(1) as f64
+    );
+    println!("elapsed        {:.3} s", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn cmd_exact(mut args: Args) -> Result<(), String> {
+    let path = args.require("table")?;
+    let scheme_name: String = args.parse("scheme", "null-suppression".to_string())?;
+    let table = open_table(&path)?;
+    let spec = index_spec(&mut args, &table)?;
+    args.finish()?;
+
+    let scheme = scheme_by_name(&scheme_name).map_err(|e| e.to_string())?;
+    let counting = CountingSource::new(&table);
+    let started = Instant::now();
+    let exact = ExactCf::new()
+        .compute(&counting, &spec, scheme.as_ref())
+        .map_err(|e| e.to_string())?;
+
+    println!("table          {} ({path})", TableSource::name(&table));
+    println!(
+        "rows           {} (d = {})",
+        exact.data.rows, exact.data.distinct_first_key
+    );
+    println!("scheme         {}", scheme.name());
+    println!("index key      {}", spec.key_columns().join(", "));
+    println!("exact CF       {:.4}", exact.cf);
+    println!("  with ptrs    {:.4}", exact.cf_with_pointers);
+    println!("  page-level   {:.4}", exact.cf_pages);
+    println!(
+        "pages read     {} of {}",
+        counting.pages_read(),
+        table.num_pages()
+    );
+    println!("elapsed        {:.3} s", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn cmd_info(mut args: Args) -> Result<(), String> {
+    let path = args.require("table")?;
+    args.finish()?;
+    let table = open_table(&path)?;
+    println!("file           {path}");
+    println!(
+        "format         SCF1 v{}",
+        samplecf_storage::disk::FORMAT_VERSION
+    );
+    println!("table          {}", TableSource::name(&table));
+    println!("rows           {}", table.num_rows());
+    println!("pages          {}", table.num_pages());
+    println!("page size      {} B", table.page_size());
+    println!("rows per page  {}", table.rows_per_page());
+    println!("file size      {} B", table.file_len());
+    println!("schema:");
+    for col in table.schema().columns() {
+        println!("  {col}");
+    }
+    Ok(())
+}

@@ -68,9 +68,9 @@ pub mod prelude {
         compress_index, BTreeIndex, CompressedIndexReport, IndexBuilder, IndexKind,
         IndexSizeReport, IndexSpec,
     };
-    pub use samplecf_sampling::{RowSampler, SamplerKind, UniformWithReplacement};
+    pub use samplecf_sampling::{CountingSource, RowSampler, SamplerKind, UniformWithReplacement};
     pub use samplecf_storage::{
-        Catalog, Column, DataType, Row, Schema, Table, TableBuilder, Value,
+        Catalog, Column, DataType, DiskTable, Row, Schema, Table, TableBuilder, TableSource, Value,
     };
 }
 

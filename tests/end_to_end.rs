@@ -206,11 +206,140 @@ fn catalog_supports_the_full_workflow() {
     let table = catalog.get("a").unwrap();
     let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
     let est = SampleCf::with_fraction(0.1)
-        .estimate(&table, &spec, &DictionaryCompression::default())
+        .estimate(table.as_ref(), &spec, &DictionaryCompression::default())
         .unwrap();
     assert!(
         est.cf < 0.7,
         "low-cardinality table should compress, cf = {}",
         est.cf
     );
+}
+
+/// A unique temp path for disk-backed tests, removed on drop.
+struct TempTableFile(std::path::PathBuf);
+
+impl TempTableFile {
+    fn new(tag: &str) -> Self {
+        TempTableFile(
+            std::env::temp_dir().join(format!("samplecf_e2e_{tag}_{}.scf", std::process::id())),
+        )
+    }
+}
+
+impl Drop for TempTableFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn disk_estimation_matches_in_memory_estimation_seed_for_seed() {
+    let mem = demo_table(12_000, 600, 21);
+    let file = TempTableFile::new("parity");
+    let disk = DiskTable::materialize(&file.0, &mem).unwrap();
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+
+    for sampler in [
+        SamplerKind::UniformWithReplacement(0.05),
+        SamplerKind::UniformWithoutReplacement(0.05),
+        SamplerKind::Bernoulli(0.05),
+        SamplerKind::Systematic(0.05),
+        SamplerKind::Reservoir(500),
+        SamplerKind::Block(0.05),
+    ] {
+        for scheme_name in scheme_names() {
+            let scheme = scheme_by_name(scheme_name).unwrap();
+            let on_mem = SampleCf::new(sampler)
+                .seed(77)
+                .estimate(&mem, &spec, scheme.as_ref())
+                .unwrap();
+            let on_disk = SampleCf::new(sampler)
+                .seed(77)
+                .estimate(&disk, &spec, scheme.as_ref())
+                .unwrap();
+            assert_eq!(
+                on_mem.cf, on_disk.cf,
+                "{sampler:?}/{scheme_name}: disk and memory disagree"
+            );
+            assert_eq!(on_mem.data, on_disk.data, "{sampler:?}/{scheme_name}");
+        }
+    }
+
+    // The exact baseline agrees too.
+    let exact_mem = ExactCf::new()
+        .compute(&mem, &spec, &NullSuppression)
+        .unwrap();
+    let exact_disk = ExactCf::new()
+        .compute(&disk, &spec, &NullSuppression)
+        .unwrap();
+    assert_eq!(exact_mem.cf, exact_disk.cf);
+}
+
+#[test]
+fn block_sampling_on_disk_reads_only_the_sampled_pages() {
+    let mem = demo_table(30_000, 1_000, 22);
+    let file = TempTableFile::new("block_io");
+    let disk = DiskTable::materialize(&file.0, &mem).unwrap();
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    let num_pages = TableSource::num_pages(&disk);
+    assert!(num_pages > 20, "need a multi-page table, got {num_pages}");
+
+    for f in [0.02, 0.1, 0.5] {
+        let counting = CountingSource::new(&disk);
+        let est = SampleCf::new(SamplerKind::Block(f))
+            .seed(5)
+            .estimate(&counting, &spec, &NullSuppression)
+            .unwrap();
+        assert!(est.cf > 0.0);
+        let expected = ((num_pages as f64 * f).round() as u64).max(1);
+        assert_eq!(
+            counting.pages_read(),
+            expected,
+            "block sampling at f = {f} must read round(f x {num_pages}) pages"
+        );
+    }
+
+    // The exact computation, by contrast, reads every page.
+    let counting = CountingSource::new(&disk);
+    ExactCf::new()
+        .compute(&counting, &spec, &NullSuppression)
+        .unwrap();
+    assert_eq!(counting.pages_read(), num_pages as u64);
+}
+
+#[test]
+fn trial_runner_parallelism_is_deterministic_over_disk_tables() {
+    let mem = demo_table(6_000, 300, 23);
+    let file = TempTableFile::new("trials");
+    let disk = DiskTable::materialize(&file.0, &mem).unwrap();
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+
+    let single = TrialRunner::new(TrialConfig::new(8).base_seed(3).threads(1))
+        .run_estimates(
+            &disk,
+            &spec,
+            &NullSuppression,
+            SamplerKind::UniformWithReplacement(0.05),
+        )
+        .unwrap();
+    let multi = TrialRunner::new(TrialConfig::new(8).base_seed(3).threads(4))
+        .run_estimates(
+            &disk,
+            &spec,
+            &NullSuppression,
+            SamplerKind::UniformWithReplacement(0.05),
+        )
+        .unwrap();
+    assert_eq!(single, multi, "thread count must not change disk results");
+
+    // And the disk trials equal the in-memory trials seed-for-seed.
+    let in_memory = TrialRunner::new(TrialConfig::new(8).base_seed(3))
+        .run_estimates(
+            &mem,
+            &spec,
+            &NullSuppression,
+            SamplerKind::UniformWithReplacement(0.05),
+        )
+        .unwrap();
+    assert_eq!(single, in_memory);
 }
