@@ -1,0 +1,10 @@
+//! Regenerates the `advisor_scaling` experiment (shared-sample advisor vs
+//! naive per-candidate sampling over a disk-resident table).  Pass `--quick`
+//! (or set `SAMPLECF_QUICK=1`) for a fast, reduced-size run.
+
+fn main() {
+    let quick = samplecf_bench::experiments::quick_mode();
+    let report = samplecf_bench::experiments::advisor_scaling::run(quick);
+    let path = report.finish().expect("writing the report succeeds");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,151 @@
+//! **Advisor scaling experiment** — the shared-sample claim, measured: as
+//! the number of candidate indexes grows, a batch advisor that amortizes
+//! one materialized sample across every candidate in a (sampler, fraction,
+//! seed) group keeps its source I/O *constant*, while a naive planner that
+//! re-draws a sample per candidate pays I/O linear in the candidate count.
+//! The table is disk-resident ([`DiskTable`]) and every page access is
+//! counted by [`CountingSource`], so both the pages and the wall-clock are
+//! measured, not simulated.  This is the workflow Kimura et al.
+//! (*Compression Aware Physical Database Design*) optimize and the reason
+//! the paper's Section I cares about estimator cost at all.
+
+use crate::report::{fmt, Report, Table};
+use samplecf_compression::{scheme_by_name, CompressionScheme};
+use samplecf_core::{AdvisorConfig, Candidate, CompressionAdvisor, SampleCf};
+use samplecf_datagen::presets;
+use samplecf_index::{IndexSizeModel, IndexSpec};
+use samplecf_sampling::SamplerKind;
+use samplecf_storage::{CountingSource, DiskTable, TableSource};
+use std::time::Instant;
+
+const SCHEME_NAMES: [&str; 6] = [
+    "null-suppression",
+    "dictionary-global",
+    "dictionary-paged",
+    "rle",
+    "prefix",
+    "none",
+];
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Report {
+    let rows = if quick { 40_000 } else { 150_000 };
+    let candidate_counts: &[usize] = if quick {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    let fraction = 0.05;
+    let seed = 11;
+    let d = rows / 100;
+
+    let generated = presets::variable_length_table("adv_scale", rows, 24, d, 4, 20, 131)
+        .generate()
+        .expect("generation succeeds");
+    let path = std::env::temp_dir().join(format!(
+        "samplecf_exp_advisor_scaling_{}.scf",
+        std::process::id()
+    ));
+    let disk = DiskTable::materialize(&path, &generated.table).expect("materialisation succeeds");
+    let num_pages = disk.num_pages();
+
+    // The candidate pool: (spec × scheme) pairs over the single key column,
+    // cycling schemes and alternating index kinds.
+    let max_k = *candidate_counts.iter().max().unwrap_or(&1);
+    let specs: Vec<IndexSpec> = (0..max_k)
+        .map(|i| {
+            if i % 2 == 0 {
+                IndexSpec::nonclustered(format!("idx_{i}"), ["a"]).expect("valid spec")
+            } else {
+                IndexSpec::clustered(format!("cl_{i}"), ["a"]).expect("valid spec")
+            }
+        })
+        .collect();
+    let schemes: Vec<Box<dyn CompressionScheme>> = (0..max_k)
+        .map(|i| scheme_by_name(SCHEME_NAMES[i % SCHEME_NAMES.len()]).expect("known scheme"))
+        .collect();
+
+    let mut report = Report::new("exp_advisor_scaling");
+    let mut t = Table::new(
+        format!(
+            "Shared-sample advisor vs naive per-candidate sampling \
+             (n = {rows}, {num_pages} pages on disk, block sampling f = {fraction}, seed {seed})"
+        ),
+        &[
+            "candidates",
+            "shared pages",
+            "naive pages",
+            "I/O ratio",
+            "shared ms",
+            "naive ms",
+            "speedup",
+        ],
+    );
+
+    for &k in candidate_counts {
+        // Shared path: one advisor plan, all k candidates in one group.
+        let counting = CountingSource::new(&disk);
+        let counting_ref: &dyn TableSource = &counting;
+        let candidates: Vec<Candidate<'_>> = (0..k)
+            .map(|i| Candidate::new(counting_ref, &specs[i], schemes[i].as_ref()))
+            .collect();
+        let advisor = CompressionAdvisor::new(AdvisorConfig {
+            sampler: SamplerKind::Block(fraction),
+            seed,
+            ..Default::default()
+        })
+        .expect("valid config");
+        let shared_started = Instant::now();
+        let plan = advisor.plan(&candidates).expect("plan succeeds");
+        let shared_elapsed = shared_started.elapsed();
+        let shared_pages = counting.pages_read();
+        assert_eq!(plan.samples_drawn(), 1, "all candidates share one group");
+
+        // Naive path: re-draw the sample for every candidate (fresh
+        // estimator run each), plus the same analytic uncompressed size.
+        counting.reset();
+        let naive_started = Instant::now();
+        let model = IndexSizeModel::new();
+        for i in 0..k {
+            let est = SampleCf::new(SamplerKind::Block(fraction))
+                .seed(seed)
+                .estimate(&counting, &specs[i], schemes[i].as_ref())
+                .expect("estimation succeeds");
+            let uncompressed = model
+                .estimate(TableSource::schema(&disk), &specs[i], disk.num_rows())
+                .expect("model succeeds")
+                .leaf_bytes();
+            // Consume the estimate the way the advisor does, so the naive
+            // path performs the same bookkeeping work.
+            let _ = (uncompressed as f64 * est.cf_with_pointers.min(1.0)).ceil();
+        }
+        let naive_elapsed = naive_started.elapsed();
+        let naive_pages = counting.pages_read();
+
+        t.row(&[
+            k.to_string(),
+            shared_pages.to_string(),
+            naive_pages.to_string(),
+            fmt(naive_pages as f64 / shared_pages.max(1) as f64),
+            fmt(shared_elapsed.as_secs_f64() * 1000.0),
+            fmt(naive_elapsed.as_secs_f64() * 1000.0),
+            fmt(naive_elapsed.as_secs_f64() / shared_elapsed.as_secs_f64().max(1e-9)),
+        ]);
+    }
+
+    t.note(
+        "Measured shape: the shared-sample plan reads round(f·N) pages regardless of the \
+         candidate count (the one materialized draw), so its I/O column is flat while the naive \
+         planner's grows linearly — the I/O ratio equals the candidate count by construction, \
+         now demonstrated with physical page reads on a real file.  Wall-clock gains are \
+         smaller than the I/O gains (candidate evaluation — building and compressing the \
+         sample index — is CPU work both paths share), which is exactly why amortizing the \
+         sample matters most for disk-resident data.  The advisor additionally fans candidate \
+         evaluation out across threads; recommendations are identical to the naive serial \
+         path seed-for-seed.",
+    );
+    report.add(t);
+    drop(disk);
+    let _ = std::fs::remove_file(&path);
+    report
+}

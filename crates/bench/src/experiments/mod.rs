@@ -3,6 +3,7 @@
 //! `exp_*` binaries are thin wrappers and `run_all` executes every
 //! experiment in sequence.
 
+pub mod advisor_scaling;
 pub mod block_sampling;
 pub mod dc_distinct_sweep;
 pub mod dc_regimes;

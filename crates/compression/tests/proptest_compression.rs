@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use samplecf_compression::{
     measure_column, scheme_by_name, scheme_names, ColumnChunk, CompressionScheme,
-    DictionaryCompression, GlobalDictionaryCompression, NullSuppression,
+    DictionaryCompression, GlobalDictionaryCompression, NullSuppression, PrefixCompression,
+    RunLengthEncoding,
 };
 use samplecf_storage::{DataType, Value};
 
@@ -46,6 +47,47 @@ fn int_chunk() -> impl Strategy<Value = ColumnChunk> {
         0..200,
     )
     .prop_map(|values| ColumnChunk::new(DataType::Int64, values).expect("ints fit int64"))
+}
+
+/// NULL-heavy chunks: 4 NULLs to every value on average.  Exercises the
+/// run/prefix handling of the null marker, which ordinary chunks rarely
+/// stress (long NULL runs, all-NULL chunks, NULL-only prefixes).
+fn null_heavy_chunk() -> impl Strategy<Value = ColumnChunk> {
+    proptest::collection::vec(
+        prop_oneof![
+            1 => char_value(32).prop_map(Value::Str),
+            4 => Just(Value::Null),
+        ],
+        0..300,
+    )
+    .prop_map(|values| ColumnChunk::new(DataType::Char(32), values).expect("values fit char(32)"))
+}
+
+/// All-equal chunks: one value pool of size one, with NULLs interleaved —
+/// the degenerate pool where RLE collapses to a handful of runs and prefix
+/// compression's common prefix is the entire payload.
+fn all_equal_chunk_with_nulls() -> impl Strategy<Value = ColumnChunk> {
+    (char_value(32), 0..300usize).prop_map(|(value, n)| {
+        let values: Vec<Value> = (0..n)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(value.clone())
+                }
+            })
+            .collect();
+        ColumnChunk::new(DataType::Char(32), values).expect("values fit char(32)")
+    })
+}
+
+/// All-equal chunks without NULLs (never empty): exactly one run for RLE, an
+/// all-prefix payload for prefix compression.
+fn all_equal_chunk() -> impl Strategy<Value = ColumnChunk> {
+    (char_value(32), 1..300usize).prop_map(|(value, n)| {
+        let values: Vec<Value> = (0..n).map(|_| Value::Str(value.clone())).collect();
+        ColumnChunk::new(DataType::Char(32), values).expect("values fit char(32)")
+    })
 }
 
 fn roundtrip(scheme: &dyn CompressionScheme, chunk: &ColumnChunk) -> Result<(), TestCaseError> {
@@ -129,6 +171,60 @@ proptest! {
         prop_assert!(global.compressed_bytes <= paged.compressed_bytes + slack,
             "global {} vs paged {}", global.compressed_bytes, paged.compressed_bytes);
         prop_assert_eq!(global.uncompressed_bytes, paged.uncompressed_bytes);
+    }
+
+    #[test]
+    fn rle_and_prefix_roundtrip_null_heavy_chunks(chunk in null_heavy_chunk()) {
+        roundtrip(&RunLengthEncoding, &chunk)?;
+        roundtrip(&PrefixCompression, &chunk)?;
+    }
+
+    #[test]
+    fn rle_and_prefix_roundtrip_all_equal_chunks(chunk in all_equal_chunk_with_nulls()) {
+        roundtrip(&RunLengthEncoding, &chunk)?;
+        roundtrip(&PrefixCompression, &chunk)?;
+    }
+
+    #[test]
+    fn rle_collapses_an_all_equal_pool_to_constant_size(chunk in all_equal_chunk()) {
+        let compressed = RunLengthEncoding.compress_chunk(&chunk).unwrap();
+        // One run: 2-byte count + 2-byte run length + one NS cell
+        // (1-byte marker + at most 32 payload bytes) — independent of the
+        // chunk length.
+        prop_assert!(
+            compressed.compressed_bytes() <= 2 + 2 + 1 + 32,
+            "all-equal RLE chunk of {} values took {} bytes",
+            chunk.len(),
+            compressed.compressed_bytes()
+        );
+    }
+
+    #[test]
+    fn prefix_stores_an_all_equal_pool_as_suffix_markers(chunk in all_equal_chunk()) {
+        let compressed = PrefixCompression.compress_chunk(&chunk).unwrap();
+        // The shared payload is the common prefix, stored once; every cell
+        // then stores only an (empty-)suffix length marker.
+        prop_assert!(
+            compressed.compressed_bytes() <= 2 + 1 + 32 + chunk.len(),
+            "all-equal prefix chunk of {} values took {} bytes",
+            chunk.len(),
+            compressed.compressed_bytes()
+        );
+    }
+
+    #[test]
+    fn rle_and_prefix_reject_corrupt_trailing_bytes(chunk in char_chunk()) {
+        for scheme in [&RunLengthEncoding as &dyn CompressionScheme, &PrefixCompression] {
+            let compressed = scheme.compress_chunk(&chunk).unwrap();
+            let mut bytes = compressed.bytes().to_vec();
+            bytes.push(0xAB);
+            let tampered = samplecf_compression::CompressedChunk::new(bytes);
+            prop_assert!(
+                scheme.decompress_chunk(&tampered, chunk.datatype()).is_err(),
+                "{} accepted trailing garbage",
+                scheme.name()
+            );
+        }
     }
 
     #[test]

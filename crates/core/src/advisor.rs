@@ -1,29 +1,109 @@
-//! A compression-aware physical design advisor.
+//! A compression-aware physical design advisor built on shared samples.
 //!
 //! The paper's motivation (Section I) is extending automated physical design
 //! tools to reason about compression: given a storage bound, decide which
-//! indexes to compress.  Doing that requires exactly the quantity SampleCF
-//! estimates — the compressed size of each candidate index — without paying
-//! for an actual compression of every candidate.  This module implements a
-//! small but complete version of that workflow: estimate the compressed size
-//! of every candidate cheaply with SampleCF, then greedily choose which
-//! indexes to compress so the total size fits a storage budget while
-//! respecting a decompression-cost penalty.
+//! indexes to compress.  Such a tool evaluates *many* candidate indexes, and
+//! Kimura et al. (*Compression Aware Physical Database Design*, VLDB 2011)
+//! showed the cost that dominates is not estimating each candidate but
+//! sampling the base data — so the winning strategy is to amortize one
+//! sample across every candidate drawn from the same configuration.
+//!
+//! This module implements that batch workflow:
+//!
+//! 1. **Group** candidates through a [`SampleCache`] keyed by (table
+//!    source, sampler kind + fraction, seed): the first candidate of a
+//!    group draws one
+//!    [`MaterializedSample`](samplecf_sampling::MaterializedSample), so a
+//!    disk-resident table pays its block I/O exactly once per group
+//!    (accounted by a [`CountingSource`](samplecf_storage::CountingSource)
+//!    and reported in the plan); every later candidate is a cache hit.
+//! 2. **Fan out** candidate evaluation across threads — each candidate
+//!    builds and compresses an index over the shared in-memory sample, plus
+//!    an analytic (I/O-free) uncompressed size from [`IndexSizeModel`].
+//!    Results are deterministic whatever the thread count.
+//! 3. **Choose** what to compress: a saving threshold first, then a greedy
+//!    budget pass (largest estimated saving first) if a storage budget is
+//!    set.
+//!
+//! The output is an [`AdvisorPlan`]: per-candidate [`Recommendation`]s plus
+//! plan-level accounting (samples drawn, pages read, wall-clock, and the
+//! estimated page cost a naive re-sample-per-candidate run would have paid).
 
+use crate::cache::{CachedSample, SampleCache};
 use crate::error::{CoreError, CoreResult};
-use crate::estimator::SampleCf;
+use crate::estimator::measure_rows;
 use samplecf_compression::CompressionScheme;
-use samplecf_index::{IndexBuilder, IndexSizeReport, IndexSpec};
+use samplecf_index::{IndexBuilder, IndexSizeModel, IndexSpec};
 use samplecf_sampling::SamplerKind;
-use samplecf_storage::Table;
+use samplecf_storage::TableSource;
+use std::time::{Duration, Instant};
 
-/// A candidate index the advisor reasons about.
-#[derive(Debug, Clone)]
+/// A candidate index the advisor reasons about: where the data lives, the
+/// index to (potentially) build compressed, and the compression scheme under
+/// consideration.
+///
+/// The source is any [`TableSource`] — an in-memory
+/// [`Table`](samplecf_storage::Table) coerces directly, so
+/// `Candidate::new(&table, spec, &scheme)` keeps working for in-memory use.
+/// Candidates on the same source with the same sampler configuration share
+/// one materialized sample.
+#[derive(Clone, Copy)]
 pub struct Candidate<'a> {
-    /// The base table.
-    pub table: &'a Table,
+    /// The base table (in-memory or disk-resident).
+    pub source: &'a dyn TableSource,
     /// The index to (potentially) build compressed.
-    pub spec: IndexSpec,
+    pub spec: &'a IndexSpec,
+    /// The compression scheme to evaluate for this candidate.
+    pub scheme: &'a dyn CompressionScheme,
+    /// Override of the advisor-wide sampler (None = use the config's).
+    pub sampler: Option<SamplerKind>,
+    /// Override of the advisor-wide sample seed (None = use the config's).
+    pub seed: Option<u64>,
+}
+
+impl<'a> Candidate<'a> {
+    /// A candidate using the advisor-wide sampler configuration.
+    #[must_use]
+    pub fn new(
+        source: &'a dyn TableSource,
+        spec: &'a IndexSpec,
+        scheme: &'a dyn CompressionScheme,
+    ) -> Self {
+        Candidate {
+            source,
+            spec,
+            scheme,
+            sampler: None,
+            seed: None,
+        }
+    }
+
+    /// Use a specific sampler for this candidate (placing it in its own
+    /// sample group unless other candidates use the same one).
+    #[must_use]
+    pub fn sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = Some(sampler);
+        self
+    }
+
+    /// Use a specific sample seed for this candidate.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+impl std::fmt::Debug for Candidate<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Candidate")
+            .field("table", &self.source.name())
+            .field("index", &self.spec.name())
+            .field("scheme", &self.scheme.name())
+            .field("sampler", &self.sampler)
+            .field("seed", &self.seed)
+            .finish()
+    }
 }
 
 /// The advisor's verdict for one candidate.
@@ -33,12 +113,18 @@ pub struct Recommendation {
     pub table: String,
     /// Index name.
     pub index: String,
-    /// Estimated uncompressed leaf-level size in bytes.
+    /// Compression scheme evaluated.
+    pub scheme: String,
+    /// Uncompressed leaf-level size in bytes (analytic, exact — no I/O).
     pub uncompressed_bytes: usize,
     /// Estimated compressed leaf-level size in bytes (via SampleCF).
     pub estimated_compressed_bytes: usize,
-    /// The estimated compression fraction.
+    /// The estimated compression fraction (the paper's CF).
     pub estimated_cf: f64,
+    /// Rows in the shared sample this estimate was computed from.
+    pub sample_rows: usize,
+    /// Index into [`AdvisorPlan::groups`] of the sample group used.
+    pub group: usize,
     /// Whether the advisor recommends compressing this index.
     pub compress: bool,
 }
@@ -66,16 +152,41 @@ impl Recommendation {
     }
 }
 
-/// The advisor's overall output.
-#[derive(Debug, Clone)]
-pub struct AdvisorReport {
-    /// Per-candidate recommendations, in input order.
-    pub recommendations: Vec<Recommendation>,
-    /// The storage budget that was targeted, if any.
-    pub budget_bytes: Option<usize>,
+/// One shared sample the plan drew: which configuration it came from, how
+/// many candidates reused it, and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleGroup {
+    /// Name of the table the sample was drawn from.
+    pub table: String,
+    /// Label of the sampler configuration (includes the fraction).
+    pub sampler: String,
+    /// RNG seed the sample was drawn with.
+    pub seed: u64,
+    /// Number of candidates that shared this sample.
+    pub candidates: usize,
+    /// Rows in the sample.
+    pub sample_rows: usize,
+    /// Physical pages read from the source to draw the sample.
+    pub pages_read: u64,
+    /// Wall-clock time spent drawing and materializing the sample.
+    pub sample_elapsed: Duration,
 }
 
-impl AdvisorReport {
+/// The advisor's overall output: recommendations plus the cost accounting of
+/// producing them.
+#[derive(Debug, Clone)]
+pub struct AdvisorPlan {
+    /// Per-candidate recommendations, in input order.
+    pub recommendations: Vec<Recommendation>,
+    /// The shared samples that were drawn, in first-use order.
+    pub groups: Vec<SampleGroup>,
+    /// The storage budget that was targeted, if any.
+    pub budget_bytes: Option<usize>,
+    /// Total wall-clock time for the whole plan.
+    pub elapsed: Duration,
+}
+
+impl AdvisorPlan {
     /// Total estimated size of all candidates under the recommendations.
     #[must_use]
     pub fn total_chosen_bytes(&self) -> usize {
@@ -94,38 +205,85 @@ impl AdvisorReport {
             .sum()
     }
 
-    /// Whether the recommendations fit the budget (always true when no budget
-    /// was given).
+    /// Whether the recommendations fit the budget (always true when no
+    /// budget was given).
     #[must_use]
     pub fn fits_budget(&self) -> bool {
         self.budget_bytes
             .is_none_or(|b| self.total_chosen_bytes() <= b)
+    }
+
+    /// Number of samples materialized (one per group).
+    #[must_use]
+    pub fn samples_drawn(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total physical pages read from the sources, across all groups.
+    #[must_use]
+    pub fn pages_read(&self) -> u64 {
+        self.groups.iter().map(|g| g.pages_read).sum()
+    }
+
+    /// Estimated pages a naive planner that re-draws the sample for every
+    /// candidate would have read: each group's cost multiplied by the number
+    /// of candidates that instead shared it.
+    #[must_use]
+    pub fn naive_pages_read(&self) -> u64 {
+        self.groups
+            .iter()
+            .map(|g| g.pages_read * g.candidates as u64)
+            .sum()
+    }
+
+    /// Pages saved versus the naive re-sample-per-candidate baseline.
+    #[must_use]
+    pub fn pages_saved_vs_naive(&self) -> u64 {
+        self.naive_pages_read().saturating_sub(self.pages_read())
     }
 }
 
 /// Configuration of the advisor.
 #[derive(Debug, Clone, Copy)]
 pub struct AdvisorConfig {
-    /// Sampling fraction used for the SampleCF estimates.
-    pub sampling_fraction: f64,
-    /// RNG seed for the estimates.
+    /// Sampler (and fraction) used for the SampleCF estimates; candidates
+    /// may override it per candidate.
+    pub sampler: SamplerKind,
+    /// RNG seed for the shared samples.
     pub seed: u64,
-    /// Minimum space saving (as a fraction of the uncompressed size) required
-    /// before compressing an index is considered worthwhile — this models the
-    /// CPU cost of decompression that the paper's introduction discusses.
+    /// Minimum space saving (as a fraction of the uncompressed size)
+    /// required before compressing an index is considered worthwhile — this
+    /// models the CPU cost of decompression that the paper's introduction
+    /// discusses.
     pub min_saving_fraction: f64,
     /// Optional storage budget in bytes.  When set, the advisor compresses
     /// greedily (largest estimated saving first) until the total fits.
     pub budget_bytes: Option<usize>,
+    /// Worker threads for candidate evaluation (0 = all available
+    /// parallelism).  The recommendations do not depend on this.
+    pub threads: usize,
 }
 
 impl Default for AdvisorConfig {
     fn default() -> Self {
         AdvisorConfig {
-            sampling_fraction: 0.01,
+            sampler: SamplerKind::UniformWithReplacement(0.01),
             seed: 0,
             min_saving_fraction: 0.10,
             budget_bytes: None,
+            threads: 0,
+        }
+    }
+}
+
+impl AdvisorConfig {
+    /// The paper's canonical configuration: uniform row sampling with
+    /// replacement at fraction `f`, defaults otherwise.
+    #[must_use]
+    pub fn with_fraction(fraction: f64) -> Self {
+        AdvisorConfig {
+            sampler: SamplerKind::UniformWithReplacement(fraction),
+            ..Default::default()
         }
     }
 }
@@ -139,12 +297,9 @@ pub struct CompressionAdvisor {
 impl CompressionAdvisor {
     /// Create an advisor with the given configuration.
     pub fn new(config: AdvisorConfig) -> CoreResult<Self> {
-        if !(config.sampling_fraction > 0.0 && config.sampling_fraction <= 1.0) {
-            return Err(CoreError::InvalidConfig(format!(
-                "sampling fraction must be in (0, 1], got {}",
-                config.sampling_fraction
-            )));
-        }
+        // Building the sampler validates its parameters (e.g. fraction in
+        // (0, 1]) without drawing anything.
+        config.sampler.build()?;
         if !(0.0..=1.0).contains(&config.min_saving_fraction) {
             return Err(CoreError::InvalidConfig(format!(
                 "min saving fraction must be in [0, 1], got {}",
@@ -154,96 +309,165 @@ impl CompressionAdvisor {
         Ok(CompressionAdvisor { config })
     }
 
-    /// Produce recommendations for a set of candidate indexes.
-    pub fn recommend(
-        &self,
-        candidates: &[Candidate<'_>],
-        scheme: &dyn CompressionScheme,
-    ) -> CoreResult<AdvisorReport> {
-        let estimator = SampleCf::new(SamplerKind::UniformWithReplacement(
-            self.config.sampling_fraction,
-        ))
-        .seed(self.config.seed);
+    /// Produce a plan for a set of candidate indexes.
+    ///
+    /// Each distinct (source, sampler, seed) group draws exactly one sample;
+    /// every candidate in the group is estimated from it.  Candidate
+    /// evaluation fans out across threads, but the recommendations are
+    /// byte-identical to a single-threaded run with the same seeds.
+    pub fn plan(&self, candidates: &[Candidate<'_>]) -> CoreResult<AdvisorPlan> {
+        let started = Instant::now();
 
-        let mut recommendations = Vec::with_capacity(candidates.len());
+        // Phase 1: resolve every candidate against the sample cache.  The
+        // cache draws one sample per (source identity, sampler, seed) key —
+        // paying and accounting the source I/O exactly once per key, with
+        // distinct groups drawn concurrently — and hands back a dense
+        // group id.
+        let mut requests = Vec::with_capacity(candidates.len());
         for c in candidates {
-            // Uncompressed size comes from the cheap schema-based model the
-            // paper mentions: build nothing, just account leaf bytes.
-            let index = IndexBuilder::new().build_from_table(c.table, &c.spec)?;
-            let size = IndexSizeReport::measure(&index);
-            let uncompressed = size.leaf_bytes();
+            let kind = c.sampler.unwrap_or(self.config.sampler);
+            // Validate per-candidate overrides the same way `new` validates
+            // the default.
+            kind.build()?;
+            requests.push((c.source, kind, c.seed.unwrap_or(self.config.seed)));
+        }
+        let mut cache = SampleCache::new();
+        let group_of = cache.get_or_draw_batch(&requests, self.config.threads)?;
 
-            let estimate = estimator.estimate(c.table, &c.spec, scheme)?;
-            let leaf_cf = estimate.cf_with_pointers.min(1.0);
-            let estimated_compressed = (uncompressed as f64 * leaf_cf).ceil() as usize;
-            recommendations.push(Recommendation {
-                table: c.table.name().to_string(),
-                index: c.spec.name().to_string(),
-                uncompressed_bytes: uncompressed,
-                estimated_compressed_bytes: estimated_compressed,
-                estimated_cf: estimate.cf,
-                compress: false,
-            });
+        // Phase 2: evaluate every candidate against its group's shared
+        // sample, fanned out across strided workers; evaluation is pure, so
+        // the outcome does not depend on the thread count.
+        let cache_ref = &cache;
+        let group_of_ref = &group_of;
+        let mut recommendations = Vec::with_capacity(candidates.len());
+        for r in crate::parallel::parallel_indexed_map(candidates.len(), self.config.threads, |i| {
+            let gi = group_of_ref[i];
+            evaluate(&candidates[i], gi, cache_ref.entry(gi))
+        }) {
+            recommendations.push(r?);
         }
 
-        // Pass 1: compress whatever clears the saving threshold.
-        for r in &mut recommendations {
-            let saving = r
-                .uncompressed_bytes
-                .saturating_sub(r.estimated_compressed_bytes);
-            let saving_fraction = if r.uncompressed_bytes == 0 {
-                0.0
-            } else {
-                saving as f64 / r.uncompressed_bytes as f64
-            };
-            r.compress = saving_fraction >= self.config.min_saving_fraction;
-        }
+        // Phase 3: decide what to compress.
+        apply_saving_threshold(&mut recommendations, self.config.min_saving_fraction);
+        apply_budget(&mut recommendations, self.config.budget_bytes);
 
-        // Pass 2: if a budget is set and we still do not fit, force-compress
-        // the remaining candidates in order of decreasing absolute saving.
-        if let Some(budget) = self.config.budget_bytes {
-            let mut total: usize = recommendations
-                .iter()
-                .map(Recommendation::chosen_bytes)
-                .sum();
-            if total > budget {
-                let mut order: Vec<usize> = (0..recommendations.len())
-                    .filter(|&i| !recommendations[i].compress)
-                    .collect();
-                order.sort_by_key(|&i| {
-                    std::cmp::Reverse(
-                        recommendations[i]
-                            .uncompressed_bytes
-                            .saturating_sub(recommendations[i].estimated_compressed_bytes),
-                    )
-                });
-                for i in order {
-                    if total <= budget {
-                        break;
-                    }
-                    let saving = recommendations[i]
-                        .uncompressed_bytes
-                        .saturating_sub(recommendations[i].estimated_compressed_bytes);
-                    if saving == 0 {
-                        continue;
-                    }
-                    recommendations[i].compress = true;
-                    total -= saving;
-                }
-            }
-        }
+        let groups = cache
+            .entries()
+            .iter()
+            .map(|e| SampleGroup {
+                table: e.source().name().to_string(),
+                sampler: e.kind().label(),
+                seed: e.seed(),
+                candidates: e.uses(),
+                sample_rows: e.rows().len(),
+                pages_read: e.pages_read(),
+                sample_elapsed: e.draw_elapsed(),
+            })
+            .collect();
 
-        Ok(AdvisorReport {
+        Ok(AdvisorPlan {
             recommendations,
+            groups,
             budget_bytes: self.config.budget_bytes,
+            elapsed: started.elapsed(),
         })
+    }
+}
+
+/// Evaluate one candidate from its group's shared sample: analytic
+/// uncompressed size (no I/O) + SampleCF estimate over the sample rows.
+fn evaluate(
+    candidate: &Candidate<'_>,
+    group: usize,
+    entry: &CachedSample<'_>,
+) -> CoreResult<Recommendation> {
+    let schema = candidate.source.schema();
+    let uncompressed = IndexSizeModel::new()
+        .estimate(schema, candidate.spec, candidate.source.num_rows())?
+        .leaf_bytes();
+
+    let measurement = measure_rows(
+        schema,
+        entry.rows(),
+        candidate.spec,
+        candidate.scheme,
+        &IndexBuilder::new(),
+        entry.kind().label(),
+    )?;
+    let leaf_cf = measurement.cf_with_pointers.min(1.0);
+    let estimated_compressed = (uncompressed as f64 * leaf_cf).ceil() as usize;
+
+    Ok(Recommendation {
+        table: candidate.source.name().to_string(),
+        index: candidate.spec.name().to_string(),
+        scheme: candidate.scheme.name().to_string(),
+        uncompressed_bytes: uncompressed,
+        estimated_compressed_bytes: estimated_compressed,
+        estimated_cf: measurement.cf,
+        sample_rows: entry.rows().len(),
+        group,
+        compress: false,
+    })
+}
+
+/// Pass 1: compress whatever clears the saving threshold.
+fn apply_saving_threshold(recommendations: &mut [Recommendation], min_saving_fraction: f64) {
+    for r in recommendations {
+        let saving = r
+            .uncompressed_bytes
+            .saturating_sub(r.estimated_compressed_bytes);
+        let saving_fraction = if r.uncompressed_bytes == 0 {
+            0.0
+        } else {
+            saving as f64 / r.uncompressed_bytes as f64
+        };
+        r.compress = saving_fraction >= min_saving_fraction;
+    }
+}
+
+/// Pass 2: if a budget is set and we still do not fit, force-compress the
+/// remaining candidates in order of decreasing absolute saving.
+fn apply_budget(recommendations: &mut [Recommendation], budget_bytes: Option<usize>) {
+    let Some(budget) = budget_bytes else {
+        return;
+    };
+    let mut total: usize = recommendations
+        .iter()
+        .map(Recommendation::chosen_bytes)
+        .sum();
+    if total <= budget {
+        return;
+    }
+    let mut order: Vec<usize> = (0..recommendations.len())
+        .filter(|&i| !recommendations[i].compress)
+        .collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse(
+            recommendations[i]
+                .uncompressed_bytes
+                .saturating_sub(recommendations[i].estimated_compressed_bytes),
+        )
+    });
+    for i in order {
+        if total <= budget {
+            break;
+        }
+        let saving = recommendations[i]
+            .uncompressed_bytes
+            .saturating_sub(recommendations[i].estimated_compressed_bytes);
+        if saving == 0 {
+            continue;
+        }
+        recommendations[i].compress = true;
+        total -= saving;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use samplecf_compression::DictionaryCompression;
+    use crate::estimator::SampleCf;
+    use samplecf_compression::{DictionaryCompression, NullSuppression};
     use samplecf_datagen::presets;
     use samplecf_storage::Table;
 
@@ -263,41 +487,37 @@ mod tests {
             .table
     }
 
+    fn advisor(fraction: f64) -> CompressionAdvisor {
+        CompressionAdvisor::new(AdvisorConfig::with_fraction(fraction)).unwrap()
+    }
+
     #[test]
     fn advisor_compresses_only_worthwhile_indexes() {
         let good = compressible_table(1);
         let bad = incompressible_table(2);
+        let spec_good = IndexSpec::nonclustered("idx_good", ["a"]).unwrap();
+        let spec_bad = IndexSpec::nonclustered("idx_bad", ["a"]).unwrap();
+        let scheme = DictionaryCompression::default();
         let candidates = vec![
-            Candidate {
-                table: &good,
-                spec: IndexSpec::nonclustered("idx_good", ["a"]).unwrap(),
-            },
-            Candidate {
-                table: &bad,
-                spec: IndexSpec::nonclustered("idx_bad", ["a"]).unwrap(),
-            },
+            Candidate::new(&good, &spec_good, &scheme),
+            Candidate::new(&bad, &spec_bad, &scheme),
         ];
-        let advisor = CompressionAdvisor::new(AdvisorConfig {
-            sampling_fraction: 0.05,
-            ..Default::default()
-        })
-        .unwrap();
-        let report = advisor
-            .recommend(&candidates, &DictionaryCompression::default())
-            .unwrap();
-        assert_eq!(report.recommendations.len(), 2);
+        let plan = advisor(0.05).plan(&candidates).unwrap();
+        assert_eq!(plan.recommendations.len(), 2);
         assert!(
-            report.recommendations[0].compress,
+            plan.recommendations[0].compress,
             "highly compressible index should be compressed"
         );
         assert!(
-            !report.recommendations[1].compress,
+            !plan.recommendations[1].compress,
             "incompressible index should be left alone"
         );
-        assert!(report.recommendations[0].estimated_cf < 0.5);
-        assert!(report.recommendations[1].estimated_cf > 0.8);
-        assert!(report.total_chosen_bytes() < report.total_uncompressed_bytes());
-        assert!(report.fits_budget());
+        assert!(plan.recommendations[0].estimated_cf < 0.5);
+        assert!(plan.recommendations[1].estimated_cf > 0.8);
+        assert!(plan.total_chosen_bytes() < plan.total_uncompressed_bytes());
+        assert!(plan.fits_budget());
+        // Two distinct tables, one sample each.
+        assert_eq!(plan.samples_drawn(), 2);
     }
 
     #[test]
@@ -307,57 +527,153 @@ mod tests {
             .generate()
             .unwrap()
             .table;
+        let spec_a = IndexSpec::nonclustered("idx_a", ["a"]).unwrap();
+        let spec_b = IndexSpec::nonclustered("idx_b", ["a"]).unwrap();
+        let scheme = DictionaryCompression::default();
         let candidates = vec![
-            Candidate {
-                table: &good,
-                spec: IndexSpec::nonclustered("idx_a", ["a"]).unwrap(),
-            },
-            Candidate {
-                table: &mid,
-                spec: IndexSpec::nonclustered("idx_b", ["a"]).unwrap(),
-            },
+            Candidate::new(&good, &spec_a, &scheme),
+            Candidate::new(&mid, &spec_b, &scheme),
         ];
         // With an absurdly high saving threshold nothing is compressed...
         let lazy = CompressionAdvisor::new(AdvisorConfig {
-            sampling_fraction: 0.05,
             min_saving_fraction: 0.99,
-            budget_bytes: None,
-            ..Default::default()
+            ..AdvisorConfig::with_fraction(0.05)
         })
         .unwrap();
-        let report = lazy
-            .recommend(&candidates, &DictionaryCompression::default())
-            .unwrap();
-        assert!(report.recommendations.iter().all(|r| !r.compress));
+        let plan = lazy.plan(&candidates).unwrap();
+        assert!(plan.recommendations.iter().all(|r| !r.compress));
 
         // ...but a tight budget forces the advisor to compress anyway.
-        let budget = report.total_uncompressed_bytes() / 2;
+        let budget = plan.total_uncompressed_bytes() / 2;
         let constrained = CompressionAdvisor::new(AdvisorConfig {
-            sampling_fraction: 0.05,
             min_saving_fraction: 0.99,
             budget_bytes: Some(budget),
-            ..Default::default()
+            ..AdvisorConfig::with_fraction(0.05)
         })
         .unwrap();
-        let report = constrained
-            .recommend(&candidates, &DictionaryCompression::default())
+        let plan = constrained.plan(&candidates).unwrap();
+        assert!(plan.recommendations.iter().any(|r| r.compress));
+        assert_eq!(plan.budget_bytes, Some(budget));
+    }
+
+    #[test]
+    fn candidates_share_one_sample_per_group() {
+        let t = compressible_table(5);
+        let spec_a = IndexSpec::nonclustered("idx_plain", ["a"]).unwrap();
+        let spec_b = IndexSpec::clustered("idx_clustered", ["a"]).unwrap();
+        let dict = DictionaryCompression::default();
+        let ns = NullSuppression;
+        // Four candidates on one table: 3 share the default group, 1 opts
+        // into its own seed.
+        let candidates = vec![
+            Candidate::new(&t, &spec_a, &dict),
+            Candidate::new(&t, &spec_a, &ns),
+            Candidate::new(&t, &spec_b, &dict),
+            Candidate::new(&t, &spec_b, &dict).seed(99),
+        ];
+        let plan = advisor(0.05).plan(&candidates).unwrap();
+        assert_eq!(plan.samples_drawn(), 2);
+        assert_eq!(plan.groups[0].candidates, 3);
+        assert_eq!(plan.groups[1].candidates, 1);
+        assert_eq!(plan.groups[1].seed, 99);
+        assert_eq!(plan.recommendations[0].group, 0);
+        assert_eq!(plan.recommendations[3].group, 1);
+        // Naive baseline would have drawn the first group's sample 3 times.
+        assert_eq!(
+            plan.naive_pages_read(),
+            plan.groups[0].pages_read * 3 + plan.groups[1].pages_read
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic_across_thread_counts() {
+        let t = compressible_table(6);
+        let other = incompressible_table(7);
+        let specs: Vec<IndexSpec> = (0..6)
+            .map(|i| IndexSpec::nonclustered(format!("idx{i}"), ["a"]).unwrap())
+            .collect();
+        let dict = DictionaryCompression::default();
+        let ns = NullSuppression;
+        let schemes: [&dyn samplecf_compression::CompressionScheme; 2] = [&dict, &ns];
+        let candidates: Vec<Candidate<'_>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let source: &dyn TableSource = if i % 3 == 0 { &other } else { &t };
+                Candidate::new(source, spec, schemes[i % 2])
+            })
+            .collect();
+        let single = CompressionAdvisor::new(AdvisorConfig {
+            threads: 1,
+            ..AdvisorConfig::with_fraction(0.05)
+        })
+        .unwrap()
+        .plan(&candidates)
+        .unwrap();
+        let multi = CompressionAdvisor::new(AdvisorConfig {
+            threads: 4,
+            ..AdvisorConfig::with_fraction(0.05)
+        })
+        .unwrap()
+        .plan(&candidates)
+        .unwrap();
+        assert_eq!(single.recommendations, multi.recommendations);
+        // Groups agree on everything but wall-clock.
+        assert_eq!(single.groups.len(), multi.groups.len());
+        for (a, b) in single.groups.iter().zip(&multi.groups) {
+            assert_eq!(
+                (a.table.as_str(), a.sampler.as_str(), a.seed, a.candidates),
+                (b.table.as_str(), b.sampler.as_str(), b.seed, b.candidates)
+            );
+            assert_eq!((a.sample_rows, a.pages_read), (b.sample_rows, b.pages_read));
+        }
+    }
+
+    #[test]
+    fn shared_estimates_match_direct_estimator_runs() {
+        let t = compressible_table(8);
+        let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
+        let dict = DictionaryCompression::default();
+        let config = AdvisorConfig {
+            seed: 21,
+            ..AdvisorConfig::with_fraction(0.05)
+        };
+        let plan = CompressionAdvisor::new(config)
+            .unwrap()
+            .plan(&[Candidate::new(&t, &spec, &dict)])
             .unwrap();
-        assert!(report.recommendations.iter().any(|r| r.compress));
-        assert!(report.budget_bytes == Some(budget));
+        let direct = SampleCf::new(config.sampler)
+            .seed(21)
+            .estimate(&t, &spec, &dict)
+            .unwrap();
+        assert_eq!(plan.recommendations[0].estimated_cf, direct.cf);
+        assert_eq!(plan.recommendations[0].sample_rows, direct.data.rows);
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(CompressionAdvisor::new(AdvisorConfig {
-            sampling_fraction: 0.0,
-            ..Default::default()
-        })
-        .is_err());
+        assert!(CompressionAdvisor::new(AdvisorConfig::with_fraction(0.0)).is_err());
         assert!(CompressionAdvisor::new(AdvisorConfig {
             min_saving_fraction: 1.5,
             ..Default::default()
         })
         .is_err());
+        // Invalid per-candidate override is caught at plan time.
+        let t = compressible_table(9);
+        let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
+        let scheme = NullSuppression;
+        let bad = Candidate::new(&t, &spec, &scheme).sampler(SamplerKind::Block(2.0));
+        assert!(advisor(0.05).plan(&[bad]).is_err());
+    }
+
+    #[test]
+    fn empty_candidate_list_yields_an_empty_plan() {
+        let plan = advisor(0.05).plan(&[]).unwrap();
+        assert!(plan.recommendations.is_empty());
+        assert!(plan.groups.is_empty());
+        assert_eq!(plan.pages_read(), 0);
+        assert_eq!(plan.total_chosen_bytes(), 0);
+        assert!(plan.fits_budget());
     }
 
     #[test]
@@ -365,9 +681,12 @@ mod tests {
         let r = Recommendation {
             table: "t".into(),
             index: "i".into(),
+            scheme: "ns".into(),
             uncompressed_bytes: 1000,
             estimated_compressed_bytes: 400,
             estimated_cf: 0.4,
+            sample_rows: 50,
+            group: 0,
             compress: true,
         };
         assert_eq!(r.estimated_saving(), 600);

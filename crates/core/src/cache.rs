@@ -1,0 +1,408 @@
+//! The sample cache: one materialized sample per (source, sampler, seed)
+//! configuration, shared by every consumer that asks for it.
+//!
+//! Nirkhiwale et al. (*A Sampling Algebra for Aggregate Estimation*)
+//! motivate treating a sample as a first-class object with its own
+//! lifecycle; this module gives it one.  A [`SampleCache`] is keyed by
+//! *(source identity, sampler kind + fraction, seed)* — exactly the triple
+//! that determines which rows a draw produces — so any two requests with
+//! the same key share one [`MaterializedSample`], and the source pays its
+//! sampling I/O once per key however many candidates are evaluated.  The
+//! cache records what each entry cost (pages read, wall-clock) and how many
+//! times it was reused, which is where the advisor's plan accounting comes
+//! from.
+
+use crate::error::CoreResult;
+use samplecf_sampling::{MaterializedSample, SampledRow, SamplerKind};
+use samplecf_storage::{CountingSource, TableSource};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Identity of a source reference.  Two requests share a cache entry only
+/// when they point at the *same* source object (not merely sources with
+/// equal names), so distinct tables never alias.
+fn source_key(source: &dyn TableSource) -> usize {
+    std::ptr::from_ref(source).cast::<()>() as usize
+}
+
+/// Draw and materialize one sample, accounting its I/O and wall-clock.
+fn draw_entry<'a>(
+    source: &'a dyn TableSource,
+    kind: SamplerKind,
+    seed: u64,
+    uses: usize,
+) -> CoreResult<CachedSample<'a>> {
+    let counting = CountingSource::new(source);
+    let started = Instant::now();
+    let sample = MaterializedSample::draw(&counting, kind, seed)?;
+    let draw_elapsed = started.elapsed();
+    let pages_read = counting.pages_read();
+    let rows = sample.rows()?;
+    Ok(CachedSample {
+        source,
+        kind,
+        seed,
+        sample,
+        rows,
+        pages_read,
+        draw_elapsed,
+        uses,
+    })
+}
+
+/// One cached sample plus its cost accounting.
+///
+/// The entry keeps the sample in both of its useful forms: the owned
+/// in-memory [`Table`](samplecf_storage::Table) (via
+/// [`sample`](Self::sample)) and the `(Rid, Row)` pairs decoded once at
+/// draw time (via [`rows`](Self::rows)), so consumers get either without
+/// re-decoding.  Samples are small by construction (`f·n` rows), so
+/// holding both is a deliberate CPU-for-memory trade.
+pub struct CachedSample<'a> {
+    source: &'a dyn TableSource,
+    kind: SamplerKind,
+    seed: u64,
+    sample: MaterializedSample,
+    rows: Vec<SampledRow>,
+    pages_read: u64,
+    draw_elapsed: Duration,
+    uses: usize,
+}
+
+impl<'a> CachedSample<'a> {
+    /// The source the sample was drawn from.
+    #[must_use]
+    pub fn source(&self) -> &'a dyn TableSource {
+        self.source
+    }
+
+    /// The sampler configuration of this entry.
+    #[must_use]
+    pub fn kind(&self) -> SamplerKind {
+        self.kind
+    }
+
+    /// The RNG seed of this entry.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The materialized sample itself.
+    #[must_use]
+    pub fn sample(&self) -> &MaterializedSample {
+        &self.sample
+    }
+
+    /// The drawn `(Rid, Row)` pairs, decoded once at draw time and shared
+    /// by every consumer.
+    #[must_use]
+    pub fn rows(&self) -> &[SampledRow] {
+        &self.rows
+    }
+
+    /// Physical pages read from the source to draw this sample.
+    #[must_use]
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read
+    }
+
+    /// Wall-clock time spent drawing and materializing the sample.
+    #[must_use]
+    pub fn draw_elapsed(&self) -> Duration {
+        self.draw_elapsed
+    }
+
+    /// How many times this entry was requested (1 = drawn, never reused).
+    #[must_use]
+    pub fn uses(&self) -> usize {
+        self.uses
+    }
+}
+
+/// A cache of materialized samples keyed by (source, sampler, seed).
+///
+/// [`get_or_draw`](Self::get_or_draw) returns a stable entry id: the first
+/// request with a given key draws (paying the I/O, which the cache
+/// accounts); every later request is a hit.  Entry ids are dense indexes in
+/// first-use order, so callers can use them to group their own bookkeeping
+/// (the advisor's `Recommendation::group` is exactly this id).
+#[derive(Default)]
+pub struct SampleCache<'a> {
+    entries: Vec<CachedSample<'a>>,
+    index: HashMap<(usize, String, u64), usize>,
+}
+
+impl<'a> SampleCache<'a> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the entry id for (source, kind, seed), drawing and
+    /// materializing the sample on first use.
+    ///
+    /// The draw goes through a [`CountingSource`] so the entry records
+    /// exactly how many physical pages it cost; hits cost nothing.
+    pub fn get_or_draw(
+        &mut self,
+        source: &'a dyn TableSource,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> CoreResult<usize> {
+        let key = (source_key(source), kind.label(), seed);
+        if let Some(&id) = self.index.get(&key) {
+            self.entries[id].uses += 1;
+            return Ok(id);
+        }
+        let id = self.entries.len();
+        self.entries.push(draw_entry(source, kind, seed, 1)?);
+        self.index.insert(key, id);
+        Ok(id)
+    }
+
+    /// Resolve a whole batch of requests at once, drawing every cache miss
+    /// concurrently (`threads` workers; 0 = all available parallelism).
+    ///
+    /// Ids, use counts and entry order are identical to issuing the
+    /// requests one at a time through [`get_or_draw`](Self::get_or_draw) —
+    /// only the draws themselves run in parallel, and each draw is
+    /// independently seeded, so the cache contents are deterministic.  This
+    /// is the batch advisor's sampling phase: when candidates span several
+    /// disk-resident tables (or seeds), their per-group I/O overlaps
+    /// instead of summing.  On error the cache is left exactly as it was
+    /// before the call.
+    pub fn get_or_draw_batch(
+        &mut self,
+        requests: &[(&'a dyn TableSource, SamplerKind, u64)],
+        threads: usize,
+    ) -> CoreResult<Vec<usize>> {
+        // Resolve ids first, deferring every `uses` increment (on existing
+        // and pending entries alike) until all draws have succeeded, so a
+        // failed batch leaves the cache untouched.
+        let mut ids = Vec::with_capacity(requests.len());
+        let mut hit_uses: HashMap<usize, usize> = HashMap::new();
+        let mut pending: Vec<(&'a dyn TableSource, SamplerKind, u64)> = Vec::new();
+        let mut pending_keys: Vec<(usize, String, u64)> = Vec::new();
+        for &(source, kind, seed) in requests {
+            let key = (source_key(source), kind.label(), seed);
+            let id = match self.index.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = self.entries.len() + pending.len();
+                    self.index.insert(key.clone(), id);
+                    pending.push((source, kind, seed));
+                    pending_keys.push(key);
+                    id
+                }
+            };
+            *hit_uses.entry(id).or_insert(0) += 1;
+            ids.push(id);
+        }
+
+        let pending_ref = &pending;
+        let mut drawn = Vec::with_capacity(pending.len());
+        for result in crate::parallel::parallel_indexed_map(pending.len(), threads, |i| {
+            let (source, kind, seed) = pending_ref[i];
+            draw_entry(source, kind, seed, 0)
+        }) {
+            match result {
+                Ok(entry) => drawn.push(entry),
+                Err(e) => {
+                    // Roll the reservations back so the cache stays exactly
+                    // as it was, then report the first failure in request
+                    // order.
+                    for key in &pending_keys {
+                        self.index.remove(key);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.entries.extend(drawn);
+        for (id, uses) in hit_uses {
+            self.entries[id].uses += uses;
+        }
+        Ok(ids)
+    }
+
+    /// The cached entry with the given id.
+    #[must_use]
+    pub fn entry(&self, id: usize) -> &CachedSample<'a> {
+        &self.entries[id]
+    }
+
+    /// All entries, in first-use order.
+    #[must_use]
+    pub fn entries(&self) -> &[CachedSample<'a>] {
+        &self.entries
+    }
+
+    /// Number of distinct samples drawn.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache has drawn anything yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total physical pages read across all entries.
+    #[must_use]
+    pub fn pages_read(&self) -> u64 {
+        self.entries.iter().map(|e| e.pages_read).sum()
+    }
+
+    /// Pages a caller would have read had every request drawn afresh
+    /// instead of hitting the cache: each entry's cost times its use count.
+    #[must_use]
+    pub fn naive_pages_read(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.pages_read * e.uses as u64)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for SampleCache<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleCache")
+            .field("samples", &self.len())
+            .field("pages_read", &self.pages_read())
+            .field("naive_pages_read", &self.naive_pages_read())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samplecf_datagen::presets;
+    use samplecf_storage::Table;
+
+    fn table(name: &str, seed: u64) -> Table {
+        presets::single_char_table(name, 2_000, 16, 50, 8, seed)
+            .generate()
+            .unwrap()
+            .table
+    }
+
+    #[test]
+    fn same_key_hits_and_different_keys_miss() {
+        let a = table("a", 1);
+        let b = table("b", 2);
+        let mut cache = SampleCache::new();
+        let kind = SamplerKind::Block(0.1);
+        let id0 = cache.get_or_draw(&a, kind, 0).unwrap();
+        assert_eq!(cache.get_or_draw(&a, kind, 0).unwrap(), id0);
+        // A different seed, sampler or source each draws afresh.
+        let id1 = cache.get_or_draw(&a, kind, 1).unwrap();
+        let id2 = cache.get_or_draw(&a, SamplerKind::Block(0.2), 0).unwrap();
+        let id3 = cache.get_or_draw(&b, kind, 0).unwrap();
+        assert_eq!(
+            [id0, id1, id2, id3],
+            [0, 1, 2, 3],
+            "ids are dense in first-use order"
+        );
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.entry(id0).uses(), 2);
+        assert_eq!(cache.entry(id1).uses(), 1);
+    }
+
+    #[test]
+    fn identical_tables_at_different_addresses_do_not_alias() {
+        let a = table("same", 7);
+        let b = a.clone();
+        let mut cache = SampleCache::new();
+        let kind = SamplerKind::Block(0.1);
+        let id_a = cache.get_or_draw(&a, kind, 0).unwrap();
+        let id_b = cache.get_or_draw(&b, kind, 0).unwrap();
+        assert_ne!(id_a, id_b, "identity is the reference, not the name");
+    }
+
+    #[test]
+    fn batch_resolution_matches_serial_resolution() {
+        let a = table("a", 11);
+        let b = table("b", 12);
+        let kind = SamplerKind::Block(0.1);
+        let requests: Vec<(&dyn TableSource, SamplerKind, u64)> = vec![
+            (&a, kind, 0),
+            (&a, kind, 0),
+            (&b, kind, 0),
+            (&a, kind, 9),
+            (&b, kind, 0),
+        ];
+
+        let mut serial = SampleCache::new();
+        let serial_ids: Vec<usize> = requests
+            .iter()
+            .map(|&(s, k, seed)| serial.get_or_draw(s, k, seed).unwrap())
+            .collect();
+
+        for threads in [1, 4] {
+            let mut batch = SampleCache::new();
+            let batch_ids = batch.get_or_draw_batch(&requests, threads).unwrap();
+            assert_eq!(batch_ids, serial_ids, "threads = {threads}");
+            assert_eq!(batch.len(), serial.len());
+            for (be, se) in batch.entries().iter().zip(serial.entries()) {
+                assert_eq!(be.uses(), se.uses());
+                assert_eq!(be.rows(), se.rows());
+                assert_eq!(be.pages_read(), se.pages_read());
+            }
+            // Resolving the same batch again is all hits: nothing new drawn.
+            let again = batch.get_or_draw_batch(&requests, threads).unwrap();
+            assert_eq!(again, serial_ids);
+            assert_eq!(batch.len(), serial.len());
+        }
+    }
+
+    #[test]
+    fn failed_batch_leaves_the_cache_unchanged() {
+        let t = table("t", 13);
+        let mut cache = SampleCache::new();
+        let good = SamplerKind::Block(0.1);
+        cache.get_or_draw(&t, good, 0).unwrap();
+        // A failing batch that also hits the pre-existing entry and draws a
+        // fresh one: nothing — entries, keys or use counts — may change.
+        let requests: Vec<(&dyn TableSource, SamplerKind, u64)> = vec![
+            (&t, good, 0),
+            (&t, good, 1),
+            (&t, SamplerKind::Reservoir(0), 0),
+        ];
+        assert!(cache.get_or_draw_batch(&requests, 2).is_err());
+        assert_eq!(cache.len(), 1, "failed batch must not leave entries");
+        assert_eq!(
+            cache.entry(0).uses(),
+            1,
+            "failed batch must not bump use counts on existing entries"
+        );
+        // The rolled-back keys can be requested again cleanly.
+        let id = cache.get_or_draw(&t, good, 1).unwrap();
+        assert_eq!(id, 1);
+    }
+
+    #[test]
+    fn accounting_tracks_draws_and_reuse() {
+        let t = table("t", 3);
+        let mut cache = SampleCache::new();
+        let kind = SamplerKind::Block(0.25);
+        let id = cache.get_or_draw(&t, kind, 5).unwrap();
+        for _ in 0..3 {
+            assert_eq!(cache.get_or_draw(&t, kind, 5).unwrap(), id);
+        }
+        let entry = cache.entry(id);
+        assert_eq!(entry.uses(), 4);
+        let expected_pages = ((t.num_pages() as f64) * 0.25).round().max(1.0) as u64;
+        assert_eq!(entry.pages_read(), expected_pages);
+        assert_eq!(cache.pages_read(), expected_pages);
+        assert_eq!(cache.naive_pages_read(), expected_pages * 4);
+        assert!(!entry.rows().is_empty());
+        assert_eq!(entry.rows().len(), entry.sample().len());
+        assert_eq!(entry.kind(), kind);
+        assert_eq!(entry.seed(), 5);
+    }
+}

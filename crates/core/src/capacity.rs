@@ -8,17 +8,29 @@
 use crate::error::CoreResult;
 use crate::estimator::SampleCf;
 use samplecf_compression::CompressionScheme;
-use samplecf_index::{IndexBuilder, IndexSizeReport, IndexSpec};
+use samplecf_index::{IndexSizeModel, IndexSpec};
 use samplecf_sampling::SamplerKind;
-use samplecf_storage::Table;
+use samplecf_storage::TableSource;
 
 /// One object (table + index definition) included in the plan.
-#[derive(Debug, Clone)]
+///
+/// The table is any [`TableSource`]; an in-memory
+/// [`Table`](samplecf_storage::Table) coerces directly.
+#[derive(Clone)]
 pub struct PlannedObject<'a> {
-    /// The base table.
-    pub table: &'a Table,
+    /// The base table (in-memory or disk-resident).
+    pub table: &'a dyn TableSource,
     /// The index whose storage is being planned.
     pub spec: IndexSpec,
+}
+
+impl std::fmt::Debug for PlannedObject<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannedObject")
+            .field("table", &self.table.name())
+            .field("index", &self.spec.name())
+            .finish()
+    }
 }
 
 /// Size estimate for one planned object.
@@ -30,7 +42,7 @@ pub struct ObjectEstimate {
     pub index: String,
     /// Number of rows in the base table.
     pub rows: usize,
-    /// Uncompressed leaf-level bytes (measured exactly; this is cheap).
+    /// Uncompressed leaf-level bytes (analytic, exact — no I/O).
     pub uncompressed_bytes: usize,
     /// Estimated compressed leaf-level bytes.
     pub estimated_compressed_bytes: usize,
@@ -116,11 +128,15 @@ impl CapacityPlanner {
     ) -> CoreResult<CapacityPlan> {
         let estimator = SampleCf::new(SamplerKind::UniformWithReplacement(self.sampling_fraction))
             .seed(self.seed);
+        let model = IndexSizeModel::new();
         let mut estimates = Vec::with_capacity(objects.len());
         for o in objects {
-            let index = IndexBuilder::new().build_from_table(o.table, &o.spec)?;
-            let size = IndexSizeReport::measure(&index);
-            let uncompressed = size.leaf_bytes();
+            // The uncompressed footprint is analytic: schema + row count,
+            // no index build, no page reads.  Only the compressed side needs
+            // the sample — the paper's division of labour.
+            let uncompressed = model
+                .estimate(o.table.schema(), &o.spec, o.table.num_rows())?
+                .leaf_bytes();
             let est = estimator.estimate(o.table, &o.spec, scheme)?;
             let leaf_cf = est.cf_with_pointers.min(1.0);
             estimates.push(ObjectEstimate {

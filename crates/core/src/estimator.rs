@@ -18,8 +18,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use samplecf_compression::CompressionScheme;
 use samplecf_index::{compress_index, CompressedIndexReport, IndexBuilder, IndexSpec};
-use samplecf_sampling::{RowSampler, SamplerKind};
-use samplecf_storage::{TableSource, Value};
+use samplecf_sampling::{MaterializedSample, RowSampler, SamplerKind};
+use samplecf_storage::{Schema, TableSource, Value};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -92,8 +92,11 @@ impl CfMeasurement {
     }
 }
 
-fn measure_rows(
-    source: &dyn TableSource,
+/// Build and compress an index over an explicit row set and report its CF.
+/// The shared kernel behind [`ExactCf`], [`SampleCf::estimate`], and the
+/// advisor's shared-sample evaluation.
+pub(crate) fn measure_rows(
+    schema: &Schema,
     rows: &[(samplecf_storage::Rid, samplecf_storage::Row)],
     spec: &IndexSpec,
     scheme: &dyn CompressionScheme,
@@ -101,12 +104,12 @@ fn measure_rows(
     sampler_label: String,
 ) -> CoreResult<CfMeasurement> {
     let start = Instant::now();
-    let index = builder.build_from_rows(source.schema(), rows, spec)?;
+    let index = builder.build_from_rows(schema, rows, spec)?;
     let report = compress_index(&index, scheme)?;
     let elapsed = start.elapsed();
 
     let first_key = spec
-        .key_indexes(source.schema())?
+        .key_indexes(schema)?
         .first()
         .copied()
         .ok_or_else(|| CoreError::InvalidConfig("index has no key columns".to_string()))?;
@@ -156,7 +159,7 @@ impl ExactCf {
     ) -> CoreResult<CfMeasurement> {
         let rows = source.scan_rows()?;
         measure_rows(
-            source,
+            source.schema(),
             &rows,
             spec,
             scheme,
@@ -248,7 +251,7 @@ impl SampleCf {
         let sample = sampler.sample(source, rng)?;
         let sampling_time = sample_start.elapsed();
         let mut m = measure_rows(
-            source,
+            source.schema(),
             &sample,
             spec,
             scheme,
@@ -257,6 +260,32 @@ impl SampleCf {
         )?;
         m.elapsed += sampling_time;
         Ok(m)
+    }
+
+    /// Run the estimator over an already-drawn [`MaterializedSample`]
+    /// instead of sampling afresh.
+    ///
+    /// This is the batch-estimation entry point: draw one sample (paying its
+    /// I/O once), then estimate any number of (index spec × compression
+    /// scheme) candidates from it.  For a sample drawn with the same
+    /// `(sampler kind, seed)` as this estimator would use, the measurement
+    /// is identical to [`estimate`](Self::estimate) — same rows, same CF —
+    /// except that `elapsed` excludes the (already paid) sampling time.
+    pub fn estimate_materialized(
+        &self,
+        sample: &MaterializedSample,
+        spec: &IndexSpec,
+        scheme: &dyn CompressionScheme,
+    ) -> CoreResult<CfMeasurement> {
+        let rows = sample.rows()?;
+        measure_rows(
+            sample.table().schema(),
+            &rows,
+            spec,
+            scheme,
+            &self.builder,
+            sample.kind().label(),
+        )
     }
 }
 
@@ -408,6 +437,35 @@ mod tests {
                 est.cf
             );
             assert!(est.data.rows > 0);
+        }
+    }
+
+    #[test]
+    fn materialized_estimate_equals_direct_estimate_seed_for_seed() {
+        use samplecf_sampling::MaterializedSample;
+        let t = table(8_000, 400, 12);
+        for kind in [
+            SamplerKind::UniformWithReplacement(0.05),
+            SamplerKind::Block(0.05),
+            SamplerKind::Systematic(0.05),
+        ] {
+            let sample = MaterializedSample::draw(&t, kind, 42).unwrap();
+            for scheme_name in ["null-suppression", "dictionary-global", "rle"] {
+                let scheme = samplecf_compression::scheme_by_name(scheme_name).unwrap();
+                let direct = SampleCf::new(kind)
+                    .seed(42)
+                    .estimate(&t, &spec(), scheme.as_ref())
+                    .unwrap();
+                let shared = SampleCf::new(kind)
+                    .estimate_materialized(&sample, &spec(), scheme.as_ref())
+                    .unwrap();
+                assert_eq!(shared.cf, direct.cf, "{kind:?}/{scheme_name}");
+                assert_eq!(shared.cf_with_pointers, direct.cf_with_pointers);
+                assert_eq!(shared.cf_pages, direct.cf_pages);
+                assert_eq!(shared.data, direct.data);
+                assert_eq!(shared.sampler, direct.sampler);
+                assert_eq!(shared.report.per_column, direct.report.per_column);
+            }
         }
     }
 

@@ -24,7 +24,11 @@
 //!   Shlosser, naive scale-up) used as baselines against SampleCF for
 //!   dictionary compression,
 //! * [`advisor`] / [`capacity`] — the two applications the paper motivates:
-//!   compression-aware physical design and capacity planning.
+//!   compression-aware physical design and capacity planning.  The advisor
+//!   is a batch planner built on [`cache::SampleCache`]: candidates grouped
+//!   by (table, sampler, seed) share one materialized sample, so a
+//!   disk-resident table pays its sampling I/O once per group however many
+//!   candidates are evaluated.
 //!
 //! ## Quickstart
 //!
@@ -51,15 +55,20 @@
 //! ```
 
 pub mod advisor;
+pub mod cache;
 pub mod capacity;
 pub mod distinct;
 pub mod error;
 pub mod estimator;
 pub mod metrics;
+mod parallel;
 pub mod theory;
 pub mod trials;
 
-pub use advisor::{AdvisorConfig, AdvisorReport, Candidate, CompressionAdvisor, Recommendation};
+pub use advisor::{
+    AdvisorConfig, AdvisorPlan, Candidate, CompressionAdvisor, Recommendation, SampleGroup,
+};
+pub use cache::{CachedSample, SampleCache};
 pub use capacity::{CapacityPlan, CapacityPlanner, ObjectEstimate, PlannedObject};
 pub use distinct::{
     all_estimators, Chao84, DistinctEstimator, FrequencyHistogram, GuaranteedErrorEstimator,

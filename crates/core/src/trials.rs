@@ -185,53 +185,19 @@ impl TrialRunner {
         scheme: &dyn CompressionScheme,
         sampler: SamplerKind,
     ) -> CoreResult<Vec<f64>> {
-        let trials = self.config.trials;
-        let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        } else {
-            self.config.threads
-        }
-        .min(trials.max(1));
-
         let estimator = SampleCf::new(sampler);
         let base_seed = self.config.base_seed;
-        let mut results: Vec<CoreResult<(usize, f64)>> = Vec::with_capacity(trials);
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for worker in 0..threads {
-                let estimator = &estimator;
-                let sampler_obj = sampler;
-                handles.push(scope.spawn(move || {
-                    let mut local = Vec::new();
-                    let mut trial = worker;
-                    while trial < trials {
-                        let seed = base_seed.wrapping_add(trial as u64);
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        let result = sampler_obj
-                            .build()
-                            .map_err(CoreError::from)
-                            .and_then(|s| {
-                                estimator.estimate_with(source, spec, scheme, s.as_ref(), &mut rng)
-                            })
-                            .map(|m| (trial, m.cf));
-                        local.push(result);
-                        trial += threads;
-                    }
-                    local
-                }));
-            }
-            for h in handles {
-                results.extend(h.join().expect("trial worker panicked"));
-            }
-        });
-
-        let mut indexed: Vec<(usize, f64)> = Vec::with_capacity(trials);
-        for r in results {
-            indexed.push(r?);
-        }
-        indexed.sort_by_key(|(i, _)| *i);
-        Ok(indexed.into_iter().map(|(_, cf)| cf).collect())
+        crate::parallel::parallel_indexed_map(self.config.trials, self.config.threads, |trial| {
+            let seed = base_seed.wrapping_add(trial as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            sampler
+                .build()
+                .map_err(CoreError::from)
+                .and_then(|s| estimator.estimate_with(source, spec, scheme, s.as_ref(), &mut rng))
+                .map(|m| m.cf)
+        })
+        .into_iter()
+        .collect()
     }
 }
 

@@ -10,6 +10,9 @@
 //! * [`IndexSpec`] / [`IndexBuilder`] / [`BTreeIndex`] — bulk-loaded B+-trees
 //!   (clustered and non-clustered) over real slotted pages,
 //! * [`IndexSizeReport`] — where the uncompressed index's bytes go,
+//! * [`IndexSizeModel`] — the same leaf-level accounting predicted
+//!   analytically from schema + row count, without building (how the
+//!   advisor prices the uncompressed side of a candidate for free),
 //! * [`compress_index`] / [`CompressedIndexReport`] — per-column, per-page
 //!   compression of the leaf level with any
 //!   [`CompressionScheme`](samplecf_compression::CompressionScheme), and the
@@ -49,5 +52,5 @@ pub mod spec;
 pub use btree::{BTreeIndex, IndexBuilder, IndexEntry};
 pub use compress::{compress_index, ColumnCompressionStat, CompressedIndexReport};
 pub use error::{IndexError, IndexResult};
-pub use size::IndexSizeReport;
+pub use size::{leaf_record_bytes, IndexSizeEstimate, IndexSizeModel, IndexSizeReport};
 pub use spec::{IndexKind, IndexSpec};

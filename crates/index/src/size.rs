@@ -1,8 +1,19 @@
-//! Uncompressed index size accounting.
+//! Uncompressed index size accounting: measured ([`IndexSizeReport`]) and
+//! analytic ([`IndexSizeModel`]).
+//!
+//! The measured report walks a built tree.  The analytic model computes the
+//! same leaf-level figures from the schema and row count alone — no index
+//! build, no page reads — which is what lets the physical-design advisor
+//! price the *uncompressed* side of every candidate for free (the paper's
+//! point is that only the compressed side needs sampling).  Leaf records are
+//! fixed-width (null bitmap + fixed cells + optional RID), and the bulk
+//! loader packs them deterministically, so the model is exact: it predicts
+//! the same leaf page count the builder produces.
 
 use crate::btree::BTreeIndex;
-use crate::spec::IndexKind;
-use samplecf_storage::{Page, Rid};
+use crate::error::{IndexError, IndexResult};
+use crate::spec::{IndexKind, IndexSpec};
+use samplecf_storage::{Page, Rid, Schema, DEFAULT_PAGE_SIZE, PAGE_HEADER_SIZE, SLOT_SIZE};
 
 /// A breakdown of where an (uncompressed) index's bytes go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +107,135 @@ impl IndexSizeReport {
     }
 }
 
+/// Width in bytes of one uncompressed leaf record for an index described by
+/// `spec` over `schema`: null bitmap + fixed-width stored cells + the RID
+/// pointer (non-clustered only).  Mirrors the bulk loader's
+/// `encode_leaf_record` exactly.
+pub fn leaf_record_bytes(schema: &Schema, spec: &IndexSpec) -> IndexResult<usize> {
+    let stored = spec.stored_column_indexes(schema)?;
+    let bitmap = stored.len().div_ceil(8);
+    let cells: usize = stored
+        .iter()
+        .map(|&i| schema.column_at(i).datatype.uncompressed_width())
+        .sum();
+    let rid = if spec.kind() == IndexKind::NonClustered {
+        Rid::ENCODED_LEN
+    } else {
+        0
+    };
+    Ok(bitmap + cells + rid)
+}
+
+/// Analytic leaf-level size estimate (see [`IndexSizeModel::estimate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexSizeEstimate {
+    /// Number of leaf entries (one per row).
+    pub num_entries: usize,
+    /// Width of one leaf record in bytes.
+    pub entry_bytes: usize,
+    /// Entries the bulk loader packs into each leaf page.
+    pub entries_per_leaf: usize,
+    /// Predicted number of leaf pages.
+    pub leaf_pages: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+}
+
+impl IndexSizeEstimate {
+    /// Predicted leaf-level bytes (leaf pages at full page size) — the same
+    /// quantity [`IndexSizeReport::leaf_bytes`] measures on a built tree.
+    #[must_use]
+    pub fn leaf_bytes(&self) -> usize {
+        self.leaf_pages * self.page_size
+    }
+}
+
+/// Predicts leaf-level index sizes without building anything.
+///
+/// Configured like [`IndexBuilder`](crate::btree::IndexBuilder) (page size
+/// and fill factor) and guaranteed to agree with it: for any schema, spec
+/// and row count, [`estimate`](Self::estimate) returns exactly the leaf page
+/// count a build of those rows would produce, because leaf records are
+/// fixed-width and the loader's packing rule is deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexSizeModel {
+    page_size: usize,
+    fill_factor: f64,
+}
+
+impl Default for IndexSizeModel {
+    fn default() -> Self {
+        IndexSizeModel {
+            page_size: DEFAULT_PAGE_SIZE,
+            fill_factor: 1.0,
+        }
+    }
+}
+
+impl IndexSizeModel {
+    /// A model with the default page size and a 100% fill factor — the same
+    /// defaults as `IndexBuilder::new()`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use a custom page size.
+    #[must_use]
+    pub fn page_size(mut self, page_size: usize) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    /// Use a custom leaf fill factor (0 < f ≤ 1).
+    #[must_use]
+    pub fn fill_factor(mut self, fill_factor: f64) -> Self {
+        self.fill_factor = fill_factor;
+        self
+    }
+
+    /// Predict the leaf-level size of an index over `num_rows` rows.
+    ///
+    /// # Errors
+    /// Fails if the spec does not resolve against the schema, the fill
+    /// factor is out of range, or one record cannot fit a page at all.
+    pub fn estimate(
+        &self,
+        schema: &Schema,
+        spec: &IndexSpec,
+        num_rows: usize,
+    ) -> IndexResult<IndexSizeEstimate> {
+        if !(self.fill_factor > 0.0 && self.fill_factor <= 1.0) {
+            return Err(IndexError::InvalidSpec(format!(
+                "fill factor must be in (0, 1], got {}",
+                self.fill_factor
+            )));
+        }
+        let entry_bytes = leaf_record_bytes(schema, spec)?;
+        let usable = self.page_size.saturating_sub(PAGE_HEADER_SIZE);
+        let needed = entry_bytes + SLOT_SIZE;
+        if needed > usable {
+            return Err(IndexError::InvalidSpec(format!(
+                "index entry of {entry_bytes} bytes does not fit in a {}-byte page",
+                self.page_size
+            )));
+        }
+        // The loader admits entries while used + needed <= fill-limited
+        // usable space, and always places at least one per page.
+        let target_fill = (usable as f64 * self.fill_factor) as usize;
+        let entries_per_leaf = (target_fill / needed).max(1);
+        // An empty build still produces one (empty) leaf page.
+        let leaf_pages = num_rows.div_ceil(entries_per_leaf).max(1);
+        Ok(IndexSizeEstimate {
+            num_entries: num_rows,
+            entry_bytes,
+            entries_per_leaf,
+            leaf_pages,
+            page_size: self.page_size,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +306,89 @@ mod tests {
         // Sanity on the overhead model.
         assert!(r.leaf_overhead_bytes >= r.leaf_pages * PAGE_HEADER_SIZE);
         assert!(r.leaf_overhead_bytes >= r.num_entries * SLOT_SIZE);
+    }
+
+    #[test]
+    fn analytic_model_matches_measured_builds_exactly() {
+        // Sweep shapes: row counts around page boundaries, both kinds,
+        // several page sizes and fill factors, multi-column keys.
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Char(20)),
+            Column::new("b", DataType::Int32),
+        ])
+        .unwrap();
+        let table = TableBuilder::new("t", schema.clone())
+            .build_with_rows(
+                (0..2_000)
+                    .map(|i| Row::new(vec![Value::str(format!("v{i:05}")), Value::int(i as i64)])),
+            )
+            .unwrap();
+        let specs = [
+            IndexSpec::nonclustered("nc", ["a"]).unwrap(),
+            IndexSpec::nonclustered("nc2", ["a", "b"]).unwrap(),
+            IndexSpec::clustered("cl", ["b"]).unwrap(),
+        ];
+        for spec in &specs {
+            for page_size in [512usize, 1024, 8192] {
+                for fill in [1.0, 0.7, 0.5] {
+                    for n in [0usize, 1, 7, 500, 1999] {
+                        let rows: Vec<_> = table.scan().take(n).collect();
+                        let built = IndexBuilder::new()
+                            .page_size(page_size)
+                            .fill_factor(fill)
+                            .build_from_rows(&schema, &rows, spec)
+                            .unwrap();
+                        let measured = IndexSizeReport::measure(&built);
+                        let model = IndexSizeModel::new()
+                            .page_size(page_size)
+                            .fill_factor(fill)
+                            .estimate(&schema, spec, n)
+                            .unwrap();
+                        assert_eq!(
+                            model.leaf_pages,
+                            measured.leaf_pages,
+                            "{} n={n} page={page_size} fill={fill}",
+                            spec.name()
+                        );
+                        assert_eq!(model.leaf_bytes(), measured.leaf_bytes());
+                        assert_eq!(model.num_entries, measured.num_entries);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_rejects_bad_configs() {
+        let schema = Schema::single_char("a", 200);
+        let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+        assert!(IndexSizeModel::new()
+            .fill_factor(0.0)
+            .estimate(&schema, &spec, 10)
+            .is_err());
+        // A 200-byte record cannot fit a 128-byte page.
+        assert!(IndexSizeModel::new()
+            .page_size(128)
+            .estimate(&schema, &spec, 10)
+            .is_err());
+        // Unknown column.
+        let bad = IndexSpec::nonclustered("i", ["missing"]).unwrap();
+        assert!(IndexSizeModel::new().estimate(&schema, &bad, 10).is_err());
+    }
+
+    #[test]
+    fn leaf_record_bytes_accounts_for_kind() {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Char(12)),
+            Column::new("b", DataType::Int64),
+        ])
+        .unwrap();
+        let nc = IndexSpec::nonclustered("nc", ["a"]).unwrap();
+        let cl = IndexSpec::clustered("cl", ["a"]).unwrap();
+        // nonclustered: 1-byte bitmap + 12-byte cell + 6-byte rid.
+        assert_eq!(leaf_record_bytes(&schema, &nc).unwrap(), 1 + 12 + 6);
+        // clustered: stores both columns, no rid.
+        assert_eq!(leaf_record_bytes(&schema, &cl).unwrap(), 1 + 12 + 8);
     }
 
     #[test]

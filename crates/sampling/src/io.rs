@@ -1,106 +1,15 @@
-//! Physical-I/O accounting for table sources.
+//! Physical-I/O accounting (re-exported).
 //!
-//! [`CountingSource`] wraps any [`TableSource`] and counts how many pages are
-//! read through it.  Because every row-returning default method of the trait
-//! funnels through [`read_page`](TableSource::read_page), the count is the
-//! number of physical page accesses the wrapped workload performed — the
-//! quantity the paper's block-sampling argument (Section II-C) is about.
-//! Wrapping a [`DiskTable`](samplecf_storage::DiskTable) makes "block
-//! sampling at fraction `f` reads ≈ `f·N` pages" a measurable assertion; the
-//! `samplecf estimate` CLI and the `exp_disk_block_io` experiment both
-//! report it from this wrapper.
-//!
-//! The sampling frame ([`rids`](TableSource::rids)) and the size metadata
-//! are delegated to the wrapped source uncounted: a real engine answers
-//! those from its catalog and allocation maps, not from data pages.
+//! [`CountingSource`] now lives in `samplecf-storage` (as
+//! [`samplecf_storage::CountingSource`]) so that every layer — samplers, the
+//! estimator, and the advisor's shared-sample planner — can account page
+//! reads without a dependency on this crate.  It is re-exported here because
+//! the sampling crate is where the counter earns its keep: the tests below
+//! pin down the I/O cost of each sampling procedure (block sampling reads
+//! exactly the selected pages; row sampling pays one page read per drawn
+//! row), which is the paper's Section II-C argument made measurable.
 
-use samplecf_storage::{Page, PageId, Rid, RowCodec, Schema, StorageResult, TableSource};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// A [`TableSource`] decorator that counts page reads.
-pub struct CountingSource<'a> {
-    inner: &'a dyn TableSource,
-    pages_read: AtomicU64,
-}
-
-impl<'a> CountingSource<'a> {
-    /// Wrap a source, starting the counter at zero.
-    #[must_use]
-    pub fn new(inner: &'a dyn TableSource) -> Self {
-        CountingSource {
-            inner,
-            pages_read: AtomicU64::new(0),
-        }
-    }
-
-    /// Number of pages read through this wrapper so far.
-    #[must_use]
-    pub fn pages_read(&self) -> u64 {
-        self.pages_read.load(Ordering::Relaxed)
-    }
-
-    /// Reset the counter to zero (e.g. between measurement phases).
-    pub fn reset(&self) {
-        self.pages_read.store(0, Ordering::Relaxed);
-    }
-
-    /// The wrapped source.
-    #[must_use]
-    pub fn inner(&self) -> &'a dyn TableSource {
-        self.inner
-    }
-}
-
-impl std::fmt::Debug for CountingSource<'_> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "CountingSource({}, pages_read = {})",
-            self.inner.name(),
-            self.pages_read()
-        )
-    }
-}
-
-impl TableSource for CountingSource<'_> {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-
-    fn schema(&self) -> &Schema {
-        self.inner.schema()
-    }
-
-    fn codec(&self) -> &RowCodec {
-        self.inner.codec()
-    }
-
-    fn num_rows(&self) -> usize {
-        self.inner.num_rows()
-    }
-
-    fn num_pages(&self) -> usize {
-        self.inner.num_pages()
-    }
-
-    fn page_size(&self) -> usize {
-        self.inner.page_size()
-    }
-
-    fn read_page(&self, id: PageId) -> StorageResult<Page> {
-        self.pages_read.fetch_add(1, Ordering::Relaxed);
-        self.inner.read_page(id)
-    }
-
-    // `get`, `page_rows` and `scan_rows` intentionally use the trait
-    // defaults so that every row access is accounted as the page read it
-    // costs on disk-resident data.
-
-    fn rids(&self) -> StorageResult<Vec<Rid>> {
-        // Metadata, not data pages — answered by the source's own frame.
-        self.inner.rids()
-    }
-}
+pub use samplecf_storage::CountingSource;
 
 #[cfg(test)]
 mod tests {
@@ -110,7 +19,7 @@ mod tests {
     use crate::uniform::UniformWithReplacement;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use samplecf_storage::{Row, Schema, Table, TableBuilder, Value};
+    use samplecf_storage::{Row, Schema, Table, TableBuilder, TableSource, Value};
     use std::collections::HashSet;
 
     fn table(n: usize) -> Table {
@@ -148,27 +57,10 @@ mod tests {
     }
 
     #[test]
-    fn scan_is_counted_and_reset_clears() {
+    fn sampling_frame_is_metadata_and_costs_no_pages() {
         let t = table(500);
         let counting = CountingSource::new(&t);
-        let rows = counting.scan_rows().unwrap();
-        assert_eq!(rows.len(), 500);
-        assert_eq!(counting.pages_read(), t.num_pages() as u64);
-        counting.reset();
+        assert_eq!(TableSource::rids(&counting).unwrap().len(), 500);
         assert_eq!(counting.pages_read(), 0);
-        // The frame is metadata: it costs no page reads.
-        assert_eq!(counting.rids().unwrap().len(), 500);
-        assert_eq!(counting.pages_read(), 0);
-    }
-
-    #[test]
-    fn metadata_is_delegated() {
-        let t = table(100);
-        let counting = CountingSource::new(&t);
-        assert_eq!(counting.name(), "t");
-        assert_eq!(counting.num_rows(), 100);
-        assert_eq!(counting.num_pages(), t.num_pages());
-        assert_eq!(counting.page_size(), 512);
-        assert_eq!(counting.schema(), t.schema());
     }
 }

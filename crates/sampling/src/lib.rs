@@ -15,7 +15,9 @@
 //! [`DiskTable`](samplecf_storage::DiskTable)s — where a block sample
 //! physically reads only the selected pages.  Wrap any source in
 //! [`CountingSource`] to measure exactly how many pages a sampling
-//! procedure touches.
+//! procedure touches, and draw through [`MaterializedSample`] to pay that
+//! I/O once and share the sample across many consumers (the advisor's
+//! batch-estimation trick).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub mod block;
 pub mod error;
 pub mod io;
 pub mod kind;
+pub mod materialize;
 pub mod reservoir;
 pub mod sampler;
 pub mod uniform;
@@ -50,6 +53,7 @@ pub use block::BlockSampler;
 pub use error::{SamplingError, SamplingResult};
 pub use io::CountingSource;
 pub use kind::SamplerKind;
+pub use materialize::MaterializedSample;
 pub use reservoir::ReservoirSampler;
 pub use sampler::{target_page_count, target_size, validate_fraction, RowSampler, SampledRow};
 pub use uniform::{

@@ -1,0 +1,235 @@
+//! Materialized samples: a drawn sample as a first-class, reusable object.
+//!
+//! The paper's motivating workflow (Section I) evaluates *many* candidate
+//! indexes, and the expensive part of each evaluation is drawing the sample —
+//! on a disk-resident table that is real I/O.  Re-sampling per candidate
+//! multiplies that cost for no statistical benefit when the candidates share
+//! a (sampler, fraction, seed) configuration.  A [`MaterializedSample`] pays
+//! the I/O exactly once: it draws through any [`TableSource`] and keeps the
+//! sampled rows as an owned in-memory [`Table`], so every later consumer
+//! (one per candidate index × compression scheme) works from memory.
+//!
+//! Exactness matters more than convenience here: the advisor promises
+//! estimates that are byte-identical to re-running the sampler with the same
+//! seed.  The sample therefore remembers the RID each row came from, and
+//! [`rows`](MaterializedSample::rows) reconstructs the exact `(Rid, Row)`
+//! sequence the sampler produced — same rows, same order, same duplicates.
+
+use crate::error::SamplingResult;
+use crate::kind::SamplerKind;
+use crate::sampler::SampledRow;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use samplecf_storage::{Rid, Table, TableSource};
+
+/// An owned, in-memory copy of one drawn sample, tagged with everything
+/// needed to reproduce or share it.
+#[derive(Debug, Clone)]
+pub struct MaterializedSample {
+    table: Table,
+    source_rids: Vec<Rid>,
+    source_name: String,
+    source_rows: usize,
+    source_pages: usize,
+    kind: SamplerKind,
+    seed: u64,
+}
+
+impl MaterializedSample {
+    /// Draw a sample from `source` with the given sampler and seed, and
+    /// materialize it in memory.
+    ///
+    /// The RNG is seeded exactly like
+    /// `SampleCf::estimate` (`StdRng::seed_from_u64(seed)`), so a
+    /// materialized sample and a direct estimator run with the same
+    /// `(kind, seed)` see identical rows.  All source I/O happens inside
+    /// this call; wrap `source` in a
+    /// [`CountingSource`](samplecf_storage::CountingSource) to measure it.
+    pub fn draw(
+        source: &dyn TableSource,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> SamplingResult<MaterializedSample> {
+        let sampler = kind.build()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampled = sampler.sample(source, &mut rng)?;
+
+        let mut table = Table::with_page_size(
+            format!("{}#sample", source.name()),
+            source.schema().clone(),
+            source.page_size(),
+        )?;
+        let mut source_rids = Vec::with_capacity(sampled.len());
+        for (rid, row) in &sampled {
+            table.insert(row)?;
+            source_rids.push(*rid);
+        }
+        Ok(MaterializedSample {
+            table,
+            source_rids,
+            source_name: source.name().to_string(),
+            source_rows: source.num_rows(),
+            source_pages: source.num_pages(),
+            kind,
+            seed,
+        })
+    }
+
+    /// The sampled rows as an owned in-memory table (named
+    /// `<source>#sample`).  Because [`Table`] implements [`TableSource`],
+    /// the sample itself can feed any consumer that reads tables.
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Reconstruct the exact `(Rid, Row)` pairs the sampler produced, in
+    /// draw order, with each row's RID in the *source* table.
+    ///
+    /// This is what makes sharing lossless: feeding these rows to the
+    /// estimator yields byte-identical results to sampling directly with the
+    /// same seed.
+    pub fn rows(&self) -> SamplingResult<Vec<SampledRow>> {
+        // `draw` inserts exactly one table row per recorded rid and the
+        // struct is immutable afterwards, so the two sides always align.
+        debug_assert_eq!(self.table.num_rows(), self.source_rids.len());
+        Ok(self
+            .source_rids
+            .iter()
+            .zip(self.table.scan())
+            .map(|(&source_rid, (_, row))| (source_rid, row))
+            .collect())
+    }
+
+    /// Number of sampled rows (duplicates counted, as drawn).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.source_rids.len()
+    }
+
+    /// Whether the sample is empty (an empty source yields an empty sample).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.source_rids.is_empty()
+    }
+
+    /// Name of the table the sample was drawn from.
+    #[must_use]
+    pub fn source_name(&self) -> &str {
+        &self.source_name
+    }
+
+    /// Row count of the source table at draw time (the paper's `n`).
+    #[must_use]
+    pub fn source_rows(&self) -> usize {
+        self.source_rows
+    }
+
+    /// Page count of the source table at draw time.
+    #[must_use]
+    pub fn source_pages(&self) -> usize {
+        self.source_pages
+    }
+
+    /// The sampler configuration the sample was drawn with.
+    #[must_use]
+    pub fn kind(&self) -> SamplerKind {
+        self.kind
+    }
+
+    /// The RNG seed the sample was drawn with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samplecf_storage::{CountingSource, Row, Schema, TableBuilder, Value};
+
+    fn table(n: usize) -> Table {
+        TableBuilder::new("t", Schema::single_char("a", 32))
+            .page_size(512)
+            .build_with_rows((0..n).map(|i| Row::new(vec![Value::str(format!("v{i:06}"))])))
+            .unwrap()
+    }
+
+    #[test]
+    fn materialized_rows_equal_a_direct_draw_with_the_same_seed() {
+        let t = table(2_000);
+        for kind in [
+            SamplerKind::UniformWithReplacement(0.05),
+            SamplerKind::UniformWithoutReplacement(0.05),
+            SamplerKind::Bernoulli(0.05),
+            SamplerKind::Systematic(0.05),
+            SamplerKind::Reservoir(97),
+            SamplerKind::Block(0.05),
+        ] {
+            let direct = kind
+                .build()
+                .unwrap()
+                .sample(&t, &mut StdRng::seed_from_u64(42))
+                .unwrap();
+            let sample = MaterializedSample::draw(&t, kind, 42).unwrap();
+            assert_eq!(sample.rows().unwrap(), direct, "{kind:?}");
+            assert_eq!(sample.len(), direct.len());
+            assert_eq!(sample.kind(), kind);
+            assert_eq!(sample.seed(), 42);
+        }
+    }
+
+    #[test]
+    fn with_replacement_duplicates_survive_materialization() {
+        let t = table(50);
+        // A 100% with-replacement sample of a small table almost surely
+        // draws some rid twice.
+        let sample =
+            MaterializedSample::draw(&t, SamplerKind::UniformWithReplacement(1.0), 7).unwrap();
+        assert_eq!(sample.len(), 50);
+        let rows = sample.rows().unwrap();
+        let mut rids: Vec<Rid> = rows.iter().map(|(rid, _)| *rid).collect();
+        rids.sort_unstable();
+        rids.dedup();
+        assert!(rids.len() < 50, "expected duplicate draws, got none");
+    }
+
+    #[test]
+    fn drawing_pays_the_io_once_and_reuse_is_free() {
+        let t = table(3_000);
+        let counting = CountingSource::new(&t);
+        let sample = MaterializedSample::draw(&counting, SamplerKind::Block(0.1), 3).unwrap();
+        let pages_after_draw = counting.pages_read();
+        assert!(pages_after_draw > 0);
+        // Re-reading the materialized rows touches the source no further.
+        for _ in 0..5 {
+            let rows = sample.rows().unwrap();
+            assert_eq!(rows.len(), sample.len());
+        }
+        assert_eq!(counting.pages_read(), pages_after_draw);
+    }
+
+    #[test]
+    fn sample_metadata_describes_the_source() {
+        let t = table(1_000);
+        let sample =
+            MaterializedSample::draw(&t, SamplerKind::UniformWithReplacement(0.01), 0).unwrap();
+        assert_eq!(sample.source_name(), "t");
+        assert_eq!(sample.source_rows(), 1_000);
+        assert_eq!(sample.source_pages(), t.num_pages());
+        assert_eq!(sample.table().name(), "t#sample");
+        assert!(!sample.is_empty());
+        assert_eq!(sample.table().num_rows(), sample.len());
+    }
+
+    #[test]
+    fn empty_source_yields_an_empty_sample() {
+        let t = TableBuilder::new("empty", Schema::single_char("a", 8))
+            .build()
+            .unwrap();
+        let sample = MaterializedSample::draw(&t, SamplerKind::Block(0.5), 1).unwrap();
+        assert!(sample.is_empty());
+        assert_eq!(sample.rows().unwrap(), Vec::new());
+    }
+}

@@ -18,6 +18,9 @@
 //!   and blocks from,
 //! * [`TableSource`] — the read abstraction samplers and the estimator run
 //!   over, implemented by both [`Table`] and [`DiskTable`],
+//! * [`CountingSource`] — a decorator that counts physical page reads, the
+//!   accounting behind every "pages read" figure the CLI, the advisor and
+//!   the experiments report,
 //! * [`disk`] — the persistent counterpart: checksummed page files,
 //!   [`DiskHeapFile`] and [`DiskTable`], where block sampling's "read only
 //!   the selected pages" is physically true,
@@ -51,6 +54,7 @@
 //! ```
 
 pub mod catalog;
+pub mod counting;
 pub mod datatype;
 pub mod disk;
 pub mod error;
@@ -64,6 +68,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use counting::CountingSource;
 pub use datatype::DataType;
 pub use disk::{DiskHeapFile, DiskTable};
 pub use error::{StorageError, StorageResult};

@@ -34,19 +34,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let objects = vec![
         PlannedObject {
-            table: &orders,
+            table: orders.as_ref(),
             spec: IndexSpec::clustered("orders_pk", ["order_id"])?,
         },
         PlannedObject {
-            table: &orders,
+            table: orders.as_ref(),
             spec: IndexSpec::nonclustered("orders_by_customer", ["customer"])?,
         },
         PlannedObject {
-            table: &eventlog,
+            table: eventlog.as_ref(),
             spec: IndexSpec::clustered("eventlog_pk", ["a"])?,
         },
         PlannedObject {
-            table: &dimensions,
+            table: dimensions.as_ref(),
             spec: IndexSpec::nonclustered("dimensions_by_a", ["a"])?,
         },
     ];

@@ -3,23 +3,26 @@
 //!
 //! This is the application that motivates the paper (Section I): automated
 //! physical design tools need cheap, accurate estimates of compressed index
-//! sizes in order to meet a storage bound.
+//! sizes in order to meet a storage bound.  The advisor evaluates candidates
+//! in batch: candidates on the same table share one materialized sample, so
+//! the per-candidate cost is CPU over an in-memory sample, not fresh I/O.
 //!
 //! Run with: `cargo run --release --example physical_design_advisor`
 
 use samplecf::prelude::*;
 
-fn print_report(title: &str, report: &samplecf::core::AdvisorReport) {
+fn print_plan(title: &str, plan: &AdvisorPlan) {
     println!("== {title} ==");
     println!(
-        "{:<14} {:<22} {:>14} {:>16} {:>8} {:>10}",
-        "table", "index", "uncompressed", "est. compressed", "CF", "compress?"
+        "{:<14} {:<22} {:<18} {:>14} {:>16} {:>8} {:>10}",
+        "table", "index", "scheme", "uncompressed", "est. compressed", "CF", "compress?"
     );
-    for r in &report.recommendations {
+    for r in &plan.recommendations {
         println!(
-            "{:<14} {:<22} {:>14} {:>16} {:>8.3} {:>10}",
+            "{:<14} {:<22} {:<18} {:>14} {:>16} {:>8.3} {:>10}",
             r.table,
             r.index,
+            r.scheme,
             r.uncompressed_bytes,
             r.estimated_compressed_bytes,
             r.estimated_cf,
@@ -28,11 +31,17 @@ fn print_report(title: &str, report: &samplecf::core::AdvisorReport) {
     }
     println!(
         "total: {} bytes uncompressed -> {} bytes under the recommendations (budget: {})",
-        report.total_uncompressed_bytes(),
-        report.total_chosen_bytes(),
-        report
-            .budget_bytes
+        plan.total_uncompressed_bytes(),
+        plan.total_chosen_bytes(),
+        plan.budget_bytes
             .map_or("none".to_string(), |b| b.to_string())
+    );
+    println!(
+        "cost: {} samples drawn, {} pages read (a re-sample-per-candidate run would read {}), {:.1} ms",
+        plan.samples_drawn(),
+        plan.pages_read(),
+        plan.naive_pages_read(),
+        plan.elapsed.as_secs_f64() * 1000.0
     );
     println!();
 }
@@ -44,35 +53,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .generate()?
         .table;
 
+    let pk = IndexSpec::clustered("orders_pk", ["order_id"])?;
+    let by_status = IndexSpec::nonclustered("orders_by_status", ["status"])?;
+    let by_customer = IndexSpec::nonclustered("orders_by_customer", ["customer"])?;
+    let archive_by_a = IndexSpec::nonclustered("archive_by_a", ["a"])?;
+    let scheme = DictionaryCompression::default();
+
+    // Four candidates, two tables: the advisor draws exactly two samples.
     let candidates = vec![
-        Candidate {
-            table: &orders,
-            spec: IndexSpec::clustered("orders_pk", ["order_id"])?,
-        },
-        Candidate {
-            table: &orders,
-            spec: IndexSpec::nonclustered("orders_by_status", ["status"])?,
-        },
-        Candidate {
-            table: &orders,
-            spec: IndexSpec::nonclustered("orders_by_customer", ["customer"])?,
-        },
-        Candidate {
-            table: &archive,
-            spec: IndexSpec::nonclustered("archive_by_a", ["a"])?,
-        },
+        Candidate::new(&orders, &pk, &scheme),
+        Candidate::new(&orders, &by_status, &scheme),
+        Candidate::new(&orders, &by_customer, &scheme),
+        Candidate::new(&archive, &archive_by_a, &scheme),
     ];
 
     // Pass 1: no budget — compress whatever saves at least 20%.
     let advisor = CompressionAdvisor::new(AdvisorConfig {
-        sampling_fraction: 0.01,
         min_saving_fraction: 0.20,
-        budget_bytes: None,
         seed: 3,
+        ..AdvisorConfig::with_fraction(0.01)
     })?;
-    let scheme = DictionaryCompression::default();
-    let unconstrained = advisor.recommend(&candidates, &scheme)?;
-    print_report(
+    let unconstrained = advisor.plan(&candidates)?;
+    print_plan(
         "No storage budget (compress when saving ≥ 20%)",
         &unconstrained,
     );
@@ -80,19 +82,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pass 2: a tight budget forces more aggressive compression.
     let budget = unconstrained.total_uncompressed_bytes() * 6 / 10;
     let constrained = CompressionAdvisor::new(AdvisorConfig {
-        sampling_fraction: 0.01,
         min_saving_fraction: 0.20,
-        budget_bytes: Some(budget),
         seed: 3,
+        budget_bytes: Some(budget),
+        ..AdvisorConfig::with_fraction(0.01)
     })?;
-    let constrained_report = constrained.recommend(&candidates, &scheme)?;
-    print_report(
+    let constrained_plan = constrained.plan(&candidates)?;
+    print_plan(
         &format!("Storage budget of {budget} bytes (60% of uncompressed)"),
-        &constrained_report,
+        &constrained_plan,
     );
     println!(
         "fits budget: {}",
-        if constrained_report.fits_budget() {
+        if constrained_plan.fits_budget() {
             "yes"
         } else {
             "no"

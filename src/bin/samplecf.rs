@@ -1,12 +1,14 @@
 //! `samplecf` — the command-line front end of the SampleCF reproduction.
 //!
-//! Four subcommands cover the gen → estimate → exact loop over
+//! Five subcommands cover the gen → estimate → exact → advise loop over
 //! disk-resident tables:
 //!
 //! * `gen` writes a seeded synthetic table to a `.scf` file,
 //! * `estimate` runs the SampleCF estimator over it, reporting the CF
 //!   estimate *and* the number of pages physically read,
 //! * `exact` computes the ground-truth CF (a full scan),
+//! * `advise` runs the shared-sample physical design advisor over a set of
+//!   candidate indexes (text or JSON report),
 //! * `info` prints the file header without touching data pages.
 //!
 //! Argument parsing is hand-rolled (the workspace builds offline, without
@@ -24,6 +26,7 @@ USAGE:
   samplecf gen --out FILE [options]       write a synthetic table to a file
   samplecf estimate --table FILE [options]  run SampleCF over a table file
   samplecf exact --table FILE [options]   compute the exact CF (full scan)
+  samplecf advise --table FILE [options]  recommend which indexes to compress
   samplecf info --table FILE              print the file header and schema
 
 GEN OPTIONS:
@@ -54,6 +57,34 @@ EXACT OPTIONS:
   --table FILE        table file (required)
   --scheme NAME       compression scheme                 [default: null-suppression]
   --column COLS       comma-separated index key columns  [default: first column]
+
+ADVISE OPTIONS:
+  --table FILE        table file (required)
+  --candidates FILE   candidate spec file (see below); without it, one
+                      candidate is built from --column/--scheme
+  --column COLS       key columns of the inline candidate [default: first column]
+  --scheme NAME       scheme of the inline candidate     [default: null-suppression]
+  --sampler NAME      block | uniform | uniform-wor | bernoulli |
+                      systematic | reservoir             [default: block]
+  --fraction F        sampling fraction in (0, 1]        [default: 0.01]
+  --size R            reservoir size (reservoir sampler) [default: 1000]
+  --seed S            RNG seed for the shared sample     [default: 0]
+  --min-saving F      compress only if saving >= F of the
+                      uncompressed size                  [default: 0.1]
+  --budget BYTES      storage budget (greedy compression until it fits)
+  --threads W         worker threads (0 = all); results do not depend on it
+  --json              emit the plan as JSON instead of text
+
+CANDIDATE SPEC FILE (for `advise --candidates`): one candidate per line,
+`#` starts a comment.  Fields are whitespace-separated:
+
+  <index-name> <col[,col...]> <scheme> [clustered]
+
+e.g.   idx_a      a        dictionary-global
+       pk_all     a        rle             clustered
+
+All candidates share one materialized sample per (sampler, fraction, seed)
+configuration, so k candidates cost the same source I/O as one.
 
 The estimate report includes `pages read`: with `--sampler block` this is
 round(fraction x pages) physical page reads, while row samplers pay roughly
@@ -96,6 +127,17 @@ impl Args {
         }
     }
 
+    /// Remove a bare `--name` flag (no value), returning whether it was set.
+    fn flag(&mut self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        if let Some(i) = self.argv.iter().position(|a| *a == flag) {
+            self.argv.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
     fn require(&mut self, name: &str) -> Result<String, String> {
         self.opt(name)?
             .ok_or_else(|| format!("missing required flag --{name}"))
@@ -122,6 +164,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(args),
         "estimate" => cmd_estimate(args),
         "exact" => cmd_exact(args),
+        "advise" => cmd_advise(args),
         "info" => cmd_info(args),
         other => Err(format!("unknown subcommand {other:?} (see --help)")),
     };
@@ -292,6 +335,248 @@ fn cmd_exact(mut args: Args) -> Result<(), String> {
         table.num_pages()
     );
     println!("elapsed        {:.3} s", started.elapsed().as_secs_f64());
+    Ok(())
+}
+
+/// One parsed candidate line: index name, key columns, scheme, kind.
+struct CandidateSpec {
+    spec: IndexSpec,
+    scheme: Box<dyn CompressionScheme>,
+}
+
+/// Parse a candidate spec file: `<name> <col[,col...]> <scheme> [clustered]`
+/// per line, `#` comments and blank lines ignored.
+fn parse_candidates_file(path: &str) -> Result<Vec<CandidateSpec>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if !(3..=4).contains(&fields.len()) {
+            return Err(format!(
+                "{path}:{}: expected `<name> <cols> <scheme> [clustered]`, got {line:?}",
+                lineno + 1
+            ));
+        }
+        let columns: Vec<String> = fields[1].split(',').map(str::to_string).collect();
+        let clustered = match fields.get(3) {
+            None => false,
+            Some(&"clustered") => true,
+            Some(other) => {
+                return Err(format!(
+                    "{path}:{}: unknown modifier {other:?} (only `clustered`)",
+                    lineno + 1
+                ))
+            }
+        };
+        let spec = if clustered {
+            IndexSpec::clustered(fields[0], columns)
+        } else {
+            IndexSpec::nonclustered(fields[0], columns)
+        }
+        .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let scheme =
+            scheme_by_name(fields[2]).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        out.push(CandidateSpec { spec, scheme });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no candidates found"));
+    }
+    Ok(out)
+}
+
+/// Escape a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn plan_to_json(table: &str, path: &str, plan: &AdvisorPlan) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"table\": \"{}\",\n", json_escape(table)));
+    s.push_str(&format!("  \"file\": \"{}\",\n", json_escape(path)));
+    s.push_str(&format!(
+        "  \"budget_bytes\": {},\n",
+        plan.budget_bytes
+            .map_or("null".to_string(), |b| b.to_string())
+    ));
+    s.push_str(&format!("  \"fits_budget\": {},\n", plan.fits_budget()));
+    s.push_str(&format!(
+        "  \"total_uncompressed_bytes\": {},\n",
+        plan.total_uncompressed_bytes()
+    ));
+    s.push_str(&format!(
+        "  \"total_chosen_bytes\": {},\n",
+        plan.total_chosen_bytes()
+    ));
+    s.push_str(&format!("  \"samples_drawn\": {},\n", plan.samples_drawn()));
+    s.push_str(&format!("  \"pages_read\": {},\n", plan.pages_read()));
+    s.push_str(&format!(
+        "  \"naive_pages_read\": {},\n",
+        plan.naive_pages_read()
+    ));
+    s.push_str(&format!(
+        "  \"elapsed_seconds\": {:.6},\n",
+        plan.elapsed.as_secs_f64()
+    ));
+    s.push_str("  \"groups\": [\n");
+    for (i, g) in plan.groups.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"table\": \"{}\", \"sampler\": \"{}\", \"seed\": {}, \"candidates\": {}, \
+             \"sample_rows\": {}, \"pages_read\": {}}}{}\n",
+            json_escape(&g.table),
+            json_escape(&g.sampler),
+            g.seed,
+            g.candidates,
+            g.sample_rows,
+            g.pages_read,
+            if i + 1 < plan.groups.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"recommendations\": [\n");
+    for (i, r) in plan.recommendations.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"index\": \"{}\", \"scheme\": \"{}\", \"uncompressed_bytes\": {}, \
+             \"estimated_compressed_bytes\": {}, \"estimated_cf\": {:.6}, \
+             \"sample_rows\": {}, \"group\": {}, \"compress\": {}}}{}\n",
+            json_escape(&r.index),
+            json_escape(&r.scheme),
+            r.uncompressed_bytes,
+            r.estimated_compressed_bytes,
+            r.estimated_cf,
+            r.sample_rows,
+            r.group,
+            r.compress,
+            if i + 1 < plan.recommendations.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ]\n}");
+    s
+}
+
+fn cmd_advise(mut args: Args) -> Result<(), String> {
+    let path = args.require("table")?;
+    let candidates_path = args.opt("candidates")?;
+    let sampler_name: String = args.parse("sampler", "block".to_string())?;
+    let fraction: f64 = args.parse("fraction", 0.01)?;
+    let size: usize = args.parse("size", 1_000)?;
+    let seed: u64 = args.parse("seed", 0)?;
+    let min_saving: f64 = args.parse("min-saving", 0.1)?;
+    let budget: Option<usize> = args
+        .opt("budget")?
+        .map(|b| {
+            b.parse::<usize>()
+                .map_err(|e| format!("invalid value {b:?} for --budget: {e}"))
+        })
+        .transpose()?;
+    let threads: usize = args.parse("threads", 0)?;
+    let json = args.flag("json");
+    let table = open_table(&path)?;
+
+    let candidate_specs: Vec<CandidateSpec> = match candidates_path {
+        Some(file) => {
+            args.finish()?;
+            parse_candidates_file(&file)?
+        }
+        None => {
+            let scheme_name: String = args.parse("scheme", "null-suppression".to_string())?;
+            let spec = index_spec(&mut args, &table)?;
+            args.finish()?;
+            vec![CandidateSpec {
+                spec,
+                scheme: scheme_by_name(&scheme_name).map_err(|e| e.to_string())?,
+            }]
+        }
+    };
+
+    let sampler = parse_sampler(&sampler_name, fraction, size)?;
+    let advisor = CompressionAdvisor::new(AdvisorConfig {
+        sampler,
+        seed,
+        min_saving_fraction: min_saving,
+        budget_bytes: budget,
+        threads,
+    })
+    .map_err(|e| e.to_string())?;
+
+    let candidates: Vec<Candidate<'_>> = candidate_specs
+        .iter()
+        .map(|c| Candidate::new(&table, &c.spec, c.scheme.as_ref()))
+        .collect();
+    let plan = advisor.plan(&candidates).map_err(|e| e.to_string())?;
+
+    let table_name = TableSource::name(&table).to_string();
+    if json {
+        println!("{}", plan_to_json(&table_name, &path, &plan));
+        return Ok(());
+    }
+
+    println!("table          {table_name} ({path})");
+    println!(
+        "rows           {} on {} pages",
+        table.num_rows(),
+        table.num_pages()
+    );
+    println!("sampler        {}", sampler.label());
+    println!("candidates     {}", plan.recommendations.len());
+    println!();
+    println!(
+        "{:<20} {:<18} {:>14} {:>16} {:>8} {:>10}",
+        "index", "scheme", "uncompressed", "est. compressed", "CF", "compress?"
+    );
+    for r in &plan.recommendations {
+        println!(
+            "{:<20} {:<18} {:>14} {:>16} {:>8.4} {:>10}",
+            r.index,
+            r.scheme,
+            r.uncompressed_bytes,
+            r.estimated_compressed_bytes,
+            r.estimated_cf,
+            if r.compress { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!(
+        "total          {} B uncompressed -> {} B chosen{}",
+        plan.total_uncompressed_bytes(),
+        plan.total_chosen_bytes(),
+        plan.budget_bytes.map_or(String::new(), |b| format!(
+            " (budget {b} B, fits: {})",
+            if plan.fits_budget() { "yes" } else { "no" }
+        ))
+    );
+    println!(
+        "samples drawn  {} ({} rows total)",
+        plan.samples_drawn(),
+        plan.groups.iter().map(|g| g.sample_rows).sum::<usize>()
+    );
+    println!(
+        "pages read     {} of {} (naive re-sample-per-candidate: {})",
+        plan.pages_read(),
+        table.num_pages(),
+        plan.naive_pages_read()
+    );
+    println!("elapsed        {:.3} s", plan.elapsed.as_secs_f64());
     Ok(())
 }
 

@@ -58,17 +58,20 @@ pub mod prelude {
     };
     pub use samplecf_core::{
         absolute_error, all_estimators, ratio_error, relative_error, theory, AdvisorConfig,
-        Candidate, CapacityPlanner, CfMeasurement, CompressionAdvisor, DistinctEstimator, ExactCf,
-        FrequencyHistogram, PlannedObject, SampleCf, SummaryStats, TrialConfig, TrialRunner,
+        AdvisorPlan, Candidate, CapacityPlanner, CfMeasurement, CompressionAdvisor,
+        DistinctEstimator, ExactCf, FrequencyHistogram, PlannedObject, Recommendation, SampleCache,
+        SampleCf, SampleGroup, SummaryStats, TrialConfig, TrialRunner,
     };
     pub use samplecf_datagen::{
         presets, ColumnSpec, FrequencyDistribution, LengthDistribution, RowLayout, TableSpec,
     };
     pub use samplecf_index::{
-        compress_index, BTreeIndex, CompressedIndexReport, IndexBuilder, IndexKind,
+        compress_index, BTreeIndex, CompressedIndexReport, IndexBuilder, IndexKind, IndexSizeModel,
         IndexSizeReport, IndexSpec,
     };
-    pub use samplecf_sampling::{CountingSource, RowSampler, SamplerKind, UniformWithReplacement};
+    pub use samplecf_sampling::{
+        CountingSource, MaterializedSample, RowSampler, SamplerKind, UniformWithReplacement,
+    };
     pub use samplecf_storage::{
         Catalog, Column, DataType, DiskTable, Row, Schema, Table, TableBuilder, TableSource, Value,
     };

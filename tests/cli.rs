@@ -1,0 +1,472 @@
+//! Integration tests that shell out to the `samplecf` binary: the full
+//! gen → info → estimate → exact → advise loop on a temp directory, checking
+//! the reported fields for estimate/exact parity and that `advise --json`
+//! emits valid, well-formed JSON.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A unique temp directory for one test, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("samplecf_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir creation succeeds");
+        TempDir(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Run the samplecf binary with the given args, asserting success.
+fn samplecf(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_samplecf"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "samplecf {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// Extract the numeric value following a labelled CLI report line, e.g.
+/// `field_value(&out, "exact CF")` for a line `exact CF       0.5491`.
+fn field_value(output: &str, label: &str) -> f64 {
+    let line = output
+        .lines()
+        .map(str::trim_start)
+        .find(|l| l.starts_with(label))
+        .unwrap_or_else(|| panic!("no `{label}` line in:\n{output}"));
+    line[label.len()..]
+        .split_whitespace()
+        .next()
+        .and_then(|tok| tok.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable `{label}` line: {line}"))
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser — just enough to *validate* the advise output and
+// fish out scalar fields, without adding any dependency.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> &Json {
+        match self {
+            Json::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key}")),
+            other => panic!("expected object for key {key}, got {other:?}"),
+        }
+    }
+
+    fn num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b" \t\r\n".contains(b))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        // Accumulate raw bytes and decode once, so multi-byte UTF-8
+        // sequences in the input survive intact.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out).map_err(|e| e.to_string());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            let c = char::from_u32(code).ok_or("invalid \\u escape")?;
+                            out.extend_from_slice(c.to_string().as_bytes());
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("invalid escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected , or }} in object, got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] in array, got {other:?}")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The tests.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gen_estimate_exact_advise_loop_on_a_temp_dir() {
+    let dir = TempDir::new("loop");
+    let table = dir.path("demo.scf");
+
+    // gen: a 20k-row table with 400 distinct values.
+    let gen = samplecf(&[
+        "gen",
+        "--out",
+        &table,
+        "--rows",
+        "20000",
+        "--distinct",
+        "400",
+        "--seed",
+        "5",
+    ]);
+    assert_eq!(field_value(&gen, "rows") as usize, 20_000);
+    let pages = field_value(&gen, "pages") as u64;
+    assert!(pages > 10, "expected a multi-page file, got {pages}");
+
+    // info: reads only the header.
+    let info = samplecf(&["info", "--table", &table]);
+    assert_eq!(field_value(&info, "rows") as usize, 20_000);
+    assert_eq!(field_value(&info, "pages") as u64, pages);
+
+    // exact: the ground truth, reading every page.
+    let exact = samplecf(&["exact", "--table", &table, "--scheme", "null-suppression"]);
+    let exact_cf = field_value(&exact, "exact CF");
+    assert!(exact_cf > 0.0 && exact_cf < 1.2, "exact CF {exact_cf}");
+    assert_eq!(field_value(&exact, "pages read") as u64, pages);
+
+    // estimate: block sampling at 10% — close to exact, tiny page cost.
+    let estimate = samplecf(&[
+        "estimate",
+        "--table",
+        &table,
+        "--sampler",
+        "block",
+        "--fraction",
+        "0.1",
+        "--scheme",
+        "null-suppression",
+        "--seed",
+        "3",
+    ]);
+    let est_cf = field_value(&estimate, "estimated CF");
+    let ratio = (est_cf / exact_cf).max(exact_cf / est_cf);
+    assert!(
+        ratio < 1.1,
+        "estimate {est_cf} vs exact {exact_cf} (ratio error {ratio})"
+    );
+    let est_pages = field_value(&estimate, "pages read") as u64;
+    assert_eq!(est_pages, ((pages as f64) * 0.1).round() as u64);
+
+    // advise (text): the same scheme should be recommended for compression
+    // on this padded, low-cardinality table.
+    let advise = samplecf(&[
+        "advise",
+        "--table",
+        &table,
+        "--scheme",
+        "dictionary-global",
+        "--sampler",
+        "block",
+        "--fraction",
+        "0.1",
+        "--seed",
+        "3",
+    ]);
+    assert!(advise.contains("yes"), "advise output:\n{advise}");
+    assert_eq!(field_value(&advise, "samples drawn") as u64, 1);
+}
+
+#[test]
+fn advise_json_is_valid_and_accounts_shared_sample_io() {
+    let dir = TempDir::new("json");
+    let table = dir.path("demo.scf");
+    let gen = samplecf(&[
+        "gen",
+        "--out",
+        &table,
+        "--rows",
+        "15000",
+        "--distinct",
+        "300",
+        "--seed",
+        "8",
+    ]);
+    let pages = field_value(&gen, "pages") as u64;
+
+    // Four candidates over one shared block sample.
+    let cands = dir.path("candidates.txt");
+    std::fs::write(
+        &cands,
+        "# candidates for the JSON test\n\
+         idx_dict a dictionary-global\n\
+         idx_ns   a null-suppression\n\
+         idx_rle  a rle\n\
+         pk_all   a prefix clustered\n",
+    )
+    .unwrap();
+
+    let fraction = 0.05;
+    let out = samplecf(&[
+        "advise",
+        "--table",
+        &table,
+        "--candidates",
+        &cands,
+        "--sampler",
+        "block",
+        "--fraction",
+        "0.05",
+        "--seed",
+        "7",
+        "--json",
+    ]);
+    let json = Parser::parse(&out).expect("advise --json emits valid JSON");
+
+    // Structure and accounting.
+    assert_eq!(json.get("table"), &Json::Str("t".to_string()));
+    assert_eq!(json.get("fits_budget"), &Json::Bool(true));
+    assert_eq!(json.get("budget_bytes"), &Json::Null);
+    assert_eq!(json.get("samples_drawn").num() as u64, 1);
+    let expected_pages = ((pages as f64) * fraction).round().max(1.0) as u64;
+    assert_eq!(json.get("pages_read").num() as u64, expected_pages);
+    assert_eq!(
+        json.get("naive_pages_read").num() as u64,
+        expected_pages * 4,
+        "naive baseline pays the sample once per candidate"
+    );
+
+    let groups = json.get("groups").arr();
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].get("candidates").num() as u64, 4);
+    assert_eq!(groups[0].get("pages_read").num() as u64, expected_pages);
+
+    let recs = json.get("recommendations").arr();
+    assert_eq!(recs.len(), 4);
+    let mut total_uncompressed = 0.0;
+    for r in recs {
+        let cf = r.get("estimated_cf").num();
+        assert!(cf > 0.0 && cf < 1.5, "estimated_cf {cf}");
+        assert!(r.get("uncompressed_bytes").num() > 0.0);
+        assert!(matches!(r.get("compress"), Json::Bool(_)));
+        total_uncompressed += r.get("uncompressed_bytes").num();
+    }
+    assert_eq!(
+        total_uncompressed,
+        json.get("total_uncompressed_bytes").num()
+    );
+
+    // Determinism: the same invocation produces byte-identical
+    // recommendations (elapsed_seconds is the only varying field).
+    let out2 = samplecf(&[
+        "advise",
+        "--table",
+        &table,
+        "--candidates",
+        &cands,
+        "--sampler",
+        "block",
+        "--fraction",
+        "0.05",
+        "--seed",
+        "7",
+        "--json",
+    ]);
+    let json2 = Parser::parse(&out2).expect("valid JSON");
+    assert_eq!(json.get("recommendations"), json2.get("recommendations"));
+}
+
+#[test]
+fn cli_rejects_bad_input_with_nonzero_exit() {
+    let dir = TempDir::new("errors");
+    let missing = dir.path("missing.scf");
+    let out = Command::new(env!("CARGO_BIN_EXE_samplecf"))
+        .args(["advise", "--table", &missing])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+
+    // Unknown flag is rejected too.
+    let table = dir.path("t.scf");
+    samplecf(&["gen", "--out", &table, "--rows", "500", "--distinct", "10"]);
+    let out = Command::new(env!("CARGO_BIN_EXE_samplecf"))
+        .args(["advise", "--table", &table, "--frobnicate", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -139,27 +139,20 @@ fn advisor_and_capacity_planner_agree_on_sizes() {
     let scheme = NullSuppression;
 
     let advisor = CompressionAdvisor::new(AdvisorConfig {
-        sampling_fraction: 0.05,
         min_saving_fraction: 0.1,
-        budget_bytes: None,
         seed: 1,
+        ..AdvisorConfig::with_fraction(0.05)
     })
     .unwrap();
     let advice = advisor
-        .recommend(
-            &[Candidate {
-                table: &table,
-                spec: spec.clone(),
-            }],
-            &scheme,
-        )
+        .plan(&[Candidate::new(&table, &spec, &scheme)])
         .unwrap();
 
     let plan = CapacityPlanner::new(0.05)
         .plan(
             &[PlannedObject {
                 table: &table,
-                spec,
+                spec: spec.clone(),
             }],
             &scheme,
         )
@@ -305,6 +298,89 @@ fn block_sampling_on_disk_reads_only_the_sampled_pages() {
         .compute(&counting, &spec, &NullSuppression)
         .unwrap();
     assert_eq!(counting.pages_read(), num_pages as u64);
+}
+
+#[test]
+fn shared_sample_advisor_reads_sampled_pages_exactly_once_on_disk() {
+    // The acceptance test for the batch advisor: k candidates sharing one
+    // (sampler, fraction, seed) group over a disk-backed table cost
+    // round(f · num_pages) physical page reads *in total*, not per
+    // candidate — and the recommendations are byte-identical to the serial
+    // single-threaded path.
+    let mem = demo_table(24_000, 800, 31);
+    let file = TempTableFile::new("advisor_shared");
+    let disk = DiskTable::materialize(&file.0, &mem).unwrap();
+    let num_pages = TableSource::num_pages(&disk);
+    assert!(num_pages > 20, "need a multi-page table, got {num_pages}");
+
+    let fraction = 0.05;
+    let specs = [
+        IndexSpec::nonclustered("by_a", ["a"]).unwrap(),
+        IndexSpec::clustered("cl_a", ["a"]).unwrap(),
+    ];
+    let schemes: Vec<Box<dyn CompressionScheme>> = ["null-suppression", "dictionary-global", "rle"]
+        .iter()
+        .map(|n| scheme_by_name(n).unwrap())
+        .collect();
+    // k = 6 candidates: every (spec × scheme) pair, all in one group.
+    fn candidates_for<'a>(
+        source: &'a dyn TableSource,
+        specs: &'a [IndexSpec],
+        schemes: &'a [Box<dyn CompressionScheme>],
+    ) -> Vec<Candidate<'a>> {
+        specs
+            .iter()
+            .flat_map(|spec| {
+                schemes
+                    .iter()
+                    .map(move |scheme| Candidate::new(source, spec, scheme.as_ref()))
+            })
+            .collect()
+    }
+    let candidates = candidates_for(&disk, &specs, &schemes);
+    assert_eq!(candidates.len(), 6);
+
+    let config = AdvisorConfig {
+        sampler: SamplerKind::Block(fraction),
+        seed: 9,
+        ..Default::default()
+    };
+    let counting = CountingSource::new(&disk);
+    let counted_candidates = candidates_for(&counting, &specs, &schemes);
+    let plan = CompressionAdvisor::new(config)
+        .unwrap()
+        .plan(&counted_candidates)
+        .unwrap();
+
+    // One group, one sample, round(f·N) pages — once, total.
+    let expected_pages = ((num_pages as f64 * fraction).round() as u64).max(1);
+    assert_eq!(counting.pages_read(), expected_pages);
+    assert_eq!(plan.samples_drawn(), 1);
+    assert_eq!(plan.pages_read(), expected_pages);
+    assert_eq!(plan.groups[0].candidates, 6);
+    // The naive baseline would have paid that six times over.
+    assert_eq!(plan.naive_pages_read(), expected_pages * 6);
+
+    // Byte-identical to the serial single-threaded path, and to running the
+    // plan straight over the un-counted disk table.
+    for threads in [1, 4] {
+        let serial = CompressionAdvisor::new(AdvisorConfig { threads, ..config })
+            .unwrap()
+            .plan(&candidates)
+            .unwrap();
+        assert_eq!(serial.recommendations, plan.recommendations);
+    }
+
+    // And each shared estimate equals a direct estimator run with the same
+    // sampler and seed.
+    for (c, r) in candidates.iter().zip(&plan.recommendations) {
+        let direct = SampleCf::new(config.sampler)
+            .seed(config.seed)
+            .estimate(&disk, c.spec, c.scheme)
+            .unwrap();
+        assert_eq!(r.estimated_cf, direct.cf, "{}/{}", r.index, r.scheme);
+        assert_eq!(r.sample_rows, direct.data.rows);
+    }
 }
 
 #[test]

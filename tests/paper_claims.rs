@@ -138,6 +138,63 @@ fn theorem1_bound_holds_across_sampling_fractions() {
 }
 
 #[test]
+fn theorem1_ratio_error_and_bias_sweep_over_fractions() {
+    // Statistical regression sweep: for f ∈ {0.005, 0.01, 0.05, 0.1} the NS
+    // estimator must stay (a) nearly unbiased and (b) inside a ratio-error
+    // envelope derived from Theorem 1's standard-deviation bound
+    // σ ≤ 1/(2√(f·n)).  For an unbiased estimator with that σ, the mean
+    // ratio error max(est/cf, cf/est) deviates from 1 by about
+    // E|est − cf|/cf ≈ √(2/π)·σ/cf, so 2·σ_bound/cf is a generous but
+    // meaningful cap.  Everything is seeded, so the run is deterministic —
+    // the tolerances guard against regressions in the estimator, the
+    // samplers or the NS codec, not against sampling noise.
+    let fractions = [0.005, 0.01, 0.05, 0.1];
+    // Half-distinct workload (d = n/2); the table itself has N rows.
+    let t = table(N / 2, 17);
+    let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+    let mut mean_ratio_errors = Vec::new();
+    for fraction in fractions {
+        let summary = TrialRunner::new(TrialConfig::new(TRIALS).base_seed(4242))
+            .run(
+                &t,
+                &spec,
+                &NullSuppression,
+                SamplerKind::UniformWithReplacement(fraction),
+            )
+            .unwrap();
+        // (a) near-zero relative bias at every fraction.
+        assert!(
+            summary.relative_bias().abs() < 0.02,
+            "f = {fraction}: relative bias {}",
+            summary.relative_bias()
+        );
+        // (b) mean ratio error within the Theorem-1-derived envelope.
+        let envelope = 1.0 + 2.0 * theory::ns_stddev_bound(N, fraction) / summary.true_cf();
+        assert!(
+            summary.mean_ratio_error() >= 1.0 && summary.mean_ratio_error() <= envelope,
+            "f = {fraction}: mean ratio error {} outside [1, {envelope}]",
+            summary.mean_ratio_error()
+        );
+        // The worst single trial stays within a proportionally wider band.
+        let max_envelope = 1.0 + 4.0 * theory::ns_stddev_bound(N, fraction) / summary.true_cf();
+        assert!(
+            summary.max_ratio_error() <= max_envelope,
+            "f = {fraction}: max ratio error {} vs {max_envelope}",
+            summary.max_ratio_error()
+        );
+        mean_ratio_errors.push(summary.mean_ratio_error());
+    }
+    // Larger samples must not make the estimate worse: the error at the
+    // largest fraction is below the error at the smallest.
+    assert!(
+        mean_ratio_errors[fractions.len() - 1] < mean_ratio_errors[0],
+        "ratio error should shrink from f=0.005 ({}) to f=0.1 ({})",
+        mean_ratio_errors[0],
+        mean_ratio_errors[fractions.len() - 1]
+    );
+}
+
+#[test]
 fn expected_distinct_model_matches_simulation() {
     // The analytic E[d'] model used by the theory module matches what uniform
     // with-replacement sampling actually observes.
