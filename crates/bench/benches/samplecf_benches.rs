@@ -6,14 +6,19 @@
 //! Groups:
 //! * `samplecf_vs_exact` — the headline comparison: estimating CF from a 1%
 //!   sample vs. building and compressing the whole index.
+//! * `progressive_vs_oneshot` — the sequential-estimation claim: an adaptive
+//!   run with a 10% error target vs the fixed `f = 0.1` one-shot draw, on a
+//!   low-variance table where early stopping pays and on a spread table
+//!   where it must work for its answer.
 //! * `compression_throughput` — per-scheme chunk compression cost.
 //! * `sampling_throughput` — per-sampler cost of drawing a 1% sample.
 //! * `index_build` — bulk-loading the B+-tree at several table sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use samplecf_bench::paper_table;
-use samplecf_compression::{scheme_by_name, scheme_names, ColumnChunk};
-use samplecf_core::{ExactCf, SampleCf};
+use samplecf_compression::{scheme_by_name, scheme_names, ColumnChunk, NullSuppression};
+use samplecf_core::{ExactCf, ProgressiveCf, ProgressiveConfig, SampleCf};
+use samplecf_datagen::presets;
 use samplecf_index::{IndexBuilder, IndexSpec};
 use samplecf_sampling::SamplerKind;
 use samplecf_storage::{DataType, Value};
@@ -63,6 +68,60 @@ fn bench_samplecf_vs_exact(c: &mut Criterion) {
                 },
             );
         }
+    }
+    group.finish();
+}
+
+fn bench_progressive_vs_oneshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("progressive_vs_oneshot");
+    group.sample_size(10);
+    let tables = [
+        (
+            "all_equal",
+            presets::constant_table("const", 60_000, 24, 8, 1)
+                .generate()
+                .expect("generation succeeds")
+                .table,
+        ),
+        (
+            "spread",
+            presets::variable_length_table("spread", 60_000, WIDTH, 6_000, 4, 36, 2)
+                .generate()
+                .expect("generation succeeds")
+                .table,
+        ),
+    ];
+    for (label, table) in &tables {
+        group.bench_with_input(BenchmarkId::new("oneshot_f10pct", label), table, |b, t| {
+            b.iter(|| {
+                black_box(
+                    SampleCf::new(SamplerKind::UniformWithReplacement(0.1))
+                        .seed(7)
+                        .estimate(t, &spec(), &NullSuppression)
+                        .unwrap()
+                        .cf,
+                )
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_target10pct", label),
+            table,
+            |b, t| {
+                b.iter(|| {
+                    black_box(
+                        ProgressiveCf::new(
+                            SamplerKind::UniformWithReplacement(0.1),
+                            ProgressiveConfig::default(),
+                        )
+                        .seed(7)
+                        .run(t, &spec(), &NullSuppression)
+                        .unwrap()
+                        .measurement
+                        .cf,
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -151,6 +210,7 @@ fn bench_index_build(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_samplecf_vs_exact,
+    bench_progressive_vs_oneshot,
     bench_compression_throughput,
     bench_sampling_throughput,
     bench_index_build

@@ -1,0 +1,10 @@
+//! Runs the progressive-stopping experiment (adaptive vs fixed-fraction
+//! sampling on disk-resident tables) and writes its report under `results/`.
+
+use samplecf_bench::experiments::{progressive_stopping, quick_mode};
+
+fn main() {
+    let report = progressive_stopping::run(quick_mode());
+    let path = report.finish().expect("writing the report succeeds");
+    eprintln!("report written to {}", path.display());
+}

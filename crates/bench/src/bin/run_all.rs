@@ -16,6 +16,10 @@ fn main() {
         ("paged_vs_global", experiments::paged_vs_global::run),
         ("block_sampling", experiments::block_sampling::run),
         ("disk_block_io", experiments::disk_block_io::run),
+        (
+            "progressive_stopping",
+            experiments::progressive_stopping::run,
+        ),
         ("advisor_scaling", experiments::advisor_scaling::run),
         ("dv_baselines", experiments::dv_baselines::run),
         ("timing", experiments::timing::run),

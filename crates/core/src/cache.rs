@@ -13,7 +13,9 @@
 //! from.
 
 use crate::error::CoreResult;
-use samplecf_sampling::{MaterializedSample, SampledRow, SamplerKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use samplecf_sampling::{BatchSchedule, MaterializedSample, SampleStream, SampledRow, SamplerKind};
 use samplecf_storage::{CountingSource, TableSource};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -47,6 +49,36 @@ fn draw_entry<'a>(
         pages_read,
         draw_elapsed,
         uses,
+        stream: None,
+    })
+}
+
+/// Like [`draw_entry`], but through a [`SampleStream`] whose live state is
+/// kept in the entry, so a later request for a *deeper* fraction of the
+/// same (source, family, seed) can extend the draw instead of redrawing.
+fn draw_entry_streaming<'a>(
+    source: &'a dyn TableSource,
+    kind: SamplerKind,
+    seed: u64,
+) -> CoreResult<CachedSample<'a>> {
+    let counting = CountingSource::new(source);
+    let started = Instant::now();
+    let mut stream = kind.stream(BatchSchedule::one_shot())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample = MaterializedSample::from_stream(&counting, stream.as_mut(), &mut rng, seed)?;
+    let draw_elapsed = started.elapsed();
+    let pages_read = counting.pages_read();
+    let rows = sample.rows()?;
+    Ok(CachedSample {
+        source,
+        kind,
+        seed,
+        sample,
+        rows,
+        pages_read,
+        draw_elapsed,
+        uses: 1,
+        stream: Some((stream, rng)),
     })
 }
 
@@ -67,6 +99,11 @@ pub struct CachedSample<'a> {
     pages_read: u64,
     draw_elapsed: Duration,
     uses: usize,
+    /// Live draw state for entries created through
+    /// [`SampleCache::get_or_deepen`]: keeping the stream and its RNG is
+    /// what allows the entry to be deepened later at only the delta's I/O
+    /// cost.
+    stream: Option<(Box<dyn SampleStream>, StdRng)>,
 }
 
 impl<'a> CachedSample<'a> {
@@ -160,6 +197,98 @@ impl<'a> SampleCache<'a> {
         self.entries.push(draw_entry(source, kind, seed, 1)?);
         self.index.insert(key, id);
         Ok(id)
+    }
+
+    /// Like [`get_or_draw`](Self::get_or_draw), but willing to **deepen** an
+    /// existing entry: if the cache already holds a sample for the same
+    /// (source, sampler family, seed) at a *shallower* fraction — and that
+    /// entry still has its live stream — the cached sample is extended in
+    /// place to the requested fraction, paying only the delta's I/O.
+    ///
+    /// Prefix-stable streams make deepening lossless: the extended sample
+    /// holds exactly the rows a fresh draw at the deeper fraction with the
+    /// same seed would hold (as a multiset — batches arrive rid-sorted per
+    /// chunk).  The entry keeps its id; the shallow configuration's key is
+    /// retired, since the entry now answers for the deeper one.
+    ///
+    /// Non-streaming sampler kinds fall back to plain
+    /// [`get_or_draw`](Self::get_or_draw) behaviour.
+    pub fn get_or_deepen(
+        &mut self,
+        source: &'a dyn TableSource,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> CoreResult<usize> {
+        let key = (source_key(source), kind.label(), seed);
+        if let Some(&id) = self.index.get(&key) {
+            self.entries[id].uses += 1;
+            return Ok(id);
+        }
+        if !kind.supports_streaming() {
+            return self.get_or_draw(source, kind, seed);
+        }
+        // Look for the deepest extendable entry of the same family.
+        let candidate = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                source_key(e.source) == source_key(source)
+                    && e.seed == seed
+                    && e.kind.family() == kind.family()
+                    && e.stream.is_some()
+                    && match (e.kind.fraction(), kind.fraction()) {
+                        (Some(have), Some(want)) => have < want,
+                        _ => false,
+                    }
+            })
+            .max_by(|(_, a), (_, b)| {
+                a.kind
+                    .fraction()
+                    .partial_cmp(&b.kind.fraction())
+                    .expect("fractions are finite")
+            })
+            .map(|(id, _)| id);
+        if let Some(id) = candidate {
+            let entry = &mut self.entries[id];
+            let (stream, rng) = entry.stream.as_mut().expect("filtered on stream presence");
+            if stream.extend_cap(kind) {
+                let old_key = (source_key(source), entry.kind.label(), seed);
+                let counting = CountingSource::new(source);
+                let started = Instant::now();
+                entry
+                    .sample
+                    .extend_from_stream(&counting, stream.as_mut(), rng)?;
+                entry.draw_elapsed += started.elapsed();
+                entry.pages_read += counting.pages_read();
+                entry.rows = entry.sample.rows()?;
+                entry.kind = kind;
+                entry.uses += 1;
+                self.index.remove(&old_key);
+                self.index.insert(key, id);
+                return Ok(id);
+            }
+        }
+        // No extendable entry: draw fresh, keeping the stream for later
+        // deepening.
+        let id = self.entries.len();
+        self.entries.push(draw_entry_streaming(source, kind, seed)?);
+        self.index.insert(key, id);
+        Ok(id)
+    }
+
+    /// Drop the live stream state of the entry with the given id, fixing
+    /// its fraction for good.
+    ///
+    /// An entry drawn through [`get_or_deepen`](Self::get_or_deepen) keeps
+    /// its stream (and, for uniform draws, the stream's page cache — the
+    /// decoded rows of every page the draw touched) so that a later, deeper
+    /// request costs only the delta.  When the caller knows no deeper
+    /// fraction is coming, sealing releases that memory; the materialized
+    /// sample itself is untouched and keeps serving hits.  A sealed entry
+    /// can no longer be deepened — a deeper request draws afresh.
+    pub fn seal(&mut self, id: usize) {
+        self.entries[id].stream = None;
     }
 
     /// Resolve a whole batch of requests at once, drawing every cache miss
@@ -383,6 +512,86 @@ mod tests {
         // The rolled-back keys can be requested again cleanly.
         let id = cache.get_or_draw(&t, good, 1).unwrap();
         assert_eq!(id, 1);
+    }
+
+    #[test]
+    fn deepening_extends_a_cached_sample_at_delta_cost() {
+        let t = table("t", 21);
+        let num_pages = t.num_pages() as u64;
+        let mut cache = SampleCache::new();
+        // First request: a shallow block sample, drawn through a stream.
+        let id = cache.get_or_deepen(&t, SamplerKind::Block(0.1), 4).unwrap();
+        let shallow_pages = cache.entry(id).pages_read();
+        assert_eq!(
+            shallow_pages,
+            (num_pages as f64 * 0.1).round().max(1.0) as u64
+        );
+        // Deeper request with the same family and seed: same entry id,
+        // extended in place, paying only the delta.
+        let deep = cache.get_or_deepen(&t, SamplerKind::Block(0.3), 4).unwrap();
+        assert_eq!(deep, id, "deepening keeps the entry id");
+        assert_eq!(cache.len(), 1, "no second sample was drawn");
+        let entry = cache.entry(id);
+        assert_eq!(entry.kind(), SamplerKind::Block(0.3));
+        assert_eq!(
+            entry.pages_read(),
+            (num_pages as f64 * 0.3).round().max(1.0) as u64,
+            "cumulative cost equals one fresh draw at the deep fraction"
+        );
+        assert_eq!(entry.uses(), 2);
+        // The deepened rows are exactly a fresh deep draw's rows.
+        let fresh = MaterializedSample::draw(&t, SamplerKind::Block(0.3), 4).unwrap();
+        let mut a: Vec<_> = entry.rows().to_vec();
+        let mut b = fresh.rows().unwrap();
+        a.sort_by_key(|(rid, _)| *rid);
+        b.sort_by_key(|(rid, _)| *rid);
+        assert_eq!(a, b);
+        // A later request at the deep fraction is a plain hit; the retired
+        // shallow key draws afresh if ever requested again.
+        assert_eq!(
+            cache.get_or_deepen(&t, SamplerKind::Block(0.3), 4).unwrap(),
+            id
+        );
+        let shallow_again = cache.get_or_deepen(&t, SamplerKind::Block(0.1), 4).unwrap();
+        assert_ne!(shallow_again, id);
+    }
+
+    #[test]
+    fn sealed_entries_keep_serving_hits_but_stop_deepening() {
+        let t = table("t", 23);
+        let mut cache = SampleCache::new();
+        let kind = SamplerKind::Block(0.1);
+        let id = cache.get_or_deepen(&t, kind, 6).unwrap();
+        cache.seal(id);
+        // Exact requests still hit the sealed entry.
+        assert_eq!(cache.get_or_deepen(&t, kind, 6).unwrap(), id);
+        assert_eq!(cache.entry(id).uses(), 2);
+        // A deeper request can no longer extend it: fresh entry instead.
+        let deeper = cache.get_or_deepen(&t, SamplerKind::Block(0.2), 6).unwrap();
+        assert_ne!(deeper, id);
+        assert_eq!(cache.entry(id).kind(), kind, "sealed entry is unchanged");
+    }
+
+    #[test]
+    fn deepening_requires_matching_family_and_seed() {
+        let t = table("t", 22);
+        let mut cache = SampleCache::new();
+        let id = cache
+            .get_or_deepen(&t, SamplerKind::UniformWithReplacement(0.05), 1)
+            .unwrap();
+        // Different seed or family: a fresh draw, not an extension.
+        let other_seed = cache
+            .get_or_deepen(&t, SamplerKind::UniformWithReplacement(0.1), 2)
+            .unwrap();
+        assert_ne!(other_seed, id);
+        let other_family = cache.get_or_deepen(&t, SamplerKind::Block(0.1), 1).unwrap();
+        assert_ne!(other_family, id);
+        assert_eq!(cache.len(), 3);
+        // Non-streaming kinds fall back to plain draws.
+        let bernoulli = cache
+            .get_or_deepen(&t, SamplerKind::Bernoulli(0.1), 1)
+            .unwrap();
+        assert_eq!(cache.entry(bernoulli).kind(), SamplerKind::Bernoulli(0.1));
     }
 
     #[test]

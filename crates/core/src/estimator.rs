@@ -62,6 +62,59 @@ impl DataStats {
     }
 }
 
+/// Running accumulator behind [`DataStats`], for consumers that see the
+/// sample arrive in batches (the progressive estimator) instead of all at
+/// once.
+///
+/// Observing values one by one and [`snapshot`](Self::snapshot)ting at any
+/// point yields exactly the stats a from-scratch pass over the same values
+/// would produce — the distinct set, length sum and null count are all
+/// order-insensitive — so checkpoint stats cost `O(batch)` instead of
+/// `O(rows so far)`.
+#[derive(Debug, Clone, Default)]
+pub struct DataStatsAccumulator {
+    rows: usize,
+    sum: usize,
+    nulls: usize,
+    distinct: HashSet<Value>,
+}
+
+impl DataStatsAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one first-key value into the running stats.
+    pub fn observe(&mut self, value: &Value) {
+        self.rows += 1;
+        self.sum += value.logical_len();
+        if value.is_null() {
+            self.nulls += 1;
+        } else if !self.distinct.contains(value) {
+            self.distinct.insert(value.clone());
+        }
+    }
+
+    /// Rows observed so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The stats of everything observed so far.
+    #[must_use]
+    pub fn snapshot(&self) -> DataStats {
+        DataStats {
+            rows: self.rows,
+            distinct_first_key: self.distinct.len(),
+            sum_logical_len_first_key: self.sum,
+            null_first_key: self.nulls,
+        }
+    }
+}
+
 /// The result of measuring (or estimating) a compression fraction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CfMeasurement {
@@ -226,12 +279,27 @@ impl SampleCf {
     /// Works over any [`TableSource`] — in-memory or disk-resident.  On a
     /// [`DiskTable`](samplecf_storage::DiskTable) with a block sampler, only
     /// the sampled pages are physically read.
+    ///
+    /// For sampler kinds with a streaming implementation (uniform-wr, block,
+    /// reservoir) this is a thin wrapper over
+    /// [`ProgressiveCf`](crate::progressive::ProgressiveCf) with a single
+    /// checkpoint at the configured fraction — same rows, same CF, same
+    /// [`DataStats`], same pages read as the progressive path stopped at
+    /// that fraction (the parity the proptests pin).  Kinds without a
+    /// stream keep the direct draw-then-measure path.
     pub fn estimate(
         &self,
         source: &dyn TableSource,
         spec: &IndexSpec,
         scheme: &dyn CompressionScheme,
     ) -> CoreResult<CfMeasurement> {
+        if self.sampler.supports_streaming() {
+            let report = crate::progressive::ProgressiveCf::one_checkpoint(self.sampler)
+                .seed(self.seed)
+                .builder(self.builder)
+                .run(source, spec, scheme)?;
+            return Ok(report.measurement);
+        }
         let sampler = self.sampler.build()?;
         let mut rng = StdRng::seed_from_u64(self.seed);
         self.estimate_with(source, spec, scheme, sampler.as_ref(), &mut rng)

@@ -62,6 +62,7 @@ pub mod error;
 pub mod estimator;
 pub mod metrics;
 mod parallel;
+pub mod progressive;
 pub mod theory;
 pub mod trials;
 
@@ -75,6 +76,9 @@ pub use distinct::{
     NaiveScaleUp, SampleDistinct, Shlosser,
 };
 pub use error::{CoreError, CoreResult};
-pub use estimator::{CfMeasurement, DataStats, ExactCf, SampleCf};
-pub use metrics::{absolute_error, ratio_error, relative_error, SummaryStats};
+pub use estimator::{CfMeasurement, DataStats, DataStatsAccumulator, ExactCf, SampleCf};
+pub use metrics::{
+    absolute_error, grouped_jackknife_variance, ratio_error, relative_error, SummaryStats,
+};
+pub use progressive::{CfCheckpoint, ProgressiveCf, ProgressiveConfig, ProgressiveReport};
 pub use trials::{TrialConfig, TrialRunner, TrialSummary};

@@ -1,0 +1,556 @@
+//! Progressive (sequential) estimation with a variance-driven stopping rule.
+//!
+//! The paper's Theorem 1 answers "how big must the sample be for error ε at
+//! confidence 1 − δ" — but the classic pipeline runs it backwards: the
+//! caller guesses a fraction `f`, the sampler draws everything in one shot,
+//! and the estimator measures once with no idea whether the answer is
+//! within budget.  [`ProgressiveCf`] turns the pipeline around:
+//!
+//! 1. the sample arrives in geometrically growing batches from a
+//!    [`SampleStream`](samplecf_sampling::SampleStream),
+//! 2. after each batch the CF is re-measured from an accumulated
+//!    [`SortedRun`] (merged, never re-sorted) and the running
+//!    [`DataStatsAccumulator`] is updated,
+//! 3. the estimate's variance is jackknifed over the batches
+//!    ([`grouped_jackknife_variance`]), giving a distribution-free
+//!    Chebyshev confidence interval ([`theory::chebyshev_z`]),
+//! 4. the run stops as soon as the CI's relative half-width drops below
+//!    `target_error` — or when the sampler's fraction cap is reached.
+//!
+//! On low-variance data the stop comes after a tiny fraction of the pages a
+//! fixed-`f` run would read; on adversarial data the run simply continues
+//! to the cap and returns exactly the fixed-`f` answer, with honest error
+//! bars either way.  Prefix-stable streams make that exactness literal: a
+//! progressive run that reaches its cap is byte-identical — CF, data stats
+//! and pages read — to [`SampleCf`](crate::estimator::SampleCf) at the same
+//! fraction and seed.
+
+use crate::error::{CoreError, CoreResult};
+use crate::estimator::{CfMeasurement, DataStatsAccumulator};
+use crate::metrics::grouped_jackknife_variance;
+use crate::theory;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use samplecf_compression::CompressionScheme;
+use samplecf_index::{compress_index, CompressedIndexReport, IndexBuilder, IndexSpec, SortedRun};
+use samplecf_sampling::{BatchSchedule, SamplerKind};
+use samplecf_storage::{CountingSource, TableSource};
+use std::time::Instant;
+
+/// Configuration of the progressive run: the accuracy target and the batch
+/// schedule.  The sampler's own fraction (or reservoir capacity) acts as
+/// the page/row budget cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressiveConfig {
+    /// Stop once the Chebyshev CI's half-width is at most this fraction of
+    /// the estimate (`half_width / cf ≤ target_error`).  `0.0` disables
+    /// early stopping: the run always consumes the whole stream.
+    pub target_error: f64,
+    /// Confidence level `1 − δ` of the interval (default 0.95).
+    pub confidence: f64,
+    /// Batch schedule: first-checkpoint fraction and geometric growth.
+    pub schedule: BatchSchedule,
+}
+
+impl Default for ProgressiveConfig {
+    fn default() -> Self {
+        ProgressiveConfig {
+            target_error: 0.1,
+            confidence: 0.95,
+            schedule: BatchSchedule::default(),
+        }
+    }
+}
+
+impl ProgressiveConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> CoreResult<()> {
+        if !(self.confidence > 0.0 && self.confidence <= 1.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "confidence must be in (0, 1], got {}",
+                self.confidence
+            )));
+        }
+        if self.target_error < 0.0 || !self.target_error.is_finite() {
+            return Err(CoreError::InvalidConfig(format!(
+                "target error must be a finite fraction >= 0, got {}",
+                self.target_error
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One measurement checkpoint of a progressive run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfCheckpoint {
+    /// 1-based number of batches consumed so far.
+    pub batch: usize,
+    /// Rows measured at this checkpoint (duplicates counted).
+    pub rows: usize,
+    /// Fraction of the source's rows the sample has reached.
+    pub fraction: f64,
+    /// The CF estimate at this checkpoint.
+    pub cf: f64,
+    /// Jackknife standard error of the estimate (needs ≥ 2 batches).
+    pub std_error: Option<f64>,
+    /// Chebyshev CI half-width at the configured confidence.
+    pub half_width: Option<f64>,
+    /// Lower CI bound (clamped at 0).
+    pub ci_low: Option<f64>,
+    /// Upper CI bound.
+    pub ci_high: Option<f64>,
+    /// Theorem 1's worst-case stddev bound `1/(2√r)` for this sample size —
+    /// what the stopping rule would have to assume without measuring.
+    pub ns_stddev_bound: f64,
+    /// Cumulative physical pages read from the source.
+    pub pages_read: u64,
+}
+
+impl CfCheckpoint {
+    /// Relative half-width (`half_width / cf`), the stopping rule's metric.
+    #[must_use]
+    pub fn relative_half_width(&self) -> Option<f64> {
+        match self.half_width {
+            Some(hw) if self.cf > 0.0 => Some(hw / self.cf),
+            _ => None,
+        }
+    }
+}
+
+/// The result of a progressive run: the final measurement plus the full
+/// checkpoint trajectory and its accounting.
+#[derive(Debug, Clone)]
+pub struct ProgressiveReport {
+    /// The final measurement, identical in shape to what
+    /// [`SampleCf::estimate`](crate::estimator::SampleCf::estimate) returns.
+    pub measurement: CfMeasurement,
+    /// Every checkpoint, in order.
+    pub checkpoints: Vec<CfCheckpoint>,
+    /// Whether the run stopped before consuming the whole stream.
+    pub stopped_early: bool,
+    /// Whether the accuracy target was met (false when the cap hit first or
+    /// early stopping was disabled).
+    pub target_met: bool,
+    /// Total physical pages read from the source.
+    pub pages_read: u64,
+    /// The RNG seed of the run.
+    pub seed: u64,
+    /// The configured relative-error target.
+    pub target_error: f64,
+    /// The configured confidence level.
+    pub confidence: f64,
+    /// Rows in the source table.
+    pub source_rows: usize,
+    /// Pages in the source table.
+    pub source_pages: usize,
+}
+
+impl ProgressiveReport {
+    /// The last checkpoint (absent only for an empty source).
+    #[must_use]
+    pub fn final_checkpoint(&self) -> Option<&CfCheckpoint> {
+        self.checkpoints.last()
+    }
+
+    /// The final confidence interval, if the run measured variance.
+    #[must_use]
+    pub fn ci(&self) -> Option<(f64, f64)> {
+        let last = self.final_checkpoint()?;
+        Some((last.ci_low?, last.ci_high?))
+    }
+}
+
+/// The progressive SampleCF estimator.
+#[derive(Debug, Clone)]
+pub struct ProgressiveCf {
+    sampler: SamplerKind,
+    builder: IndexBuilder,
+    seed: u64,
+    config: ProgressiveConfig,
+}
+
+impl ProgressiveCf {
+    /// Create a progressive estimator.  The sampler's fraction (or
+    /// reservoir capacity) is the budget cap; `config` sets the accuracy
+    /// target and the batch schedule.
+    #[must_use]
+    pub fn new(sampler: SamplerKind, config: ProgressiveConfig) -> Self {
+        ProgressiveCf {
+            sampler,
+            builder: IndexBuilder::new(),
+            seed: 0,
+            config,
+        }
+    }
+
+    /// The degenerate single-checkpoint configuration: one batch at the
+    /// sampler's full fraction, no early stopping.  This is what
+    /// [`SampleCf::estimate`](crate::estimator::SampleCf::estimate)
+    /// delegates to for streaming sampler kinds.
+    #[must_use]
+    pub fn one_checkpoint(sampler: SamplerKind) -> Self {
+        ProgressiveCf::new(
+            sampler,
+            ProgressiveConfig {
+                target_error: 0.0,
+                confidence: 0.95,
+                schedule: BatchSchedule::one_shot(),
+            },
+        )
+    }
+
+    /// Set the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Use a custom index builder for the checkpoint indexes.
+    #[must_use]
+    pub fn builder(mut self, builder: IndexBuilder) -> Self {
+        self.builder = builder;
+        self
+    }
+
+    /// The configured sampler kind.
+    #[must_use]
+    pub fn sampler(&self) -> SamplerKind {
+        self.sampler
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> ProgressiveConfig {
+        self.config
+    }
+
+    /// Run the progressive estimation loop over `source`.
+    ///
+    /// Requires a streaming sampler kind (uniform-with-replacement, block
+    /// or reservoir); other kinds return an error, since they have no
+    /// prefix-stable incremental draw.
+    pub fn run(
+        &self,
+        source: &dyn TableSource,
+        spec: &IndexSpec,
+        scheme: &dyn CompressionScheme,
+    ) -> CoreResult<ProgressiveReport> {
+        self.config.validate()?;
+        let schema = source.schema().clone();
+        let first_key = spec
+            .key_indexes(&schema)?
+            .first()
+            .copied()
+            .ok_or_else(|| CoreError::InvalidConfig("index has no key columns".to_string()))?;
+        let z = theory::chebyshev_z(self.config.confidence);
+        let counting = CountingSource::new(source);
+        let mut stream = self.sampler.stream(self.config.schedule)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let started = Instant::now();
+        let mut stats = DataStatsAccumulator::new();
+        let mut merged = SortedRun::new();
+        let mut batch_runs: Vec<SortedRun> = Vec::new();
+        let mut batch_sizes: Vec<usize> = Vec::new();
+        let mut checkpoints: Vec<CfCheckpoint> = Vec::new();
+        let mut last_report: Option<CompressedIndexReport> = None;
+        let mut target_met = false;
+
+        loop {
+            let batch = stream.next_batch(&counting, &mut rng)?;
+            if batch.is_empty() {
+                break;
+            }
+            for (_, row) in &batch {
+                stats.observe(row.value(first_key));
+            }
+            let run = SortedRun::from_rows(&schema, &batch, spec)?;
+            merged = merged.merge(&run);
+            batch_sizes.push(batch.len());
+            batch_runs.push(run);
+
+            // Measure the checkpoint from the accumulated (never re-sorted)
+            // run.
+            let index = self.builder.build_from_sorted_run(&schema, spec, &merged)?;
+            let report = compress_index(&index, scheme)?;
+            let cf = report.cf();
+
+            // Jackknife the estimate over the batches drawn so far.
+            let variance = if batch_runs.len() >= 2 {
+                let mut leave_one_out = Vec::with_capacity(batch_runs.len());
+                for skip in 0..batch_runs.len() {
+                    let partial = SortedRun::merge_all(
+                        batch_runs
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != skip)
+                            .map(|(_, r)| r),
+                    );
+                    let idx = self
+                        .builder
+                        .build_from_sorted_run(&schema, spec, &partial)?;
+                    leave_one_out.push(compress_index(&idx, scheme)?.cf());
+                }
+                grouped_jackknife_variance(cf, &leave_one_out, &batch_sizes)
+            } else {
+                None
+            };
+            let std_error = variance.map(f64::sqrt);
+            let half_width = std_error.map(|se| z * se);
+
+            let rows = stats.rows();
+            let checkpoint = CfCheckpoint {
+                batch: batch_runs.len(),
+                rows,
+                fraction: if source.num_rows() == 0 {
+                    0.0
+                } else {
+                    rows as f64 / source.num_rows() as f64
+                },
+                cf,
+                std_error,
+                half_width,
+                ci_low: half_width.map(|hw| (cf - hw).max(0.0)),
+                ci_high: half_width.map(|hw| cf + hw),
+                ns_stddev_bound: theory::ns_stddev_bound_for_sample(rows),
+                pages_read: counting.pages_read(),
+            };
+            let stop = self.config.target_error > 0.0
+                && checkpoint
+                    .relative_half_width()
+                    .is_some_and(|rel| rel <= self.config.target_error);
+            checkpoints.push(checkpoint);
+            last_report = Some(report);
+            if stop {
+                target_met = true;
+                break;
+            }
+        }
+
+        // Final measurement — for an empty source this measures the empty
+        // sample, exactly like the one-shot path.
+        let report = match last_report {
+            Some(r) => r,
+            None => {
+                let index = self
+                    .builder
+                    .build_from_sorted_run(&schema, spec, &SortedRun::new())?;
+                compress_index(&index, scheme)?
+            }
+        };
+        let stopped_early = !stream.exhausted() && !checkpoints.is_empty();
+        let measurement = CfMeasurement {
+            cf: report.cf(),
+            cf_with_pointers: report.cf_with_pointers(),
+            cf_pages: report.cf_pages(),
+            scheme: report.scheme.clone(),
+            sampler: self.sampler.label(),
+            data: stats.snapshot(),
+            elapsed: started.elapsed(),
+            report,
+        };
+        Ok(ProgressiveReport {
+            measurement,
+            checkpoints,
+            stopped_early,
+            target_met,
+            pages_read: counting.pages_read(),
+            seed: self.seed,
+            target_error: self.config.target_error,
+            confidence: self.config.confidence,
+            source_rows: source.num_rows(),
+            source_pages: source.num_pages(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{ExactCf, SampleCf};
+    use samplecf_compression::NullSuppression;
+    use samplecf_datagen::presets;
+    use samplecf_index::IndexSpec;
+    use samplecf_storage::Table;
+
+    fn spec() -> IndexSpec {
+        IndexSpec::nonclustered("idx_a", ["a"]).unwrap()
+    }
+
+    /// All-equal column: the NS estimate has zero variance.
+    fn constant_table(n: usize) -> Table {
+        presets::single_char_table("const", n, 24, 1, 8, 3)
+            .generate()
+            .unwrap()
+            .table
+    }
+
+    fn spread_table(n: usize) -> Table {
+        presets::variable_length_table("spread", n, 40, n / 10, 4, 36, 5)
+            .generate()
+            .unwrap()
+            .table
+    }
+
+    #[test]
+    fn adaptive_run_stops_early_on_constant_data() {
+        let t = constant_table(20_000);
+        let report = ProgressiveCf::new(
+            SamplerKind::UniformWithReplacement(0.1),
+            ProgressiveConfig {
+                target_error: 0.1,
+                confidence: 0.95,
+                schedule: BatchSchedule::default(),
+            },
+        )
+        .seed(1)
+        .run(&t, &spec(), &NullSuppression)
+        .unwrap();
+        assert!(report.target_met, "constant data must meet any target");
+        assert!(report.stopped_early);
+        let last = report.final_checkpoint().unwrap();
+        assert!(
+            last.rows < 2_000,
+            "stopped at {} rows, expected far fewer than the 10% cap",
+            last.rows
+        );
+        // The estimate is essentially exact on constant data (up to
+        // per-page chunk overheads).
+        let exact = ExactCf::new()
+            .compute(&t, &spec(), &NullSuppression)
+            .unwrap();
+        assert!(report.measurement.ratio_error_vs(&exact) < 1.01);
+        // Checkpoints are monotone in rows and pages.
+        for w in report.checkpoints.windows(2) {
+            assert!(w[1].rows > w[0].rows);
+            assert!(w[1].pages_read >= w[0].pages_read);
+        }
+    }
+
+    #[test]
+    fn capped_run_equals_the_one_shot_estimate() {
+        // target_error = 0: run to the fraction cap and match SampleCf
+        // byte-for-byte (the multi-checkpoint side of the parity the
+        // proptests cover exhaustively).
+        let t = spread_table(8_000);
+        for kind in [
+            SamplerKind::UniformWithReplacement(0.08),
+            SamplerKind::Block(0.1),
+            SamplerKind::Reservoir(400),
+        ] {
+            let progressive = ProgressiveCf::new(
+                kind,
+                ProgressiveConfig {
+                    target_error: 0.0,
+                    ..ProgressiveConfig::default()
+                },
+            )
+            .seed(7)
+            .run(&t, &spec(), &NullSuppression)
+            .unwrap();
+            let oneshot = SampleCf::new(kind)
+                .seed(7)
+                .estimate(&t, &spec(), &NullSuppression)
+                .unwrap();
+            assert!(!progressive.stopped_early);
+            assert!(!progressive.target_met);
+            assert_eq!(progressive.measurement.cf, oneshot.cf, "{kind:?}");
+            assert_eq!(progressive.measurement.data, oneshot.data);
+            assert_eq!(
+                progressive.measurement.report.per_column,
+                oneshot.report.per_column
+            );
+            assert!(progressive.checkpoints.len() > 1);
+        }
+    }
+
+    #[test]
+    fn confidence_interval_covers_the_exact_cf_on_well_behaved_data() {
+        let t = spread_table(20_000);
+        let exact = ExactCf::new()
+            .compute(&t, &spec(), &NullSuppression)
+            .unwrap();
+        let report = ProgressiveCf::new(
+            SamplerKind::UniformWithReplacement(0.2),
+            ProgressiveConfig {
+                target_error: 0.05,
+                confidence: 0.95,
+                schedule: BatchSchedule::default(),
+            },
+        )
+        .seed(11)
+        .run(&t, &spec(), &NullSuppression)
+        .unwrap();
+        let (lo, hi) = report.ci().expect("a multi-batch run has a CI");
+        assert!(
+            lo <= exact.cf && exact.cf <= hi,
+            "CI [{lo}, {hi}] must cover the exact CF {}",
+            exact.cf
+        );
+        // The jackknife says much less than Theorem 1's worst case here.
+        let last = report.final_checkpoint().unwrap();
+        assert!(last.std_error.unwrap() < last.ns_stddev_bound);
+    }
+
+    #[test]
+    fn one_checkpoint_config_measures_exactly_once() {
+        let t = spread_table(4_000);
+        let report = ProgressiveCf::one_checkpoint(SamplerKind::Block(0.05))
+            .seed(3)
+            .run(&t, &spec(), &NullSuppression)
+            .unwrap();
+        assert_eq!(report.checkpoints.len(), 1);
+        let only = &report.checkpoints[0];
+        assert!(only.std_error.is_none(), "one batch has no variance info");
+        assert!(!report.stopped_early);
+    }
+
+    #[test]
+    fn empty_source_yields_a_neutral_measurement() {
+        let t = samplecf_storage::TableBuilder::new(
+            "empty",
+            samplecf_storage::Schema::single_char("a", 8),
+        )
+        .build()
+        .unwrap();
+        let report = ProgressiveCf::new(
+            SamplerKind::UniformWithReplacement(0.5),
+            ProgressiveConfig::default(),
+        )
+        .run(&t, &spec(), &NullSuppression)
+        .unwrap();
+        assert!(report.checkpoints.is_empty());
+        assert_eq!(report.measurement.cf, 1.0);
+        assert_eq!(report.measurement.data.rows, 0);
+        assert_eq!(report.pages_read, 0);
+        assert!(!report.stopped_early);
+    }
+
+    #[test]
+    fn non_streaming_kinds_and_bad_configs_are_rejected() {
+        let t = spread_table(1_000);
+        let err = ProgressiveCf::new(SamplerKind::Bernoulli(0.1), ProgressiveConfig::default())
+            .run(&t, &spec(), &NullSuppression)
+            .unwrap_err();
+        assert!(err.to_string().contains("streaming"), "{err}");
+        for bad in [
+            ProgressiveConfig {
+                confidence: 0.0,
+                ..ProgressiveConfig::default()
+            },
+            ProgressiveConfig {
+                confidence: 1.5,
+                ..ProgressiveConfig::default()
+            },
+            ProgressiveConfig {
+                target_error: -0.1,
+                ..ProgressiveConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+        assert!(ProgressiveConfig::default().validate().is_ok());
+    }
+}

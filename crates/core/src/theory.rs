@@ -49,6 +49,44 @@ pub fn ns_variance_bound(rows: usize, fraction: f64) -> f64 {
     }
 }
 
+/// Chebyshev multiplier for a two-sided confidence interval at the given
+/// confidence level `1 − δ`: `z = 1/√δ`, so that `P(|X − E[X]| ≥ z·σ) ≤ δ`
+/// for *any* distribution with standard deviation `σ`.
+///
+/// The progressive estimator's stopping rule is distribution-free on
+/// purpose: Theorem 1 bounds the variance of the estimate but says nothing
+/// about its shape, so Chebyshev is the inequality that matches the
+/// paper's own style of guarantee.  Returns infinity for a degenerate
+/// confidence of 1.0 (δ = 0 admits no finite interval).
+#[must_use]
+pub fn chebyshev_z(confidence: f64) -> f64 {
+    let delta = 1.0 - confidence;
+    if delta <= 0.0 {
+        return f64::INFINITY;
+    }
+    if delta >= 1.0 {
+        return 0.0;
+    }
+    1.0 / delta.sqrt()
+}
+
+/// Theorem 1 run backwards: the sample size `r` that guarantees
+/// `P(|CF′_NS − CF_NS| ≥ ε) ≤ δ` for Null Suppression.
+///
+/// From `Var(CF′_NS) ≤ 1/(4r)` (Table II) and Chebyshev,
+/// `P(|CF′ − CF| ≥ ε) ≤ 1/(4·r·ε²)`; solving `1/(4·r·ε²) ≤ δ` gives
+/// `r ≥ 1/(4·ε²·δ)`.  This is the worst-case answer to "how big must the
+/// sample be" — the progressive estimator's stopping rule replaces the
+/// worst-case `1/4` with the measured jackknife variance and so usually
+/// stops much earlier.
+#[must_use]
+pub fn ns_sample_size_for(epsilon: f64, delta: f64) -> usize {
+    if epsilon <= 0.0 || delta <= 0.0 {
+        return usize::MAX;
+    }
+    (1.0 / (4.0 * epsilon * epsilon * delta)).ceil() as usize
+}
+
 /// Expected number of distinct values observed in a with-replacement sample
 /// of `r` rows drawn from a table with `d` equally frequent distinct values:
 /// `E[d'] = d·(1 − (1 − 1/d)^r)`.
@@ -150,6 +188,30 @@ mod tests {
         assert!(ns_stddev_bound(10_000, 0.01) > ns_stddev_bound(1_000_000, 0.01));
         assert_eq!(ns_stddev_bound(0, 0.1), f64::INFINITY);
         assert_eq!(ns_stddev_bound(100, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn chebyshev_z_matches_known_values() {
+        // 95% confidence: δ = 0.05, z = 1/√0.05 ≈ 4.4721.
+        assert!((chebyshev_z(0.95) - 20.0f64.sqrt()).abs() < 1e-9);
+        // 75% confidence is the textbook 2σ Chebyshev bound.
+        assert!((chebyshev_z(0.75) - 2.0).abs() < 1e-9);
+        assert_eq!(chebyshev_z(1.0), f64::INFINITY);
+        assert_eq!(chebyshev_z(0.0), 0.0);
+    }
+
+    #[test]
+    fn ns_sample_size_inverts_theorem_1() {
+        // ε = 0.05, δ = 0.05: r = 1/(4·0.0025·0.05) = 2000.
+        assert_eq!(ns_sample_size_for(0.05, 0.05), 2000);
+        // The guarantee round-trips: with r = 2000 the variance bound gives
+        // a Chebyshev deviation of at most ε at confidence 1 − δ.
+        let sigma = ns_stddev_bound_for_sample(2000);
+        assert!(chebyshev_z(0.95) * sigma <= 0.05 + 1e-12);
+        // Tighter targets need more rows; degenerate targets need them all.
+        assert!(ns_sample_size_for(0.01, 0.05) > ns_sample_size_for(0.05, 0.05));
+        assert_eq!(ns_sample_size_for(0.0, 0.05), usize::MAX);
+        assert_eq!(ns_sample_size_for(0.1, 0.0), usize::MAX);
     }
 
     #[test]

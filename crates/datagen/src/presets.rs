@@ -66,6 +66,20 @@ pub fn variable_length_table(
     .seed(seed)
 }
 
+/// All-equal column: one distinct value of a fixed length, repeated `rows`
+/// times — the zero-variance extreme for the progressive estimator (and a
+/// heavy-RLE workload: the whole column is a single run).
+#[must_use]
+pub fn constant_table(
+    name: &str,
+    rows: usize,
+    width: u16,
+    value_len: usize,
+    seed: u64,
+) -> TableSpec {
+    single_char_table(name, rows, width, 1, value_len, seed)
+}
+
 /// "Small d" regime of Theorem 2: `d = ⌈√n⌉` distinct values.
 #[must_use]
 pub fn small_distinct_table(name: &str, rows: usize, width: u16, seed: u64) -> TableSpec {
@@ -188,6 +202,15 @@ mod tests {
         assert!(ds <= 110, "small-d regime produced d = {ds}");
         assert!(dl > 1_500, "large-d regime produced d = {dl}");
         assert!(ds < dl);
+    }
+
+    #[test]
+    fn constant_table_is_all_equal() {
+        let g = constant_table("c", 500, 24, 8, 9).generate().unwrap();
+        assert_eq!(g.table.num_rows(), 500);
+        assert_eq!(g.stats_for("a").unwrap().distinct_values, 1);
+        let values = g.table.column_values("a").unwrap();
+        assert!(values.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

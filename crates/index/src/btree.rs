@@ -95,6 +95,35 @@ impl IndexBuilder {
         rows: &[(Rid, Row)],
         spec: &IndexSpec,
     ) -> IndexResult<BTreeIndex> {
+        let mut entries = encode_entries(schema, rows, spec)?;
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        self.build_from_sorted_entries(schema, spec, &entries)
+    }
+
+    /// Build an index from an already-sorted run of encoded entries — the
+    /// checkpoint-friendly path progressive estimation uses.
+    ///
+    /// A [`SortedRun`] accumulated over several sample batches is merged
+    /// (linear time), never re-sorted, so re-measuring the CF after each
+    /// batch costs `O(r)` per checkpoint instead of `O(r log r)`.  The
+    /// resulting tree is byte-identical to
+    /// [`build_from_rows`](Self::build_from_rows) over the concatenation of
+    /// the batches.
+    pub fn build_from_sorted_run(
+        &self,
+        schema: &Schema,
+        spec: &IndexSpec,
+        run: &SortedRun,
+    ) -> IndexResult<BTreeIndex> {
+        self.build_from_sorted_entries(schema, spec, &run.entries)
+    }
+
+    fn build_from_sorted_entries(
+        &self,
+        schema: &Schema,
+        spec: &IndexSpec,
+        entries: &[(Vec<u8>, Vec<u8>)],
+    ) -> IndexResult<BTreeIndex> {
         if !(self.fill_factor > 0.0 && self.fill_factor <= 1.0) {
             return Err(IndexError::InvalidSpec(format!(
                 "fill factor must be in (0, 1], got {}",
@@ -104,28 +133,13 @@ impl IndexBuilder {
         let key_indexes = spec.key_indexes(schema)?;
         let stored_indexes = spec.stored_column_indexes(schema)?;
 
-        // Encode every entry: sort key bytes + leaf record bytes.
-        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(rows.len());
-        for (rid, row) in rows {
-            schema.validate_row(row.values())?;
-            let mut sort_key = Vec::new();
-            for &i in &key_indexes {
-                encode_cell(row.value(i), &schema.column_at(i).datatype, &mut sort_key)?;
-            }
-            // Tie-break equal keys by RID so the load is deterministic.
-            sort_key.extend_from_slice(&rid.encode());
-            let record = encode_leaf_record(schema, &stored_indexes, row, *rid, spec.kind())?;
-            entries.push((sort_key, record));
-        }
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-
         // Pack leaf pages respecting the fill factor.
         let usable = self.page_size - PAGE_HEADER_SIZE;
         let target_fill = (usable as f64 * self.fill_factor) as usize;
         let mut leaf_pages: Vec<Page> = Vec::new();
         let mut current = Page::new(0, self.page_size)?;
         let mut current_used = 0usize;
-        for (sort_key, record) in &entries {
+        for (sort_key, record) in entries {
             let needed = record.len() + SLOT_SIZE;
             let over_fill = current_used + needed > target_fill && current.slot_count() > 0;
             if over_fill || !current.fits(record.len()) {
@@ -151,20 +165,8 @@ impl IndexBuilder {
         // Build internal levels bottom-up.  Each internal entry is
         // [2-byte key length][separator key bytes][4-byte child page number].
         let mut internal_levels: Vec<Vec<Page>> = Vec::new();
-        let mut child_keys: Vec<Vec<u8>> = entries
-            .iter()
-            .enumerate()
-            .filter_map(|(i, (key, _))| {
-                // First key of each leaf page.
-                if i == 0 {
-                    Some(key.clone())
-                } else {
-                    None
-                }
-            })
-            .collect();
-        // Recompute first-key-per-leaf correctly by walking entries again.
-        child_keys.clear();
+        // First key of each leaf page.
+        let mut child_keys: Vec<Vec<u8>> = Vec::with_capacity(leaf_pages.len());
         {
             let mut idx = 0usize;
             for page in &leaf_pages {
@@ -219,6 +221,114 @@ impl IndexBuilder {
             internal_levels,
             num_entries: entries.len(),
         })
+    }
+}
+
+/// Encode rows into `(sort key, leaf record)` pairs, unsorted.
+fn encode_entries(
+    schema: &Schema,
+    rows: &[(Rid, Row)],
+    spec: &IndexSpec,
+) -> IndexResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    let key_indexes = spec.key_indexes(schema)?;
+    let stored_indexes = spec.stored_column_indexes(schema)?;
+    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(rows.len());
+    for (rid, row) in rows {
+        schema.validate_row(row.values())?;
+        let mut sort_key = Vec::new();
+        for &i in &key_indexes {
+            encode_cell(row.value(i), &schema.column_at(i).datatype, &mut sort_key)?;
+        }
+        // Tie-break equal keys by RID so the load is deterministic.
+        sort_key.extend_from_slice(&rid.encode());
+        let record = encode_leaf_record(schema, &stored_indexes, row, *rid, spec.kind())?;
+        entries.push((sort_key, record));
+    }
+    Ok(entries)
+}
+
+/// A sorted run of encoded index entries, accumulated batch by batch.
+///
+/// Progressive estimation re-measures the CF of a growing sample at every
+/// checkpoint; rebuilding the index from scratch would re-sort all prior
+/// batches each time.  A `SortedRun` keeps the entries of the batches seen
+/// so far in sorted order: each new batch is encoded and sorted on its own
+/// (`O(b log b)` for `b` new rows) and then [`merge`](Self::merge)d into the
+/// accumulated run in linear time.  Feeding the run to
+/// [`IndexBuilder::build_from_sorted_run`] produces a tree byte-identical
+/// to a from-scratch [`IndexBuilder::build_from_rows`] over the same rows —
+/// the entry order is fully determined by the `(key bytes, RID)` sort key,
+/// so how the rows arrived cannot show in the output.
+#[derive(Debug, Clone, Default)]
+pub struct SortedRun {
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl SortedRun {
+    /// An empty run.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode one batch of rows into a sorted run of its own.
+    pub fn from_rows(schema: &Schema, rows: &[(Rid, Row)], spec: &IndexSpec) -> IndexResult<Self> {
+        let mut entries = encode_entries(schema, rows, spec)?;
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(SortedRun { entries })
+    }
+
+    /// Number of entries in the run.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the run holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merge two sorted runs into one, in linear time.
+    #[must_use]
+    pub fn merge(&self, other: &SortedRun) -> SortedRun {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut a, mut b) = (self.entries.iter(), other.entries.iter());
+        let (mut next_a, mut next_b) = (a.next(), b.next());
+        loop {
+            match (next_a, next_b) {
+                (Some(ea), Some(eb)) => {
+                    if ea.0 <= eb.0 {
+                        out.push(ea.clone());
+                        next_a = a.next();
+                    } else {
+                        out.push(eb.clone());
+                        next_b = b.next();
+                    }
+                }
+                (Some(ea), None) => {
+                    out.push(ea.clone());
+                    out.extend(a.cloned());
+                    break;
+                }
+                (None, Some(eb)) => {
+                    out.push(eb.clone());
+                    out.extend(b.cloned());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        SortedRun { entries: out }
+    }
+
+    /// Merge a whole set of runs (used by the jackknife's delete-one-batch
+    /// re-estimates).
+    #[must_use]
+    pub fn merge_all<'a>(runs: impl IntoIterator<Item = &'a SortedRun>) -> SortedRun {
+        runs.into_iter()
+            .fold(SortedRun::new(), |acc, run| acc.merge(run))
     }
 }
 
@@ -588,6 +698,72 @@ mod tests {
         assert_eq!(idx.num_leaf_pages(), 1);
         assert_eq!(idx.height(), 1);
         assert!(idx.all_entries().unwrap().is_empty());
+    }
+
+    /// Compare two trees page-by-page at the byte level.
+    fn assert_trees_identical(a: &BTreeIndex, b: &BTreeIndex) {
+        assert_eq!(a.num_entries(), b.num_entries());
+        assert_eq!(a.num_leaf_pages(), b.num_leaf_pages());
+        assert_eq!(a.height(), b.height());
+        for (pa, pb) in a.leaf_pages().iter().zip(b.leaf_pages()) {
+            assert_eq!(pa.raw(), pb.raw(), "leaf pages must match byte-for-byte");
+        }
+    }
+
+    #[test]
+    fn sorted_run_accumulation_is_byte_identical_to_a_from_scratch_build() {
+        let t = table(3_000);
+        let spec = IndexSpec::nonclustered("i", ["name"]).unwrap();
+        let rows: Vec<(Rid, Row)> = t.scan().collect();
+        let builder = IndexBuilder::new().page_size(1024);
+        let from_scratch = builder.build_from_rows(t.schema(), &rows, &spec).unwrap();
+
+        // Accumulate the same rows in uneven batches, merging as we go —
+        // the progressive estimator's checkpoint path.
+        let mut run = SortedRun::new();
+        for chunk in rows.chunks(700) {
+            let batch = SortedRun::from_rows(t.schema(), chunk, &spec).unwrap();
+            run = run.merge(&batch);
+        }
+        assert_eq!(run.len(), rows.len());
+        let incremental = builder
+            .build_from_sorted_run(t.schema(), &spec, &run)
+            .unwrap();
+        assert_trees_identical(&from_scratch, &incremental);
+    }
+
+    #[test]
+    fn merge_all_combines_batch_runs_in_any_grouping() {
+        let t = table(900);
+        let spec = IndexSpec::nonclustered("i", ["name", "id"]).unwrap();
+        let rows: Vec<(Rid, Row)> = t.scan().collect();
+        let batches: Vec<SortedRun> = rows
+            .chunks(250)
+            .map(|c| SortedRun::from_rows(t.schema(), c, &spec).unwrap())
+            .collect();
+        let all = SortedRun::merge_all(&batches);
+        // Delete-one-batch merges (the jackknife's re-estimates) still
+        // build valid trees with the right entry counts.
+        for skip in 0..batches.len() {
+            let partial = SortedRun::merge_all(
+                batches
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, r)| r),
+            );
+            assert_eq!(partial.len(), all.len() - batches[skip].len());
+            let tree = IndexBuilder::new()
+                .build_from_sorted_run(t.schema(), &spec, &partial)
+                .unwrap();
+            assert_eq!(tree.num_entries(), partial.len());
+        }
+        // An empty run builds the empty single-leaf tree.
+        let empty = IndexBuilder::new()
+            .build_from_sorted_run(t.schema(), &spec, &SortedRun::new())
+            .unwrap();
+        assert_eq!(empty.num_entries(), 0);
+        assert!(SortedRun::new().is_empty());
     }
 
     #[test]

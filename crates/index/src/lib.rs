@@ -49,7 +49,7 @@ pub mod error;
 pub mod size;
 pub mod spec;
 
-pub use btree::{BTreeIndex, IndexBuilder, IndexEntry};
+pub use btree::{BTreeIndex, IndexBuilder, IndexEntry, SortedRun};
 pub use compress::{compress_index, ColumnCompressionStat, CompressedIndexReport};
 pub use error::{IndexError, IndexResult};
 pub use size::{leaf_record_bytes, IndexSizeEstimate, IndexSizeModel, IndexSizeReport};

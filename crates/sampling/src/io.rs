@@ -42,18 +42,37 @@ mod tests {
     }
 
     #[test]
-    fn uniform_sampling_pays_one_page_per_fetched_row() {
+    fn uniform_sampling_pays_one_page_per_distinct_page_touched() {
         let t = table(3000);
         let counting = CountingSource::new(&t);
         let s = UniformWithReplacement::new(0.05).unwrap();
         let sample = s.sample(&counting, &mut StdRng::seed_from_u64(2)).unwrap();
-        // One read_page per drawn row: same rid drawn twice is still two
-        // physical reads (no buffer pool).
-        assert_eq!(counting.pages_read(), sample.len() as u64);
-        // And that is far more pages than a block sample of the same row
-        // count touches.
+        // Fetches are page-coalesced: one physical read per *distinct* page
+        // the drawn rids land on, not one per drawn row.  Duplicate draws
+        // and same-page neighbours share a read.
         let distinct_pages: HashSet<_> = sample.iter().map(|(rid, _)| rid.page).collect();
+        assert_eq!(counting.pages_read(), distinct_pages.len() as u64);
+        assert!(
+            counting.pages_read() < sample.len() as u64,
+            "coalescing must beat the old one-read-per-row cost ({} pages for {} rows)",
+            counting.pages_read(),
+            sample.len()
+        );
+        // Scattered row sampling still touches far more pages than a block
+        // sample of the same row count would (the paper's Section II-C gap).
         assert!(distinct_pages.len() > t.num_pages() / 20);
+    }
+
+    #[test]
+    fn uniform_sampling_at_full_fraction_reads_each_page_once() {
+        // The extreme case of coalescing: a 100% with-replacement draw
+        // touches every page, and each page is read exactly once.
+        let t = table(800);
+        let counting = CountingSource::new(&t);
+        let s = UniformWithReplacement::new(1.0).unwrap();
+        let sample = s.sample(&counting, &mut StdRng::seed_from_u64(4)).unwrap();
+        assert_eq!(sample.len(), 800);
+        assert!(counting.pages_read() <= t.num_pages() as u64);
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! I/O once and share the sample across many consumers (the advisor's
 //! batch-estimation trick).
 //!
+//! For **progressive estimation**, the uniform-with-replacement, block and
+//! reservoir samplers also come as [`SampleStream`]s: prefix-stable draws
+//! that arrive in geometrically growing batches (see [`BatchSchedule`]), so
+//! a consumer can measure after every batch and stop as soon as its error
+//! target is met — and a [`MaterializedSample`] can be *deepened* in place
+//! via [`MaterializedSample::extend_from_stream`] instead of redrawn.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -47,6 +54,7 @@ pub mod kind;
 pub mod materialize;
 pub mod reservoir;
 pub mod sampler;
+pub mod stream;
 pub mod uniform;
 
 pub use block::BlockSampler;
@@ -56,6 +64,10 @@ pub use kind::SamplerKind;
 pub use materialize::MaterializedSample;
 pub use reservoir::ReservoirSampler;
 pub use sampler::{target_page_count, target_size, validate_fraction, RowSampler, SampledRow};
+pub use stream::{
+    fetch_positions_coalesced, BatchSchedule, BlockStream, IncrementalFisherYates, PageCache,
+    ReservoirStream, SampleStream, UniformWrStream,
+};
 pub use uniform::{
     BernoulliSampler, SystematicSampler, UniformWithReplacement, UniformWithoutReplacement,
 };

@@ -18,8 +18,9 @@
 use crate::error::SamplingResult;
 use crate::kind::SamplerKind;
 use crate::sampler::SampledRow;
+use crate::stream::SampleStream;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use samplecf_storage::{Rid, Table, TableSource};
 
 /// An owned, in-memory copy of one drawn sample, tagged with everything
@@ -73,6 +74,74 @@ impl MaterializedSample {
             kind,
             seed,
         })
+    }
+
+    /// Materialize an empty sample shell for `source`, ready to be filled
+    /// by [`extend_from_stream`](Self::extend_from_stream).
+    pub fn empty(
+        source: &dyn TableSource,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> SamplingResult<MaterializedSample> {
+        Ok(MaterializedSample {
+            table: Table::with_page_size(
+                format!("{}#sample", source.name()),
+                source.schema().clone(),
+                source.page_size(),
+            )?,
+            source_rids: Vec::new(),
+            source_name: source.name().to_string(),
+            source_rows: source.num_rows(),
+            source_pages: source.num_pages(),
+            kind,
+            seed,
+        })
+    }
+
+    /// Drive `stream` to exhaustion and materialize everything it drew — the
+    /// lossless conversion from a finished [`SampleStream`] into the owned
+    /// in-memory form the advisor's cache shares.
+    ///
+    /// `seed` must be the seed `rng` was created from; it is recorded so the
+    /// sample stays reproducible from its metadata alone.
+    pub fn from_stream(
+        source: &dyn TableSource,
+        stream: &mut dyn SampleStream,
+        rng: &mut dyn RngCore,
+        seed: u64,
+    ) -> SamplingResult<MaterializedSample> {
+        let mut sample = Self::empty(source, stream.kind(), seed)?;
+        sample.extend_from_stream(source, stream, rng)?;
+        Ok(sample)
+    }
+
+    /// Pull every remaining batch from `stream`, appending the new rows to
+    /// this sample, and adopt the stream's (possibly deepened) sampler
+    /// configuration.  Returns the number of rows appended.
+    ///
+    /// This is what lets a cache *deepen* a sample: raise the stream's cap
+    /// (`SampleStream::extend_cap`), then extend — the source only pays the
+    /// I/O of the delta, and thanks to prefix-stable draws the result holds
+    /// exactly the rows a fresh, deeper draw with the same seed would hold.
+    pub fn extend_from_stream(
+        &mut self,
+        source: &dyn TableSource,
+        stream: &mut dyn SampleStream,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<usize> {
+        let before = self.source_rids.len();
+        loop {
+            let batch = stream.next_batch(source, rng)?;
+            if batch.is_empty() {
+                break;
+            }
+            for (rid, row) in &batch {
+                self.table.insert(row)?;
+                self.source_rids.push(*rid);
+            }
+        }
+        self.kind = stream.kind();
+        Ok(self.source_rids.len() - before)
     }
 
     /// The sampled rows as an owned in-memory table (named
@@ -221,6 +290,60 @@ mod tests {
         assert_eq!(sample.table().name(), "t#sample");
         assert!(!sample.is_empty());
         assert_eq!(sample.table().num_rows(), sample.len());
+    }
+
+    #[test]
+    fn a_finished_stream_materializes_losslessly() {
+        use crate::stream::BatchSchedule;
+        let t = table(2_000);
+        for kind in [
+            SamplerKind::UniformWithReplacement(0.08),
+            SamplerKind::Block(0.1),
+            SamplerKind::Reservoir(130),
+        ] {
+            let mut stream = kind.stream(BatchSchedule::default()).unwrap();
+            let mut rng = StdRng::seed_from_u64(21);
+            let via_stream =
+                MaterializedSample::from_stream(&t, stream.as_mut(), &mut rng, 21).unwrap();
+            let direct = MaterializedSample::draw(&t, kind, 21).unwrap();
+            // Same rows as a direct draw (the stream batches in rid-sorted
+            // chunks, so compare as sorted multisets).
+            let mut a = via_stream.rows().unwrap();
+            let mut b = direct.rows().unwrap();
+            a.sort_by_key(|(rid, _)| *rid);
+            b.sort_by_key(|(rid, _)| *rid);
+            assert_eq!(a, b, "{kind:?}");
+            assert_eq!(via_stream.kind(), kind);
+            assert_eq!(via_stream.seed(), 21);
+            assert_eq!(via_stream.source_rows(), 2_000);
+        }
+    }
+
+    #[test]
+    fn extending_from_a_deepened_stream_matches_a_fresh_deeper_draw() {
+        use crate::stream::BatchSchedule;
+        let t = table(2_000);
+        let shallow = SamplerKind::Block(0.05);
+        let deep = SamplerKind::Block(0.2);
+
+        let mut stream = shallow.stream(BatchSchedule::one_shot()).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sample = MaterializedSample::from_stream(&t, stream.as_mut(), &mut rng, 9).unwrap();
+        let shallow_len = sample.len();
+        assert!(stream.extend_cap(deep));
+        let added = sample
+            .extend_from_stream(&t, stream.as_mut(), &mut rng)
+            .unwrap();
+        assert!(added > 0);
+        assert_eq!(sample.len(), shallow_len + added);
+        assert_eq!(sample.kind(), deep, "deepening adopts the new cap");
+
+        let fresh = MaterializedSample::draw(&t, deep, 9).unwrap();
+        let mut a = sample.rows().unwrap();
+        let mut b = fresh.rows().unwrap();
+        a.sort_by_key(|(rid, _)| *rid);
+        b.sort_by_key(|(rid, _)| *rid);
+        assert_eq!(a, b, "extension == fresh draw at the deeper fraction");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::error::SamplingResult;
 use crate::sampler::{fetch_positions, target_size, validate_fraction, RowSampler, SampledRow};
+use crate::stream::{fetch_positions_coalesced, PageCache};
 use rand::seq::index;
 use rand::Rng;
 use rand::RngCore;
@@ -46,7 +47,13 @@ impl RowSampler for UniformWithReplacement {
             return Ok(Vec::new());
         }
         let positions: Vec<usize> = (0..r).map(|_| rng.gen_range(0..n)).collect();
-        fetch_positions(source, &rids, &positions)
+        // Page-coalesced fetch: the drawn rids are sorted so that every
+        // distinct page is read exactly once, however many drawn rows (or
+        // with-replacement duplicates) land on it.  The estimator is
+        // insensitive to the resulting rid order — the index bulk load
+        // re-sorts by key — and the I/O drops from one page read per drawn
+        // row to one per distinct page.
+        fetch_positions_coalesced(source, &rids, &positions, &mut PageCache::new())
     }
 
     fn expected_sample_size(&self, n: usize) -> usize {

@@ -52,6 +52,23 @@ ESTIMATE OPTIONS:
   --trials T          independent estimator runs         [default: 1]
   --threads W         worker threads for trials (0 = all) [default: 0]
   --seed S            base RNG seed                      [default: 0]
+  --json              emit the report as JSON (includes the seed used)
+
+PROGRESSIVE ESTIMATION (adds to ESTIMATE; requires a streaming sampler —
+uniform, block or reservoir):
+  --target-error E    stop when the CI half-width is <= E x the estimate;
+                      enables the progressive (stream-then-stop) mode
+  --confidence C      confidence level 1 - delta of the CI  [default: 0.95]
+  --max-fraction F    sampling-fraction cap (page budget)   [default: --fraction]
+  --initial-fraction F  first checkpoint fraction           [default: 0.01]
+  --growth G          geometric checkpoint growth factor    [default: 2.0]
+
+The sample grows in geometric batches; after each batch the CF is
+re-measured from the accumulated sorted run and its variance jackknifed
+over the batches.  The run stops when the Chebyshev CI at the requested
+confidence is tighter than --target-error, or at --max-fraction.  A run
+that reaches the cap is byte-identical to a one-shot estimate at that
+fraction and seed.
 
 EXACT OPTIONS:
   --table FILE        table file (required)
@@ -247,6 +264,103 @@ fn index_spec(args: &mut Args, table: &DiskTable) -> Result<IndexSpec, String> {
     IndexSpec::nonclustered("idx", columns).map_err(|e| e.to_string())
 }
 
+/// Render an `Option<f64>` as JSON (null when absent or non-finite — JSON
+/// has no token for an infinite CI bound, e.g. at `--confidence 1.0`).
+fn json_opt(v: Option<f64>) -> String {
+    v.filter(|x| x.is_finite())
+        .map_or("null".to_string(), |x| format!("{x:.6}"))
+}
+
+/// The identifying fields shared by every estimate JSON report.
+struct ReportContext<'a> {
+    table: &'a str,
+    path: &'a str,
+    scheme: &'a str,
+    sampler: &'a str,
+    seed: u64,
+}
+
+impl ReportContext<'_> {
+    /// The opening JSON fields common to both report shapes.
+    fn json_header(&self) -> String {
+        format!(
+            "{{\n  \"table\": \"{}\",\n  \"file\": \"{}\",\n  \"sampler\": \"{}\",\n  \
+             \"scheme\": \"{}\",\n  \"seed\": {},\n",
+            json_escape(self.table),
+            json_escape(self.path),
+            json_escape(self.sampler),
+            json_escape(self.scheme),
+            self.seed,
+        )
+    }
+}
+
+fn progressive_to_json(ctx: &ReportContext<'_>, report: &ProgressiveReport) -> String {
+    let mut s = ctx.json_header();
+    s.push_str(&format!("  \"target_error\": {},\n", report.target_error));
+    s.push_str(&format!("  \"confidence\": {},\n", report.confidence));
+    s.push_str(&format!("  \"cf\": {:.6},\n", report.measurement.cf));
+    let (lo, hi) = report
+        .ci()
+        .map_or((None, None), |(a, b)| (Some(a), Some(b)));
+    s.push_str(&format!("  \"ci_low\": {},\n", json_opt(lo)));
+    s.push_str(&format!("  \"ci_high\": {},\n", json_opt(hi)));
+    s.push_str(&format!("  \"rows\": {},\n", report.measurement.data.rows));
+    s.push_str(&format!("  \"source_rows\": {},\n", report.source_rows));
+    s.push_str(&format!("  \"stopped_early\": {},\n", report.stopped_early));
+    s.push_str(&format!("  \"target_met\": {},\n", report.target_met));
+    s.push_str(&format!("  \"pages_read\": {},\n", report.pages_read));
+    s.push_str(&format!("  \"source_pages\": {},\n", report.source_pages));
+    s.push_str("  \"checkpoints\": [\n");
+    for (i, c) in report.checkpoints.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"batch\": {}, \"rows\": {}, \"fraction\": {:.6}, \"cf\": {:.6}, \
+             \"std_error\": {}, \"half_width\": {}, \"ci_low\": {}, \"ci_high\": {}, \
+             \"pages_read\": {}}}{}\n",
+            c.batch,
+            c.rows,
+            c.fraction,
+            c.cf,
+            json_opt(c.std_error),
+            json_opt(c.half_width),
+            json_opt(c.ci_low),
+            json_opt(c.ci_high),
+            c.pages_read,
+            if i + 1 < report.checkpoints.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ]\n}");
+    s
+}
+
+fn estimate_to_json(
+    ctx: &ReportContext<'_>,
+    est: &CfMeasurement,
+    pages_read: u64,
+    num_pages: usize,
+) -> String {
+    let mut s = ctx.json_header();
+    s.push_str(&format!("  \"cf\": {:.6},\n", est.cf));
+    s.push_str(&format!(
+        "  \"cf_with_pointers\": {:.6},\n",
+        est.cf_with_pointers
+    ));
+    s.push_str(&format!("  \"cf_pages\": {:.6},\n", est.cf_pages));
+    s.push_str(&format!("  \"rows\": {},\n", est.data.rows));
+    s.push_str(&format!(
+        "  \"distinct_first_key\": {},\n",
+        est.data.distinct_first_key
+    ));
+    s.push_str(&format!("  \"pages_read\": {pages_read},\n"));
+    s.push_str(&format!("  \"source_pages\": {num_pages}\n"));
+    s.push('}');
+    s
+}
+
 fn cmd_estimate(mut args: Args) -> Result<(), String> {
     let path = args.require("table")?;
     let sampler_name: String = args.parse("sampler", "uniform".to_string())?;
@@ -256,27 +370,150 @@ fn cmd_estimate(mut args: Args) -> Result<(), String> {
     let trials: usize = args.parse("trials", 1)?;
     let threads: usize = args.parse("threads", 0)?;
     let seed: u64 = args.parse("seed", 0)?;
+    let target_error: Option<f64> = args
+        .opt("target-error")?
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|e| format!("invalid value for --target-error: {e}"))?;
+    let confidence: f64 = args.parse("confidence", 0.95)?;
+    let max_fraction: f64 = args.parse("max-fraction", fraction)?;
+    let initial_fraction: f64 = args.parse("initial-fraction", 0.01)?;
+    let growth: f64 = args.parse("growth", 2.0)?;
+    let json = args.flag("json");
     let table = open_table(&path)?;
     let spec = index_spec(&mut args, &table)?;
     args.finish()?;
 
-    let sampler = parse_sampler(&sampler_name, fraction, size)?;
     let scheme = scheme_by_name(&scheme_name).map_err(|e| e.to_string())?;
     let counting = CountingSource::new(&table);
     let num_pages = table.num_pages();
+    let table_name = TableSource::name(&table).to_string();
 
-    println!("table          {} ({path})", TableSource::name(&table));
-    println!("rows           {} on {num_pages} pages", table.num_rows());
-    println!("sampler        {}", sampler.label());
-    println!("scheme         {}", scheme.name());
-    println!("index key      {}", spec.key_columns().join(", "));
+    // The shared table/sampler/scheme/seed header of every text report.
+    let print_header = |sampler_label: &str| {
+        println!("table          {table_name} ({path})");
+        println!("rows           {} on {num_pages} pages", table.num_rows());
+        println!("sampler        {sampler_label}");
+        println!("scheme         {}", scheme.name());
+        println!("index key      {}", spec.key_columns().join(", "));
+        println!("seed           {seed}");
+    };
 
+    if let Some(target) = target_error {
+        // Progressive mode: stream batches, measure at checkpoints, stop at
+        // the error target or the fraction cap.
+        if trials > 1 {
+            return Err(
+                "--trials conflicts with --target-error: a progressive run is a single \
+                 adaptive estimate (drop one of the two flags)"
+                    .to_string(),
+            );
+        }
+        let sampler = parse_sampler(&sampler_name, max_fraction, size)?;
+        let schedule = BatchSchedule::new(initial_fraction, growth).map_err(|e| e.to_string())?;
+        let config = ProgressiveConfig {
+            target_error: target,
+            confidence,
+            schedule,
+        };
+        let report = ProgressiveCf::new(sampler, config)
+            .seed(seed)
+            .run(&counting, &spec, scheme.as_ref())
+            .map_err(|e| e.to_string())?;
+        if json {
+            let ctx = ReportContext {
+                table: &table_name,
+                path: &path,
+                scheme: scheme.name(),
+                sampler: &sampler.label(),
+                seed,
+            };
+            println!("{}", progressive_to_json(&ctx, &report));
+            return Ok(());
+        }
+        print_header(&format!("{} (progressive)", sampler.label()));
+        println!(
+            "target         half-width <= {:.1}% of CF at {:.0}% confidence",
+            100.0 * target,
+            100.0 * confidence
+        );
+        println!();
+        println!(
+            "{:>5} {:>9} {:>9} {:>9} {:>11} {:>11} {:>7}",
+            "batch", "rows", "f", "CF", "ci_low", "ci_high", "pages"
+        );
+        for c in &report.checkpoints {
+            println!(
+                "{:>5} {:>9} {:>9.4} {:>9.4} {:>11} {:>11} {:>7}",
+                c.batch,
+                c.rows,
+                c.fraction,
+                c.cf,
+                c.ci_low.map_or("—".to_string(), |v| format!("{v:.4}")),
+                c.ci_high.map_or("—".to_string(), |v| format!("{v:.4}")),
+                c.pages_read,
+            );
+        }
+        println!();
+        println!("estimated CF   {:.4}", report.measurement.cf);
+        if let Some((lo, hi)) = report.ci() {
+            println!(
+                "  95%-style CI [{lo:.4}, {hi:.4}] (Chebyshev at {:.0}%)",
+                100.0 * confidence
+            );
+        }
+        println!(
+            "stopped        {} ({})",
+            if report.stopped_early {
+                "early"
+            } else {
+                "at the fraction cap"
+            },
+            if report.target_met {
+                "target met"
+            } else {
+                "target not met"
+            }
+        );
+        println!(
+            "pages read     {} of {num_pages} ({:.1}%; fixed f = {max_fraction} would read up to {})",
+            report.pages_read,
+            100.0 * report.pages_read as f64 / num_pages.max(1) as f64,
+            (num_pages as f64 * max_fraction).round() as u64
+        );
+        println!(
+            "elapsed        {:.3} s",
+            report.measurement.elapsed.as_secs_f64()
+        );
+        return Ok(());
+    }
+
+    let sampler = parse_sampler(&sampler_name, fraction, size)?;
     let started = Instant::now();
     if trials <= 1 {
         let est = SampleCf::new(sampler)
             .seed(seed)
             .estimate(&counting, &spec, scheme.as_ref())
             .map_err(|e| e.to_string())?;
+        if json {
+            println!(
+                "{}",
+                estimate_to_json(
+                    &ReportContext {
+                        table: &table_name,
+                        path: &path,
+                        scheme: scheme.name(),
+                        sampler: &sampler.label(),
+                        seed,
+                    },
+                    &est,
+                    counting.pages_read(),
+                    num_pages,
+                )
+            );
+            return Ok(());
+        }
+        print_header(&sampler.label());
         println!(
             "sampled rows   {} (d' = {})",
             est.data.rows, est.data.distinct_first_key
@@ -285,6 +522,12 @@ fn cmd_estimate(mut args: Args) -> Result<(), String> {
         println!("  with ptrs    {:.4}", est.cf_with_pointers);
         println!("  page-level   {:.4}", est.cf_pages);
     } else {
+        if json {
+            return Err(
+                "--json supports single runs (drop --trials or use --target-error)".to_string(),
+            );
+        }
+        print_header(&sampler.label());
         let estimates = TrialRunner::new(TrialConfig::new(trials).base_seed(seed).threads(threads))
             .run_estimates(&counting, &spec, scheme.as_ref(), sampler)
             .map_err(|e| e.to_string())?;

@@ -58,9 +58,10 @@ pub mod prelude {
     };
     pub use samplecf_core::{
         absolute_error, all_estimators, ratio_error, relative_error, theory, AdvisorConfig,
-        AdvisorPlan, Candidate, CapacityPlanner, CfMeasurement, CompressionAdvisor,
-        DistinctEstimator, ExactCf, FrequencyHistogram, PlannedObject, Recommendation, SampleCache,
-        SampleCf, SampleGroup, SummaryStats, TrialConfig, TrialRunner,
+        AdvisorPlan, Candidate, CapacityPlanner, CfCheckpoint, CfMeasurement, CompressionAdvisor,
+        DistinctEstimator, ExactCf, FrequencyHistogram, PlannedObject, ProgressiveCf,
+        ProgressiveConfig, ProgressiveReport, Recommendation, SampleCache, SampleCf, SampleGroup,
+        SummaryStats, TrialConfig, TrialRunner,
     };
     pub use samplecf_datagen::{
         presets, ColumnSpec, FrequencyDistribution, LengthDistribution, RowLayout, TableSpec,
@@ -70,7 +71,8 @@ pub mod prelude {
         IndexSizeReport, IndexSpec,
     };
     pub use samplecf_sampling::{
-        CountingSource, MaterializedSample, RowSampler, SamplerKind, UniformWithReplacement,
+        BatchSchedule, CountingSource, MaterializedSample, RowSampler, SampleStream, SamplerKind,
+        UniformWithReplacement,
     };
     pub use samplecf_storage::{
         Catalog, Column, DataType, DiskTable, Row, Schema, Table, TableBuilder, TableSource, Value,

@@ -451,6 +451,121 @@ fn advise_json_is_valid_and_accounts_shared_sample_io() {
 }
 
 #[test]
+fn estimate_json_reports_the_seed_actually_used() {
+    let dir = TempDir::new("estjson");
+    let table = dir.path("demo.scf");
+    samplecf(&[
+        "gen",
+        "--out",
+        &table,
+        "--rows",
+        "8000",
+        "--distinct",
+        "200",
+        "--seed",
+        "5",
+    ]);
+    let out = samplecf(&[
+        "estimate",
+        "--table",
+        &table,
+        "--sampler",
+        "block",
+        "--fraction",
+        "0.1",
+        "--seed",
+        "31",
+        "--json",
+    ]);
+    let json = Parser::parse(&out).expect("estimate --json emits valid JSON");
+    // The seed is the one the run actually used — the field that makes a
+    // report reproducible on its own.
+    assert_eq!(json.get("seed").num() as u64, 31);
+    let cf = json.get("cf").num();
+    assert!(cf > 0.0 && cf < 1.5, "cf {cf}");
+    assert!(json.get("pages_read").num() > 0.0);
+    // A defaulted seed shows up as 0 rather than being omitted.
+    let out = samplecf(&["estimate", "--table", &table, "--json"]);
+    let json = Parser::parse(&out).expect("valid JSON");
+    assert_eq!(json.get("seed").num() as u64, 0);
+}
+
+#[test]
+fn progressive_estimate_stops_early_and_reports_a_ci() {
+    let dir = TempDir::new("progressive");
+    let table = dir.path("const.scf");
+    // An all-equal column: zero estimator variance, so the adaptive run
+    // must stop long before the 10% cap.
+    let gen = samplecf(&[
+        "gen",
+        "--out",
+        &table,
+        "--rows",
+        "30000",
+        "--distinct",
+        "1",
+        "--len-min",
+        "8",
+        "--len-max",
+        "8",
+        "--seed",
+        "3",
+    ]);
+    let pages = field_value(&gen, "pages") as u64;
+
+    let out = samplecf(&[
+        "estimate",
+        "--table",
+        &table,
+        "--sampler",
+        "block",
+        "--target-error",
+        "0.1",
+        "--max-fraction",
+        "0.1",
+        "--seed",
+        "5",
+        "--json",
+    ]);
+    let json = Parser::parse(&out).expect("progressive --json emits valid JSON");
+    assert_eq!(json.get("seed").num() as u64, 5);
+    assert_eq!(json.get("target_met"), &Json::Bool(true));
+    assert_eq!(json.get("stopped_early"), &Json::Bool(true));
+    let cf = json.get("cf").num();
+    let (lo, hi) = (json.get("ci_low").num(), json.get("ci_high").num());
+    assert!(lo <= cf && cf <= hi, "CI [{lo}, {hi}] must bracket cf {cf}");
+    let adaptive_pages = json.get("pages_read").num() as u64;
+    let fixed_pages = ((pages as f64) * 0.1).round() as u64;
+    assert!(
+        adaptive_pages < fixed_pages,
+        "adaptive read {adaptive_pages} pages, fixed f = 0.1 would read {fixed_pages}"
+    );
+    let checkpoints = json.get("checkpoints").arr();
+    assert!(checkpoints.len() >= 2, "needs >= 2 batches for a variance");
+    for c in checkpoints {
+        assert!(c.get("rows").num() > 0.0);
+    }
+
+    // The text report tells the same story.
+    let text = samplecf(&[
+        "estimate",
+        "--table",
+        &table,
+        "--sampler",
+        "block",
+        "--target-error",
+        "0.1",
+        "--max-fraction",
+        "0.1",
+        "--seed",
+        "5",
+    ]);
+    assert!(text.contains("stopped"), "missing stop line:\n{text}");
+    assert!(text.contains("target met"), "missing target line:\n{text}");
+    assert_eq!(field_value(&text, "seed") as u64, 5);
+}
+
+#[test]
 fn cli_rejects_bad_input_with_nonzero_exit() {
     let dir = TempDir::new("errors");
     let missing = dir.path("missing.scf");
