@@ -1,0 +1,10 @@
+//! Regenerates the `server_throughput` experiment (`samplecfd` serving N
+//! concurrent clients vs the one-process-per-request baseline).  Pass
+//! `--quick` (or set `SAMPLECF_QUICK=1`) for a fast, reduced-size run.
+
+fn main() {
+    let quick = samplecf_bench::experiments::quick_mode();
+    let report = samplecf_bench::experiments::server_throughput::run(quick);
+    let path = report.finish().expect("writing the report succeeds");
+    eprintln!("wrote {}", path.display());
+}

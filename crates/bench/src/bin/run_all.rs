@@ -21,6 +21,7 @@ fn main() {
             experiments::progressive_stopping::run,
         ),
         ("advisor_scaling", experiments::advisor_scaling::run),
+        ("server_throughput", experiments::server_throughput::run),
         ("dv_baselines", experiments::dv_baselines::run),
         ("timing", experiments::timing::run),
     ];

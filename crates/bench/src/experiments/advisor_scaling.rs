@@ -4,8 +4,8 @@
 //! seed) group keeps its source I/O *constant*, while a naive planner that
 //! re-draws a sample per candidate pays I/O linear in the candidate count.
 //! The table is disk-resident ([`DiskTable`]) and every page access is
-//! counted by [`CountingSource`], so both the pages and the wall-clock are
-//! measured, not simulated.  This is the workflow Kimura et al.
+//! counted by [`SharedCountingSource`], so both the pages and the
+//! wall-clock are measured, not simulated.  This is the workflow Kimura et al.
 //! (*Compression Aware Physical Database Design*) optimize and the reason
 //! the paper's Section I cares about estimator cost at all.
 
@@ -15,7 +15,8 @@ use samplecf_core::{AdvisorConfig, Candidate, CompressionAdvisor, SampleCf};
 use samplecf_datagen::presets;
 use samplecf_index::{IndexSizeModel, IndexSpec};
 use samplecf_sampling::SamplerKind;
-use samplecf_storage::{CountingSource, DiskTable, TableSource};
+use samplecf_storage::{DiskTable, IntoShared, SharedCountingSource, SharedSource, TableSource};
+use std::sync::Arc;
 use std::time::Instant;
 
 const SCHEME_NAMES: [&str; 6] = [
@@ -48,6 +49,9 @@ pub fn run(quick: bool) -> Report {
     ));
     let disk = DiskTable::materialize(&path, &generated.table).expect("materialisation succeeds");
     let num_pages = disk.num_pages();
+    let num_rows = disk.num_rows();
+    let schema = TableSource::schema(&disk).clone();
+    let disk = disk.into_shared();
 
     // The candidate pool: (spec × scheme) pairs over the single key column,
     // cycling schemes and alternating index kinds.
@@ -84,10 +88,10 @@ pub fn run(quick: bool) -> Report {
 
     for &k in candidate_counts {
         // Shared path: one advisor plan, all k candidates in one group.
-        let counting = CountingSource::new(&disk);
-        let counting_ref: &dyn TableSource = &counting;
+        let counting = Arc::new(SharedCountingSource::new(Arc::clone(&disk)));
+        let counted: SharedSource = Arc::clone(&counting) as SharedSource;
         let candidates: Vec<Candidate<'_>> = (0..k)
-            .map(|i| Candidate::new(counting_ref, &specs[i], schemes[i].as_ref()))
+            .map(|i| Candidate::new(&counted, &specs[i], schemes[i].as_ref()))
             .collect();
         let advisor = CompressionAdvisor::new(AdvisorConfig {
             sampler: SamplerKind::Block(fraction),
@@ -112,7 +116,7 @@ pub fn run(quick: bool) -> Report {
                 .estimate(&counting, &specs[i], schemes[i].as_ref())
                 .expect("estimation succeeds");
             let uncompressed = model
-                .estimate(TableSource::schema(&disk), &specs[i], disk.num_rows())
+                .estimate(&schema, &specs[i], num_rows)
                 .expect("model succeeds")
                 .leaf_bytes();
             // Consume the estimate the way the advisor does, so the naive

@@ -12,6 +12,7 @@ pub mod dv_baselines;
 pub mod ns_fraction_sweep;
 pub mod paged_vs_global;
 pub mod progressive_stopping;
+pub mod server_throughput;
 pub mod table2;
 pub mod theorem1;
 pub mod timing;

@@ -1,0 +1,182 @@
+//! **Server throughput experiment** — the service-layer claim, measured:
+//! an in-process `samplecfd` serving N concurrent client threads issuing a
+//! mixed estimate/advise workload reads the sampled pages **once per cache
+//! group**, while the naive one-process-per-request baseline (what every
+//! `samplecf estimate` invocation before the server existed had to do)
+//! pays the draw I/O on every request.  Requests per second and total
+//! pages read are both measured over real TCP sockets, not simulated —
+//! this is the ROADMAP's "serve heavy traffic" direction made into an
+//! experiment, and the always-on "what-if" service Kimura et al.'s
+//! compression-aware advisor assumes.
+
+use crate::report::{fmt, Report, Table};
+use samplecf_core::SampleCf;
+use samplecf_datagen::presets;
+use samplecf_index::IndexSpec;
+use samplecf_sampling::SamplerKind;
+use samplecf_server::{Json, Server, ServerConfig};
+use samplecf_storage::{CountingSource, DiskTable, TableSource};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// The request mix one client thread sends, round-robin.
+fn request_line(i: usize) -> String {
+    const SCHEMES: [&str; 3] = ["dictionary-global", "null-suppression", "rle"];
+    if i % 4 == 3 {
+        // Every fourth request is an advise over three candidates.
+        r#"{"op":"advise","table":"tp_t","sampler":"block","fraction":0.05,"seed":1,"candidates":[{"index":"idx_dict","scheme":"dictionary-global"},{"index":"idx_ns","scheme":"null-suppression"},{"index":"pk","scheme":"rle","clustered":true}]}"#
+            .to_string()
+    } else {
+        // Estimates cycle schemes but share one (sampler, fraction, seed)
+        // cache group — the server draws once for all of them.
+        format!(
+            r#"{{"op":"estimate","table":"tp_t","sampler":"block","fraction":0.05,"scheme":"{}","seed":1}}"#,
+            SCHEMES[i % SCHEMES.len()]
+        )
+    }
+}
+
+/// Run the experiment.
+pub fn run(quick: bool) -> Report {
+    let rows = if quick { 40_000 } else { 120_000 };
+    let requests_per_client = if quick { 8 } else { 24 };
+    let client_counts: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16] };
+    let fraction = 0.05;
+
+    let generated = presets::variable_length_table("tp_t", rows, 24, rows / 100, 4, 20, 97)
+        .generate()
+        .expect("generation succeeds");
+    let path = std::env::temp_dir().join(format!(
+        "samplecf_exp_server_throughput_{}.scf",
+        std::process::id()
+    ));
+    let disk = DiskTable::materialize(&path, &generated.table).expect("materialisation succeeds");
+    let num_pages = disk.num_pages();
+    let pages_per_draw = ((num_pages as f64) * fraction).round().max(1.0) as u64;
+    drop(disk);
+
+    let mut report = Report::new("exp_server_throughput");
+    let mut t = Table::new(
+        format!(
+            "samplecfd vs one-process-per-request (n = {rows}, {num_pages} pages on disk, \
+             block sampling f = {fraction}, {requests_per_client} requests/client over TCP)"
+        ),
+        &[
+            "clients",
+            "requests",
+            "req/s",
+            "server pages",
+            "naive pages",
+            "I/O ratio",
+            "hits",
+            "coalesced",
+        ],
+    );
+
+    for &clients in client_counts {
+        // A fresh server per row so cache counters start clean.
+        let handle = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: clients.max(4),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind succeeds");
+        let addr = handle.addr();
+        {
+            let entry = handle
+                .state()
+                .catalog
+                .register(&path.to_string_lossy(), None)
+                .expect("register succeeds");
+            assert_eq!(entry.shared.num_pages(), num_pages);
+        }
+
+        let total_requests = clients * requests_per_client;
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for client in 0..clients {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut writer = stream.try_clone().expect("clone");
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    for i in 0..requests_per_client {
+                        let request = request_line(client * requests_per_client + i);
+                        writer
+                            .write_all(request.as_bytes())
+                            .and_then(|()| writer.write_all(b"\n"))
+                            .expect("send");
+                        line.clear();
+                        reader.read_line(&mut line).expect("receive");
+                        let reply = Json::parse(line.trim()).expect("valid reply");
+                        assert_eq!(
+                            reply.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "request failed: {reply}"
+                        );
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+
+        let stats = handle.state().cache.stats();
+        handle.shutdown();
+
+        // Naive baseline: every request re-draws its sample, so it pays
+        // one full draw per request (advise draws once for its three
+        // candidates in-process, so it still counts one draw here — the
+        // baseline is one *process* per request, not one per candidate).
+        let naive_pages = pages_per_draw * total_requests as u64;
+        assert_eq!(
+            stats.pages_read, pages_per_draw,
+            "all requests share one cache group: one draw total"
+        );
+        t.row(&[
+            clients.to_string(),
+            total_requests.to_string(),
+            fmt(total_requests as f64 / elapsed.as_secs_f64()),
+            stats.pages_read.to_string(),
+            naive_pages.to_string(),
+            fmt(naive_pages as f64 / stats.pages_read.max(1) as f64),
+            stats.hits.to_string(),
+            stats.coalesced_waits.to_string(),
+        ]);
+    }
+
+    // Ground the baseline column in a measurement rather than arithmetic:
+    // one client-side estimate run reads exactly pages_per_draw pages.
+    let disk = DiskTable::open(&path).expect("reopen succeeds");
+    let counting = CountingSource::new(&disk);
+    let spec = IndexSpec::nonclustered("idx", ["a"]).expect("valid spec");
+    SampleCf::new(SamplerKind::Block(fraction))
+        .seed(1)
+        .estimate(
+            &counting,
+            &spec,
+            samplecf_compression::scheme_by_name("dictionary-global")
+                .expect("known scheme")
+                .as_ref(),
+        )
+        .expect("estimation succeeds");
+    assert_eq!(counting.pages_read(), pages_per_draw);
+    drop(disk);
+    let _ = std::fs::remove_file(&path);
+
+    t.note(
+        "Measured shape: the server's pages-read column is flat at round(f·N) — one draw per \
+         (table, sampler, fraction, seed) group however many clients hammer it, with duplicate \
+         in-flight requests coalesced onto the first draw (the `coalesced` column counts the \
+         waits) — while the naive one-process-per-request baseline re-reads the sample every \
+         time, so its I/O grows linearly with the request count and the I/O ratio equals the \
+         request count by construction.  Requests/sec grows with the client count until CPU-bound \
+         candidate evaluation (index build + compression per request) saturates the workers; \
+         the win the service layer adds on top of per-request CPU is exactly the eliminated \
+         redundant I/O plus connection reuse.",
+    );
+    report.add(t);
+    report
+}

@@ -34,23 +34,25 @@ use crate::error::{CoreError, CoreResult};
 use crate::estimator::measure_rows;
 use samplecf_compression::CompressionScheme;
 use samplecf_index::{IndexBuilder, IndexSizeModel, IndexSpec};
-use samplecf_sampling::SamplerKind;
-use samplecf_storage::TableSource;
+use samplecf_sampling::{SampledRow, SamplerKind};
+use samplecf_storage::{SharedSource, TableSource};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A candidate index the advisor reasons about: where the data lives, the
 /// index to (potentially) build compressed, and the compression scheme under
 /// consideration.
 ///
-/// The source is any [`TableSource`] — an in-memory
-/// [`Table`](samplecf_storage::Table) coerces directly, so
-/// `Candidate::new(&table, spec, &scheme)` keeps working for in-memory use.
-/// Candidates on the same source with the same sampler configuration share
-/// one materialized sample.
-#[derive(Clone, Copy)]
+/// The source is a [`SharedSource`] handle — wrap a concrete
+/// [`Table`](samplecf_storage::Table) or
+/// [`DiskTable`](samplecf_storage::DiskTable) once via
+/// [`IntoShared`](samplecf_storage::IntoShared) and pass the handle to every
+/// candidate on it.  Candidates holding clones of one handle with the same
+/// sampler configuration share one materialized sample.
+#[derive(Clone)]
 pub struct Candidate<'a> {
     /// The base table (in-memory or disk-resident).
-    pub source: &'a dyn TableSource,
+    pub source: SharedSource,
     /// The index to (potentially) build compressed.
     pub spec: &'a IndexSpec,
     /// The compression scheme to evaluate for this candidate.
@@ -62,15 +64,17 @@ pub struct Candidate<'a> {
 }
 
 impl<'a> Candidate<'a> {
-    /// A candidate using the advisor-wide sampler configuration.
+    /// A candidate using the advisor-wide sampler configuration.  The
+    /// handle is cloned (one atomic increment), so one `SharedSource` feeds
+    /// any number of candidates.
     #[must_use]
     pub fn new(
-        source: &'a dyn TableSource,
+        source: &SharedSource,
         spec: &'a IndexSpec,
         scheme: &'a dyn CompressionScheme,
     ) -> Self {
         Candidate {
-            source,
+            source: Arc::clone(source),
             spec,
             scheme,
             sampler: None,
@@ -329,7 +333,11 @@ impl CompressionAdvisor {
             // Validate per-candidate overrides the same way `new` validates
             // the default.
             kind.build()?;
-            requests.push((c.source, kind, c.seed.unwrap_or(self.config.seed)));
+            requests.push((
+                Arc::clone(&c.source),
+                kind,
+                c.seed.unwrap_or(self.config.seed),
+            ));
         }
         let mut cache = SampleCache::new();
         let group_of = cache.get_or_draw_batch(&requests, self.config.threads)?;
@@ -348,8 +356,11 @@ impl CompressionAdvisor {
         }
 
         // Phase 3: decide what to compress.
-        apply_saving_threshold(&mut recommendations, self.config.min_saving_fraction);
-        apply_budget(&mut recommendations, self.config.budget_bytes);
+        decide(
+            &mut recommendations,
+            self.config.min_saving_fraction,
+            self.config.budget_bytes,
+        );
 
         let groups = cache
             .entries()
@@ -379,35 +390,75 @@ impl CompressionAdvisor {
 fn evaluate(
     candidate: &Candidate<'_>,
     group: usize,
-    entry: &CachedSample<'_>,
+    entry: &CachedSample,
 ) -> CoreResult<Recommendation> {
-    let schema = candidate.source.schema();
+    evaluate_shared(
+        &candidate.source,
+        candidate.spec,
+        candidate.scheme,
+        entry.rows(),
+        entry.kind().label(),
+        group,
+    )
+}
+
+/// Evaluate one candidate index against an already-drawn shared sample,
+/// with `compress` left `false` pending [`decide`].
+///
+/// This is the advisor's per-candidate kernel, exposed so that other
+/// shared-sample hosts (the `samplecfd` server evaluating an `advise`
+/// request against its concurrent cache) produce [`Recommendation`]s that
+/// are byte-identical to [`CompressionAdvisor::plan`] for the same rows:
+/// the uncompressed size comes from the analytic [`IndexSizeModel`] (no
+/// I/O), the compressed size from a SampleCF measurement over `rows`.
+pub fn evaluate_shared(
+    source: &dyn TableSource,
+    spec: &IndexSpec,
+    scheme: &dyn CompressionScheme,
+    rows: &[SampledRow],
+    sampler_label: String,
+    group: usize,
+) -> CoreResult<Recommendation> {
+    let schema = source.schema();
     let uncompressed = IndexSizeModel::new()
-        .estimate(schema, candidate.spec, candidate.source.num_rows())?
+        .estimate(schema, spec, source.num_rows())?
         .leaf_bytes();
 
     let measurement = measure_rows(
         schema,
-        entry.rows(),
-        candidate.spec,
-        candidate.scheme,
+        rows,
+        spec,
+        scheme,
         &IndexBuilder::new(),
-        entry.kind().label(),
+        sampler_label,
     )?;
     let leaf_cf = measurement.cf_with_pointers.min(1.0);
     let estimated_compressed = (uncompressed as f64 * leaf_cf).ceil() as usize;
 
     Ok(Recommendation {
-        table: candidate.source.name().to_string(),
-        index: candidate.spec.name().to_string(),
-        scheme: candidate.scheme.name().to_string(),
+        table: source.name().to_string(),
+        index: spec.name().to_string(),
+        scheme: scheme.name().to_string(),
         uncompressed_bytes: uncompressed,
         estimated_compressed_bytes: estimated_compressed,
         estimated_cf: measurement.cf,
-        sample_rows: entry.rows().len(),
+        sample_rows: rows.len(),
         group,
         compress: false,
     })
+}
+
+/// Decide what to compress: the saving threshold first, then the greedy
+/// budget pass.  This is phase 3 of [`CompressionAdvisor::plan`], exposed
+/// for hosts that evaluate candidates through [`evaluate_shared`] and need
+/// the identical selection policy.
+pub fn decide(
+    recommendations: &mut [Recommendation],
+    min_saving_fraction: f64,
+    budget_bytes: Option<usize>,
+) {
+    apply_saving_threshold(recommendations, min_saving_fraction);
+    apply_budget(recommendations, budget_bytes);
 }
 
 /// Pass 1: compress whatever clears the saving threshold.
@@ -469,22 +520,24 @@ mod tests {
     use crate::estimator::SampleCf;
     use samplecf_compression::{DictionaryCompression, NullSuppression};
     use samplecf_datagen::presets;
-    use samplecf_storage::Table;
+    use samplecf_storage::IntoShared;
 
-    fn compressible_table(seed: u64) -> Table {
+    fn compressible_table(seed: u64) -> SharedSource {
         // Few distinct, short values in wide columns: compresses very well.
         presets::single_char_table("compressible", 5_000, 40, 20, 6, seed)
             .generate()
             .unwrap()
             .table
+            .into_shared()
     }
 
-    fn incompressible_table(seed: u64) -> Table {
+    fn incompressible_table(seed: u64) -> SharedSource {
         // All-distinct values filling the whole column width.
         presets::single_char_table("incompressible", 5_000, 12, 5_000, 12, seed)
             .generate()
             .unwrap()
             .table
+            .into_shared()
     }
 
     fn advisor(fraction: f64) -> CompressionAdvisor {
@@ -526,7 +579,8 @@ mod tests {
         let mid = presets::single_char_table("mid", 5_000, 24, 200, 10, 4)
             .generate()
             .unwrap()
-            .table;
+            .table
+            .into_shared();
         let spec_a = IndexSpec::nonclustered("idx_a", ["a"]).unwrap();
         let spec_b = IndexSpec::nonclustered("idx_b", ["a"]).unwrap();
         let scheme = DictionaryCompression::default();
@@ -599,7 +653,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, spec)| {
-                let source: &dyn TableSource = if i % 3 == 0 { &other } else { &t };
+                let source = if i % 3 == 0 { &other } else { &t };
                 Candidate::new(source, spec, schemes[i % 2])
             })
             .collect();

@@ -11,75 +11,29 @@
 //! cache records what each entry cost (pages read, wall-clock) and how many
 //! times it was reused, which is where the advisor's plan accounting comes
 //! from.
+//!
+//! The cache is **owned** (`'static`): sources are held as
+//! [`SharedSource`] handles rather than borrows, so a cache can outlive the
+//! scope its tables were opened in and be shared across threads — which is
+//! what lets the `samplecfd` server wrap [`CachedSample`]s in a concurrent,
+//! evicting cache while this type keeps the single-owner, dense-id
+//! semantics the batch advisor's plan accounting is built on.
 
 use crate::error::CoreResult;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use samplecf_sampling::{BatchSchedule, MaterializedSample, SampleStream, SampledRow, SamplerKind};
-use samplecf_storage::{CountingSource, TableSource};
+use samplecf_storage::{CountingSource, SharedSource, TableSource};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Identity of a source reference.  Two requests share a cache entry only
-/// when they point at the *same* source object (not merely sources with
-/// equal names), so distinct tables never alias.
-fn source_key(source: &dyn TableSource) -> usize {
-    std::ptr::from_ref(source).cast::<()>() as usize
-}
-
-/// Draw and materialize one sample, accounting its I/O and wall-clock.
-fn draw_entry<'a>(
-    source: &'a dyn TableSource,
-    kind: SamplerKind,
-    seed: u64,
-    uses: usize,
-) -> CoreResult<CachedSample<'a>> {
-    let counting = CountingSource::new(source);
-    let started = Instant::now();
-    let sample = MaterializedSample::draw(&counting, kind, seed)?;
-    let draw_elapsed = started.elapsed();
-    let pages_read = counting.pages_read();
-    let rows = sample.rows()?;
-    Ok(CachedSample {
-        source,
-        kind,
-        seed,
-        sample,
-        rows,
-        pages_read,
-        draw_elapsed,
-        uses,
-        stream: None,
-    })
-}
-
-/// Like [`draw_entry`], but through a [`SampleStream`] whose live state is
-/// kept in the entry, so a later request for a *deeper* fraction of the
-/// same (source, family, seed) can extend the draw instead of redrawing.
-fn draw_entry_streaming<'a>(
-    source: &'a dyn TableSource,
-    kind: SamplerKind,
-    seed: u64,
-) -> CoreResult<CachedSample<'a>> {
-    let counting = CountingSource::new(source);
-    let started = Instant::now();
-    let mut stream = kind.stream(BatchSchedule::one_shot())?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sample = MaterializedSample::from_stream(&counting, stream.as_mut(), &mut rng, seed)?;
-    let draw_elapsed = started.elapsed();
-    let pages_read = counting.pages_read();
-    let rows = sample.rows()?;
-    Ok(CachedSample {
-        source,
-        kind,
-        seed,
-        sample,
-        rows,
-        pages_read,
-        draw_elapsed,
-        uses: 1,
-        stream: Some((stream, rng)),
-    })
+/// Identity of a source handle.  Two requests share a cache entry only when
+/// their handles point at the *same* allocation (clones of one
+/// [`SharedSource`]), so distinct tables never alias — not even two handles
+/// to byte-identical data.
+fn source_key(source: &SharedSource) -> usize {
+    Arc::as_ptr(source).cast::<()>() as usize
 }
 
 /// One cached sample plus its cost accounting.
@@ -90,27 +44,154 @@ fn draw_entry_streaming<'a>(
 /// draw time (via [`rows`](Self::rows)), so consumers get either without
 /// re-decoding.  Samples are small by construction (`f·n` rows), so
 /// holding both is a deliberate CPU-for-memory trade.
-pub struct CachedSample<'a> {
-    source: &'a dyn TableSource,
+///
+/// Entries can be created directly — [`draw`](Self::draw) /
+/// [`draw_streaming`](Self::draw_streaming) — and
+/// [`deepen`](Self::deepen)ed in place; [`SampleCache`] builds its keyed,
+/// dense-id bookkeeping on top of these, and the server's concurrent cache
+/// wraps the same type under its own locking and eviction policy.
+pub struct CachedSample {
+    source: SharedSource,
     kind: SamplerKind,
     seed: u64,
     sample: MaterializedSample,
-    rows: Vec<SampledRow>,
+    /// The decoded rows, behind an [`Arc`] so concurrent consumers can hold
+    /// an immutable snapshot that survives a later [`deepen`](Self::deepen)
+    /// (deepening replaces the `Arc`, it never mutates the shared vector).
+    rows: Arc<Vec<SampledRow>>,
     pages_read: u64,
     draw_elapsed: Duration,
     uses: usize,
-    /// Live draw state for entries created through
-    /// [`SampleCache::get_or_deepen`]: keeping the stream and its RNG is
-    /// what allows the entry to be deepened later at only the delta's I/O
-    /// cost.
+    /// Live draw state for streaming entries: keeping the stream and its
+    /// RNG is what allows the entry to be deepened later at only the
+    /// delta's I/O cost.
     stream: Option<(Box<dyn SampleStream>, StdRng)>,
 }
 
-impl<'a> CachedSample<'a> {
+impl CachedSample {
+    /// Draw and materialize one sample, accounting its I/O and wall-clock.
+    ///
+    /// The draw goes through a [`CountingSource`], so
+    /// [`pages_read`](Self::pages_read) records exactly how many physical
+    /// pages it cost.  No stream state is retained: the entry serves hits
+    /// at this exact configuration but cannot be deepened.
+    pub fn draw(source: &SharedSource, kind: SamplerKind, seed: u64) -> CoreResult<CachedSample> {
+        let counting = CountingSource::new(source.as_ref());
+        let started = Instant::now();
+        let sample = MaterializedSample::draw(&counting, kind, seed)?;
+        let draw_elapsed = started.elapsed();
+        let pages_read = counting.pages_read();
+        let rows = Arc::new(sample.rows()?);
+        Ok(CachedSample {
+            source: Arc::clone(source),
+            kind,
+            seed,
+            sample,
+            rows,
+            pages_read,
+            draw_elapsed,
+            uses: 1,
+            stream: None,
+        })
+    }
+
+    /// Like [`draw`](Self::draw), but through a [`SampleStream`] whose live
+    /// state is kept in the entry, so a later request for a *deeper*
+    /// fraction of the same (source, family, seed) can
+    /// [`deepen`](Self::deepen) the draw instead of redrawing.  Falls back
+    /// to a plain [`draw`](Self::draw) for sampler kinds without a
+    /// streaming implementation.
+    pub fn draw_streaming(
+        source: &SharedSource,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> CoreResult<CachedSample> {
+        if !kind.supports_streaming() {
+            return Self::draw(source, kind, seed);
+        }
+        let counting = CountingSource::new(source.as_ref());
+        let started = Instant::now();
+        let mut stream = kind.stream(BatchSchedule::one_shot())?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = MaterializedSample::from_stream(&counting, stream.as_mut(), &mut rng, seed)?;
+        let draw_elapsed = started.elapsed();
+        let pages_read = counting.pages_read();
+        let rows = Arc::new(sample.rows()?);
+        Ok(CachedSample {
+            source: Arc::clone(source),
+            kind,
+            seed,
+            sample,
+            rows,
+            pages_read,
+            draw_elapsed,
+            uses: 1,
+            stream: Some((stream, rng)),
+        })
+    }
+
+    /// Whether [`deepen`](Self::deepen) to `kind` can extend this entry:
+    /// the live stream is still held, the family matches, and the requested
+    /// fraction is strictly deeper than the current one.
+    #[must_use]
+    pub fn deepenable_to(&self, kind: SamplerKind) -> bool {
+        self.stream.is_some()
+            && kind.supports_streaming()
+            && self.kind.family() == kind.family()
+            && matches!(
+                (self.kind.fraction(), kind.fraction()),
+                (Some(have), Some(want)) if have < want
+            )
+    }
+
+    /// Extend this entry's sample in place to the deeper configuration
+    /// `kind`, paying only the delta's I/O.  Returns the pages read for the
+    /// delta, or `None` when the entry cannot be deepened (sealed, wrong
+    /// family, or not strictly deeper) — in which case it is untouched.
+    ///
+    /// Prefix-stable streams make deepening lossless: afterwards the entry
+    /// holds exactly the rows a fresh draw at the deeper fraction with the
+    /// same seed would hold (as a multiset — batches arrive rid-sorted per
+    /// chunk), and its cumulative [`pages_read`](Self::pages_read) equals
+    /// that fresh draw's cost.
+    pub fn deepen(&mut self, kind: SamplerKind) -> CoreResult<Option<u64>> {
+        if !self.deepenable_to(kind) {
+            return Ok(None);
+        }
+        let (stream, rng) = self
+            .stream
+            .as_mut()
+            .expect("deepenable_to checked the stream");
+        if !stream.extend_cap(kind) {
+            return Ok(None);
+        }
+        let counting = CountingSource::new(self.source.as_ref());
+        let started = Instant::now();
+        self.sample
+            .extend_from_stream(&counting, stream.as_mut(), rng)?;
+        self.draw_elapsed += started.elapsed();
+        let delta = counting.pages_read();
+        self.pages_read += delta;
+        self.rows = Arc::new(self.sample.rows()?);
+        self.kind = kind;
+        Ok(Some(delta))
+    }
+
+    /// Drop the live stream state, fixing the entry's fraction for good.
+    ///
+    /// A streaming entry keeps its stream (and, for uniform draws, the
+    /// stream's page cache — the decoded rows of every page the draw
+    /// touched) so that a later, deeper request costs only the delta.  When
+    /// no deeper fraction is coming, sealing releases that memory; the
+    /// materialized sample itself is untouched and keeps serving hits.
+    pub fn seal(&mut self) {
+        self.stream = None;
+    }
+
     /// The source the sample was drawn from.
     #[must_use]
-    pub fn source(&self) -> &'a dyn TableSource {
-        self.source
+    pub fn source(&self) -> &SharedSource {
+        &self.source
     }
 
     /// The sampler configuration of this entry.
@@ -138,7 +219,15 @@ impl<'a> CachedSample<'a> {
         &self.rows
     }
 
-    /// Physical pages read from the source to draw this sample.
+    /// A shared handle to the drawn rows.  The snapshot is immutable: a
+    /// later [`deepen`](Self::deepen) swaps in a new vector, so holders keep
+    /// reading exactly the rows of the fraction they asked for.
+    #[must_use]
+    pub fn rows_arc(&self) -> Arc<Vec<SampledRow>> {
+        Arc::clone(&self.rows)
+    }
+
+    /// Physical pages read from the source to draw (and deepen) this sample.
     #[must_use]
     pub fn pages_read(&self) -> u64 {
         self.pages_read
@@ -155,6 +244,38 @@ impl<'a> CachedSample<'a> {
     pub fn uses(&self) -> usize {
         self.uses
     }
+
+    /// Deterministic estimate of this entry's resident size in bytes: the
+    /// materialized sample's heap pages, the decoded row snapshot (priced
+    /// at the schema's fixed record width), and any state the live stream
+    /// retains for deepening (rid frame, cached decoded pages, a held
+    /// reservoir).  This is the unit the server cache's byte budget evicts
+    /// against; [`seal`](Self::seal)ing releases the stream's share.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let table = self.sample.table();
+        let row_bytes = table.codec().record_size();
+        table.num_pages() * table.page_size()
+            + self.rows.len() * (std::mem::size_of::<SampledRow>() + row_bytes)
+            + self
+                .stream
+                .as_ref()
+                .map_or(0, |(stream, _)| stream.approx_retained_bytes(row_bytes))
+    }
+}
+
+impl std::fmt::Debug for CachedSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedSample")
+            .field("source", &self.source.name())
+            .field("kind", &self.kind)
+            .field("seed", &self.seed)
+            .field("rows", &self.rows.len())
+            .field("pages_read", &self.pages_read)
+            .field("uses", &self.uses)
+            .field("streaming", &self.stream.is_some())
+            .finish()
+    }
 }
 
 /// A cache of materialized samples keyed by (source, sampler, seed).
@@ -165,12 +286,12 @@ impl<'a> CachedSample<'a> {
 /// first-use order, so callers can use them to group their own bookkeeping
 /// (the advisor's `Recommendation::group` is exactly this id).
 #[derive(Default)]
-pub struct SampleCache<'a> {
-    entries: Vec<CachedSample<'a>>,
+pub struct SampleCache {
+    entries: Vec<CachedSample>,
     index: HashMap<(usize, String, u64), usize>,
 }
 
-impl<'a> SampleCache<'a> {
+impl SampleCache {
     /// An empty cache.
     #[must_use]
     pub fn new() -> Self {
@@ -184,7 +305,7 @@ impl<'a> SampleCache<'a> {
     /// exactly how many physical pages it cost; hits cost nothing.
     pub fn get_or_draw(
         &mut self,
-        source: &'a dyn TableSource,
+        source: &SharedSource,
         kind: SamplerKind,
         seed: u64,
     ) -> CoreResult<usize> {
@@ -194,7 +315,7 @@ impl<'a> SampleCache<'a> {
             return Ok(id);
         }
         let id = self.entries.len();
-        self.entries.push(draw_entry(source, kind, seed, 1)?);
+        self.entries.push(CachedSample::draw(source, kind, seed)?);
         self.index.insert(key, id);
         Ok(id)
     }
@@ -215,7 +336,7 @@ impl<'a> SampleCache<'a> {
     /// [`get_or_draw`](Self::get_or_draw) behaviour.
     pub fn get_or_deepen(
         &mut self,
-        source: &'a dyn TableSource,
+        source: &SharedSource,
         kind: SamplerKind,
         seed: u64,
     ) -> CoreResult<usize> {
@@ -233,14 +354,9 @@ impl<'a> SampleCache<'a> {
             .iter()
             .enumerate()
             .filter(|(_, e)| {
-                source_key(e.source) == source_key(source)
+                source_key(&e.source) == source_key(source)
                     && e.seed == seed
-                    && e.kind.family() == kind.family()
-                    && e.stream.is_some()
-                    && match (e.kind.fraction(), kind.fraction()) {
-                        (Some(have), Some(want)) => have < want,
-                        _ => false,
-                    }
+                    && e.deepenable_to(kind)
             })
             .max_by(|(_, a), (_, b)| {
                 a.kind
@@ -250,20 +366,9 @@ impl<'a> SampleCache<'a> {
             })
             .map(|(id, _)| id);
         if let Some(id) = candidate {
-            let entry = &mut self.entries[id];
-            let (stream, rng) = entry.stream.as_mut().expect("filtered on stream presence");
-            if stream.extend_cap(kind) {
-                let old_key = (source_key(source), entry.kind.label(), seed);
-                let counting = CountingSource::new(source);
-                let started = Instant::now();
-                entry
-                    .sample
-                    .extend_from_stream(&counting, stream.as_mut(), rng)?;
-                entry.draw_elapsed += started.elapsed();
-                entry.pages_read += counting.pages_read();
-                entry.rows = entry.sample.rows()?;
-                entry.kind = kind;
-                entry.uses += 1;
+            let old_key = (source_key(source), self.entries[id].kind.label(), seed);
+            if self.entries[id].deepen(kind)?.is_some() {
+                self.entries[id].uses += 1;
                 self.index.remove(&old_key);
                 self.index.insert(key, id);
                 return Ok(id);
@@ -272,23 +377,17 @@ impl<'a> SampleCache<'a> {
         // No extendable entry: draw fresh, keeping the stream for later
         // deepening.
         let id = self.entries.len();
-        self.entries.push(draw_entry_streaming(source, kind, seed)?);
+        self.entries
+            .push(CachedSample::draw_streaming(source, kind, seed)?);
         self.index.insert(key, id);
         Ok(id)
     }
 
     /// Drop the live stream state of the entry with the given id, fixing
-    /// its fraction for good.
-    ///
-    /// An entry drawn through [`get_or_deepen`](Self::get_or_deepen) keeps
-    /// its stream (and, for uniform draws, the stream's page cache — the
-    /// decoded rows of every page the draw touched) so that a later, deeper
-    /// request costs only the delta.  When the caller knows no deeper
-    /// fraction is coming, sealing releases that memory; the materialized
-    /// sample itself is untouched and keeps serving hits.  A sealed entry
+    /// its fraction for good (see [`CachedSample::seal`]).  A sealed entry
     /// can no longer be deepened — a deeper request draws afresh.
     pub fn seal(&mut self, id: usize) {
-        self.entries[id].stream = None;
+        self.entries[id].seal();
     }
 
     /// Resolve a whole batch of requests at once, drawing every cache miss
@@ -304,7 +403,7 @@ impl<'a> SampleCache<'a> {
     /// before the call.
     pub fn get_or_draw_batch(
         &mut self,
-        requests: &[(&'a dyn TableSource, SamplerKind, u64)],
+        requests: &[(SharedSource, SamplerKind, u64)],
         threads: usize,
     ) -> CoreResult<Vec<usize>> {
         // Resolve ids first, deferring every `uses` increment (on existing
@@ -312,16 +411,16 @@ impl<'a> SampleCache<'a> {
         // failed batch leaves the cache untouched.
         let mut ids = Vec::with_capacity(requests.len());
         let mut hit_uses: HashMap<usize, usize> = HashMap::new();
-        let mut pending: Vec<(&'a dyn TableSource, SamplerKind, u64)> = Vec::new();
+        let mut pending: Vec<(SharedSource, SamplerKind, u64)> = Vec::new();
         let mut pending_keys: Vec<(usize, String, u64)> = Vec::new();
-        for &(source, kind, seed) in requests {
-            let key = (source_key(source), kind.label(), seed);
+        for (source, kind, seed) in requests {
+            let key = (source_key(source), kind.label(), *seed);
             let id = match self.index.get(&key) {
                 Some(&id) => id,
                 None => {
                     let id = self.entries.len() + pending.len();
                     self.index.insert(key.clone(), id);
-                    pending.push((source, kind, seed));
+                    pending.push((Arc::clone(source), *kind, *seed));
                     pending_keys.push(key);
                     id
                 }
@@ -333,8 +432,11 @@ impl<'a> SampleCache<'a> {
         let pending_ref = &pending;
         let mut drawn = Vec::with_capacity(pending.len());
         for result in crate::parallel::parallel_indexed_map(pending.len(), threads, |i| {
-            let (source, kind, seed) = pending_ref[i];
-            draw_entry(source, kind, seed, 0)
+            let (source, kind, seed) = &pending_ref[i];
+            CachedSample::draw(source, *kind, *seed).map(|mut e| {
+                e.uses = 0;
+                e
+            })
         }) {
             match result {
                 Ok(entry) => drawn.push(entry),
@@ -358,13 +460,13 @@ impl<'a> SampleCache<'a> {
 
     /// The cached entry with the given id.
     #[must_use]
-    pub fn entry(&self, id: usize) -> &CachedSample<'a> {
+    pub fn entry(&self, id: usize) -> &CachedSample {
         &self.entries[id]
     }
 
     /// All entries, in first-use order.
     #[must_use]
-    pub fn entries(&self) -> &[CachedSample<'a>] {
+    pub fn entries(&self) -> &[CachedSample] {
         &self.entries
     }
 
@@ -397,7 +499,7 @@ impl<'a> SampleCache<'a> {
     }
 }
 
-impl std::fmt::Debug for SampleCache<'_> {
+impl std::fmt::Debug for SampleCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SampleCache")
             .field("samples", &self.len())
@@ -411,13 +513,14 @@ impl std::fmt::Debug for SampleCache<'_> {
 mod tests {
     use super::*;
     use samplecf_datagen::presets;
-    use samplecf_storage::Table;
+    use samplecf_storage::IntoShared;
 
-    fn table(name: &str, seed: u64) -> Table {
+    fn table(name: &str, seed: u64) -> SharedSource {
         presets::single_char_table(name, 2_000, 16, 50, 8, seed)
             .generate()
             .unwrap()
             .table
+            .into_shared()
     }
 
     #[test]
@@ -443,14 +546,18 @@ mod tests {
     }
 
     #[test]
-    fn identical_tables_at_different_addresses_do_not_alias() {
+    fn identical_tables_behind_distinct_handles_do_not_alias() {
         let a = table("same", 7);
-        let b = a.clone();
         let mut cache = SampleCache::new();
         let kind = SamplerKind::Block(0.1);
         let id_a = cache.get_or_draw(&a, kind, 0).unwrap();
+        // A clone of the same handle aliases...
+        let a2 = Arc::clone(&a);
+        assert_eq!(cache.get_or_draw(&a2, kind, 0).unwrap(), id_a);
+        // ...but a fresh handle to byte-identical data never does.
+        let b = table("same", 7);
         let id_b = cache.get_or_draw(&b, kind, 0).unwrap();
-        assert_ne!(id_a, id_b, "identity is the reference, not the name");
+        assert_ne!(id_a, id_b, "identity is the allocation, not the name");
     }
 
     #[test]
@@ -458,18 +565,18 @@ mod tests {
         let a = table("a", 11);
         let b = table("b", 12);
         let kind = SamplerKind::Block(0.1);
-        let requests: Vec<(&dyn TableSource, SamplerKind, u64)> = vec![
-            (&a, kind, 0),
-            (&a, kind, 0),
-            (&b, kind, 0),
-            (&a, kind, 9),
-            (&b, kind, 0),
+        let requests: Vec<(SharedSource, SamplerKind, u64)> = vec![
+            (Arc::clone(&a), kind, 0),
+            (Arc::clone(&a), kind, 0),
+            (Arc::clone(&b), kind, 0),
+            (Arc::clone(&a), kind, 9),
+            (Arc::clone(&b), kind, 0),
         ];
 
         let mut serial = SampleCache::new();
         let serial_ids: Vec<usize> = requests
             .iter()
-            .map(|&(s, k, seed)| serial.get_or_draw(s, k, seed).unwrap())
+            .map(|(s, k, seed)| serial.get_or_draw(s, *k, *seed).unwrap())
             .collect();
 
         for threads in [1, 4] {
@@ -497,10 +604,10 @@ mod tests {
         cache.get_or_draw(&t, good, 0).unwrap();
         // A failing batch that also hits the pre-existing entry and draws a
         // fresh one: nothing — entries, keys or use counts — may change.
-        let requests: Vec<(&dyn TableSource, SamplerKind, u64)> = vec![
-            (&t, good, 0),
-            (&t, good, 1),
-            (&t, SamplerKind::Reservoir(0), 0),
+        let requests: Vec<(SharedSource, SamplerKind, u64)> = vec![
+            (Arc::clone(&t), good, 0),
+            (Arc::clone(&t), good, 1),
+            (Arc::clone(&t), SamplerKind::Reservoir(0), 0),
         ];
         assert!(cache.get_or_draw_batch(&requests, 2).is_err());
         assert_eq!(cache.len(), 1, "failed batch must not leave entries");
@@ -526,6 +633,9 @@ mod tests {
             shallow_pages,
             (num_pages as f64 * 0.1).round().max(1.0) as u64
         );
+        // A consumer holding the shallow row snapshot keeps it through the
+        // deepening below.
+        let shallow_rows = cache.entry(id).rows_arc();
         // Deeper request with the same family and seed: same entry id,
         // extended in place, paying only the delta.
         let deep = cache.get_or_deepen(&t, SamplerKind::Block(0.3), 4).unwrap();
@@ -539,6 +649,10 @@ mod tests {
             "cumulative cost equals one fresh draw at the deep fraction"
         );
         assert_eq!(entry.uses(), 2);
+        assert!(
+            shallow_rows.len() < entry.rows().len(),
+            "the shallow snapshot is unchanged by deepening"
+        );
         // The deepened rows are exactly a fresh deep draw's rows.
         let fresh = MaterializedSample::draw(&t, SamplerKind::Block(0.3), 4).unwrap();
         let mut a: Vec<_> = entry.rows().to_vec();
@@ -613,5 +727,49 @@ mod tests {
         assert_eq!(entry.rows().len(), entry.sample().len());
         assert_eq!(entry.kind(), kind);
         assert_eq!(entry.seed(), 5);
+        assert!(entry.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn standalone_entries_draw_and_deepen_without_a_cache() {
+        // The server's concurrent cache builds directly on CachedSample;
+        // this pins the standalone contract it relies on.
+        let t = table("t", 31);
+        let shallow = SamplerKind::UniformWithReplacement(0.02);
+        let deep = SamplerKind::UniformWithReplacement(0.08);
+        let mut entry = CachedSample::draw_streaming(&t, shallow, 9).unwrap();
+        assert!(entry.deepenable_to(deep));
+        assert!(!entry.deepenable_to(shallow), "not strictly deeper");
+        assert!(!entry.deepenable_to(SamplerKind::Block(0.5)), "family");
+        let before = entry.pages_read();
+        let delta = entry.deepen(deep).unwrap().expect("deepenable");
+        assert_eq!(entry.pages_read(), before + delta);
+        assert_eq!(entry.kind(), deep);
+        // Cumulative rows equal a fresh deep draw's rows (as multisets).
+        let fresh = CachedSample::draw(&t, deep, 9).unwrap();
+        let mut a = entry.rows().to_vec();
+        let mut b = fresh.rows().to_vec();
+        a.sort_by_key(|(rid, _)| *rid);
+        b.sort_by_key(|(rid, _)| *rid);
+        assert_eq!(a, b);
+        assert_eq!(entry.pages_read(), fresh.pages_read());
+        // The live stream's retained state (rid frame + page cache for a
+        // uniform draw) is priced into the entry; sealing releases it.
+        let bytes_with_stream = entry.approx_bytes();
+        entry.seal();
+        assert!(
+            entry.approx_bytes() < bytes_with_stream,
+            "sealing must shrink the priced size ({} -> {})",
+            bytes_with_stream,
+            entry.approx_bytes()
+        );
+        assert!(!entry.deepenable_to(SamplerKind::UniformWithReplacement(0.2)));
+        assert_eq!(
+            entry
+                .deepen(SamplerKind::UniformWithReplacement(0.2))
+                .unwrap(),
+            None
+        );
+        assert_eq!(entry.rows().len(), fresh.rows().len());
     }
 }

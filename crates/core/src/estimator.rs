@@ -146,9 +146,13 @@ impl CfMeasurement {
 }
 
 /// Build and compress an index over an explicit row set and report its CF.
-/// The shared kernel behind [`ExactCf`], [`SampleCf::estimate`], and the
-/// advisor's shared-sample evaluation.
-pub(crate) fn measure_rows(
+/// The shared kernel behind [`ExactCf`], [`SampleCf::estimate`], the
+/// advisor's shared-sample evaluation, and the `samplecfd` server's
+/// cache-backed `estimate` endpoint.  For rows drawn with a given
+/// `(sampler, seed)`, the measurement is byte-identical to
+/// [`SampleCf::estimate`] with that configuration (the rows *are* the
+/// estimate; building and compressing them is deterministic).
+pub fn measure_rows(
     schema: &Schema,
     rows: &[(samplecf_storage::Rid, samplecf_storage::Row)],
     spec: &IndexSpec,

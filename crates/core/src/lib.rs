@@ -67,7 +67,8 @@ pub mod theory;
 pub mod trials;
 
 pub use advisor::{
-    AdvisorConfig, AdvisorPlan, Candidate, CompressionAdvisor, Recommendation, SampleGroup,
+    decide, evaluate_shared, AdvisorConfig, AdvisorPlan, Candidate, CompressionAdvisor,
+    Recommendation, SampleGroup,
 };
 pub use cache::{CachedSample, SampleCache};
 pub use capacity::{CapacityPlan, CapacityPlanner, ObjectEstimate, PlannedObject};
@@ -76,7 +77,9 @@ pub use distinct::{
     NaiveScaleUp, SampleDistinct, Shlosser,
 };
 pub use error::{CoreError, CoreResult};
-pub use estimator::{CfMeasurement, DataStats, DataStatsAccumulator, ExactCf, SampleCf};
+pub use estimator::{
+    measure_rows, CfMeasurement, DataStats, DataStatsAccumulator, ExactCf, SampleCf,
+};
 pub use metrics::{
     absolute_error, grouped_jackknife_variance, ratio_error, relative_error, SummaryStats,
 };

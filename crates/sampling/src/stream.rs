@@ -146,6 +146,17 @@ pub trait SampleStream: Send + Sync {
     /// be deepened (different family, shallower target, or a scan-based
     /// sampler whose draw is already complete).
     fn extend_cap(&mut self, kind: SamplerKind) -> bool;
+
+    /// Approximate bytes of state this stream retains between batches
+    /// (rid frames, cached decoded pages, a held-back reservoir), priced
+    /// at `row_bytes` per retained row.  Holders with a memory budget (the
+    /// server's sample cache) charge this against the entry; dropping the
+    /// stream releases it.  The default is for streams that retain nothing
+    /// worth counting.
+    fn approx_retained_bytes(&self, row_bytes: usize) -> usize {
+        let _ = row_bytes;
+        0
+    }
 }
 
 impl std::fmt::Debug for dyn SampleStream + '_ {
@@ -244,6 +255,13 @@ impl PageCache {
     #[must_use]
     pub fn pages_cached(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Total decoded rows held across all cached pages — the unit a
+    /// memory-budgeted holder prices this cache in.
+    #[must_use]
+    pub fn rows_cached(&self) -> usize {
+        self.pages.values().map(Vec::len).sum()
     }
 
     /// Fetch the row at `rid`, reading (and caching) its page on first use.
@@ -380,6 +398,15 @@ impl SampleStream for UniformWrStream {
             }
         }
         true
+    }
+
+    fn approx_retained_bytes(&self, row_bytes: usize) -> usize {
+        // The rid frame plus every decoded row the page cache holds.
+        let frame = self
+            .frame
+            .as_ref()
+            .map_or(0, |(rids, _)| rids.len() * std::mem::size_of::<Rid>());
+        frame + self.cache.rows_cached() * (std::mem::size_of::<SampledRow>() + row_bytes)
     }
 }
 
@@ -528,6 +555,12 @@ impl SampleStream for BlockStream {
         }
         true
     }
+
+    fn approx_retained_bytes(&self, _row_bytes: usize) -> usize {
+        // Only the displaced-slot map of the partial shuffle: two words per
+        // page drawn so far.
+        self.pages_selected() * 2 * std::mem::size_of::<usize>()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -608,6 +641,13 @@ impl SampleStream for ReservoirStream {
         // A finished reservoir cannot grow losslessly: rows evicted during
         // the scan are gone.  Callers must redraw at the larger capacity.
         false
+    }
+
+    fn approx_retained_bytes(&self, row_bytes: usize) -> usize {
+        // The whole scanned reservoir is held until sliced out.
+        self.reservoir.as_ref().map_or(0, |(rows, _)| {
+            rows.len() * (std::mem::size_of::<SampledRow>() + row_bytes)
+        })
     }
 }
 

@@ -1,0 +1,675 @@
+//! The shared, evicting sample cache behind `samplecfd`.
+//!
+//! One [`CachedSample`] per *(table identity, sampler kind + fraction,
+//! seed)* group, shared by every request that asks for that configuration:
+//!
+//! * **Hits are lock-light and zero-I/O** — a request that finds its group
+//!   `Ready` leaves with an [`Arc`] snapshot of the drawn rows; the
+//!   estimator then works entirely outside the cache lock.
+//! * **Duplicate in-flight requests coalesce** — the first miss marks the
+//!   group `InFlight` and draws *outside* the lock; concurrent requests for
+//!   the same group block on a condvar instead of re-reading pages, and are
+//!   woken into a plain hit when the draw lands.  This is what makes "M
+//!   concurrent clients, one page-read pass per group" a guarantee rather
+//!   than a race.
+//! * **Deepening reuses shallow draws** — a request for a deeper fraction
+//!   of an existing group's family extends the cached sample through its
+//!   live stream ([`CachedSample::deepen`]), paying only the delta's I/O.
+//!   The shallow key retires; snapshots handed out earlier are immutable
+//!   and unaffected.
+//! * **A byte budget bounds residency** — every entry is priced by
+//!   [`CachedSample::approx_bytes`]; when the total exceeds the budget the
+//!   least-recently-used `Ready` entries are evicted (never in-flight
+//!   draws, never the entry just used).  Evicted groups simply miss again.
+
+use crate::protocol::CacheDisposition;
+use samplecf_core::{CachedSample, CoreError, CoreResult};
+use samplecf_sampling::{SampledRow, SamplerKind};
+use samplecf_storage::SharedSource;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Default byte budget: generous for tests and laptop use, small enough to
+/// matter under sustained many-table traffic.
+pub const DEFAULT_CACHE_BUDGET_BYTES: usize = 256 * 1024 * 1024;
+
+type GroupKey = (usize, String, u64);
+
+fn group_key(source: &SharedSource, kind: SamplerKind, seed: u64) -> GroupKey {
+    (
+        Arc::as_ptr(source).cast::<()>() as usize,
+        kind.label(),
+        seed,
+    )
+}
+
+/// Counters the `stats` op reports; a consistent snapshot of cache health.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Ready entries currently resident.
+    pub entries: usize,
+    /// Total priced bytes of resident entries.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+    /// Requests served from a resident entry (zero I/O).
+    pub hits: u64,
+    /// Requests that drew a fresh sample.
+    pub misses: u64,
+    /// Requests served by extending a shallower resident sample.
+    pub deepened: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Times a request blocked on another request's in-flight draw instead
+    /// of drawing itself — the coalescing counter.
+    pub coalesced_waits: u64,
+    /// Physical pages read by the cache across all draws and deepenings.
+    pub pages_read: u64,
+}
+
+/// What a request leaves the cache with: an immutable snapshot of the drawn
+/// rows plus this acquisition's accounting.
+#[derive(Clone)]
+pub struct AcquiredSample {
+    /// The drawn `(Rid, Row)` pairs at exactly the requested configuration.
+    pub rows: Arc<Vec<SampledRow>>,
+    /// The configuration served.
+    pub kind: SamplerKind,
+    /// The seed served.
+    pub seed: u64,
+    /// Pages physically read *by this acquisition* (0 on a hit, the delta
+    /// on a deepening, the full draw on a miss).
+    pub pages_read: u64,
+    /// Cumulative draw cost of the entry — equal to what one fresh draw at
+    /// this configuration costs, which makes it the per-request unit of the
+    /// naive no-cache baseline.
+    pub entry_pages_total: u64,
+    /// How the cache served this request.
+    pub disposition: CacheDisposition,
+}
+
+struct ReadyGroup {
+    /// The live entry, locked only while deepening (readers use `rows`).
+    live: Arc<Mutex<CachedSample>>,
+    /// Immutable snapshot of the entry's rows at its current fraction.
+    rows: Arc<Vec<SampledRow>>,
+    kind: SamplerKind,
+    bytes: usize,
+    pages_total: u64,
+    last_used: u64,
+}
+
+enum Slot {
+    /// A draw for this key is running on some worker; wait, don't redraw.
+    InFlight,
+    Ready(ReadyGroup),
+}
+
+#[derive(Default)]
+struct State {
+    slots: HashMap<GroupKey, Slot>,
+    clock: u64,
+    total_bytes: usize,
+    hits: u64,
+    misses: u64,
+    deepened: u64,
+    evictions: u64,
+    coalesced_waits: u64,
+    pages_read: u64,
+}
+
+/// The concurrent, evicting sample cache (see the module docs).
+pub struct ConcurrentSampleCache {
+    budget_bytes: usize,
+    state: Mutex<State>,
+    ready: Condvar,
+}
+
+/// Recover from a poisoned lock the way `parking_lot` would: the data is a
+/// cache, a panicked drawer's partial state was never published.
+fn lock_state<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ConcurrentSampleCache {
+    /// A cache evicting above `budget_bytes` (use
+    /// [`DEFAULT_CACHE_BUDGET_BYTES`] when in doubt).  A budget of 0 means
+    /// "cache nothing beyond the entry currently in use".
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        ConcurrentSampleCache {
+            budget_bytes,
+            state: Mutex::new(State::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Serve one sample request: hit, deepen, or draw — coalescing with any
+    /// concurrent request for the same group.
+    ///
+    /// The returned snapshot holds exactly the rows a fresh
+    /// [`CachedSample::draw`] (equivalently, a single-shot
+    /// `SampleCf::estimate`) with the same `(kind, seed)` would see, so
+    /// measurements taken from it are byte-identical to the single-process
+    /// path seed-for-seed.
+    pub fn acquire(
+        &self,
+        source: &SharedSource,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> CoreResult<AcquiredSample> {
+        // Validate the sampler before touching shared state, so a malformed
+        // request can never leave an in-flight marker behind.
+        kind.build()?;
+        let key = group_key(source, kind, seed);
+
+        let mut state = lock_state(&self.state);
+        loop {
+            match state.slots.get_mut(&key) {
+                Some(Slot::Ready(_)) => {
+                    state.clock += 1;
+                    let now = state.clock;
+                    let Some(Slot::Ready(group)) = state.slots.get_mut(&key) else {
+                        unreachable!("checked Ready above");
+                    };
+                    group.last_used = now;
+                    let acquired = AcquiredSample {
+                        rows: Arc::clone(&group.rows),
+                        kind,
+                        seed,
+                        pages_read: 0,
+                        entry_pages_total: group.pages_total,
+                        disposition: CacheDisposition::Hit,
+                    };
+                    state.hits += 1;
+                    return Ok(acquired);
+                }
+                Some(Slot::InFlight) => {
+                    state.coalesced_waits += 1;
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                None => break,
+            }
+        }
+
+        // Miss.  Prefer deepening the deepest extendable entry of the same
+        // (source, family, seed); otherwise draw fresh.  Either way the key
+        // goes in-flight so concurrent requests coalesce onto this one.
+        let deepen_from = if kind.supports_streaming() {
+            Self::pick_deepen_victim(&mut state, &key, kind, seed)
+        } else {
+            None
+        };
+        state.slots.insert(key.clone(), Slot::InFlight);
+
+        if let Some(base) = deepen_from {
+            state.total_bytes -= base.bytes;
+            drop(state);
+            return self.deepen_into(key, base, source, kind, seed);
+        }
+
+        state.misses += 1;
+        drop(state);
+        match CachedSample::draw_streaming(source, kind, seed) {
+            Ok(entry) => {
+                let pages = entry.pages_read();
+                Ok(self.publish(key, entry, pages, pages, CacheDisposition::Miss))
+            }
+            Err(e) => Err(self.abort_inflight(&key, e)),
+        }
+    }
+
+    /// Under the state lock: find, remove and return the deepest `Ready`
+    /// entry this request may extend.  Removing it up front gives the
+    /// deepener exclusive ownership — later requests for the retired
+    /// shallow key redraw it, exactly like `SampleCache::get_or_deepen`.
+    fn pick_deepen_victim(
+        state: &mut State,
+        key: &GroupKey,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> Option<ReadyGroup> {
+        let source_id = key.0;
+        let mut best: Option<(GroupKey, f64)> = None;
+        for (candidate_key, slot) in &state.slots {
+            let Slot::Ready(group) = slot else { continue };
+            if candidate_key.0 != source_id || candidate_key.2 != seed {
+                continue;
+            }
+            let deepenable = {
+                let live = group
+                    .live
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                live.deepenable_to(kind)
+            };
+            if !deepenable {
+                continue;
+            }
+            let fraction = group.kind.fraction().unwrap_or(0.0);
+            if best.as_ref().is_none_or(|(_, f)| fraction > *f) {
+                best = Some((candidate_key.clone(), fraction));
+            }
+        }
+        let (victim_key, _) = best?;
+        match state.slots.remove(&victim_key) {
+            Some(Slot::Ready(group)) => Some(group),
+            _ => unreachable!("victim was Ready under the same lock"),
+        }
+    }
+
+    /// Extend `base` to `kind` and publish it under `key` (which is already
+    /// marked in-flight).  Falls back to a fresh draw if the stream refuses
+    /// the extension after all.
+    fn deepen_into(
+        &self,
+        key: GroupKey,
+        base: ReadyGroup,
+        source: &SharedSource,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> CoreResult<AcquiredSample> {
+        let deepen_result = {
+            let mut live = base
+                .live
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match live.deepen(kind) {
+                Ok(Some(delta)) => Ok(Some((delta, live.rows_arc(), live.pages_read()))),
+                Ok(None) => Ok(None),
+                Err(e) => Err(e),
+            }
+        };
+        match deepen_result {
+            Ok(Some((delta, rows, pages_total))) => {
+                let bytes = {
+                    let live = base
+                        .live
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    live.approx_bytes()
+                };
+                let mut state = lock_state(&self.state);
+                state.deepened += 1;
+                state.pages_read += delta;
+                state.clock += 1;
+                let last_used = state.clock;
+                state.total_bytes += bytes;
+                state.slots.insert(
+                    key.clone(),
+                    Slot::Ready(ReadyGroup {
+                        live: base.live,
+                        rows: Arc::clone(&rows),
+                        kind,
+                        bytes,
+                        pages_total,
+                        last_used,
+                    }),
+                );
+                self.evict_over_budget(&mut state, &key);
+                drop(state);
+                self.ready.notify_all();
+                Ok(AcquiredSample {
+                    rows,
+                    kind,
+                    seed,
+                    pages_read: delta,
+                    entry_pages_total: pages_total,
+                    disposition: CacheDisposition::Deepened,
+                })
+            }
+            Ok(None) => {
+                // The stream refused (e.g. sealed between check and use —
+                // cannot happen today, but cheap to stay correct about):
+                // draw fresh under the in-flight marker we already hold.
+                {
+                    let mut state = lock_state(&self.state);
+                    state.misses += 1;
+                }
+                match CachedSample::draw_streaming(source, kind, seed) {
+                    Ok(entry) => {
+                        let pages = entry.pages_read();
+                        Ok(self.publish(key, entry, pages, pages, CacheDisposition::Miss))
+                    }
+                    Err(e) => Err(self.abort_inflight(&key, e)),
+                }
+            }
+            Err(e) => Err(self.abort_inflight(&key, e)),
+        }
+    }
+
+    /// Publish a finished entry under its in-flight key, account it, evict
+    /// as needed, and wake coalesced waiters.
+    fn publish(
+        &self,
+        key: GroupKey,
+        entry: CachedSample,
+        acquisition_pages: u64,
+        entry_pages_total: u64,
+        disposition: CacheDisposition,
+    ) -> AcquiredSample {
+        let rows = entry.rows_arc();
+        let bytes = entry.approx_bytes();
+        let kind = entry.kind();
+        let seed = entry.seed();
+        let mut state = lock_state(&self.state);
+        state.pages_read += acquisition_pages;
+        state.clock += 1;
+        let last_used = state.clock;
+        state.total_bytes += bytes;
+        state.slots.insert(
+            key.clone(),
+            Slot::Ready(ReadyGroup {
+                live: Arc::new(Mutex::new(entry)),
+                rows: Arc::clone(&rows),
+                kind,
+                bytes,
+                pages_total: entry_pages_total,
+                last_used,
+            }),
+        );
+        self.evict_over_budget(&mut state, &key);
+        drop(state);
+        self.ready.notify_all();
+        AcquiredSample {
+            rows,
+            kind,
+            seed,
+            pages_read: acquisition_pages,
+            entry_pages_total,
+            disposition,
+        }
+    }
+
+    /// Remove the in-flight marker after a failed draw and wake waiters so
+    /// one of them can retry (and surface its own error if it also fails).
+    fn abort_inflight(&self, key: &GroupKey, error: CoreError) -> CoreError {
+        let mut state = lock_state(&self.state);
+        state.slots.remove(key);
+        drop(state);
+        self.ready.notify_all();
+        error
+    }
+
+    /// Evict least-recently-used `Ready` entries until the budget fits,
+    /// never touching in-flight draws or the entry just used (`protect`).
+    /// If the protected entry alone exceeds the budget it stays — the cache
+    /// must still serve it; it will be the first victim of the next insert.
+    fn evict_over_budget(&self, state: &mut State, protect: &GroupKey) {
+        while state.total_bytes > self.budget_bytes {
+            let victim = state
+                .slots
+                .iter()
+                .filter_map(|(key, slot)| match slot {
+                    Slot::Ready(group) if key != protect => Some((key.clone(), group.last_used)),
+                    _ => None,
+                })
+                .min_by_key(|(_, last_used)| *last_used)
+                .map(|(key, _)| key);
+            let Some(victim) = victim else { break };
+            if let Some(Slot::Ready(group)) = state.slots.remove(&victim) {
+                state.total_bytes -= group.bytes;
+                state.evictions += 1;
+            }
+        }
+    }
+
+    /// A consistent snapshot of the cache counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let state = lock_state(&self.state);
+        CacheStats {
+            entries: state
+                .slots
+                .values()
+                .filter(|slot| matches!(slot, Slot::Ready(_)))
+                .count(),
+            bytes: state.total_bytes,
+            budget_bytes: self.budget_bytes,
+            hits: state.hits,
+            misses: state.misses,
+            deepened: state.deepened,
+            evictions: state.evictions,
+            coalesced_waits: state.coalesced_waits,
+            pages_read: state.pages_read,
+        }
+    }
+}
+
+impl std::fmt::Debug for ConcurrentSampleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ConcurrentSampleCache")
+            .field("entries", &stats.entries)
+            .field("bytes", &stats.bytes)
+            .field("budget_bytes", &stats.budget_bytes)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samplecf_core::SampleCf;
+    use samplecf_datagen::presets;
+    use samplecf_index::IndexSpec;
+    use samplecf_storage::{IntoShared, SharedCountingSource};
+    use std::sync::Barrier;
+
+    fn counted_table(rows: usize, seed: u64) -> (Arc<SharedCountingSource>, SharedSource) {
+        let table = presets::single_char_table("t", rows, 24, 40, 8, seed)
+            .generate()
+            .unwrap()
+            .table;
+        let counting = Arc::new(SharedCountingSource::new(table.into_shared()));
+        let shared = Arc::clone(&counting) as SharedSource;
+        (counting, shared)
+    }
+
+    #[test]
+    fn concurrent_same_group_requests_read_pages_once_and_agree_byte_for_byte() {
+        let (counting, shared) = counted_table(6_000, 5);
+        let num_pages = shared.num_pages() as u64;
+        let expected_pages = (num_pages as f64 * 0.2).round().max(1.0) as u64;
+        let kind = SamplerKind::Block(0.2);
+
+        // The serial truth: one standalone draw with the same seed.
+        let serial = CachedSample::draw(&shared, kind, 3).unwrap();
+        counting.reset();
+
+        let cache = ConcurrentSampleCache::new(DEFAULT_CACHE_BUDGET_BYTES);
+        const THREADS: usize = 16;
+        let barrier = Barrier::new(THREADS);
+        let results: Vec<AcquiredSample> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        cache.acquire(&shared, kind, 3).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // One page-read pass for the whole stampede, physically measured.
+        assert_eq!(counting.pages_read(), expected_pages);
+        // Every thread sees byte-identical rows, equal to the serial draw.
+        for acquired in &results {
+            assert_eq!(acquired.rows.as_slice(), serial.rows());
+            assert_eq!(acquired.entry_pages_total, expected_pages);
+        }
+        // Exactly one miss paid the pages; the rest were hits, and each
+        // response's accounting sums back to one draw.
+        let misses = results
+            .iter()
+            .filter(|a| a.disposition == CacheDisposition::Miss)
+            .count();
+        assert_eq!(misses, 1);
+        assert_eq!(
+            results.iter().map(|a| a.pages_read).sum::<u64>(),
+            expected_pages
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits as usize, THREADS - 1);
+        assert_eq!(stats.pages_read, expected_pages);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn deepening_serves_the_deeper_fraction_at_delta_cost() {
+        let (counting, shared) = counted_table(6_000, 7);
+        let num_pages = shared.num_pages() as u64;
+        let cache = ConcurrentSampleCache::new(DEFAULT_CACHE_BUDGET_BYTES);
+
+        let shallow = cache.acquire(&shared, SamplerKind::Block(0.1), 9).unwrap();
+        assert_eq!(shallow.disposition, CacheDisposition::Miss);
+        let shallow_pages = (num_pages as f64 * 0.1).round().max(1.0) as u64;
+        assert_eq!(shallow.pages_read, shallow_pages);
+        let shallow_rows = Arc::clone(&shallow.rows);
+
+        let deep = cache.acquire(&shared, SamplerKind::Block(0.3), 9).unwrap();
+        assert_eq!(deep.disposition, CacheDisposition::Deepened);
+        let deep_pages = (num_pages as f64 * 0.3).round().max(1.0) as u64;
+        assert_eq!(deep.pages_read, deep_pages - shallow_pages, "delta only");
+        assert_eq!(deep.entry_pages_total, deep_pages);
+        assert_eq!(
+            counting.pages_read(),
+            deep_pages,
+            "total I/O = one deep draw"
+        );
+        // The shallow snapshot handed out earlier is untouched.
+        assert_eq!(shallow_rows.len(), shallow.rows.len());
+        assert!(shallow_rows.len() < deep.rows.len());
+        // The deepened rows equal a fresh deep draw as a multiset.
+        let fresh = CachedSample::draw(&shared, SamplerKind::Block(0.3), 9).unwrap();
+        let mut a = deep.rows.as_slice().to_vec();
+        let mut b = fresh.rows().to_vec();
+        a.sort_by_key(|(rid, _)| *rid);
+        b.sort_by_key(|(rid, _)| *rid);
+        assert_eq!(a, b);
+        // ...and measuring from them is byte-identical to the single-shot
+        // estimator at the deep fraction.
+        let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
+        let scheme = samplecf_compression::NullSuppression;
+        let direct = SampleCf::new(SamplerKind::Block(0.3))
+            .seed(9)
+            .estimate(&shared, &spec, &scheme)
+            .unwrap();
+        let from_cache = samplecf_core::measure_rows(
+            shared.schema(),
+            &deep.rows,
+            &spec,
+            &scheme,
+            &samplecf_index::IndexBuilder::new(),
+            SamplerKind::Block(0.3).label(),
+        )
+        .unwrap();
+        assert_eq!(from_cache.cf, direct.cf);
+        assert_eq!(from_cache.cf_with_pointers, direct.cf_with_pointers);
+        assert_eq!(from_cache.cf_pages, direct.cf_pages);
+        assert_eq!(from_cache.data, direct.data);
+
+        // The deep key now hits; the retired shallow key redraws.
+        let hit = cache.acquire(&shared, SamplerKind::Block(0.3), 9).unwrap();
+        assert_eq!(hit.disposition, CacheDisposition::Hit);
+        assert_eq!(hit.pages_read, 0);
+        let shallow_again = cache.acquire(&shared, SamplerKind::Block(0.1), 9).unwrap();
+        assert_eq!(shallow_again.disposition, CacheDisposition::Miss);
+        let stats = cache.stats();
+        assert_eq!(stats.deepened, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let (_counting, shared) = counted_table(4_000, 11);
+        let kind = SamplerKind::Block(0.1);
+        // Price the three entries the test will draw (per-seed sizes vary
+        // by up to a tail page), then budget for exactly two of them: A+B
+        // and A+C fit, A+B+C overflows.
+        let bytes_of = |seed: u64| {
+            CachedSample::draw_streaming(&shared, kind, seed)
+                .unwrap()
+                .approx_bytes()
+        };
+        let (b1, b2, b3) = (bytes_of(1), bytes_of(2), bytes_of(3));
+        let budget = (b1 + b2).max(b1 + b3).max(b2 + b3) + 1;
+        let cache = ConcurrentSampleCache::new(budget);
+
+        cache.acquire(&shared, kind, 1).unwrap(); // A
+        cache.acquire(&shared, kind, 2).unwrap(); // B
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 0);
+
+        // Touch A so B becomes the LRU, then insert C: B must be evicted.
+        assert_eq!(
+            cache.acquire(&shared, kind, 1).unwrap().disposition,
+            CacheDisposition::Hit
+        );
+        cache.acquire(&shared, kind, 3).unwrap(); // C evicts B
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= stats.budget_bytes);
+
+        // A (recently used) and C (just inserted) are still resident...
+        assert_eq!(
+            cache.acquire(&shared, kind, 1).unwrap().disposition,
+            CacheDisposition::Hit
+        );
+        assert_eq!(
+            cache.acquire(&shared, kind, 3).unwrap().disposition,
+            CacheDisposition::Hit
+        );
+        // ...while the evicted B misses and redraws.
+        assert_eq!(
+            cache.acquire(&shared, kind, 2).unwrap().disposition,
+            CacheDisposition::Miss
+        );
+        assert_eq!(cache.stats().evictions, 2, "reinserting B evicted the LRU");
+    }
+
+    #[test]
+    fn a_zero_budget_cache_still_serves_but_retains_nothing_else() {
+        let (_counting, shared) = counted_table(2_000, 13);
+        let cache = ConcurrentSampleCache::new(0);
+        let kind = SamplerKind::Block(0.2);
+        let first = cache.acquire(&shared, kind, 1).unwrap();
+        assert_eq!(first.disposition, CacheDisposition::Miss);
+        // The protected just-used entry survives its own insertion, so an
+        // immediate same-key request still hits...
+        assert_eq!(
+            cache.acquire(&shared, kind, 1).unwrap().disposition,
+            CacheDisposition::Hit
+        );
+        // ...but any other group pushes it out.
+        cache.acquire(&shared, kind, 2).unwrap();
+        assert_eq!(
+            cache.acquire(&shared, kind, 1).unwrap().disposition,
+            CacheDisposition::Miss
+        );
+    }
+
+    #[test]
+    fn failed_draws_clear_the_inflight_marker() {
+        let (_counting, shared) = counted_table(1_000, 17);
+        let cache = ConcurrentSampleCache::new(DEFAULT_CACHE_BUDGET_BYTES);
+        // Reservoir size 0 is invalid: the acquire fails...
+        assert!(cache
+            .acquire(&shared, SamplerKind::Reservoir(0), 1)
+            .is_err());
+        // ...and leaves no debris: a valid request for the same table works
+        // and the failed key can be retried.
+        assert!(cache
+            .acquire(&shared, SamplerKind::Reservoir(50), 1)
+            .is_ok());
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

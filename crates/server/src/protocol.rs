@@ -1,0 +1,326 @@
+//! The `samplecfd` wire protocol: shapes, error codes, field helpers.
+//!
+//! The protocol is **line-delimited JSON over TCP**: a client sends one
+//! request object per line and receives exactly one response object per
+//! line, in order.  Every response carries `"ok"`; successes echo the
+//! `"op"` and failures carry an `"error": {code, message}` object.  The
+//! full request/response catalogue is specified in `docs/API.md`; the
+//! encode/decode helpers here are shared by the daemon, the `samplecf
+//! client` subcommand, and `samplecf info --json` (which emits exactly the
+//! `table` object of the server's `info` response).
+
+use crate::json::Json;
+use samplecf_sampling::SamplerKind;
+use samplecf_storage::{DiskTable, TableSource};
+
+/// Machine-readable error codes carried in `"error": {"code": ...}`.
+pub mod codes {
+    /// The request line was not valid JSON.
+    pub const PARSE_ERROR: &str = "parse_error";
+    /// The request was valid JSON but missing/mistyping a field.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The `"op"` is not one the server knows.
+    pub const UNKNOWN_OP: &str = "unknown_op";
+    /// The named table is not in the catalog.
+    pub const NO_SUCH_TABLE: &str = "no_such_table";
+    /// A different table file is already registered under this name.
+    pub const TABLE_EXISTS: &str = "table_exists";
+    /// The table file could not be opened or read.
+    pub const STORAGE: &str = "storage";
+    /// Sampling/estimation failed (invalid fraction, unknown column, ...).
+    pub const ESTIMATE_FAILED: &str = "estimate_failed";
+}
+
+/// A protocol-level failure: what the `"error"` object serializes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// One of the [`codes`].
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Build an error with the given code and message.
+    #[must_use]
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ApiError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`codes::BAD_REQUEST`].
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(codes::BAD_REQUEST, message)
+    }
+
+    /// The `{"code", "message"}` object this error serializes to.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("code", Json::str(self.code))
+            .field("message", Json::str(&self.message))
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Wrap a successful op result into the response envelope.
+#[must_use]
+pub fn ok_response(op: &str, body: Json) -> Json {
+    let mut response = Json::obj()
+        .field("ok", Json::Bool(true))
+        .field("op", Json::str(op));
+    if let Json::Obj(members) = body {
+        for (key, value) in members {
+            response = response.field(key, value);
+        }
+    }
+    response
+}
+
+/// Wrap a failure into the response envelope.
+#[must_use]
+pub fn error_response(error: &ApiError) -> Json {
+    Json::obj()
+        .field("ok", Json::Bool(false))
+        .field("error", error.to_json())
+}
+
+/// How a request's sample was served, reported in every response's
+/// `accounting.cache` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Served entirely from a cached sample: zero pages read.
+    Hit,
+    /// A cached shallower sample was extended; only the delta was read.
+    Deepened,
+    /// No usable cached sample: a fresh draw paid the full page cost.
+    Miss,
+    /// The op streams its own pages and bypasses the sample cache
+    /// (`estimate_progressive`).
+    Bypass,
+    /// The op touches no data pages at all (`register`, `info`, `stats`).
+    None,
+}
+
+impl CacheDisposition {
+    /// The wire label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Deepened => "deepened",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Bypass => "bypass",
+            CacheDisposition::None => "none",
+        }
+    }
+}
+
+/// The per-request accounting object every response carries: what this
+/// request physically cost, and how the shared cache served it.
+#[must_use]
+pub fn accounting(pages_read: u64, cache: CacheDisposition, sample_rows: Option<usize>) -> Json {
+    let mut obj = Json::obj()
+        .field("pages_read", Json::uint(pages_read))
+        .field("cache", Json::str(cache.label()));
+    if let Some(rows) = sample_rows {
+        obj = obj.field("sample_rows", Json::uint(rows as u64));
+    }
+    obj
+}
+
+/// The table-metadata object of the server's `info`/`register` responses.
+///
+/// `samplecf info --json` prints exactly this shape, so a client can treat
+/// local files and cataloged tables interchangeably.
+#[must_use]
+pub fn table_info_json(table: &DiskTable, path: &str) -> Json {
+    let columns: Vec<Json> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|col| {
+            Json::obj()
+                .field("name", Json::str(&col.name))
+                .field("type", Json::str(col.datatype.to_string()))
+                .field("nullable", Json::Bool(col.nullable))
+        })
+        .collect();
+    Json::obj()
+        .field("name", Json::str(TableSource::name(table)))
+        .field("path", Json::str(path))
+        .field(
+            "format_version",
+            Json::uint(u64::from(samplecf_storage::disk::FORMAT_VERSION)),
+        )
+        .field("rows", Json::uint(table.num_rows() as u64))
+        .field("pages", Json::uint(table.num_pages() as u64))
+        .field("page_size", Json::uint(table.page_size() as u64))
+        .field("rows_per_page", Json::uint(table.rows_per_page() as u64))
+        .field("file_size", Json::uint(table.file_len()))
+        .field("schema", Json::Arr(columns))
+}
+
+/// Resolve a sampler by its CLI/wire name — the same vocabulary `samplecf
+/// estimate --sampler` accepts.
+pub fn sampler_by_name(name: &str, fraction: f64, size: usize) -> Result<SamplerKind, String> {
+    Ok(match name {
+        "uniform" | "uniform-wr" => SamplerKind::UniformWithReplacement(fraction),
+        "uniform-wor" => SamplerKind::UniformWithoutReplacement(fraction),
+        "bernoulli" => SamplerKind::Bernoulli(fraction),
+        "systematic" => SamplerKind::Systematic(fraction),
+        "reservoir" => SamplerKind::Reservoir(size),
+        "block" => SamplerKind::Block(fraction),
+        other => {
+            return Err(format!(
+                "unknown sampler {other:?} (block, uniform, uniform-wor, bernoulli, systematic, reservoir)"
+            ))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Typed request-field extraction.  Every helper reports a BAD_REQUEST that
+// names the field, so protocol mistakes are self-describing.
+// ---------------------------------------------------------------------------
+
+/// A required string field.
+pub fn req_str<'a>(request: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    request
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request(format!("missing or non-string field {key:?}")))
+}
+
+/// An optional string field.
+pub fn opt_str<'a>(request: &'a Json, key: &str) -> Result<Option<&'a str>, ApiError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ApiError::bad_request(format!("field {key:?} must be a string"))),
+    }
+}
+
+/// An optional numeric field, with a default.
+pub fn opt_f64(request: &Json, key: &str, default: f64) -> Result<f64, ApiError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => value
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request(format!("field {key:?} must be a number"))),
+    }
+}
+
+/// An optional unsigned-integer field, with a default.
+pub fn opt_u64(request: &Json, key: &str, default: u64) -> Result<u64, ApiError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => value.as_u64().ok_or_else(|| {
+            ApiError::bad_request(format!("field {key:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+/// An optional boolean field, with a default.
+pub fn opt_bool(request: &Json, key: &str, default: bool) -> Result<bool, ApiError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(value) => value
+            .as_bool()
+            .ok_or_else(|| ApiError::bad_request(format!("field {key:?} must be a boolean"))),
+    }
+}
+
+/// An optional array-of-strings field (e.g. index key columns).
+pub fn opt_string_array(request: &Json, key: &str) -> Result<Option<Vec<String>>, ApiError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => {
+            let items = value.as_array().ok_or_else(|| {
+                ApiError::bad_request(format!("field {key:?} must be an array of strings"))
+            })?;
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(
+                    item.as_str()
+                        .ok_or_else(|| {
+                            ApiError::bad_request(format!(
+                                "field {key:?} must contain only strings"
+                            ))
+                        })?
+                        .to_string(),
+                );
+            }
+            Ok(Some(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_have_the_documented_shape() {
+        let ok = ok_response("stats", Json::obj().field("x", Json::uint(1)));
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ok.get("op").and_then(Json::as_str), Some("stats"));
+        assert_eq!(ok.get("x").and_then(Json::as_u64), Some(1));
+
+        let err = error_response(&ApiError::new(codes::NO_SUCH_TABLE, "no table \"t\""));
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        let detail = err.get("error").unwrap();
+        assert_eq!(
+            detail.get("code").and_then(Json::as_str),
+            Some("no_such_table")
+        );
+    }
+
+    #[test]
+    fn field_helpers_default_and_reject() {
+        let req = Json::parse(r#"{"op":"x","fraction":0.5,"seed":7,"columns":["a","b"]}"#).unwrap();
+        assert_eq!(req_str(&req, "op").unwrap(), "x");
+        assert_eq!(opt_f64(&req, "fraction", 0.01).unwrap(), 0.5);
+        assert_eq!(opt_f64(&req, "absent", 0.01).unwrap(), 0.01);
+        assert_eq!(opt_u64(&req, "seed", 0).unwrap(), 7);
+        assert_eq!(
+            opt_string_array(&req, "columns").unwrap(),
+            Some(vec!["a".to_string(), "b".to_string()])
+        );
+        assert_eq!(opt_string_array(&req, "absent").unwrap(), None);
+        assert!(req_str(&req, "missing").is_err());
+        assert!(opt_u64(&req, "fraction", 0).is_err(), "0.5 is not integral");
+        assert!(opt_bool(&req, "seed", false).is_err());
+        let err = req_str(&req, "nope").unwrap_err();
+        assert_eq!(err.code, codes::BAD_REQUEST);
+    }
+
+    #[test]
+    fn sampler_names_match_the_cli_vocabulary() {
+        assert_eq!(
+            sampler_by_name("block", 0.1, 10).unwrap(),
+            SamplerKind::Block(0.1)
+        );
+        assert_eq!(
+            sampler_by_name("uniform", 0.2, 10).unwrap(),
+            SamplerKind::UniformWithReplacement(0.2)
+        );
+        assert_eq!(
+            sampler_by_name("reservoir", 0.2, 99).unwrap(),
+            SamplerKind::Reservoir(99)
+        );
+        assert!(sampler_by_name("frobnicate", 0.1, 10).is_err());
+    }
+}

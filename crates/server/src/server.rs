@@ -1,0 +1,252 @@
+//! The TCP front end: a listener, a fixed worker pool, and a handle.
+//!
+//! `samplecfd` is a std-only threaded server.  One acceptor thread pushes
+//! incoming connections onto an mpsc channel; `workers` threads pop
+//! connections and drive the line-delimited protocol until the client
+//! disconnects.  All interesting concurrency lives below this layer — the
+//! catalog is a read-mostly `RwLock` map and the sample cache coalesces
+//! duplicate in-flight draws — so the transport can stay boring: blocking
+//! I/O, no poll loop, no async runtime.
+//!
+//! [`ServerHandle`] supports both deployment shapes: the `samplecfd` binary
+//! calls [`run`](ServerHandle::run) (block until a `shutdown` request),
+//! while tests and the throughput experiment keep the handle, talk to
+//! [`addr`](ServerHandle::addr) over real sockets, and call
+//! [`shutdown`](ServerHandle::shutdown) when done.
+
+use crate::cache::DEFAULT_CACHE_BUDGET_BYTES;
+use crate::service::ServiceState;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The address to poke to wake the acceptor out of a blocking `accept()`.
+/// A wildcard bind (`0.0.0.0` / `::`) is not connectable on every
+/// platform, so route the nudge through loopback instead.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let ip = match bound.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        other => other,
+    };
+    SocketAddr::new(ip, bound.port())
+}
+
+/// Tunables of one daemon instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.  Each worker owns one connection
+    /// at a time, so this is also the concurrent-connection capacity.
+    pub workers: usize,
+    /// Byte budget of the shared sample cache.
+    pub cache_budget_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            cache_budget_bytes: DEFAULT_CACHE_BUDGET_BYTES,
+        }
+    }
+}
+
+/// A running server: bind with [`Server::bind`], then [`ServerHandle::run`]
+/// or drive it from tests and shut it down explicitly.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// the acceptor and worker threads.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServiceState::new(config.cache_budget_bytes));
+
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&receiver, &state, local_addr))
+            })
+            .collect();
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if state.shutdown_requested() {
+                        break;
+                    }
+                    match stream {
+                        // A closed channel means the handle is gone; stop.
+                        Ok(stream) => {
+                            if sender.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Dropping the sender lets idle workers drain and exit.
+            })
+        };
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+fn worker_loop(
+    receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    state: &Arc<ServiceState>,
+    addr: SocketAddr,
+) {
+    loop {
+        let stream = {
+            let guard = receiver
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(stream) = stream else { return };
+        serve_connection(stream, state);
+        if state.shutdown_requested() {
+            // A `shutdown` request landed on this connection: the acceptor
+            // may be parked in accept(), so nudge it awake to wind down.
+            let _ = TcpStream::connect(wake_addr(addr));
+            return;
+        }
+    }
+}
+
+/// Drive one connection: read request lines, write response lines, until
+/// EOF, an I/O error, or server shutdown.
+///
+/// Reads poll with a short timeout so a worker parked on an idle
+/// connection still notices a shutdown (requested on *another* connection)
+/// and releases itself — without this, one idle client would block the
+/// whole wind-down.
+fn serve_connection(stream: TcpStream, state: &ServiceState) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut bytes: Vec<u8> = Vec::new();
+    loop {
+        bytes.clear();
+        // Accumulate one full line across read timeouts.  This reads raw
+        // bytes (`read_until`), not `read_line`: the String variant drops
+        // consumed partial input when a timeout splits a multi-byte UTF-8
+        // sequence, which would corrupt the stream framing.
+        loop {
+            match reader.read_until(b'\n', &mut bytes) {
+                // 0 with nothing pending is EOF; a non-empty tail without a
+                // newline is the final (unterminated) request of the
+                // connection — fall through and serve it.
+                Ok(0) if bytes.is_empty() => return,
+                Ok(0) => break,
+                Ok(_) if bytes.ends_with(b"\n") => break,
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if state.shutdown_requested() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let line = String::from_utf8_lossy(&bytes);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = state.handle_line(&line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if state.shutdown_requested() {
+            // Nudge the acceptor out of its blocking accept so the whole
+            // server can wind down.
+            return;
+        }
+    }
+}
+
+/// The owner's view of a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state — the in-process view the tests and the
+    /// throughput experiment read counters from.
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Block until a `shutdown` request is accepted, then wind down.  This
+    /// is the daemon binary's main loop.
+    pub fn run(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.join_workers();
+    }
+
+    /// Stop accepting, wake the acceptor, and join all threads.  Safe to
+    /// call whether or not a `shutdown` request was already processed.
+    pub fn shutdown(mut self) {
+        self.state.request_shutdown();
+        // The acceptor may be parked in accept(): connect once to wake it.
+        let _ = TcpStream::connect(wake_addr(self.addr));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}

@@ -1,0 +1,790 @@
+//! Request dispatch: one parsed protocol request in, one response out.
+//!
+//! [`ServiceState`] is everything the daemon shares across connections —
+//! the table catalog, the concurrent sample cache, request counters and
+//! the shutdown flag — and [`ServiceState::handle_line`] is the whole
+//! protocol state machine, independent of any transport.  The TCP layer
+//! ([`crate::server`]) feeds it lines; tests and the throughput experiment
+//! can call it directly.
+//!
+//! Every data-touching op reports per-request accounting (`pages_read`,
+//! how the cache served it, sample rows), so a client can audit exactly
+//! what its request cost — the paper's "estimation is cheap" claim made
+//! observable per call.
+
+use crate::cache::ConcurrentSampleCache;
+use crate::catalog::TableCatalog;
+use crate::json::Json;
+use crate::protocol::{
+    accounting, codes, error_response, ok_response, opt_bool, opt_f64, opt_str, opt_string_array,
+    opt_u64, req_str, sampler_by_name, table_info_json, ApiError, CacheDisposition,
+};
+use samplecf_compression::scheme_by_name;
+use samplecf_core::{
+    decide, evaluate_shared, measure_rows, ProgressiveCf, ProgressiveConfig, Recommendation,
+};
+use samplecf_index::{IndexBuilder, IndexSpec};
+use samplecf_sampling::BatchSchedule;
+use samplecf_storage::{CountingSource, TableSource};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-op request counters, reported by the `stats` op.
+#[derive(Debug, Default)]
+pub struct RequestCounters {
+    register: AtomicU64,
+    info: AtomicU64,
+    estimate: AtomicU64,
+    estimate_progressive: AtomicU64,
+    advise: AtomicU64,
+    stats: AtomicU64,
+    shutdown: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl RequestCounters {
+    fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        [
+            ("register", &self.register),
+            ("info", &self.info),
+            ("estimate", &self.estimate),
+            ("estimate_progressive", &self.estimate_progressive),
+            ("advise", &self.advise),
+            ("stats", &self.stats),
+            ("shutdown", &self.shutdown),
+        ]
+        .into_iter()
+        .map(|(name, counter)| (name, counter.load(Ordering::Relaxed)))
+        .collect()
+    }
+}
+
+/// The shared state of one running `samplecfd` instance.
+pub struct ServiceState {
+    /// Registered tables.
+    pub catalog: TableCatalog,
+    /// The shared, evicting sample cache.
+    pub cache: ConcurrentSampleCache,
+    counters: RequestCounters,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+impl ServiceState {
+    /// Fresh state with an empty catalog and a cache of the given budget.
+    #[must_use]
+    pub fn new(cache_budget_bytes: usize) -> Self {
+        ServiceState {
+            catalog: TableCatalog::new(),
+            cache: ConcurrentSampleCache::new(cache_budget_bytes),
+            counters: RequestCounters::default(),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a `shutdown` request has been accepted.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown (also reachable through the `shutdown` op).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Handle one request line, returning one response line (no trailing
+    /// newline).  Never panics on untrusted input; failures become
+    /// `{"ok": false, "error": ...}` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match Json::parse(line.trim()) {
+            Ok(request) => match self.dispatch(&request) {
+                Ok(body) => body,
+                Err(e) => {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    error_response(&e)
+                }
+            },
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(&ApiError::new(
+                    codes::PARSE_ERROR,
+                    format!("invalid JSON: {e}"),
+                ))
+            }
+        };
+        response.to_line()
+    }
+
+    fn dispatch(&self, request: &Json) -> Result<Json, ApiError> {
+        let op = req_str(request, "op")?;
+        match op {
+            "register" => {
+                self.counters.register.fetch_add(1, Ordering::Relaxed);
+                self.op_register(request)
+            }
+            "info" => {
+                self.counters.info.fetch_add(1, Ordering::Relaxed);
+                self.op_info(request)
+            }
+            "estimate" => {
+                self.counters.estimate.fetch_add(1, Ordering::Relaxed);
+                self.op_estimate(request)
+            }
+            "estimate_progressive" => {
+                self.counters
+                    .estimate_progressive
+                    .fetch_add(1, Ordering::Relaxed);
+                self.op_estimate_progressive(request)
+            }
+            "advise" => {
+                self.counters.advise.fetch_add(1, Ordering::Relaxed);
+                self.op_advise(request)
+            }
+            "stats" => {
+                self.counters.stats.fetch_add(1, Ordering::Relaxed);
+                Ok(self.op_stats())
+            }
+            "shutdown" => {
+                self.counters.shutdown.fetch_add(1, Ordering::Relaxed);
+                self.request_shutdown();
+                Ok(ok_response("shutdown", Json::obj()))
+            }
+            other => Err(ApiError::new(
+                codes::UNKNOWN_OP,
+                format!(
+                    "unknown op {other:?} (register, info, estimate, estimate_progressive, \
+                     advise, stats, shutdown)"
+                ),
+            )),
+        }
+    }
+
+    fn op_register(&self, request: &Json) -> Result<Json, ApiError> {
+        let path = req_str(request, "path")?;
+        let name = opt_str(request, "name")?;
+        let entry = self.catalog.register(path, name)?;
+        Ok(ok_response(
+            "register",
+            Json::obj()
+                .field("table", table_info_json(&entry.table, &entry.path))
+                .field("accounting", accounting(0, CacheDisposition::None, None)),
+        ))
+    }
+
+    fn op_info(&self, request: &Json) -> Result<Json, ApiError> {
+        let name = req_str(request, "table")?;
+        let entry = self.catalog.get(name)?;
+        Ok(ok_response(
+            "info",
+            Json::obj()
+                .field("table", table_info_json(&entry.table, &entry.path))
+                .field("accounting", accounting(0, CacheDisposition::None, None)),
+        ))
+    }
+
+    /// Parse the (table, sampler, seed) block shared by every sampling op.
+    /// Per-candidate concerns (scheme, index columns) are parsed separately
+    /// by [`index_setup`](Self::index_setup), because `advise` takes them
+    /// inside its `candidates` array, not at the top level.
+    fn sampler_setup(
+        &self,
+        request: &Json,
+        default_sampler: &str,
+        default_fraction: f64,
+    ) -> Result<SamplerSetup, ApiError> {
+        let entry = self.catalog.get(req_str(request, "table")?)?;
+        let sampler_name = opt_str(request, "sampler")?
+            .unwrap_or(default_sampler)
+            .to_string();
+        let fraction = opt_f64(request, "fraction", default_fraction)?;
+        #[allow(clippy::cast_possible_truncation)]
+        let size = opt_u64(request, "size", 1_000)? as usize;
+        let kind = sampler_by_name(&sampler_name, fraction, size).map_err(ApiError::bad_request)?;
+        let seed = opt_u64(request, "seed", 0)?;
+        Ok(SamplerSetup { entry, kind, seed })
+    }
+
+    /// Parse the top-level scheme + index-column block of the single-index
+    /// ops (`estimate`, `estimate_progressive`).
+    fn index_setup(&self, request: &Json, setup: &SamplerSetup) -> Result<IndexSetup, ApiError> {
+        let scheme_name = opt_str(request, "scheme")?
+            .unwrap_or("null-suppression")
+            .to_string();
+        let scheme =
+            scheme_by_name(&scheme_name).map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let columns = match opt_string_array(request, "columns")? {
+            Some(columns) => columns,
+            None => vec![setup.entry.shared.schema().columns()[0].name.clone()],
+        };
+        let spec = IndexSpec::nonclustered("idx", columns)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        Ok(IndexSetup { scheme, spec })
+    }
+
+    fn op_estimate(&self, request: &Json) -> Result<Json, ApiError> {
+        let setup = self.sampler_setup(request, "uniform", 0.01)?;
+        let index = self.index_setup(request, &setup)?;
+        let acquired = self
+            .cache
+            .acquire(&setup.entry.shared, setup.kind, setup.seed)
+            .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
+        let measurement = measure_rows(
+            setup.entry.shared.schema(),
+            &acquired.rows,
+            &index.spec,
+            index.scheme.as_ref(),
+            &IndexBuilder::new(),
+            setup.kind.label(),
+        )
+        .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
+        let result = Json::obj()
+            .field("table", Json::str(setup.entry.shared.name()))
+            .field("sampler", Json::str(setup.kind.label()))
+            .field("scheme", Json::str(index.scheme.name()))
+            .field("seed", Json::uint(setup.seed))
+            .field("cf", Json::Num(measurement.cf))
+            .field("cf_with_pointers", Json::Num(measurement.cf_with_pointers))
+            .field("cf_pages", Json::Num(measurement.cf_pages))
+            .field("rows", Json::uint(measurement.data.rows as u64))
+            .field(
+                "distinct_first_key",
+                Json::uint(measurement.data.distinct_first_key as u64),
+            )
+            .field(
+                "source_rows",
+                Json::uint(setup.entry.shared.num_rows() as u64),
+            )
+            .field(
+                "source_pages",
+                Json::uint(setup.entry.shared.num_pages() as u64),
+            );
+        Ok(ok_response(
+            "estimate",
+            Json::obj().field("result", result).field(
+                "accounting",
+                accounting(
+                    acquired.pages_read,
+                    acquired.disposition,
+                    Some(acquired.rows.len()),
+                ),
+            ),
+        ))
+    }
+
+    fn op_estimate_progressive(&self, request: &Json) -> Result<Json, ApiError> {
+        // `fraction` is the cap here, mirroring `--max-fraction`.
+        let setup = self.sampler_setup(request, "uniform", 0.1)?;
+        let index = self.index_setup(request, &setup)?;
+        let target_error = request
+            .get("target_error")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ApiError::bad_request("missing numeric field \"target_error\""))?;
+        let confidence = opt_f64(request, "confidence", 0.95)?;
+        let initial_fraction = opt_f64(request, "initial_fraction", 0.01)?;
+        let growth = opt_f64(request, "growth", 2.0)?;
+        let schedule = BatchSchedule::new(initial_fraction, growth)
+            .map_err(|e| ApiError::bad_request(e.to_string()))?;
+        let config = ProgressiveConfig {
+            target_error,
+            confidence,
+            schedule,
+        };
+        // Progressive runs stream their own pages and bypass the sample
+        // cache: their stopping point depends on the data, not on a fixed
+        // fraction a later request could share.
+        let counting = CountingSource::new(setup.entry.shared.as_ref());
+        let report = ProgressiveCf::new(setup.kind, config)
+            .seed(setup.seed)
+            .run(&counting, &index.spec, index.scheme.as_ref())
+            .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
+
+        let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        let checkpoints: Vec<Json> = report
+            .checkpoints
+            .iter()
+            .map(|c| {
+                Json::obj()
+                    .field("batch", Json::uint(c.batch as u64))
+                    .field("rows", Json::uint(c.rows as u64))
+                    .field("fraction", Json::Num(c.fraction))
+                    .field("cf", Json::Num(c.cf))
+                    .field("std_error", opt_num(c.std_error))
+                    .field("half_width", opt_num(c.half_width))
+                    .field("ci_low", opt_num(c.ci_low))
+                    .field("ci_high", opt_num(c.ci_high))
+                    .field("pages_read", Json::uint(c.pages_read))
+            })
+            .collect();
+        let (ci_low, ci_high) = report
+            .ci()
+            .map_or((None, None), |(a, b)| (Some(a), Some(b)));
+        let result = Json::obj()
+            .field("table", Json::str(setup.entry.shared.name()))
+            .field("sampler", Json::str(setup.kind.label()))
+            .field("scheme", Json::str(index.scheme.name()))
+            .field("seed", Json::uint(setup.seed))
+            .field("target_error", Json::Num(report.target_error))
+            .field("confidence", Json::Num(report.confidence))
+            .field("cf", Json::Num(report.measurement.cf))
+            .field("ci_low", opt_num(ci_low))
+            .field("ci_high", opt_num(ci_high))
+            .field("rows", Json::uint(report.measurement.data.rows as u64))
+            .field("source_rows", Json::uint(report.source_rows as u64))
+            .field("stopped_early", Json::Bool(report.stopped_early))
+            .field("target_met", Json::Bool(report.target_met))
+            .field("pages_read", Json::uint(report.pages_read))
+            .field("source_pages", Json::uint(report.source_pages as u64))
+            .field("checkpoints", Json::Arr(checkpoints));
+        let rows = report.measurement.data.rows;
+        Ok(ok_response(
+            "estimate_progressive",
+            Json::obj().field("result", result).field(
+                "accounting",
+                accounting(report.pages_read, CacheDisposition::Bypass, Some(rows)),
+            ),
+        ))
+    }
+
+    fn op_advise(&self, request: &Json) -> Result<Json, ApiError> {
+        let setup = self.sampler_setup(request, "block", 0.01)?;
+        let min_saving = opt_f64(request, "min_saving", 0.1)?;
+        let budget = match request.get("budget") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(value.as_u64().ok_or_else(|| {
+                ApiError::bad_request("field \"budget\" must be a non-negative integer")
+            })? as usize),
+        };
+        let candidate_specs = request
+            .get("candidates")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ApiError::bad_request("missing array field \"candidates\""))?;
+        if candidate_specs.is_empty() {
+            return Err(ApiError::bad_request("\"candidates\" must not be empty"));
+        }
+        let mut specs = Vec::with_capacity(candidate_specs.len());
+        for (i, c) in candidate_specs.iter().enumerate() {
+            let index = req_str(c, "index")
+                .map_err(|e| ApiError::bad_request(format!("candidate {i}: {}", e.message)))?;
+            let scheme_name = req_str(c, "scheme")
+                .map_err(|e| ApiError::bad_request(format!("candidate {i}: {}", e.message)))?;
+            let scheme = scheme_by_name(scheme_name)
+                .map_err(|e| ApiError::bad_request(format!("candidate {i}: {e}")))?;
+            let columns = match opt_string_array(c, "columns")? {
+                Some(columns) => columns,
+                None => vec![setup.entry.shared.schema().columns()[0].name.clone()],
+            };
+            let clustered = opt_bool(c, "clustered", false)?;
+            let spec = if clustered {
+                IndexSpec::clustered(index, columns)
+            } else {
+                IndexSpec::nonclustered(index, columns)
+            }
+            .map_err(|e| ApiError::bad_request(format!("candidate {i}: {e}")))?;
+            specs.push((spec, scheme));
+        }
+
+        // One shared sample serves every candidate of the request — and,
+        // through the concurrent cache, every other request with the same
+        // (table, sampler, fraction, seed) group.
+        let acquired = self
+            .cache
+            .acquire(&setup.entry.shared, setup.kind, setup.seed)
+            .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
+        let mut recommendations: Vec<Recommendation> = Vec::with_capacity(specs.len());
+        for (spec, scheme) in &specs {
+            recommendations.push(
+                evaluate_shared(
+                    setup.entry.shared.as_ref(),
+                    spec,
+                    scheme.as_ref(),
+                    &acquired.rows,
+                    setup.kind.label(),
+                    0,
+                )
+                .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?,
+            );
+        }
+        decide(&mut recommendations, min_saving, budget);
+
+        let total_uncompressed: usize = recommendations.iter().map(|r| r.uncompressed_bytes).sum();
+        let total_chosen: usize = recommendations
+            .iter()
+            .map(Recommendation::chosen_bytes)
+            .sum();
+        let fits = budget.is_none_or(|b| total_chosen <= b);
+        let recommendation_json: Vec<Json> = recommendations
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .field("index", Json::str(&r.index))
+                    .field("scheme", Json::str(&r.scheme))
+                    .field(
+                        "uncompressed_bytes",
+                        Json::uint(r.uncompressed_bytes as u64),
+                    )
+                    .field(
+                        "estimated_compressed_bytes",
+                        Json::uint(r.estimated_compressed_bytes as u64),
+                    )
+                    .field("estimated_cf", Json::Num(r.estimated_cf))
+                    .field("sample_rows", Json::uint(r.sample_rows as u64))
+                    .field("compress", Json::Bool(r.compress))
+            })
+            .collect();
+        let result = Json::obj()
+            .field("table", Json::str(setup.entry.shared.name()))
+            .field("sampler", Json::str(setup.kind.label()))
+            .field("seed", Json::uint(setup.seed))
+            .field(
+                "budget_bytes",
+                budget.map_or(Json::Null, |b| Json::uint(b as u64)),
+            )
+            .field("fits_budget", Json::Bool(fits))
+            .field(
+                "total_uncompressed_bytes",
+                Json::uint(total_uncompressed as u64),
+            )
+            .field("total_chosen_bytes", Json::uint(total_chosen as u64))
+            .field("recommendations", Json::Arr(recommendation_json));
+        let naive_pages = acquired.entry_pages_total * specs.len() as u64;
+        Ok(ok_response(
+            "advise",
+            Json::obj().field("result", result).field(
+                "accounting",
+                accounting(
+                    acquired.pages_read,
+                    acquired.disposition,
+                    Some(acquired.rows.len()),
+                )
+                .field("naive_pages_read", Json::uint(naive_pages)),
+            ),
+        ))
+    }
+
+    fn op_stats(&self) -> Json {
+        let cache = self.cache.stats();
+        let mut requests = Json::obj();
+        let mut total = 0u64;
+        for (name, count) in self.counters.snapshot() {
+            requests = requests.field(name, Json::uint(count));
+            total += count;
+        }
+        requests = requests.field("total", Json::uint(total));
+        let stats = Json::obj()
+            .field(
+                "uptime_seconds",
+                Json::Num(self.started.elapsed().as_secs_f64()),
+            )
+            .field(
+                "tables",
+                Json::Arr(self.catalog.names().into_iter().map(Json::Str).collect()),
+            )
+            .field("requests", requests)
+            .field(
+                "errors",
+                Json::uint(self.counters.errors.load(Ordering::Relaxed)),
+            )
+            .field(
+                "cache",
+                Json::obj()
+                    .field("entries", Json::uint(cache.entries as u64))
+                    .field("bytes", Json::uint(cache.bytes as u64))
+                    .field("budget_bytes", Json::uint(cache.budget_bytes as u64))
+                    .field("hits", Json::uint(cache.hits))
+                    .field("misses", Json::uint(cache.misses))
+                    .field("deepened", Json::uint(cache.deepened))
+                    .field("evictions", Json::uint(cache.evictions))
+                    .field("coalesced_waits", Json::uint(cache.coalesced_waits))
+                    .field("pages_read", Json::uint(cache.pages_read)),
+            );
+        ok_response("stats", Json::obj().field("stats", stats))
+    }
+}
+
+/// The parsed (table, sampler, seed) block every sampling op shares.
+struct SamplerSetup {
+    entry: crate::catalog::CatalogEntry,
+    kind: samplecf_sampling::SamplerKind,
+    seed: u64,
+}
+
+/// The parsed top-level scheme + index spec of the single-index ops.
+struct IndexSetup {
+    scheme: Box<dyn samplecf_compression::CompressionScheme>,
+    spec: IndexSpec,
+}
+
+impl std::fmt::Debug for ServiceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceState")
+            .field("catalog", &self.catalog)
+            .field("cache", &self.cache)
+            .field("shutdown", &self.shutdown_requested())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::DEFAULT_CACHE_BUDGET_BYTES;
+    use samplecf_core::SampleCf;
+    use samplecf_datagen::presets;
+    use samplecf_sampling::SamplerKind;
+    use samplecf_storage::DiskTable;
+    use std::path::PathBuf;
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn scratch_table(tag: &str, rows: usize) -> (String, Cleanup) {
+        let path =
+            std::env::temp_dir().join(format!("samplecf_service_{tag}_{}.scf", std::process::id()));
+        let table = presets::single_char_table("svc_t", rows, 24, 50, 8, 3)
+            .generate()
+            .unwrap()
+            .table;
+        DiskTable::materialize(&path, &table).unwrap();
+        (path.to_string_lossy().into_owned(), Cleanup(path))
+    }
+
+    fn ok(state: &ServiceState, line: &str) -> Json {
+        let reply = Json::parse(&state.handle_line(line)).expect("reply is valid JSON");
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "expected success, got {reply}"
+        );
+        reply
+    }
+
+    fn err_code(state: &ServiceState, line: &str) -> String {
+        let reply = Json::parse(&state.handle_line(line)).expect("reply is valid JSON");
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        reply
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .expect("error has a code")
+            .to_string()
+    }
+
+    #[test]
+    fn register_info_estimate_loop_matches_the_direct_estimator() {
+        let (path, _cleanup) = scratch_table("loop", 8_000);
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+
+        let registered = ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+        let table = registered.get("table").unwrap();
+        assert_eq!(table.get("name").and_then(Json::as_str), Some("svc_t"));
+        assert_eq!(table.get("rows").and_then(Json::as_u64), Some(8_000));
+
+        let info = ok(&state, r#"{"op":"info","table":"svc_t"}"#);
+        assert_eq!(info.get("table").unwrap(), table, "info echoes register");
+
+        let estimate = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_t","sampler":"block","fraction":0.1,"scheme":"dictionary-global","seed":7}"#,
+        );
+        let result = estimate.get("result").unwrap();
+        let acc = estimate.get("accounting").unwrap();
+        assert_eq!(acc.get("cache").and_then(Json::as_str), Some("miss"));
+
+        // Byte-identical to the single-shot estimator, seed for seed.
+        let disk = DiskTable::open(&path).unwrap();
+        let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
+        let scheme = scheme_by_name("dictionary-global").unwrap();
+        let direct = SampleCf::new(SamplerKind::Block(0.1))
+            .seed(7)
+            .estimate(&disk, &spec, scheme.as_ref())
+            .unwrap();
+        assert_eq!(result.get("cf").and_then(Json::as_f64), Some(direct.cf));
+        assert_eq!(
+            result.get("cf_with_pointers").and_then(Json::as_f64),
+            Some(direct.cf_with_pointers)
+        );
+        assert_eq!(
+            result.get("rows").and_then(Json::as_u64),
+            Some(direct.data.rows as u64)
+        );
+        assert_eq!(
+            acc.get("pages_read").and_then(Json::as_u64),
+            Some((disk.num_pages() as f64 * 0.1).round() as u64)
+        );
+
+        // The same request again is a hit with zero pages.
+        let again = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_t","sampler":"block","fraction":0.1,"scheme":"dictionary-global","seed":7}"#,
+        );
+        let acc = again.get("accounting").unwrap();
+        assert_eq!(acc.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(acc.get("pages_read").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            again.get("result").unwrap(),
+            result,
+            "hit is byte-identical"
+        );
+    }
+
+    #[test]
+    fn advise_matches_the_in_process_advisor_and_reports_naive_baseline() {
+        let (path, _cleanup) = scratch_table("advise", 10_000);
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+        let reply = ok(
+            &state,
+            r#"{"op":"advise","table":"svc_t","sampler":"block","fraction":0.05,"seed":2,"candidates":[{"index":"idx_dict","scheme":"dictionary-global"},{"index":"idx_ns","scheme":"null-suppression"},{"index":"pk","scheme":"rle","clustered":true}]}"#,
+        );
+        let result = reply.get("result").unwrap();
+        let recs = result
+            .get("recommendations")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(recs.len(), 3);
+
+        // Equal to CompressionAdvisor::plan over the same configuration.
+        use samplecf_core::{AdvisorConfig, Candidate, CompressionAdvisor};
+        use samplecf_storage::IntoShared;
+        let disk = DiskTable::open(&path).unwrap().into_shared();
+        let specs = [
+            IndexSpec::nonclustered("idx_dict", ["a"]).unwrap(),
+            IndexSpec::nonclustered("idx_ns", ["a"]).unwrap(),
+            IndexSpec::clustered("pk", ["a"]).unwrap(),
+        ];
+        let schemes = [
+            scheme_by_name("dictionary-global").unwrap(),
+            scheme_by_name("null-suppression").unwrap(),
+            scheme_by_name("rle").unwrap(),
+        ];
+        let candidates: Vec<Candidate<'_>> = specs
+            .iter()
+            .zip(&schemes)
+            .map(|(spec, scheme)| Candidate::new(&disk, spec, scheme.as_ref()))
+            .collect();
+        let plan = CompressionAdvisor::new(AdvisorConfig {
+            sampler: SamplerKind::Block(0.05),
+            seed: 2,
+            ..Default::default()
+        })
+        .unwrap()
+        .plan(&candidates)
+        .unwrap();
+        for (rec, json) in plan.recommendations.iter().zip(recs) {
+            assert_eq!(
+                json.get("index").and_then(Json::as_str),
+                Some(rec.index.as_str())
+            );
+            assert_eq!(
+                json.get("estimated_cf").and_then(Json::as_f64),
+                Some(rec.estimated_cf)
+            );
+            assert_eq!(
+                json.get("estimated_compressed_bytes")
+                    .and_then(Json::as_u64),
+                Some(rec.estimated_compressed_bytes as u64)
+            );
+            assert_eq!(
+                json.get("compress").and_then(Json::as_bool),
+                Some(rec.compress)
+            );
+        }
+
+        // Accounting: one draw shared by 3 candidates; naive = 3 draws.
+        let acc = reply.get("accounting").unwrap();
+        let pages = acc.get("pages_read").and_then(Json::as_u64).unwrap();
+        assert_eq!(pages, plan.pages_read());
+        assert_eq!(
+            acc.get("naive_pages_read").and_then(Json::as_u64),
+            Some(pages * 3)
+        );
+    }
+
+    #[test]
+    fn progressive_op_reports_checkpoints_and_bypasses_the_cache() {
+        let (path, _cleanup) = scratch_table("progressive", 12_000);
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+        let reply = ok(
+            &state,
+            r#"{"op":"estimate_progressive","table":"svc_t","sampler":"block","fraction":0.2,"target_error":0.2,"seed":4}"#,
+        );
+        let result = reply.get("result").unwrap();
+        assert!(result.get("cf").and_then(Json::as_f64).unwrap() > 0.0);
+        let checkpoints = result.get("checkpoints").and_then(Json::as_array).unwrap();
+        assert!(!checkpoints.is_empty());
+        let acc = reply.get("accounting").unwrap();
+        assert_eq!(acc.get("cache").and_then(Json::as_str), Some("bypass"));
+        assert!(acc.get("pages_read").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(
+            state.cache.stats().misses,
+            0,
+            "progressive bypasses the cache"
+        );
+    }
+
+    #[test]
+    fn protocol_errors_carry_typed_codes() {
+        let (path, _cleanup) = scratch_table("errors", 1_000);
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        assert_eq!(err_code(&state, "not json"), codes::PARSE_ERROR);
+        assert_eq!(err_code(&state, r#"{"no_op":1}"#), codes::BAD_REQUEST);
+        assert_eq!(
+            err_code(&state, r#"{"op":"frobnicate"}"#),
+            codes::UNKNOWN_OP
+        );
+        assert_eq!(
+            err_code(&state, r#"{"op":"estimate","table":"absent"}"#),
+            codes::NO_SUCH_TABLE
+        );
+        assert_eq!(
+            err_code(&state, r#"{"op":"register","path":"/no/such.scf"}"#),
+            codes::STORAGE
+        );
+        ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+        assert_eq!(
+            err_code(
+                &state,
+                r#"{"op":"estimate","table":"svc_t","sampler":"warp-drive"}"#
+            ),
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            err_code(
+                &state,
+                r#"{"op":"estimate","table":"svc_t","fraction":5.0}"#
+            ),
+            codes::ESTIMATE_FAILED
+        );
+        assert_eq!(
+            err_code(&state, r#"{"op":"advise","table":"svc_t","candidates":[]}"#),
+            codes::BAD_REQUEST
+        );
+
+        // The stats op reflects both the traffic and the error count.
+        let stats = ok(&state, r#"{"op":"stats"}"#);
+        let stats = stats.get("stats").unwrap();
+        assert!(stats.get("errors").and_then(Json::as_u64).unwrap() >= 7);
+        assert_eq!(
+            stats
+                .get("tables")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shutdown_op_raises_the_flag() {
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        assert!(!state.shutdown_requested());
+        ok(&state, r#"{"op":"shutdown"}"#);
+        assert!(state.shutdown_requested());
+    }
+}

@@ -19,7 +19,7 @@ use crate::page::Page;
 use crate::rid::{PageId, Rid};
 use crate::row::RowCodec;
 use crate::schema::Schema;
-use crate::source::TableSource;
+use crate::source::{SharedSource, TableSource};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A [`TableSource`] decorator that counts page reads.
@@ -107,12 +107,101 @@ impl TableSource for CountingSource<'_> {
     }
 }
 
+/// The owning counterpart of [`CountingSource`]: wraps a [`SharedSource`]
+/// handle instead of a borrow, so the counted source can itself be erased
+/// into a `SharedSource` and handed to `'static` consumers (the owned sample
+/// cache, advisor candidates, a server catalog) while the caller keeps a
+/// second [`Arc`](std::sync::Arc) to read the counter from.
+pub struct SharedCountingSource {
+    inner: SharedSource,
+    pages_read: AtomicU64,
+}
+
+impl SharedCountingSource {
+    /// Wrap a shared handle, starting the counter at zero.
+    #[must_use]
+    pub fn new(inner: SharedSource) -> Self {
+        SharedCountingSource {
+            inner,
+            pages_read: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pages read through this wrapper so far.
+    #[must_use]
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    /// Reset the counter to zero (e.g. between measurement phases).
+    pub fn reset(&self) {
+        self.pages_read.store(0, Ordering::Relaxed);
+    }
+
+    /// The wrapped handle.
+    #[must_use]
+    pub fn inner(&self) -> &SharedSource {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for SharedCountingSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SharedCountingSource({}, pages_read = {})",
+            self.inner.name(),
+            self.pages_read()
+        )
+    }
+}
+
+impl TableSource for SharedCountingSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn codec(&self) -> &RowCodec {
+        self.inner.codec()
+    }
+
+    fn num_rows(&self) -> usize {
+        self.inner.num_rows()
+    }
+
+    fn num_pages(&self) -> usize {
+        self.inner.num_pages()
+    }
+
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.inner.read_page(id)
+    }
+
+    // As in `CountingSource`: row access funnels through the `read_page`
+    // defaults so it is accounted, the frame is metadata and is not.
+
+    fn rids(&self) -> StorageResult<Vec<Rid>> {
+        self.inner.rids()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::row::Row;
+    use crate::source::IntoShared;
     use crate::table::{Table, TableBuilder};
     use crate::value::Value;
+    use std::sync::Arc;
 
     fn table(n: usize) -> Table {
         TableBuilder::new("t", Schema::single_char("a", 32))
@@ -143,6 +232,23 @@ mod tests {
         let row = TableSource::get(&counting, rid).unwrap();
         assert_eq!(row.value(0), &Value::str("v000017"));
         assert_eq!(counting.pages_read(), 1);
+    }
+
+    #[test]
+    fn shared_counting_source_counts_through_an_erased_handle() {
+        let t = table(400);
+        let num_pages = t.num_pages() as u64;
+        let counting = Arc::new(SharedCountingSource::new(t.into_shared()));
+        // The counted wrapper erases into a SharedSource like any table...
+        let erased: SharedSource = Arc::clone(&counting) as SharedSource;
+        assert_eq!(erased.scan_rows().unwrap().len(), 400);
+        // ...while the retained Arc still reads (and resets) the counter.
+        assert_eq!(counting.pages_read(), num_pages);
+        counting.reset();
+        assert_eq!(counting.pages_read(), 0);
+        assert_eq!(counting.rids().unwrap().len(), 400);
+        assert_eq!(counting.pages_read(), 0, "the frame is metadata");
+        assert_eq!(counting.inner().name(), "t");
     }
 
     #[test]

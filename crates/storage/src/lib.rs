@@ -17,10 +17,13 @@
 //! * [`HeapFile`] / [`Table`] — in-memory base tables that samplers draw rows
 //!   and blocks from,
 //! * [`TableSource`] — the read abstraction samplers and the estimator run
-//!   over, implemented by both [`Table`] and [`DiskTable`],
-//! * [`CountingSource`] — a decorator that counts physical page reads, the
-//!   accounting behind every "pages read" figure the CLI, the advisor and
-//!   the experiments report,
+//!   over, implemented by both [`Table`] and [`DiskTable`] — and
+//!   [`SharedSource`], its reference-counted `Send + Sync` handle form
+//!   (via [`IntoShared`]) that the owned sample cache and the `samplecfd`
+//!   catalog share across threads,
+//! * [`CountingSource`] / [`SharedCountingSource`] — decorators that count
+//!   physical page reads, the accounting behind every "pages read" figure
+//!   the CLI, the server, the advisor and the experiments report,
 //! * [`disk`] — the persistent counterpart: checksummed page files,
 //!   [`DiskHeapFile`] and [`DiskTable`], where block sampling's "read only
 //!   the selected pages" is physically true,
@@ -68,7 +71,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use counting::CountingSource;
+pub use counting::{CountingSource, SharedCountingSource};
 pub use datatype::DataType;
 pub use disk::{DiskHeapFile, DiskTable};
 pub use error::{StorageError, StorageResult};
@@ -79,6 +82,6 @@ pub use page::{
 pub use rid::{PageId, Rid};
 pub use row::{decode_cell, encode_cell, Row, RowCodec, CHAR_PAD};
 pub use schema::{Column, Schema};
-pub use source::TableSource;
+pub use source::{IntoShared, SharedSource, TableSource};
 pub use table::{Table, TableBuilder};
 pub use value::Value;

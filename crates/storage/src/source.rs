@@ -15,6 +15,7 @@ use crate::rid::{PageId, Rid};
 use crate::row::{Row, RowCodec};
 use crate::schema::Schema;
 use crate::table::Table;
+use std::sync::Arc;
 
 /// A readable source of table pages and rows.
 ///
@@ -89,6 +90,77 @@ pub trait TableSource: Send + Sync {
             }
         }
         Ok(out)
+    }
+}
+
+/// A reference-counted, thread-shareable table source — the handle the
+/// concurrent layers (the owned sample cache, the `samplecfd` catalog) pass
+/// around.  Cloning is cheap (one atomic increment) and clones share
+/// identity: two clones of one `SharedSource` alias the same table, while
+/// two separately created handles never do, even for byte-identical data.
+pub type SharedSource = Arc<dyn TableSource + Send + Sync>;
+
+/// Move a concrete table into a [`SharedSource`] handle.
+///
+/// This is the bridge from single-owner code (`Table`, `DiskTable`) into the
+/// shared-handle world: `table.into_shared()` reads better at call sites
+/// than the equivalent `Arc::new(table) as SharedSource` coercion.
+pub trait IntoShared {
+    /// Wrap `self` in an [`Arc`] and erase it to `dyn TableSource`.
+    fn into_shared(self) -> SharedSource;
+}
+
+impl<T: TableSource + 'static> IntoShared for T {
+    fn into_shared(self) -> SharedSource {
+        Arc::new(self)
+    }
+}
+
+/// A shared handle reads exactly like the source it wraps, so every consumer
+/// that takes `&dyn TableSource` accepts a `&SharedSource` unchanged.
+impl<T: TableSource + ?Sized> TableSource for Arc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+
+    fn codec(&self) -> &RowCodec {
+        (**self).codec()
+    }
+
+    fn num_rows(&self) -> usize {
+        (**self).num_rows()
+    }
+
+    fn num_pages(&self) -> usize {
+        (**self).num_pages()
+    }
+
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        (**self).read_page(id)
+    }
+
+    fn get(&self, rid: Rid) -> StorageResult<Row> {
+        (**self).get(rid)
+    }
+
+    fn page_rows(&self, id: PageId) -> StorageResult<Vec<(Rid, Row)>> {
+        (**self).page_rows(id)
+    }
+
+    fn scan_rows(&self) -> StorageResult<Vec<(Rid, Row)>> {
+        (**self).scan_rows()
+    }
+
+    fn rids(&self) -> StorageResult<Vec<Rid>> {
+        (**self).rids()
     }
 }
 
@@ -205,6 +277,28 @@ mod tests {
             assert_eq!(&TableSource::get(s, *rid).unwrap(), row);
         }
         assert!(s.read_page(9999).is_err());
+    }
+
+    #[test]
+    fn shared_handles_read_like_the_wrapped_source() {
+        let t = table(60);
+        let direct_rows = t.scan_rows().unwrap();
+        let direct_pages = t.num_pages();
+        let shared: SharedSource = t.into_shared();
+        assert_eq!(shared.name(), "t");
+        assert_eq!(shared.num_rows(), 60);
+        assert_eq!(shared.num_pages(), direct_pages);
+        assert_eq!(shared.scan_rows().unwrap(), direct_rows);
+        // The handle itself is a TableSource, so `&SharedSource` coerces to
+        // `&dyn TableSource` at every existing call site.
+        let as_dyn: &dyn TableSource = &shared;
+        assert_eq!(as_dyn.rids().unwrap().len(), 60);
+        // Clones share identity (same allocation), fresh handles do not.
+        let clone = Arc::clone(&shared);
+        assert!(std::ptr::eq(
+            Arc::as_ptr(&shared).cast::<()>(),
+            Arc::as_ptr(&clone).cast::<()>()
+        ));
     }
 
     #[test]

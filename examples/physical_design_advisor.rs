@@ -47,11 +47,16 @@ fn print_plan(title: &str, plan: &AdvisorPlan) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A small schema: a fact table plus an archive table.
-    let orders = presets::orders_table("orders", 30_000, 1).generate()?.table;
+    // A small schema: a fact table plus an archive table, moved into shared
+    // handles so one table can feed several candidates.
+    let orders = presets::orders_table("orders", 30_000, 1)
+        .generate()?
+        .table
+        .into_shared();
     let archive = presets::variable_length_table("archive", 20_000, 64, 400, 6, 24, 2)
         .generate()?
-        .table;
+        .table
+        .into_shared();
 
     let pk = IndexSpec::clustered("orders_pk", ["order_id"])?;
     let by_status = IndexSpec::nonclustered("orders_by_status", ["status"])?;

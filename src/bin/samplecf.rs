@@ -9,14 +9,18 @@
 //! * `exact` computes the ground-truth CF (a full scan),
 //! * `advise` runs the shared-sample physical design advisor over a set of
 //!   candidate indexes (text or JSON report),
-//! * `info` prints the file header without touching data pages.
+//! * `info` prints the file header without touching data pages,
+//! * `client` sends one protocol request to a running `samplecfd` daemon
+//!   and pretty-prints the JSON reply.
 //!
 //! Argument parsing is hand-rolled (the workspace builds offline, without
 //! clap); every flag is `--name value`.
 
 use samplecf::prelude::*;
 use samplecf_sampling::CountingSource;
-use samplecf_storage::{DiskTable, TableSource};
+use samplecf_server::{table_info_json, Json};
+use samplecf_storage::{DiskTable, IntoShared, TableSource};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -27,7 +31,8 @@ USAGE:
   samplecf estimate --table FILE [options]  run SampleCF over a table file
   samplecf exact --table FILE [options]   compute the exact CF (full scan)
   samplecf advise --table FILE [options]  recommend which indexes to compress
-  samplecf info --table FILE              print the file header and schema
+  samplecf info --table FILE [--json]     print the file header and schema
+  samplecf client ADDR REQUEST            send one request to a samplecfd
 
 GEN OPTIONS:
   --out FILE          output path (required)
@@ -102,6 +107,21 @@ e.g.   idx_a      a        dictionary-global
 
 All candidates share one materialized sample per (sampler, fraction, seed)
 configuration, so k candidates cost the same source I/O as one.
+
+INFO OPTIONS:
+  --table FILE        table file (required)
+  --json              emit the header as JSON — the same table-metadata
+                      shape the samplecfd `info` endpoint returns
+
+CLIENT USAGE:
+  samplecf client ADDR REQUEST [--raw]
+
+  ADDR is a samplecfd address (e.g. 127.0.0.1:7878); REQUEST is one JSON
+  protocol object (see docs/API.md), or `-` to read it from stdin.  The
+  reply is pretty-printed (--raw prints the single reply line verbatim).
+  Exits non-zero when the server answers {\"ok\": false}.
+
+  e.g.  samplecf client 127.0.0.1:7878 '{\"op\":\"stats\"}'
 
 The estimate report includes `pages read`: with `--sampler block` this is
 round(fraction x pages) physical page reads, while row samplers pay roughly
@@ -183,6 +203,7 @@ fn main() -> ExitCode {
         "exact" => cmd_exact(args),
         "advise" => cmd_advise(args),
         "info" => cmd_info(args),
+        "client" => cmd_client(args),
         other => Err(format!("unknown subcommand {other:?} (see --help)")),
     };
     match result {
@@ -762,24 +783,22 @@ fn cmd_advise(mut args: Args) -> Result<(), String> {
     })
     .map_err(|e| e.to_string())?;
 
+    let table_name = TableSource::name(&table).to_string();
+    let num_rows = table.num_rows();
+    let num_pages = table.num_pages();
+    let shared = table.into_shared();
     let candidates: Vec<Candidate<'_>> = candidate_specs
         .iter()
-        .map(|c| Candidate::new(&table, &c.spec, c.scheme.as_ref()))
+        .map(|c| Candidate::new(&shared, &c.spec, c.scheme.as_ref()))
         .collect();
     let plan = advisor.plan(&candidates).map_err(|e| e.to_string())?;
-
-    let table_name = TableSource::name(&table).to_string();
     if json {
         println!("{}", plan_to_json(&table_name, &path, &plan));
         return Ok(());
     }
 
     println!("table          {table_name} ({path})");
-    println!(
-        "rows           {} on {} pages",
-        table.num_rows(),
-        table.num_pages()
-    );
+    println!("rows           {num_rows} on {num_pages} pages");
     println!("sampler        {}", sampler.label());
     println!("candidates     {}", plan.recommendations.len());
     println!();
@@ -814,19 +833,77 @@ fn cmd_advise(mut args: Args) -> Result<(), String> {
         plan.groups.iter().map(|g| g.sample_rows).sum::<usize>()
     );
     println!(
-        "pages read     {} of {} (naive re-sample-per-candidate: {})",
+        "pages read     {} of {num_pages} (naive re-sample-per-candidate: {})",
         plan.pages_read(),
-        table.num_pages(),
         plan.naive_pages_read()
     );
     println!("elapsed        {:.3} s", plan.elapsed.as_secs_f64());
     Ok(())
 }
 
+fn cmd_client(mut args: Args) -> Result<(), String> {
+    let raw = args.flag("raw");
+    // Positional arguments: the daemon address, then the request.
+    if args.argv.len() != 2 {
+        return Err(format!(
+            "expected `client ADDR REQUEST`, got {} argument(s) (see --help)",
+            args.argv.len()
+        ));
+    }
+    let request = args.argv.pop().expect("length checked");
+    let addr = args.argv.pop().expect("length checked");
+
+    let request = if request == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("cannot read request from stdin: {e}"))?;
+        buffer
+    } else {
+        request
+    };
+    // Validate locally so a typo fails fast with a position, not a server
+    // round trip — and so the line sent is guaranteed newline-free.
+    let request = Json::parse(request.trim())
+        .map_err(|e| format!("request is not valid JSON: {e}"))?
+        .to_line();
+
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| format!("cannot read reply: {e}"))?;
+    if reply.trim().is_empty() {
+        return Err("connection closed without a reply".to_string());
+    }
+    let parsed = Json::parse(reply.trim()).map_err(|e| format!("server sent invalid JSON: {e}"))?;
+    if raw {
+        println!("{}", reply.trim());
+    } else {
+        println!("{}", parsed.pretty());
+    }
+    match parsed.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(()),
+        _ => Err("server reported an error (see reply above)".to_string()),
+    }
+}
+
 fn cmd_info(mut args: Args) -> Result<(), String> {
     let path = args.require("table")?;
+    let json = args.flag("json");
     args.finish()?;
     let table = open_table(&path)?;
+    if json {
+        // The exact table-metadata shape samplecfd's `info` endpoint
+        // returns, so local files and cataloged tables read the same.
+        println!("{}", table_info_json(&table, &path).pretty());
+        return Ok(());
+    }
     println!("file           {path}");
     println!(
         "format         SCF1 v{}",

@@ -1,0 +1,112 @@
+//! `samplecfd` — the SampleCF estimation daemon.
+//!
+//! A std-only threaded TCP server speaking the line-delimited JSON protocol
+//! specified in `docs/API.md` (`register`, `estimate`,
+//! `estimate_progressive`, `advise`, `info`, `stats`, `shutdown`), backed
+//! by a table catalog and a shared, evicting sample cache so concurrent
+//! clients reuse one sample per (table, sampler, fraction, seed) group.
+//!
+//! Talk to it with `samplecf client <addr> <request-json>` or any
+//! newline-framed TCP client.
+
+use samplecf_server::{Server, ServerConfig, DEFAULT_CACHE_BUDGET_BYTES};
+use std::process::ExitCode;
+
+const HELP: &str = "samplecfd — the SampleCF estimation daemon
+
+USAGE:
+  samplecfd [options]
+
+OPTIONS:
+  --addr ADDR           listen address                  [default: 127.0.0.1:7878]
+                        (use port 0 for an ephemeral port; the bound
+                        address is printed on the first stdout line)
+  --workers N           worker threads = max concurrent connections
+                                                        [default: 8]
+  --cache-budget BYTES  sample-cache byte budget before LRU eviction
+                                                        [default: 268435456]
+  --table FILE          pre-register a table file (repeatable)
+
+PROTOCOL (one JSON object per line over TCP; see docs/API.md):
+  {\"op\":\"register\",\"path\":\"/data/t.scf\"}
+  {\"op\":\"estimate\",\"table\":\"t\",\"sampler\":\"block\",\"fraction\":0.05,
+   \"scheme\":\"dictionary-global\",\"seed\":1}
+  {\"op\":\"stats\"}
+  {\"op\":\"shutdown\"}
+
+Estimates are byte-identical to `samplecf estimate` seed-for-seed; every
+response reports pages_read and how the shared sample cache served it.";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("samplecfd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers: usize = 8;
+    let mut cache_budget: usize = DEFAULT_CACHE_BUDGET_BYTES;
+    let mut tables: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("flag {name} expects a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return Ok(());
+            }
+            "--addr" => addr = value("--addr")?,
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("invalid --workers: {e}"))?;
+            }
+            "--cache-budget" => {
+                cache_budget = value("--cache-budget")?
+                    .parse()
+                    .map_err(|e| format!("invalid --cache-budget: {e}"))?;
+            }
+            "--table" => tables.push(value("--table")?),
+            other => return Err(format!("unrecognised argument {other:?} (see --help)")),
+        }
+    }
+
+    let handle = Server::bind(
+        &addr,
+        ServerConfig {
+            workers,
+            cache_budget_bytes: cache_budget,
+        },
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+
+    // The first line is machine-parseable: scripts (and the CI smoke test)
+    // bind port 0 and scrape the real address from here.
+    println!("samplecfd listening on {}", handle.addr());
+    println!("workers        {workers}");
+    println!("cache budget   {cache_budget} B");
+    for path in &tables {
+        let entry = handle
+            .state()
+            .catalog
+            .register(path, None)
+            .map_err(|e| format!("--table {path}: {e}"))?;
+        println!(
+            "registered     {} ({path})",
+            samplecf_storage::TableSource::name(entry.table.as_ref())
+        );
+    }
+
+    handle.run();
+    println!("samplecfd: shutdown complete");
+    Ok(())
+}

@@ -17,7 +17,9 @@
 //!   ([`samplecf_sampling`]),
 //! * [`datagen`] — seeded synthetic workloads ([`samplecf_datagen`]),
 //! * [`core`] — the SampleCF estimator, theory, trial runner, advisor and
-//!   capacity planner ([`samplecf_core`]).
+//!   capacity planner ([`samplecf_core`]),
+//! * [`server`] — the `samplecfd` estimation service: JSON protocol, table
+//!   catalog, shared concurrent sample cache ([`samplecf_server`]).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use samplecf_core as core;
 pub use samplecf_datagen as datagen;
 pub use samplecf_index as index;
 pub use samplecf_sampling as sampling;
+pub use samplecf_server as server;
 pub use samplecf_storage as storage;
 
 /// Everything needed to use the estimator end to end.
@@ -75,7 +78,8 @@ pub mod prelude {
         UniformWithReplacement,
     };
     pub use samplecf_storage::{
-        Catalog, Column, DataType, DiskTable, Row, Schema, Table, TableBuilder, TableSource, Value,
+        Catalog, Column, DataType, DiskTable, IntoShared, Row, Schema, SharedCountingSource,
+        SharedSource, Table, TableBuilder, TableSource, Value,
     };
 }
 

@@ -3,7 +3,6 @@
 //! the reported fields for estimate/exact parity and that `advise --json`
 //! emits valid, well-formed JSON.
 
-use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -59,217 +58,34 @@ fn field_value(output: &str, label: &str) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
-// A minimal JSON parser — just enough to *validate* the advise output and
-// fish out scalar fields, without adding any dependency.
+// JSON assertions go through the same `Json` value the server and the
+// `client` subcommand use (samplecf_server::json) — one parser for the
+// whole system, with panicking accessors so a missing key is a test
+// failure rather than a case to handle.
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
+use samplecf_server::Json;
+
+trait JsonExt {
+    fn key(&self, key: &str) -> &Json;
+    fn num(&self) -> f64;
+    fn arr(&self) -> &[Json];
 }
 
-impl Json {
-    fn get(&self, key: &str) -> &Json {
-        match self {
-            Json::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key}")),
-            other => panic!("expected object for key {key}, got {other:?}"),
-        }
+impl JsonExt for Json {
+    fn key(&self, key: &str) -> &Json {
+        self.get(key)
+            .unwrap_or_else(|| panic!("missing key {key} in {self}"))
     }
 
     fn num(&self) -> f64 {
-        match self {
-            Json::Num(n) => *n,
-            other => panic!("expected number, got {other:?}"),
-        }
+        self.as_f64()
+            .unwrap_or_else(|| panic!("expected a number, got {self}"))
     }
 
     fn arr(&self) -> &[Json] {
-        match self {
-            Json::Arr(a) => a,
-            other => panic!("expected array, got {other:?}"),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b" \t\r\n".contains(b))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at offset {}, found {:?}",
-                b as char,
-                self.pos,
-                self.bytes.get(self.pos).map(|&c| c as char)
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at offset {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("invalid number at offset {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        // Accumulate raw bytes and decode once, so multi-byte UTF-8
-        // sequences in the input survive intact.
-        let mut out: Vec<u8> = Vec::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return String::from_utf8(out).map_err(|e| e.to_string());
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push(b'"'),
-                        Some(b'\\') => out.push(b'\\'),
-                        Some(b'n') => out.push(b'\n'),
-                        Some(b'r') => out.push(b'\r'),
-                        Some(b't') => out.push(b'\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            let c = char::from_u32(code).ok_or("invalid \\u escape")?;
-                            out.extend_from_slice(c.to_string().as_bytes());
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("invalid escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) => {
-                    out.push(b);
-                    self.pos += 1;
-                }
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            map.insert(key, self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                other => return Err(format!("expected , or }} in object, got {other:?}")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected , or ] in array, got {other:?}")),
-            }
-        }
+        self.as_array()
+            .unwrap_or_else(|| panic!("expected an array, got {self}"))
     }
 }
 
@@ -395,39 +211,39 @@ fn advise_json_is_valid_and_accounts_shared_sample_io() {
         "7",
         "--json",
     ]);
-    let json = Parser::parse(&out).expect("advise --json emits valid JSON");
+    let json = Json::parse(&out).expect("advise --json emits valid JSON");
 
     // Structure and accounting.
-    assert_eq!(json.get("table"), &Json::Str("t".to_string()));
-    assert_eq!(json.get("fits_budget"), &Json::Bool(true));
-    assert_eq!(json.get("budget_bytes"), &Json::Null);
-    assert_eq!(json.get("samples_drawn").num() as u64, 1);
+    assert_eq!(json.key("table"), &Json::Str("t".to_string()));
+    assert_eq!(json.key("fits_budget"), &Json::Bool(true));
+    assert_eq!(json.key("budget_bytes"), &Json::Null);
+    assert_eq!(json.key("samples_drawn").num() as u64, 1);
     let expected_pages = ((pages as f64) * fraction).round().max(1.0) as u64;
-    assert_eq!(json.get("pages_read").num() as u64, expected_pages);
+    assert_eq!(json.key("pages_read").num() as u64, expected_pages);
     assert_eq!(
-        json.get("naive_pages_read").num() as u64,
+        json.key("naive_pages_read").num() as u64,
         expected_pages * 4,
         "naive baseline pays the sample once per candidate"
     );
 
-    let groups = json.get("groups").arr();
+    let groups = json.key("groups").arr();
     assert_eq!(groups.len(), 1);
-    assert_eq!(groups[0].get("candidates").num() as u64, 4);
-    assert_eq!(groups[0].get("pages_read").num() as u64, expected_pages);
+    assert_eq!(groups[0].key("candidates").num() as u64, 4);
+    assert_eq!(groups[0].key("pages_read").num() as u64, expected_pages);
 
-    let recs = json.get("recommendations").arr();
+    let recs = json.key("recommendations").arr();
     assert_eq!(recs.len(), 4);
     let mut total_uncompressed = 0.0;
     for r in recs {
-        let cf = r.get("estimated_cf").num();
+        let cf = r.key("estimated_cf").num();
         assert!(cf > 0.0 && cf < 1.5, "estimated_cf {cf}");
-        assert!(r.get("uncompressed_bytes").num() > 0.0);
-        assert!(matches!(r.get("compress"), Json::Bool(_)));
-        total_uncompressed += r.get("uncompressed_bytes").num();
+        assert!(r.key("uncompressed_bytes").num() > 0.0);
+        assert!(matches!(r.key("compress"), Json::Bool(_)));
+        total_uncompressed += r.key("uncompressed_bytes").num();
     }
     assert_eq!(
         total_uncompressed,
-        json.get("total_uncompressed_bytes").num()
+        json.key("total_uncompressed_bytes").num()
     );
 
     // Determinism: the same invocation produces byte-identical
@@ -446,8 +262,8 @@ fn advise_json_is_valid_and_accounts_shared_sample_io() {
         "7",
         "--json",
     ]);
-    let json2 = Parser::parse(&out2).expect("valid JSON");
-    assert_eq!(json.get("recommendations"), json2.get("recommendations"));
+    let json2 = Json::parse(&out2).expect("valid JSON");
+    assert_eq!(json.key("recommendations"), json2.key("recommendations"));
 }
 
 #[test]
@@ -477,17 +293,17 @@ fn estimate_json_reports_the_seed_actually_used() {
         "31",
         "--json",
     ]);
-    let json = Parser::parse(&out).expect("estimate --json emits valid JSON");
+    let json = Json::parse(&out).expect("estimate --json emits valid JSON");
     // The seed is the one the run actually used — the field that makes a
     // report reproducible on its own.
-    assert_eq!(json.get("seed").num() as u64, 31);
-    let cf = json.get("cf").num();
+    assert_eq!(json.key("seed").num() as u64, 31);
+    let cf = json.key("cf").num();
     assert!(cf > 0.0 && cf < 1.5, "cf {cf}");
-    assert!(json.get("pages_read").num() > 0.0);
+    assert!(json.key("pages_read").num() > 0.0);
     // A defaulted seed shows up as 0 rather than being omitted.
     let out = samplecf(&["estimate", "--table", &table, "--json"]);
-    let json = Parser::parse(&out).expect("valid JSON");
-    assert_eq!(json.get("seed").num() as u64, 0);
+    let json = Json::parse(&out).expect("valid JSON");
+    assert_eq!(json.key("seed").num() as u64, 0);
 }
 
 #[test]
@@ -527,23 +343,23 @@ fn progressive_estimate_stops_early_and_reports_a_ci() {
         "5",
         "--json",
     ]);
-    let json = Parser::parse(&out).expect("progressive --json emits valid JSON");
-    assert_eq!(json.get("seed").num() as u64, 5);
-    assert_eq!(json.get("target_met"), &Json::Bool(true));
-    assert_eq!(json.get("stopped_early"), &Json::Bool(true));
-    let cf = json.get("cf").num();
-    let (lo, hi) = (json.get("ci_low").num(), json.get("ci_high").num());
+    let json = Json::parse(&out).expect("progressive --json emits valid JSON");
+    assert_eq!(json.key("seed").num() as u64, 5);
+    assert_eq!(json.key("target_met"), &Json::Bool(true));
+    assert_eq!(json.key("stopped_early"), &Json::Bool(true));
+    let cf = json.key("cf").num();
+    let (lo, hi) = (json.key("ci_low").num(), json.key("ci_high").num());
     assert!(lo <= cf && cf <= hi, "CI [{lo}, {hi}] must bracket cf {cf}");
-    let adaptive_pages = json.get("pages_read").num() as u64;
+    let adaptive_pages = json.key("pages_read").num() as u64;
     let fixed_pages = ((pages as f64) * 0.1).round() as u64;
     assert!(
         adaptive_pages < fixed_pages,
         "adaptive read {adaptive_pages} pages, fixed f = 0.1 would read {fixed_pages}"
     );
-    let checkpoints = json.get("checkpoints").arr();
+    let checkpoints = json.key("checkpoints").arr();
     assert!(checkpoints.len() >= 2, "needs >= 2 batches for a variance");
     for c in checkpoints {
-        assert!(c.get("rows").num() > 0.0);
+        assert!(c.key("rows").num() > 0.0);
     }
 
     // The text report tells the same story.
@@ -563,6 +379,195 @@ fn progressive_estimate_stops_early_and_reports_a_ci() {
     assert!(text.contains("stopped"), "missing stop line:\n{text}");
     assert!(text.contains("target met"), "missing target line:\n{text}");
     assert_eq!(field_value(&text, "seed") as u64, 5);
+}
+
+#[test]
+fn info_json_matches_the_server_table_shape() {
+    let dir = TempDir::new("infojson");
+    let table = dir.path("demo.scf");
+    let gen = samplecf(&[
+        "gen",
+        "--out",
+        &table,
+        "--rows",
+        "5000",
+        "--distinct",
+        "100",
+        "--seed",
+        "2",
+    ]);
+    let pages = field_value(&gen, "pages") as u64;
+
+    let out = samplecf(&["info", "--table", &table, "--json"]);
+    let json = Json::parse(&out).expect("info --json emits valid JSON");
+    assert_eq!(json.key("name"), &Json::Str("t".to_string()));
+    assert_eq!(json.key("path"), &Json::Str(table.clone()));
+    assert_eq!(json.key("rows").num() as u64, 5_000);
+    assert_eq!(json.key("pages").num() as u64, pages);
+    assert!(json.key("rows_per_page").num() > 0.0);
+    assert!(json.key("file_size").num() > 0.0);
+    assert_eq!(json.key("format_version").num() as u64, 1);
+    let schema = json.key("schema").arr();
+    assert_eq!(schema.len(), 1);
+    assert_eq!(schema[0].key("name"), &Json::Str("a".to_string()));
+    assert!(matches!(schema[0].key("nullable"), Json::Bool(_)));
+
+    // The text report agrees with the JSON one.
+    let text = samplecf(&["info", "--table", &table]);
+    assert_eq!(field_value(&text, "rows") as u64, 5_000);
+    assert_eq!(field_value(&text, "pages") as u64, pages);
+}
+
+/// Spawn `samplecfd` on an ephemeral port and return (child, addr, reader).
+/// The daemon prints its bound address on the first stdout line; the
+/// returned reader must stay alive for the daemon's lifetime (dropping the
+/// pipe would break its later prints).
+fn spawn_daemon(
+    args: &[&str],
+) -> (
+    std::process::Child,
+    String,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_samplecfd"))
+        .args(["--addr", "127.0.0.1:0"])
+        .args(args)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut first_line = String::new();
+    reader
+        .read_line(&mut first_line)
+        .expect("daemon announces its address");
+    let addr = first_line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on the first line")
+        .to_string();
+    (child, addr, reader)
+}
+
+/// Run `samplecf client`, asserting success, returning parsed JSON.
+fn client(addr: &str, request: &str) -> Json {
+    let out = Command::new(env!("CARGO_BIN_EXE_samplecf"))
+        .args(["client", addr, request, "--raw"])
+        .output()
+        .expect("client runs");
+    assert!(
+        out.status.success(),
+        "client {request:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    Json::parse(String::from_utf8(out.stdout).expect("utf-8").trim())
+        .expect("client prints valid JSON")
+}
+
+#[test]
+fn daemon_register_estimate_stats_loop_matches_the_oneshot_cli() {
+    let dir = TempDir::new("daemon");
+    let table = dir.path("demo.scf");
+    samplecf(&[
+        "gen",
+        "--out",
+        &table,
+        "--rows",
+        "16000",
+        "--distinct",
+        "300",
+        "--seed",
+        "9",
+    ]);
+
+    let (mut child, addr, _daemon_stdout) = spawn_daemon(&[]);
+    // Wrap the rest so the daemon is killed even on assertion failure.
+    let result = std::panic::catch_unwind(|| {
+        let registered = client(&addr, &format!(r#"{{"op":"register","path":"{table}"}}"#));
+        assert_eq!(registered.key("table").key("rows").num() as u64, 16_000);
+
+        let request = r#"{"op":"estimate","table":"t","sampler":"block","fraction":0.1,"scheme":"dictionary-global","seed":6}"#;
+        let served = client(&addr, request);
+        let result = served.key("result");
+        let served_cf = result.key("cf").num();
+        let acc = served.key("accounting");
+        assert_eq!(acc.key("cache"), &Json::Str("miss".to_string()));
+        let served_pages = acc.key("pages_read").num() as u64;
+
+        // The daemon's estimate equals `samplecf estimate` seed-for-seed
+        // (the CLI rounds to 6 decimals; compare at that precision).
+        let oneshot = samplecf(&[
+            "estimate",
+            "--table",
+            &table,
+            "--sampler",
+            "block",
+            "--fraction",
+            "0.1",
+            "--scheme",
+            "dictionary-global",
+            "--seed",
+            "6",
+            "--json",
+        ]);
+        let oneshot = Json::parse(&oneshot).expect("valid JSON");
+        assert_eq!(
+            format!("{:.6}", served_cf),
+            format!("{:.6}", oneshot.key("cf").num()),
+            "daemon and one-shot CLI disagree"
+        );
+        assert_eq!(result.key("rows").num(), oneshot.key("rows").num());
+        assert_eq!(served_pages, oneshot.key("pages_read").num() as u64);
+
+        // A repeat of the same request is a cache hit with zero I/O.
+        let again = client(&addr, request);
+        assert_eq!(
+            again.key("accounting").key("cache"),
+            &Json::Str("hit".to_string())
+        );
+        assert_eq!(again.key("accounting").key("pages_read").num() as u64, 0);
+        assert_eq!(again.key("result"), result);
+
+        // stats reflects the traffic; the info endpoint's table object
+        // matches `samplecf info --json` byte for byte (same shape).
+        let stats = client(&addr, r#"{"op":"stats"}"#);
+        let cache = stats.key("stats").key("cache");
+        assert_eq!(cache.key("misses").num() as u64, 1);
+        assert_eq!(cache.key("hits").num() as u64, 1);
+        let daemon_info = client(&addr, r#"{"op":"info","table":"t"}"#);
+        let local_info = samplecf(&["info", "--table", &table, "--json"]);
+        let local_info = Json::parse(&local_info).expect("valid JSON");
+        // Paths may differ in spelling (canonicalization); compare the rest.
+        for key in [
+            "name",
+            "rows",
+            "pages",
+            "page_size",
+            "rows_per_page",
+            "file_size",
+            "schema",
+        ] {
+            assert_eq!(
+                daemon_info.key("table").key(key),
+                local_info.key(key),
+                "{key}"
+            );
+        }
+
+        client(&addr, r#"{"op":"shutdown"}"#);
+    });
+    if let Err(panic) = result {
+        // The daemon never saw a shutdown request: kill it before
+        // re-raising so the test cannot hang.
+        let _ = child.kill();
+        let _ = child.wait();
+        std::panic::resume_unwind(panic);
+    }
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exited non-zero");
 }
 
 #[test]

@@ -134,7 +134,8 @@ fn advisor_and_capacity_planner_agree_on_sizes() {
     let table = presets::variable_length_table("wide", 5_000, 50, 100, 4, 12, 6)
         .generate()
         .unwrap()
-        .table;
+        .table
+        .into_shared();
     let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
     let scheme = NullSuppression;
 
@@ -312,6 +313,7 @@ fn shared_sample_advisor_reads_sampled_pages_exactly_once_on_disk() {
     let disk = DiskTable::materialize(&file.0, &mem).unwrap();
     let num_pages = TableSource::num_pages(&disk);
     assert!(num_pages > 20, "need a multi-page table, got {num_pages}");
+    let disk = disk.into_shared();
 
     let fraction = 0.05;
     let specs = [
@@ -324,7 +326,7 @@ fn shared_sample_advisor_reads_sampled_pages_exactly_once_on_disk() {
         .collect();
     // k = 6 candidates: every (spec × scheme) pair, all in one group.
     fn candidates_for<'a>(
-        source: &'a dyn TableSource,
+        source: &SharedSource,
         specs: &'a [IndexSpec],
         schemes: &'a [Box<dyn CompressionScheme>],
     ) -> Vec<Candidate<'a>> {
@@ -345,8 +347,9 @@ fn shared_sample_advisor_reads_sampled_pages_exactly_once_on_disk() {
         seed: 9,
         ..Default::default()
     };
-    let counting = CountingSource::new(&disk);
-    let counted_candidates = candidates_for(&counting, &specs, &schemes);
+    let counting = std::sync::Arc::new(SharedCountingSource::new(disk.clone()));
+    let counted: SharedSource = std::sync::Arc::clone(&counting) as SharedSource;
+    let counted_candidates = candidates_for(&counted, &specs, &schemes);
     let plan = CompressionAdvisor::new(config)
         .unwrap()
         .plan(&counted_candidates)
