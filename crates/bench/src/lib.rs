@@ -26,8 +26,10 @@
 //! ```
 
 pub mod experiments;
+pub mod load;
 pub mod report;
 pub mod workloads;
 
+pub use load::{run_load, LoadConfig, LoadOutcome};
 pub use report::{Report, Table};
 pub use workloads::{paper_table, PaperWorkload};

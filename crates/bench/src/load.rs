@@ -1,0 +1,343 @@
+//! An **open-loop** load generator for `samplecfd`.
+//!
+//! Closed-loop clients (send, wait, send) measure the server at whatever
+//! pace the server sets — a saturated server slows the clients down, the
+//! latency distribution flatters itself, and coordinated omission hides
+//! every stall.  This harness instead fixes an *arrival schedule*:
+//! request `i` is due at `start + i/rate` whether or not earlier
+//! responses have come back, and its latency is measured from that
+//! scheduled instant to response completion, so queueing delay the
+//! server causes is charged to the server.
+//!
+//! One generator thread drives every connection through the same
+//! readiness abstraction the server uses
+//! ([`samplecf_server::poll::Poller`]): thousands of concurrent
+//! connections cost the harness file descriptors and buffers, not
+//! threads, mirroring the event loop it is testing.  Requests fan out
+//! round-robin over the connections; responses on one connection are
+//! matched to its requests FIFO, which is exactly the ordering the
+//! protocol guarantees.
+
+use samplecf_server::poll::{Event, Interest, Poller};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// What to run: how many connections, how fast, how much.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Concurrent TCP connections, all open for the whole run.
+    pub connections: usize,
+    /// Open-loop arrival rate, requests per second across all connections.
+    pub rate: f64,
+    /// Total requests to send.
+    pub requests: usize,
+    /// Abort safety net: wall-clock ceiling for the whole run.
+    pub deadline: Duration,
+}
+
+/// What happened, in the shape `BENCH_server.json` wants.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// Requests sent (== the configured count unless the deadline hit).
+    pub sent: usize,
+    /// `{"ok":true,...}` responses.
+    pub ok: usize,
+    /// Structured `busy` rejections (backpressure working as specified).
+    pub busy: usize,
+    /// Any other response or a connection failure.
+    pub errors: usize,
+    /// Responses still owed when the run ended (0 on a clean run).
+    pub unanswered: usize,
+    /// Wall clock from first scheduled send to last response.
+    pub elapsed: Duration,
+    /// Completed responses per second of elapsed time.
+    pub achieved_rps: f64,
+    /// Latency percentiles over completed responses, milliseconds,
+    /// measured from the *scheduled* send instant (open loop — server
+    /// queueing counts against the server).
+    pub p50_ms: f64,
+    /// 95th percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th percentile latency, ms.
+    pub p99_ms: f64,
+    /// Slowest response, ms.
+    pub max_ms: f64,
+    /// Connections that completed at least one response — proof the
+    /// server served the whole population, not a lucky subset.
+    pub connections_served: usize,
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    /// Scheduled send instants of requests written but not yet answered,
+    /// FIFO — the protocol answers in order on one connection.
+    outstanding: VecDeque<Instant>,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    interest: Interest,
+    served: bool,
+    dead: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Connect, run the schedule, collect the distribution.  `request_of(i)`
+/// supplies the i-th request line (no trailing newline); requests are
+/// assigned to connections round-robin, so `i % connections` also tells
+/// the caller which connection carried which request.
+///
+/// # Panics
+/// Panics if no connection can be established at all; individual
+/// connection failures mid-run are tolerated and counted as errors.
+pub fn run_load(
+    addr: std::net::SocketAddr,
+    config: &LoadConfig,
+    request_of: impl Fn(usize) -> String,
+) -> LoadOutcome {
+    assert!(config.connections > 0 && config.rate > 0.0);
+    let mut poller = Poller::new().expect("poller");
+    let mut conns: Vec<ClientConn> = Vec::with_capacity(config.connections);
+
+    // Serial blocking connects: on loopback each handshake completes in
+    // microseconds and naturally paces the accept queue.
+    for token in 0..config.connections {
+        let stream =
+            TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect #{token} to {addr}: {e}"));
+        stream.set_nonblocking(true).expect("nonblocking");
+        let _ = stream.set_nodelay(true);
+        poller
+            .register(&stream, token, Interest::READ)
+            .expect("register");
+        conns.push(ClientConn {
+            stream,
+            outstanding: VecDeque::new(),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            interest: Interest::READ,
+            served: false,
+            dead: false,
+        });
+    }
+
+    let interval = Duration::from_secs_f64(1.0 / config.rate);
+    let start = Instant::now();
+    let hard_deadline = start + config.deadline;
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(config.requests);
+    let mut next_request = 0usize;
+    let mut sent = 0usize;
+    let (mut ok, mut busy, mut errors) = (0usize, 0usize, 0usize);
+    let mut completed = 0usize;
+    let mut last_finish = start;
+    let mut events: Vec<Event> = Vec::new();
+
+    loop {
+        let now = Instant::now();
+        if now >= hard_deadline {
+            break;
+        }
+
+        // Enqueue every request whose scheduled instant has arrived.
+        while next_request < config.requests {
+            let due = start + scaled(interval, next_request);
+            if due > now {
+                break;
+            }
+            let conn = &mut conns[next_request % config.connections];
+            if conn.dead {
+                errors += 1; // its requests can never be answered
+            } else {
+                conn.write_buf
+                    .extend_from_slice(request_of(next_request).as_bytes());
+                conn.write_buf.push(b'\n');
+                conn.outstanding.push_back(due);
+            }
+            sent += 1;
+            next_request += 1;
+        }
+
+        // Flush and read whatever is ready.
+        for (token, conn) in conns.iter_mut().enumerate() {
+            pump_client(conn, &poller, token, |latency| {
+                latencies_ms.push(latency.0);
+                completed += 1;
+                last_finish = Instant::now();
+                match latency.1 {
+                    ResponseKind::Ok => ok += 1,
+                    ResponseKind::Busy => busy += 1,
+                    ResponseKind::Error => errors += 1,
+                }
+            });
+        }
+
+        let outstanding: usize = conns.iter().map(|c| c.outstanding.len()).sum();
+        if next_request >= config.requests && outstanding == 0 {
+            break;
+        }
+
+        // Sleep until the next scheduled send (or a response arrives).
+        let wait = if next_request < config.requests {
+            let due = start + scaled(interval, next_request);
+            due.saturating_duration_since(Instant::now())
+                .max(Duration::from_micros(100))
+                .min(Duration::from_millis(50))
+        } else {
+            Duration::from_millis(50)
+        };
+        let _ = poller.wait(&mut events, Some(wait));
+        // Readiness is re-checked exhaustively above; the events only
+        // served to wake us at the right moment.
+        events.clear();
+    }
+
+    let elapsed = last_finish.saturating_duration_since(start).max(interval);
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let unanswered = conns.iter().map(|c| c.outstanding.len()).sum();
+    LoadOutcome {
+        sent,
+        ok,
+        busy,
+        errors,
+        unanswered,
+        elapsed,
+        achieved_rps: completed as f64 / elapsed.as_secs_f64(),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p95_ms: percentile(&latencies_ms, 0.95),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        connections_served: conns.iter().filter(|c| c.served).count(),
+    }
+}
+
+enum ResponseKind {
+    Ok,
+    Busy,
+    Error,
+}
+
+fn classify(line: &str) -> ResponseKind {
+    if line.starts_with("{\"ok\":true") {
+        ResponseKind::Ok
+    } else if line.contains("\"code\":\"busy\"") {
+        ResponseKind::Busy
+    } else {
+        ResponseKind::Error
+    }
+}
+
+/// Nonblocking write-then-read pass over one client connection.
+fn pump_client(
+    conn: &mut ClientConn,
+    poller: &Poller,
+    token: usize,
+    mut on_response: impl FnMut((f64, ResponseKind)),
+) {
+    if conn.dead {
+        return;
+    }
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.write_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.write_pos >= conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.read_buf.extend_from_slice(&chunk[..n]);
+                let mut consumed = 0usize;
+                while let Some(off) = conn.read_buf[consumed..].iter().position(|&b| b == b'\n') {
+                    let end = consumed + off;
+                    let line = String::from_utf8_lossy(&conn.read_buf[consumed..end]).into_owned();
+                    consumed = end + 1;
+                    if let Some(scheduled) = conn.outstanding.pop_front() {
+                        conn.served = true;
+                        let latency_ms = scheduled.elapsed().as_secs_f64() * 1e3;
+                        on_response((latency_ms, classify(line.trim())));
+                    }
+                }
+                conn.read_buf.drain(..consumed);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+
+    let desired = Interest {
+        readable: true,
+        writable: conn.write_pos < conn.write_buf.len(),
+    };
+    if desired != conn.interest && !conn.dead {
+        conn.interest = desired;
+        let _ = poller.modify(&conn.stream, token, desired);
+    }
+}
+
+/// `interval × n` in float space, avoiding `Duration * u32` overflow
+/// concerns for large schedules.
+fn scaled(interval: Duration, n: usize) -> Duration {
+    Duration::from_secs_f64(interval.as_secs_f64() * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_the_documented_ranks() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&sorted, 0.50) - 50.0).abs() <= 1.0);
+        assert!((percentile(&sorted, 0.95) - 95.0).abs() <= 1.0);
+        assert!((percentile(&sorted, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn classification_is_keyed_on_the_envelope() {
+        assert!(matches!(
+            classify(r#"{"ok":true,"op":"stats"}"#),
+            ResponseKind::Ok
+        ));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":{"code":"busy","message":"x"}}"#),
+            ResponseKind::Busy
+        ));
+        assert!(matches!(
+            classify(r#"{"ok":false,"error":{"code":"bad_request","message":"x"}}"#),
+            ResponseKind::Error
+        ));
+    }
+}

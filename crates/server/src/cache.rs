@@ -1,4 +1,4 @@
-//! The shared, evicting sample cache behind `samplecfd`.
+//! The shared, evicting, **sharded** sample cache behind `samplecfd`.
 //!
 //! One [`CachedSample`] per *(table identity, sampler kind + fraction,
 //! seed)* group, shared by every request that asks for that configuration:
@@ -18,29 +18,52 @@
 //!   The shallow key retires; snapshots handed out earlier are immutable
 //!   and unaffected.
 //! * **A byte budget bounds residency** — every entry is priced by
-//!   [`CachedSample::approx_bytes`]; when the total exceeds the budget the
-//!   least-recently-used `Ready` entries are evicted (never in-flight
-//!   draws, never the entry just used).  Evicted groups simply miss again.
+//!   [`CachedSample::approx_bytes`]; when a shard's total exceeds its
+//!   budget the least-recently-used `Ready` entries *of that shard* are
+//!   evicted (never in-flight draws, never the entry just used).  Evicted
+//!   groups simply miss again.
+//!
+//! ## Sharding
+//!
+//! The cache is split into [`ConcurrentSampleCache::num_shards`] independent
+//! shards, each with its own lock, condvar, LRU clock and byte budget (an
+//! equal division of the configured total).  A group's shard is chosen by
+//! hashing its *(table identity, seed)* — deliberately **not** the sampler
+//! kind — so every fraction and family of one table+seed lands in the same
+//! shard and deepening still finds its shallow victim, while requests
+//! against unrelated tables touch disjoint locks and never contend:
+//!
+//! * a stampede on table A coalesces inside A's shard without blocking a
+//!   hit on table B,
+//! * an eviction scan in one shard walks only that shard's entries
+//!   (`O(entries / shards)` per insert instead of `O(entries)`),
+//! * a publish wakes only the waiters of its own shard's condvar instead
+//!   of thundering every coalesced request in the server.
 
 use crate::protocol::CacheDisposition;
 use samplecf_core::{CachedSample, CoreError, CoreResult};
 use samplecf_sampling::{SampledRow, SamplerKind};
 use samplecf_storage::SharedSource;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Default byte budget: generous for tests and laptop use, small enough to
 /// matter under sustained many-table traffic.
 pub const DEFAULT_CACHE_BUDGET_BYTES: usize = 256 * 1024 * 1024;
 
+/// Default shard count: enough that unrelated tables rarely share a lock,
+/// small enough that a per-shard budget still holds useful samples.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
 type GroupKey = (usize, String, u64);
 
+fn source_id(source: &SharedSource) -> usize {
+    Arc::as_ptr(source).cast::<()>() as usize
+}
+
 fn group_key(source: &SharedSource, kind: SamplerKind, seed: u64) -> GroupKey {
-    (
-        Arc::as_ptr(source).cast::<()>() as usize,
-        kind.label(),
-        seed,
-    )
+    (source_id(source), kind.label(), seed)
 }
 
 /// Counters the `stats` op reports; a consistent snapshot of cache health.
@@ -65,6 +88,20 @@ pub struct CacheStats {
     pub coalesced_waits: u64,
     /// Physical pages read by the cache across all draws and deepenings.
     pub pages_read: u64,
+}
+
+impl CacheStats {
+    fn accumulate(&mut self, other: &CacheStats) {
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+        self.budget_bytes += other.budget_bytes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.deepened += other.deepened;
+        self.evictions += other.evictions;
+        self.coalesced_waits += other.coalesced_waits;
+        self.pages_read += other.pages_read;
+    }
 }
 
 /// What a request leaves the cache with: an immutable snapshot of the drawn
@@ -118,34 +155,71 @@ struct State {
     pages_read: u64,
 }
 
-/// The concurrent, evicting sample cache (see the module docs).
-pub struct ConcurrentSampleCache {
+/// One independent shard: its own lock, condvar and byte budget.
+struct Shard {
     budget_bytes: usize,
     state: Mutex<State>,
     ready: Condvar,
 }
 
+/// The concurrent, sharded, evicting sample cache (see the module docs).
+pub struct ConcurrentSampleCache {
+    shards: Vec<Shard>,
+}
+
 /// Recover from a poisoned lock the way `parking_lot` would: the data is a
 /// cache, a panicked drawer's partial state was never published.
-fn lock_state<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
+fn lock_state(m: &Mutex<State>) -> MutexGuard<'_, State> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl ConcurrentSampleCache {
-    /// A cache evicting above `budget_bytes` (use
-    /// [`DEFAULT_CACHE_BUDGET_BYTES`] when in doubt).  A budget of 0 means
-    /// "cache nothing beyond the entry currently in use".
+    /// A cache with [`DEFAULT_CACHE_SHARDS`] shards splitting `budget_bytes`
+    /// (use [`DEFAULT_CACHE_BUDGET_BYTES`] when in doubt).  A budget of 0
+    /// means "cache nothing beyond the entry currently in use".
     #[must_use]
     pub fn new(budget_bytes: usize) -> Self {
+        Self::with_shards(budget_bytes, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (clamped to ≥ 1).  The budget
+    /// is divided evenly across shards; the first `budget % shards` shards
+    /// absorb the remainder byte each, so the per-shard budgets always sum
+    /// to exactly `budget_bytes`.
+    #[must_use]
+    pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let base = budget_bytes / shards;
+        let remainder = budget_bytes % shards;
         ConcurrentSampleCache {
-            budget_bytes,
-            state: Mutex::new(State::default()),
-            ready: Condvar::new(),
+            shards: (0..shards)
+                .map(|i| Shard {
+                    budget_bytes: base + usize::from(i < remainder),
+                    state: Mutex::new(State::default()),
+                    ready: Condvar::new(),
+                })
+                .collect(),
         }
     }
 
+    /// Number of independent shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a *(table, seed)* pair maps to.  Deterministic for the
+    /// lifetime of the source handle; exposed so stress tests can construct
+    /// workloads that provably hit distinct (or identical) shards.
+    #[must_use]
+    pub fn shard_of(&self, source: &SharedSource, seed: u64) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        (source_id(source), seed).hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
     /// Serve one sample request: hit, deepen, or draw — coalescing with any
-    /// concurrent request for the same group.
+    /// concurrent request for the same group, all inside the group's shard.
     ///
     /// The returned snapshot holds exactly the rows a fresh
     /// [`CachedSample::draw`] (equivalently, a single-shot
@@ -161,6 +235,35 @@ impl ConcurrentSampleCache {
         // Validate the sampler before touching shared state, so a malformed
         // request can never leave an in-flight marker behind.
         kind.build()?;
+        let shard = &self.shards[self.shard_of(source, seed)];
+        shard.acquire(source, kind, seed)
+    }
+
+    /// A consistent snapshot of the cache counters, summed over shards.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.accumulate(&shard.stats());
+        }
+        total
+    }
+
+    /// Per-shard counter snapshots, in shard order (the `stats` op reports
+    /// these so hot-shard skew is observable from the outside).
+    #[must_use]
+    pub fn per_shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(Shard::stats).collect()
+    }
+}
+
+impl Shard {
+    fn acquire(
+        &self,
+        source: &SharedSource,
+        kind: SamplerKind,
+        seed: u64,
+    ) -> CoreResult<AcquiredSample> {
         let key = group_key(source, kind, seed);
 
         let mut state = lock_state(&self.state);
@@ -222,10 +325,12 @@ impl ConcurrentSampleCache {
         }
     }
 
-    /// Under the state lock: find, remove and return the deepest `Ready`
+    /// Under the shard lock: find, remove and return the deepest `Ready`
     /// entry this request may extend.  Removing it up front gives the
     /// deepener exclusive ownership — later requests for the retired
     /// shallow key redraw it, exactly like `SampleCache::get_or_deepen`.
+    /// Every fraction of one *(source, seed)* hashes to the same shard, so
+    /// a shard-local search sees every possible victim.
     fn pick_deepen_victim(
         state: &mut State,
         key: &GroupKey,
@@ -342,7 +447,7 @@ impl ConcurrentSampleCache {
     }
 
     /// Publish a finished entry under its in-flight key, account it, evict
-    /// as needed, and wake coalesced waiters.
+    /// as needed, and wake coalesced waiters of this shard.
     fn publish(
         &self,
         key: GroupKey,
@@ -394,10 +499,11 @@ impl ConcurrentSampleCache {
         error
     }
 
-    /// Evict least-recently-used `Ready` entries until the budget fits,
-    /// never touching in-flight draws or the entry just used (`protect`).
-    /// If the protected entry alone exceeds the budget it stays — the cache
-    /// must still serve it; it will be the first victim of the next insert.
+    /// Evict least-recently-used `Ready` entries until the shard's budget
+    /// fits, never touching in-flight draws or the entry just used
+    /// (`protect`).  If the protected entry alone exceeds the budget it
+    /// stays — the cache must still serve it; it will be the first victim
+    /// of the next insert.
     fn evict_over_budget(&self, state: &mut State, protect: &GroupKey) {
         while state.total_bytes > self.budget_bytes {
             let victim = state
@@ -417,9 +523,7 @@ impl ConcurrentSampleCache {
         }
     }
 
-    /// A consistent snapshot of the cache counters.
-    #[must_use]
-    pub fn stats(&self) -> CacheStats {
+    fn stats(&self) -> CacheStats {
         let state = lock_state(&self.state);
         CacheStats {
             entries: state
@@ -443,6 +547,7 @@ impl std::fmt::Debug for ConcurrentSampleCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
         f.debug_struct("ConcurrentSampleCache")
+            .field("shards", &self.shards.len())
             .field("entries", &stats.entries)
             .field("bytes", &stats.bytes)
             .field("budget_bytes", &stats.budget_bytes)
@@ -520,6 +625,11 @@ mod tests {
         assert_eq!(stats.hits as usize, THREADS - 1);
         assert_eq!(stats.pages_read, expected_pages);
         assert_eq!(stats.entries, 1);
+        // The whole group lives in exactly one shard.
+        let shard = cache.shard_of(&shared, 3);
+        let per_shard = cache.per_shard_stats();
+        assert_eq!(per_shard[shard].entries, 1);
+        assert_eq!(per_shard[shard].misses, 1);
     }
 
     #[test]
@@ -593,7 +703,8 @@ mod tests {
         let kind = SamplerKind::Block(0.1);
         // Price the three entries the test will draw (per-seed sizes vary
         // by up to a tail page), then budget for exactly two of them: A+B
-        // and A+C fit, A+B+C overflows.
+        // and A+C fit, A+B+C overflows.  One shard, so all three seeds
+        // compete for one LRU list regardless of how they hash.
         let bytes_of = |seed: u64| {
             CachedSample::draw_streaming(&shared, kind, seed)
                 .unwrap()
@@ -601,7 +712,7 @@ mod tests {
         };
         let (b1, b2, b3) = (bytes_of(1), bytes_of(2), bytes_of(3));
         let budget = (b1 + b2).max(b1 + b3).max(b2 + b3) + 1;
-        let cache = ConcurrentSampleCache::new(budget);
+        let cache = ConcurrentSampleCache::with_shards(budget, 1);
 
         cache.acquire(&shared, kind, 1).unwrap(); // A
         cache.acquire(&shared, kind, 2).unwrap(); // B
@@ -639,7 +750,7 @@ mod tests {
     #[test]
     fn a_zero_budget_cache_still_serves_but_retains_nothing_else() {
         let (_counting, shared) = counted_table(2_000, 13);
-        let cache = ConcurrentSampleCache::new(0);
+        let cache = ConcurrentSampleCache::with_shards(0, 1);
         let kind = SamplerKind::Block(0.2);
         let first = cache.acquire(&shared, kind, 1).unwrap();
         assert_eq!(first.disposition, CacheDisposition::Miss);
@@ -671,5 +782,25 @@ mod tests {
             .acquire(&shared, SamplerKind::Reservoir(50), 1)
             .is_ok());
         assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn shard_budgets_sum_to_the_configured_total_and_routing_is_stable() {
+        let cache = ConcurrentSampleCache::with_shards(1_000_003, 8);
+        assert_eq!(cache.num_shards(), 8);
+        let total: usize = cache.per_shard_stats().iter().map(|s| s.budget_bytes).sum();
+        assert_eq!(total, 1_000_003);
+        assert_eq!(cache.stats().budget_bytes, 1_000_003);
+
+        // Routing depends only on (table identity, seed): every fraction
+        // and sampler family of one table+seed shares a shard, so
+        // deepening always finds its shallow victim.
+        let (_c, shared) = counted_table(500, 1);
+        let home = cache.shard_of(&shared, 42);
+        for _ in 0..3 {
+            assert_eq!(cache.shard_of(&shared, 42), home);
+        }
+        // A zero-shard request is clamped rather than panicking.
+        assert_eq!(ConcurrentSampleCache::with_shards(64, 0).num_shards(), 1);
     }
 }

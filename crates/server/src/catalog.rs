@@ -10,13 +10,24 @@
 //! Registration is idempotent: re-registering the same path under the same
 //! name is a no-op (the common case of a reconnecting client), while trying
 //! to rebind a name to a different file is refused.
+//!
+//! The registry is **sharded by name hash**: each shard is an independent
+//! `RwLock<HashMap>`, so lookups of unrelated tables never touch the same
+//! lock and a `register` (write lock) on one table cannot stall `get`s on
+//! the rest of the catalog.  Whole-catalog views (`names`, `len`) walk the
+//! shards one at a time.
 
 use crate::protocol::{codes, ApiError};
 use parking_lot::RwLock;
 use samplecf_storage::{DiskTable, SharedSource};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::path::Path;
 use std::sync::Arc;
+
+/// Default shard count; a handful is plenty for a name registry whose
+/// entries are small and whose hot path is read-mostly.
+pub const DEFAULT_CATALOG_SHARDS: usize = 8;
 
 /// One registered table: the typed handle (for metadata the [`DiskTable`]
 /// API exposes) and the erased handle (for samplers and the cache).
@@ -44,17 +55,42 @@ impl std::fmt::Debug for CatalogEntry {
     }
 }
 
-/// A concurrent name → table registry.
-#[derive(Default)]
+/// A concurrent name → table registry, sharded by name hash.
 pub struct TableCatalog {
-    tables: RwLock<HashMap<String, CatalogEntry>>,
+    shards: Vec<RwLock<HashMap<String, CatalogEntry>>>,
+}
+
+impl Default for TableCatalog {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_CATALOG_SHARDS)
+    }
 }
 
 impl TableCatalog {
-    /// An empty catalog.
+    /// An empty catalog with [`DEFAULT_CATALOG_SHARDS`] shards.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty catalog with an explicit shard count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        TableCatalog {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    /// Number of independent shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, name: &str) -> &RwLock<HashMap<String, CatalogEntry>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
     /// Open the table file at `path` and register it under `name` (or under
@@ -74,7 +110,9 @@ impl TableCatalog {
             .unwrap_or_else(|| samplecf_storage::TableSource::name(&table))
             .to_string();
 
-        let mut tables = self.tables.write();
+        // Only the shard owning this name is write-locked; registrations
+        // and lookups of other tables proceed untouched.
+        let mut tables = self.shard(&name).write();
         if let Some(existing) = tables.get(&name) {
             if existing.path == canonical {
                 return Ok(existing.clone());
@@ -99,7 +137,7 @@ impl TableCatalog {
 
     /// Look up a registered table by name.
     pub fn get(&self, name: &str) -> Result<CatalogEntry, ApiError> {
-        self.tables.read().get(name).cloned().ok_or_else(|| {
+        self.shard(name).read().get(name).cloned().ok_or_else(|| {
             ApiError::new(
                 codes::NO_SUCH_TABLE,
                 format!("no table {name:?} in the catalog (register it first)"),
@@ -110,7 +148,11 @@ impl TableCatalog {
     /// Names of all registered tables, sorted for deterministic output.
     #[must_use]
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
         names.sort();
         names
     }
@@ -118,19 +160,20 @@ impl TableCatalog {
     /// Number of registered tables.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.tables.read().len()
+        self.shards.iter().map(|shard| shard.read().len()).sum()
     }
 
     /// Whether the catalog is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.tables.read().is_empty()
+        self.shards.iter().all(|shard| shard.read().is_empty())
     }
 }
 
 impl std::fmt::Debug for TableCatalog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TableCatalog")
+            .field("shards", &self.shards.len())
             .field("tables", &self.names())
             .finish()
     }
@@ -208,5 +251,27 @@ mod tests {
         );
         let err = catalog.register("/no/such/file.scf", None).unwrap_err();
         assert_eq!(err.code, codes::STORAGE);
+    }
+
+    #[test]
+    fn whole_catalog_views_cross_all_shards() {
+        let (path, _cleanup) = temp_table("views", 200);
+        let path_str = path.to_string_lossy().into_owned();
+        // Even a 1-shard catalog behaves identically (shard count is an
+        // internal concurrency knob, not a semantic one).
+        for shards in [1, 4, DEFAULT_CATALOG_SHARDS] {
+            let catalog = TableCatalog::with_shards(shards);
+            assert!(catalog.is_empty());
+            for name in ["a", "b", "c", "d", "e", "f", "g", "h", "i"] {
+                catalog.register(&path_str, Some(name)).unwrap();
+            }
+            assert_eq!(catalog.len(), 9);
+            assert!(!catalog.is_empty());
+            let names = catalog.names();
+            assert_eq!(names.len(), 9);
+            assert!(names.windows(2).all(|w| w[0] < w[1]), "sorted: {names:?}");
+            assert!(catalog.get("e").is_ok());
+        }
+        assert_eq!(TableCatalog::with_shards(0).num_shards(), 1);
     }
 }

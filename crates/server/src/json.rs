@@ -127,6 +127,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         let v = p.value()?;
         p.skip_ws();
@@ -248,9 +249,16 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Deepest container nesting the parser accepts.  The recursive-descent
+/// parser uses the thread stack, so untrusted input (the daemon feeds
+/// request lines here verbatim) must hit a structured error long before
+/// it can hit a stack overflow.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -281,8 +289,8 @@ impl Parser<'_> {
     fn value(&mut self) -> Result<Json, String> {
         self.skip_ws();
         match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -290,6 +298,20 @@ impl Parser<'_> {
             Some(_) => self.number(),
             None => Err("unexpected end of input".to_string()),
         }
+    }
+
+    /// Run one container parse one level deeper, bounding total nesting.
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at offset {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
@@ -506,6 +528,21 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn nesting_beyond_the_depth_limit_is_a_structured_error_not_a_crash() {
+        // Just inside the limit parses...
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        // ...one level past it is refused with an error, and a pathological
+        // million-deep bomb (untrusted daemon input) cannot smash the stack.
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(Json::parse(&over).unwrap_err().contains("nesting"));
+        let bomb = "[".repeat(1_000_000);
+        assert!(Json::parse(&bomb).is_err());
+        let obj_bomb = "{\"k\":".repeat(500_000);
+        assert!(Json::parse(&obj_bomb).is_err());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod json;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod service;

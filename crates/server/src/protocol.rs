@@ -29,6 +29,12 @@ pub mod codes {
     pub const STORAGE: &str = "storage";
     /// Sampling/estimation failed (invalid fraction, unknown column, ...).
     pub const ESTIMATE_FAILED: &str = "estimate_failed";
+    /// The server is saturated: the bounded request queue (or the
+    /// connection limit) rejected this request.  Back off and retry.
+    pub const BUSY: &str = "busy";
+    /// The request line exceeded the configured size limit and was
+    /// discarded without being parsed.
+    pub const TOO_LARGE: &str = "too_large";
 }
 
 /// A protocol-level failure: what the `"error"` object serializes from.

@@ -1,47 +1,72 @@
-//! The TCP front end: a listener, a fixed worker pool, and a handle.
+//! The TCP front end: a nonblocking event loop, a worker pool, a handle.
 //!
-//! `samplecfd` is a std-only threaded server.  One acceptor thread pushes
-//! incoming connections onto an mpsc channel; `workers` threads pop
-//! connections and drive the line-delimited protocol until the client
-//! disconnects.  All interesting concurrency lives below this layer — the
-//! catalog is a read-mostly `RwLock` map and the sample cache coalesces
-//! duplicate in-flight draws — so the transport can stay boring: blocking
-//! I/O, no poll loop, no async runtime.
+//! `samplecfd` is a std-only **event-driven** server.  One event-loop
+//! thread owns the listener and every connection through the
+//! [`poll`](crate::poll) readiness abstraction (epoll/kqueue, no async
+//! runtime); `workers` threads own the CPU-and-I/O-heavy protocol work
+//! (sampling, estimation) behind a **bounded request queue**.  The
+//! division of labor:
 //!
-//! [`ServerHandle`] supports both deployment shapes: the `samplecfd` binary
-//! calls [`run`](ServerHandle::run) (block until a `shutdown` request),
-//! while tests and the throughput experiment keep the handle, talk to
+//! * the event loop accepts, reads, frames request lines, writes response
+//!   bytes, and never blocks — so 10k idle or slow connections cost file
+//!   descriptors and buffers, not threads;
+//! * a worker pops one framed request, runs
+//!   [`ServiceState::handle_line`], and posts the response line back to
+//!   the loop through a completion queue + [`crate::poll::Waker`].
+//!
+//! Backpressure is explicit at both ends: a connection beyond
+//! `max_connections` is answered `busy` and closed at accept, and a
+//! request that finds the queue full is answered `busy` in-line (the
+//! connection survives; the client backs off and retries).  Responses on
+//! one connection stay strictly in request order because at most one
+//! request per connection is in flight; further pipelined lines wait in
+//! the connection's pending list, and once that list reaches
+//! `max_pipelined` the loop simply stops reading from the socket — TCP
+//! flow control pushes back on the pipeliner without costing anyone else
+//! anything.
+//!
+//! [`ServerHandle`] supports both deployment shapes: the `samplecfd`
+//! binary calls [`run`](ServerHandle::run) (block until a `shutdown`
+//! request), while tests and the load harness keep the handle, talk to
 //! [`addr`](ServerHandle::addr) over real sockets, and call
 //! [`shutdown`](ServerHandle::shutdown) when done.
 
-use crate::cache::DEFAULT_CACHE_BUDGET_BYTES;
+use crate::cache::{DEFAULT_CACHE_BUDGET_BYTES, DEFAULT_CACHE_SHARDS};
+use crate::poll::{Event, Interest, Poller, Waker};
+use crate::protocol::{codes, error_response, ApiError};
 use crate::service::ServiceState;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-
-/// The address to poke to wake the acceptor out of a blocking `accept()`.
-/// A wildcard bind (`0.0.0.0` / `::`) is not connectable on every
-/// platform, so route the nudge through loopback instead.
-fn wake_addr(bound: SocketAddr) -> SocketAddr {
-    let ip = match bound.ip() {
-        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
-        other => other,
-    };
-    SocketAddr::new(ip, bound.port())
-}
+use std::time::{Duration, Instant};
 
 /// Tunables of one daemon instance.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads serving connections.  Each worker owns one connection
-    /// at a time, so this is also the concurrent-connection capacity.
+    /// Worker threads running estimation requests.  This sizes the
+    /// *compute* pool only — connection capacity is `max_connections`;
+    /// an idle connection never occupies a worker.
     pub workers: usize,
     /// Byte budget of the shared sample cache.
     pub cache_budget_bytes: usize,
+    /// Shard count of the sample cache (the byte budget is divided evenly
+    /// across shards).
+    pub cache_shards: usize,
+    /// Maximum simultaneously open connections; connection number
+    /// `max_connections + 1` is answered `busy` and closed at accept.
+    pub max_connections: usize,
+    /// Capacity of the bounded request queue between the event loop and
+    /// the workers; a request arriving while it is full is answered
+    /// `busy` without occupying a worker.
+    pub queue_depth: usize,
+    /// Longest accepted request line in bytes; longer lines are discarded
+    /// and answered with a `too_large` error.
+    pub max_line_bytes: usize,
+    /// How many parsed-but-unserved requests one connection may pipeline
+    /// before the loop stops reading its socket (TCP backpressure).
+    pub max_pipelined: usize,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +74,464 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 8,
             cache_budget_bytes: DEFAULT_CACHE_BUDGET_BYTES,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            max_connections: 10_240,
+            queue_depth: 1_024,
+            max_line_bytes: 1024 * 1024,
+            max_pipelined: 64,
+        }
+    }
+}
+
+/// One framed request traveling loop → worker.
+struct Job {
+    conn: usize,
+    gen: u64,
+    line: String,
+}
+
+/// One response line traveling worker → loop.
+struct Completion {
+    conn: usize,
+    gen: u64,
+    response: String,
+}
+
+/// The bounded loop → workers queue.  `try_push` never blocks (the event
+/// loop must not); `pop` blocks a worker until a job or close arrives.
+struct RequestQueue {
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    fn new(capacity: usize) -> Self {
+        RequestQueue {
+            inner: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (VecDeque<Job>, bool)> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueue or fail immediately; on success returns the new depth.
+    fn try_push(&self, job: Job) -> Result<usize, Job> {
+        let mut guard = self.lock();
+        if guard.1 || guard.0.len() >= self.capacity {
+            return Err(job);
+        }
+        guard.0.push_back(job);
+        let depth = guard.0.len();
+        drop(guard);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop; `None` once the queue is closed *and* drained.
+    /// Also reports the post-pop depth so the caller can keep the gauge
+    /// honest.
+    fn pop(&self) -> Option<(Job, usize)> {
+        let mut guard = self.lock();
+        loop {
+            if let Some(job) = guard.0.pop_front() {
+                let depth = guard.0.len();
+                return Some((job, depth));
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        self.lock().1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The workers → loop completion mailbox; every push rings the waker.
+struct Completions {
+    inner: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn push(&self, completion: Completion) {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(completion);
+        self.waker.wake();
+    }
+
+    fn take(&self) -> Vec<Completion> {
+        std::mem::take(
+            &mut self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+}
+
+/// An entry in a connection's in-order pending list: either a request
+/// line awaiting a worker, or a response the loop already produced
+/// locally (busy / too_large) that must still leave in arrival order.
+enum PendingItem {
+    Line(String),
+    Immediate(String),
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    /// Guards the slot against reuse: a completion for a previous tenant
+    /// of this slot carries a stale generation and is dropped.
+    gen: u64,
+    /// Unframed bytes read so far (at most one partial line).
+    read_buf: Vec<u8>,
+    /// Response bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Framed requests (and locally produced responses) in arrival order.
+    pending: VecDeque<PendingItem>,
+    /// Whether one of this connection's requests is queued or running on
+    /// a worker — at most one, which is what keeps responses in order.
+    inflight: bool,
+    /// Mid-discard of an oversized line (drop bytes until the newline).
+    discarding: bool,
+    /// The peer sent EOF; serve what's pending, flush, then close.
+    peer_closed: bool,
+    /// A fatal I/O error occurred; close as soon as control returns.
+    dead: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.write_pos >= self.write_buf.len()
+    }
+
+    fn push_response(&mut self, line: &str) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+}
+
+const LISTENER_TOKEN: usize = usize::MAX - 1;
+/// Read in chunks, at most this many per readiness event, so one
+/// firehosing client cannot starve the rest of the loop (level-triggered
+/// polling re-reports whatever is left).
+const READ_CHUNK: usize = 16 * 1024;
+const MAX_CHUNKS_PER_EVENT: usize = 8;
+
+fn busy_line(message: &str) -> String {
+    error_response(&ApiError::new(codes::BUSY, message)).to_line()
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    poller: Poller,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    open: usize,
+    next_gen: u64,
+    state: Arc<ServiceState>,
+    queue: Arc<RequestQueue>,
+    completions: Arc<Completions>,
+    config: ServerConfig,
+    /// Set once shutdown is observed: stop accepting and dispatching,
+    /// only flush what is already owed.
+    draining: bool,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            // The timeout is a belt-and-braces bound: every interesting
+            // transition (completion, shutdown) also rings the waker.
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(500)))
+                .is_err()
+            {
+                break;
+            }
+            for event in std::mem::take(&mut events) {
+                if event.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.conn_ready(&event);
+                }
+            }
+            self.drain_completions();
+            if self.state.shutdown_requested() {
+                break;
+            }
+        }
+        self.wind_down();
+        self.queue.close();
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (reset before
+                // accept, fd pressure): drop that connection, keep going.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if self.draining {
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        if self.open >= self.config.max_connections {
+            // Over the limit: tell the client why, best-effort, and close.
+            self.state.gauges.connection_rejected();
+            let mut line = busy_line("connection limit reached, retry later").into_bytes();
+            line.push(b'\n');
+            let _ = (&stream).write(&line);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.next_gen += 1;
+        if self.poller.register(&stream, idx, Interest::READ).is_err() {
+            self.free.push(idx);
+            return;
+        }
+        self.conns[idx] = Some(Conn {
+            stream,
+            gen: self.next_gen,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending: VecDeque::new(),
+            inflight: false,
+            discarding: false,
+            peer_closed: false,
+            dead: false,
+            interest: Interest::READ,
+        });
+        self.open += 1;
+        self.state.gauges.connection_opened();
+    }
+
+    fn conn_ready(&mut self, event: &Event) {
+        let idx = event.token;
+        let Some(Some(conn)) = self.conns.get_mut(idx) else {
+            return;
+        };
+        if event.readable || event.closed {
+            Self::read_some(conn, self.config.max_line_bytes);
+        }
+        self.pump(idx);
+    }
+
+    /// Nonblocking read: frame complete lines into `pending`, keep at
+    /// most one partial line in `read_buf`, enforce the line length cap.
+    fn read_some(conn: &mut Conn, max_line_bytes: usize) {
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..MAX_CHUNKS_PER_EVENT {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    // A non-empty tail without a newline is the final
+                    // (unterminated) request of the connection.
+                    if !conn.read_buf.is_empty() && !conn.discarding {
+                        let line = String::from_utf8_lossy(&conn.read_buf).into_owned();
+                        conn.pending.push_back(PendingItem::Line(line));
+                    }
+                    conn.read_buf.clear();
+                    break;
+                }
+                Ok(n) => Self::ingest(conn, &chunk[..n], max_line_bytes),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn ingest(conn: &mut Conn, bytes: &[u8], max_line_bytes: usize) {
+        conn.read_buf.extend_from_slice(bytes);
+        let mut start = 0usize;
+        while let Some(off) = conn.read_buf[start..].iter().position(|&b| b == b'\n') {
+            let end = start + off;
+            if conn.discarding {
+                // Tail of an oversized line; the error was already queued.
+                conn.discarding = false;
+            } else {
+                let line = String::from_utf8_lossy(&conn.read_buf[start..end]).into_owned();
+                conn.pending.push_back(PendingItem::Line(line));
+            }
+            start = end + 1;
+        }
+        conn.read_buf.drain(..start);
+        if conn.read_buf.len() > max_line_bytes {
+            conn.read_buf.clear();
+            if !conn.discarding {
+                conn.discarding = true;
+                let response = error_response(&ApiError::new(
+                    codes::TOO_LARGE,
+                    format!("request line exceeds {max_line_bytes} bytes"),
+                ))
+                .to_line();
+                conn.pending.push_back(PendingItem::Immediate(response));
+            }
+        }
+    }
+
+    /// Move a connection forward: dispatch its next pending request (at
+    /// most one in flight), flush response bytes, keep poll interest in
+    /// sync, and close if finished.  Safe to call redundantly.
+    fn pump(&mut self, idx: usize) {
+        let Some(Some(conn)) = self.conns.get_mut(idx) else {
+            return;
+        };
+
+        while !conn.inflight && !conn.dead && !self.draining {
+            match conn.pending.pop_front() {
+                None => break,
+                Some(PendingItem::Immediate(response)) => conn.push_response(&response),
+                Some(PendingItem::Line(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match self.queue.try_push(Job {
+                        conn: idx,
+                        gen: conn.gen,
+                        line,
+                    }) {
+                        Ok(depth) => {
+                            self.state.gauges.set_queue_depth(depth);
+                            conn.inflight = true;
+                        }
+                        Err(_job) => {
+                            self.state.gauges.busy_rejected();
+                            conn.push_response(&busy_line("request queue is full, retry later"));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Flush what the socket will take.
+        while !conn.dead && conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                }
+                Ok(n) => conn.write_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => conn.dead = true,
+            }
+        }
+        if conn.flushed() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        }
+
+        let finished =
+            conn.peer_closed && conn.pending.is_empty() && !conn.inflight && conn.flushed();
+        if conn.dead || finished {
+            self.close_conn(idx);
+            return;
+        }
+
+        let desired = Interest {
+            readable: !conn.peer_closed && conn.pending.len() < self.config.max_pipelined,
+            writable: !conn.flushed(),
+        };
+        if desired != conn.interest {
+            conn.interest = desired;
+            let _ = self.poller.modify(&conn.stream, idx, desired);
+        }
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) {
+            let _ = self.poller.deregister(&conn.stream, idx);
+            drop(conn);
+            self.free.push(idx);
+            self.open -= 1;
+            self.state.gauges.connection_closed();
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        for completion in self.completions.take() {
+            let Some(Some(conn)) = self.conns.get_mut(completion.conn) else {
+                continue;
+            };
+            if conn.gen != completion.gen {
+                continue; // the slot was reused; the addressee is gone
+            }
+            conn.inflight = false;
+            conn.push_response(&completion.response);
+            self.pump(completion.conn);
+        }
+    }
+
+    /// Shutdown path: stop accepting and dispatching, give in-flight
+    /// requests and unflushed responses a bounded window to complete,
+    /// then drop everything.
+    fn wind_down(&mut self) {
+        self.draining = true;
+        let _ = self.poller.deregister(&self.listener, LISTENER_TOKEN);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let owed = self
+                .conns
+                .iter()
+                .flatten()
+                .any(|c| c.inflight || !c.flushed());
+            if !owed || Instant::now() >= deadline {
+                break;
+            }
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .is_err()
+            {
+                break;
+            }
+            for event in std::mem::take(&mut events) {
+                if event.token != LISTENER_TOKEN {
+                    self.pump(event.token);
+                }
+            }
+            self.drain_completions();
+        }
+        for idx in 0..self.conns.len() {
+            self.close_conn(idx);
         }
     }
 }
@@ -58,137 +541,79 @@ impl Default for ServerConfig {
 pub struct Server;
 
 impl Server {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
-    /// the acceptor and worker threads.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), start the
+    /// event-loop and worker threads, and return the owner's handle.
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let state = Arc::new(ServiceState::new(config.cache_budget_bytes));
 
-        let (sender, receiver) = mpsc::channel::<TcpStream>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let state = Arc::new(ServiceState::with_shards(
+            config.cache_budget_bytes,
+            config.cache_shards,
+        ));
+        state
+            .gauges
+            .set_limits(config.max_connections, config.queue_depth);
+
+        let poller = Poller::new()?;
+        poller.register(&listener, LISTENER_TOKEN, Interest::READ)?;
+        let waker = poller.waker();
+
+        let queue = Arc::new(RequestQueue::new(config.queue_depth.max(1)));
+        let completions = Arc::new(Completions {
+            inner: Mutex::new(Vec::new()),
+            waker: waker.clone(),
+        });
+
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|_| {
-                let receiver = Arc::clone(&receiver);
+                let queue = Arc::clone(&queue);
+                let completions = Arc::clone(&completions);
                 let state = Arc::clone(&state);
-                std::thread::spawn(move || worker_loop(&receiver, &state, local_addr))
+                std::thread::spawn(move || {
+                    while let Some((job, depth)) = queue.pop() {
+                        state.gauges.set_queue_depth(depth);
+                        let response = state.handle_line(&job.line);
+                        completions.push(Completion {
+                            conn: job.conn,
+                            gen: job.gen,
+                            response,
+                        });
+                    }
+                })
             })
             .collect();
 
-        let acceptor = {
+        let event_loop = {
             let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            let completions = Arc::clone(&completions);
             std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if state.shutdown_requested() {
-                        break;
-                    }
-                    match stream {
-                        // A closed channel means the handle is gone; stop.
-                        Ok(stream) => {
-                            if sender.send(stream).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => continue,
-                    }
+                EventLoop {
+                    listener,
+                    poller,
+                    conns: Vec::new(),
+                    free: Vec::new(),
+                    open: 0,
+                    next_gen: 0,
+                    state,
+                    queue,
+                    completions,
+                    config,
+                    draining: false,
                 }
-                // Dropping the sender lets idle workers drain and exit.
+                .run();
             })
         };
 
         Ok(ServerHandle {
             addr: local_addr,
             state,
-            acceptor: Some(acceptor),
+            waker,
+            event_loop: Some(event_loop),
             workers,
         })
-    }
-}
-
-fn worker_loop(
-    receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
-    state: &Arc<ServiceState>,
-    addr: SocketAddr,
-) {
-    loop {
-        let stream = {
-            let guard = receiver
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            guard.recv()
-        };
-        let Ok(stream) = stream else { return };
-        serve_connection(stream, state);
-        if state.shutdown_requested() {
-            // A `shutdown` request landed on this connection: the acceptor
-            // may be parked in accept(), so nudge it awake to wind down.
-            let _ = TcpStream::connect(wake_addr(addr));
-            return;
-        }
-    }
-}
-
-/// Drive one connection: read request lines, write response lines, until
-/// EOF, an I/O error, or server shutdown.
-///
-/// Reads poll with a short timeout so a worker parked on an idle
-/// connection still notices a shutdown (requested on *another* connection)
-/// and releases itself — without this, one idle client would block the
-/// whole wind-down.
-fn serve_connection(stream: TcpStream, state: &ServiceState) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
-    let mut writer = write_half;
-    let mut reader = BufReader::new(stream);
-    let mut bytes: Vec<u8> = Vec::new();
-    loop {
-        bytes.clear();
-        // Accumulate one full line across read timeouts.  This reads raw
-        // bytes (`read_until`), not `read_line`: the String variant drops
-        // consumed partial input when a timeout splits a multi-byte UTF-8
-        // sequence, which would corrupt the stream framing.
-        loop {
-            match reader.read_until(b'\n', &mut bytes) {
-                // 0 with nothing pending is EOF; a non-empty tail without a
-                // newline is the final (unterminated) request of the
-                // connection — fall through and serve it.
-                Ok(0) if bytes.is_empty() => return,
-                Ok(0) => break,
-                Ok(_) if bytes.ends_with(b"\n") => break,
-                Ok(_) => {}
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if state.shutdown_requested() {
-                        return;
-                    }
-                }
-                Err(_) => return,
-            }
-        }
-        let line = String::from_utf8_lossy(&bytes);
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = state.handle_line(&line);
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-        if state.shutdown_requested() {
-            // Nudge the acceptor out of its blocking accept so the whole
-            // server can wind down.
-            return;
-        }
     }
 }
 
@@ -196,7 +621,8 @@ fn serve_connection(stream: TcpStream, state: &ServiceState) {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServiceState>,
-    acceptor: Option<JoinHandle<()>>,
+    waker: Waker,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -208,7 +634,7 @@ impl ServerHandle {
     }
 
     /// The shared service state — the in-process view the tests and the
-    /// throughput experiment read counters from.
+    /// load harness read counters from.
     #[must_use]
     pub fn state(&self) -> &Arc<ServiceState> {
         &self.state
@@ -217,25 +643,22 @@ impl ServerHandle {
     /// Block until a `shutdown` request is accepted, then wind down.  This
     /// is the daemon binary's main loop.
     pub fn run(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        self.join_workers();
+        self.join_all();
     }
 
-    /// Stop accepting, wake the acceptor, and join all threads.  Safe to
-    /// call whether or not a `shutdown` request was already processed.
+    /// Stop the server from the owning thread: raise the flag, wake the
+    /// event loop, join everything.  Safe to call whether or not a
+    /// `shutdown` request was already processed.
     pub fn shutdown(mut self) {
         self.state.request_shutdown();
-        // The acceptor may be parked in accept(): connect once to wake it.
-        let _ = TcpStream::connect(wake_addr(self.addr));
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        self.join_workers();
+        self.waker.wake();
+        self.join_all();
     }
 
-    fn join_workers(&mut self) {
+    fn join_all(&mut self) {
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }

@@ -59,24 +59,114 @@ impl RequestCounters {
     }
 }
 
+/// Transport-level gauges the event loop maintains and the `stats` op
+/// reports: connection and backpressure health, updated with relaxed
+/// atomics (they are monitoring data, not synchronization).
+#[derive(Debug, Default)]
+pub struct ServerGauges {
+    open_connections: AtomicU64,
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    busy_rejections: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_capacity: AtomicU64,
+    max_connections: AtomicU64,
+}
+
+impl ServerGauges {
+    /// Record the configured limits (once, at bind time).
+    pub fn set_limits(&self, max_connections: usize, queue_capacity: usize) {
+        self.max_connections
+            .store(max_connections as u64, Ordering::Relaxed);
+        self.queue_capacity
+            .store(queue_capacity as u64, Ordering::Relaxed);
+    }
+
+    /// A connection was accepted and occupies a slot.
+    pub fn connection_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection's slot was released.
+    pub fn connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was turned away at the `max_connections` limit.
+    pub fn connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was answered `busy` because the request queue was full.
+    pub fn busy_rejected(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The request queue's current depth (set by enqueue/dequeue sites).
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Currently open connections.
+    #[must_use]
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted since start.
+    #[must_use]
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected at the limit since start.
+    #[must_use]
+    pub fn connections_rejected(&self) -> u64 {
+        self.connections_rejected.load(Ordering::Relaxed)
+    }
+
+    /// `busy` responses issued since start.
+    #[must_use]
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently queued for the worker pool.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+}
+
 /// The shared state of one running `samplecfd` instance.
 pub struct ServiceState {
     /// Registered tables.
     pub catalog: TableCatalog,
     /// The shared, evicting sample cache.
     pub cache: ConcurrentSampleCache,
+    /// Transport gauges (connections, backpressure) for the `stats` op.
+    pub gauges: ServerGauges,
     counters: RequestCounters,
     started: Instant,
     shutdown: AtomicBool,
 }
 
 impl ServiceState {
-    /// Fresh state with an empty catalog and a cache of the given budget.
+    /// Fresh state with an empty catalog and a cache of the given budget
+    /// (default shard counts; see [`Self::with_shards`]).
     #[must_use]
     pub fn new(cache_budget_bytes: usize) -> Self {
+        Self::with_shards(cache_budget_bytes, crate::cache::DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Fresh state with an explicit cache shard count.
+    #[must_use]
+    pub fn with_shards(cache_budget_bytes: usize, cache_shards: usize) -> Self {
         ServiceState {
             catalog: TableCatalog::new(),
-            cache: ConcurrentSampleCache::new(cache_budget_bytes),
+            cache: ConcurrentSampleCache::with_shards(cache_budget_bytes, cache_shards),
+            gauges: ServerGauges::default(),
             counters: RequestCounters::default(),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -465,6 +555,43 @@ impl ServiceState {
 
     fn op_stats(&self) -> Json {
         let cache = self.cache.stats();
+        let shards = Json::Arr(
+            self.cache
+                .per_shard_stats()
+                .into_iter()
+                .map(|s| {
+                    Json::obj()
+                        .field("entries", Json::uint(s.entries as u64))
+                        .field("bytes", Json::uint(s.bytes as u64))
+                        .field("hits", Json::uint(s.hits))
+                        .field("misses", Json::uint(s.misses))
+                        .field("evictions", Json::uint(s.evictions))
+                })
+                .collect(),
+        );
+        let server = Json::obj()
+            .field(
+                "open_connections",
+                Json::uint(self.gauges.open_connections()),
+            )
+            .field(
+                "connections_accepted",
+                Json::uint(self.gauges.connections_accepted()),
+            )
+            .field(
+                "connections_rejected",
+                Json::uint(self.gauges.connections_rejected()),
+            )
+            .field("busy_rejections", Json::uint(self.gauges.busy_rejections()))
+            .field("queue_depth", Json::uint(self.gauges.queue_depth()))
+            .field(
+                "queue_capacity",
+                Json::uint(self.gauges.queue_capacity.load(Ordering::Relaxed)),
+            )
+            .field(
+                "max_connections",
+                Json::uint(self.gauges.max_connections.load(Ordering::Relaxed)),
+            );
         let mut requests = Json::obj();
         let mut total = 0u64;
         for (name, count) in self.counters.snapshot() {
@@ -497,8 +624,10 @@ impl ServiceState {
                     .field("deepened", Json::uint(cache.deepened))
                     .field("evictions", Json::uint(cache.evictions))
                     .field("coalesced_waits", Json::uint(cache.coalesced_waits))
-                    .field("pages_read", Json::uint(cache.pages_read)),
-            );
+                    .field("pages_read", Json::uint(cache.pages_read))
+                    .field("shards", shards),
+            )
+            .field("server", server);
         ok_response("stats", Json::obj().field("stats", stats))
     }
 }

@@ -1,15 +1,19 @@
 //! `samplecfd` — the SampleCF estimation daemon.
 //!
-//! A std-only threaded TCP server speaking the line-delimited JSON protocol
-//! specified in `docs/API.md` (`register`, `estimate`,
+//! A std-only event-driven TCP server speaking the line-delimited JSON
+//! protocol specified in `docs/API.md` (`register`, `estimate`,
 //! `estimate_progressive`, `advise`, `info`, `stats`, `shutdown`), backed
-//! by a table catalog and a shared, evicting sample cache so concurrent
-//! clients reuse one sample per (table, sampler, fraction, seed) group.
+//! by a sharded table catalog and a sharded, evicting sample cache so
+//! concurrent clients reuse one sample per (table, sampler, fraction,
+//! seed) group.  Connections are owned by a nonblocking readiness loop —
+//! thousands of idle clients cost file descriptors, not threads — and
+//! estimation work runs on a bounded worker pool with explicit `busy`
+//! backpressure.
 //!
 //! Talk to it with `samplecf client <addr> <request-json>` or any
 //! newline-framed TCP client.
 
-use samplecf_server::{Server, ServerConfig, DEFAULT_CACHE_BUDGET_BYTES};
+use samplecf_server::{Server, ServerConfig};
 use std::process::ExitCode;
 
 const HELP: &str = "samplecfd — the SampleCF estimation daemon
@@ -18,14 +22,22 @@ USAGE:
   samplecfd [options]
 
 OPTIONS:
-  --addr ADDR           listen address                  [default: 127.0.0.1:7878]
-                        (use port 0 for an ephemeral port; the bound
-                        address is printed on the first stdout line)
-  --workers N           worker threads = max concurrent connections
-                                                        [default: 8]
-  --cache-budget BYTES  sample-cache byte budget before LRU eviction
-                                                        [default: 268435456]
-  --table FILE          pre-register a table file (repeatable)
+  --addr ADDR            listen address                 [default: 127.0.0.1:7878]
+                         (use port 0 for an ephemeral port; the bound
+                         address is printed on the first stdout line)
+  --workers N            estimation worker threads      [default: 8]
+                         (compute pool only; connection capacity is
+                         --max-connections)
+  --max-connections N    open-connection limit; further connects are
+                         answered busy and closed      [default: 10240]
+  --queue-depth N        bounded request queue between the event loop
+                         and the workers; requests finding it full are
+                         answered busy                 [default: 1024]
+  --cache-budget BYTES   sample-cache byte budget before LRU eviction
+                                                       [default: 268435456]
+  --cache-shards N       sample-cache shard count (the budget divides
+                         evenly across shards)         [default: 8]
+  --table FILE           pre-register a table file (repeatable)
 
 PROTOCOL (one JSON object per line over TCP; see docs/API.md):
   {\"op\":\"register\",\"path\":\"/data/t.scf\"}
@@ -49,8 +61,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let mut addr = "127.0.0.1:7878".to_string();
-    let mut workers: usize = 8;
-    let mut cache_budget: usize = DEFAULT_CACHE_BUDGET_BYTES;
+    let mut config = ServerConfig::default();
     let mut tables: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -59,41 +70,46 @@ fn run() -> Result<(), String> {
             args.next()
                 .ok_or_else(|| format!("flag {name} expects a value"))
         };
+        let parse = |name: &str, raw: String| {
+            raw.parse::<usize>()
+                .map_err(|e| format!("invalid {name}: {e}"))
+        };
         match flag.as_str() {
             "--help" | "-h" => {
                 println!("{HELP}");
                 return Ok(());
             }
             "--addr" => addr = value("--addr")?,
-            "--workers" => {
-                workers = value("--workers")?
-                    .parse()
-                    .map_err(|e| format!("invalid --workers: {e}"))?;
+            "--workers" => config.workers = parse("--workers", value("--workers")?)?,
+            "--max-connections" => {
+                config.max_connections = parse("--max-connections", value("--max-connections")?)?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = parse("--queue-depth", value("--queue-depth")?)?;
             }
             "--cache-budget" => {
-                cache_budget = value("--cache-budget")?
-                    .parse()
-                    .map_err(|e| format!("invalid --cache-budget: {e}"))?;
+                config.cache_budget_bytes = parse("--cache-budget", value("--cache-budget")?)?;
+            }
+            "--cache-shards" => {
+                config.cache_shards = parse("--cache-shards", value("--cache-shards")?)?;
             }
             "--table" => tables.push(value("--table")?),
             other => return Err(format!("unrecognised argument {other:?} (see --help)")),
         }
     }
 
-    let handle = Server::bind(
-        &addr,
-        ServerConfig {
-            workers,
-            cache_budget_bytes: cache_budget,
-        },
-    )
-    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let handle = Server::bind(&addr, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
 
     // The first line is machine-parseable: scripts (and the CI smoke test)
     // bind port 0 and scrape the real address from here.
     println!("samplecfd listening on {}", handle.addr());
-    println!("workers        {workers}");
-    println!("cache budget   {cache_budget} B");
+    println!("workers          {}", config.workers);
+    println!("max connections  {}", config.max_connections);
+    println!("queue depth      {}", config.queue_depth);
+    println!(
+        "cache budget     {} B across {} shards",
+        config.cache_budget_bytes, config.cache_shards
+    );
     for path in &tables {
         let entry = handle
             .state()
@@ -101,7 +117,7 @@ fn run() -> Result<(), String> {
             .register(path, None)
             .map_err(|e| format!("--table {path}: {e}"))?;
         println!(
-            "registered     {} ({path})",
+            "registered       {} ({path})",
             samplecf_storage::TableSource::name(entry.table.as_ref())
         );
     }
