@@ -1,0 +1,11 @@
+//! Runs the stratified-stopping experiment (uniform vs stratified+Neyman
+//! pages-to-target on a value-clustered disk table) and writes its report
+//! under `results/` plus the `BENCH_stratified.json` baseline.
+
+use samplecf_bench::experiments::{quick_mode, stratified_stopping};
+
+fn main() {
+    let report = stratified_stopping::run(quick_mode());
+    let path = report.finish().expect("writing the report succeeds");
+    eprintln!("report written to {}", path.display());
+}

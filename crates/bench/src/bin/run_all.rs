@@ -20,6 +20,7 @@ fn main() {
             "progressive_stopping",
             experiments::progressive_stopping::run,
         ),
+        ("stratified_stopping", experiments::stratified_stopping::run),
         ("advisor_scaling", experiments::advisor_scaling::run),
         ("server_throughput", experiments::server_throughput::run),
         ("dv_baselines", experiments::dv_baselines::run),

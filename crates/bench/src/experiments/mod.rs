@@ -13,6 +13,7 @@ pub mod ns_fraction_sweep;
 pub mod paged_vs_global;
 pub mod progressive_stopping;
 pub mod server_throughput;
+pub mod stratified_stopping;
 pub mod table2;
 pub mod theorem1;
 pub mod timing;

@@ -184,6 +184,79 @@ pub fn measure_rows(
     })
 }
 
+/// Per-row stratum assignment for [`measure_rows_stratified`]: which stratum
+/// each sampled row belongs to, plus the population weight of every stratum.
+#[derive(Debug, Clone, Copy)]
+pub struct StrataAssignment<'a> {
+    /// Stratum index of each sampled row, aligned with the row slice.
+    pub tags: &'a [u32],
+    /// Population weight `W_s` of each stratum, indexed by tag value.
+    pub weights: &'a [f64],
+}
+
+/// Stratified variant of [`measure_rows`]: the CF triple is the weighted
+/// per-stratum combination `Σ W_s·CF_s` instead of the pooled ratio.
+///
+/// Each stratum's rows (selected by the assignment's tags, one per row,
+/// aligned) are built and compressed as their own sub-index; the resulting
+/// per-stratum CFs are combined with
+/// [`weighted_combine`](crate::algebra::weighted_combine) using the
+/// population weights (renormalised over sampled strata).  This is the same
+/// arithmetic [`ProgressiveCf`](crate::progressive::ProgressiveCf) applies at
+/// its checkpoints, so a measurement taken from cached stratified rows (the
+/// `samplecfd` `estimate` path) is bit-identical to [`SampleCf::estimate`]
+/// with the same `(sampler, seed)`.  The pooled report and [`DataStats`] are
+/// kept for their per-column detail.
+pub fn measure_rows_stratified(
+    schema: &Schema,
+    rows: &[(samplecf_storage::Rid, samplecf_storage::Row)],
+    strata: StrataAssignment<'_>,
+    spec: &IndexSpec,
+    scheme: &dyn CompressionScheme,
+    builder: &IndexBuilder,
+    sampler_label: String,
+) -> CoreResult<CfMeasurement> {
+    let StrataAssignment { tags, weights } = strata;
+    if tags.len() != rows.len() {
+        return Err(CoreError::InvalidConfig(format!(
+            "stratum tags ({}) must align with rows ({})",
+            tags.len(),
+            rows.len()
+        )));
+    }
+    let mut measurement = measure_rows(schema, rows, spec, scheme, builder, sampler_label)?;
+    let k = weights.len();
+    let mut cfs = vec![None; k];
+    let mut cfwps = vec![None; k];
+    let mut cfps = vec![None; k];
+    for s in 0..k {
+        let group: Vec<_> = rows
+            .iter()
+            .zip(tags)
+            .filter(|(_, &t)| t as usize == s)
+            .map(|(r, _)| r.clone())
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let index = builder.build_from_rows(schema, &group, spec)?;
+        let report = compress_index(&index, scheme)?;
+        cfs[s] = Some(report.cf());
+        cfwps[s] = Some(report.cf_with_pointers());
+        cfps[s] = Some(report.cf_pages());
+    }
+    if let Some(cf) = crate::algebra::weighted_combine(weights, &cfs) {
+        measurement.cf = cf;
+    }
+    if let Some(cfwp) = crate::algebra::weighted_combine(weights, &cfwps) {
+        measurement.cf_with_pointers = cfwp;
+    }
+    if let Some(cfp) = crate::algebra::weighted_combine(weights, &cfps) {
+        measurement.cf_pages = cfp;
+    }
+    Ok(measurement)
+}
+
 /// Exact computation of the compression fraction: build and compress the full
 /// index (the expensive baseline SampleCF avoids).
 #[derive(Debug, Clone, Default)]
@@ -350,6 +423,20 @@ impl SampleCf {
         scheme: &dyn CompressionScheme,
     ) -> CoreResult<CfMeasurement> {
         let rows = sample.rows()?;
+        if !sample.row_strata().is_empty() {
+            return measure_rows_stratified(
+                sample.table().schema(),
+                &rows,
+                StrataAssignment {
+                    tags: sample.row_strata(),
+                    weights: sample.strata_weights(),
+                },
+                spec,
+                scheme,
+                &self.builder,
+                sample.kind().label(),
+            );
+        }
         measure_rows(
             sample.table().schema(),
             &rows,
@@ -520,6 +607,11 @@ mod tests {
             SamplerKind::UniformWithReplacement(0.05),
             SamplerKind::Block(0.05),
             SamplerKind::Systematic(0.05),
+            SamplerKind::Stratified {
+                fraction: 0.05,
+                strata: 4,
+                alloc: samplecf_sampling::Allocation::Proportional,
+            },
         ] {
             let sample = MaterializedSample::draw(&t, kind, 42).unwrap();
             for scheme_name in ["null-suppression", "dictionary-global", "rle"] {

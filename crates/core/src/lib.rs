@@ -55,6 +55,7 @@
 //! ```
 
 pub mod advisor;
+pub mod algebra;
 pub mod cache;
 pub mod capacity;
 pub mod distinct;
@@ -70,6 +71,7 @@ pub use advisor::{
     decide, evaluate_shared, AdvisorConfig, AdvisorPlan, Candidate, CompressionAdvisor,
     Recommendation, SampleGroup,
 };
+pub use algebra::{ns_row_statistic, weighted_combine, MomentSketch, VarianceNode};
 pub use cache::{CachedSample, SampleCache};
 pub use capacity::{CapacityPlan, CapacityPlanner, ObjectEstimate, PlannedObject};
 pub use distinct::{
@@ -78,7 +80,8 @@ pub use distinct::{
 };
 pub use error::{CoreError, CoreResult};
 pub use estimator::{
-    measure_rows, CfMeasurement, DataStats, DataStatsAccumulator, ExactCf, SampleCf,
+    measure_rows, measure_rows_stratified, CfMeasurement, DataStats, DataStatsAccumulator, ExactCf,
+    SampleCf, StrataAssignment,
 };
 pub use metrics::{
     absolute_error, grouped_jackknife_variance, ratio_error, relative_error, SummaryStats,

@@ -25,6 +25,7 @@
 //! and pages read — to [`SampleCf`](crate::estimator::SampleCf) at the same
 //! fraction and seed.
 
+use crate::algebra::{self, MomentSketch, VarianceNode};
 use crate::error::{CoreError, CoreResult};
 use crate::estimator::{CfMeasurement, DataStatsAccumulator};
 use crate::metrics::grouped_jackknife_variance;
@@ -105,6 +106,14 @@ pub struct CfCheckpoint {
     pub ns_stddev_bound: f64,
     /// Cumulative physical pages read from the source.
     pub pages_read: u64,
+    /// Which machinery produced `std_error`: `"jackknife"` (grouped
+    /// leave-one-out over batches) or `"algebra"` (the closed-form
+    /// [`VarianceNode`] for stratified
+    /// draws).  `None` when no variance was available yet.
+    pub variance_source: Option<&'static str>,
+    /// Rows drawn per stratum so far, for stratified runs (`None`
+    /// otherwise).
+    pub strata_rows: Option<Vec<usize>>,
 }
 
 impl CfCheckpoint {
@@ -228,9 +237,18 @@ impl ProgressiveCf {
 
     /// Run the progressive estimation loop over `source`.
     ///
-    /// Requires a streaming sampler kind (uniform-with-replacement, block
-    /// or reservoir); other kinds return an error, since they have no
-    /// prefix-stable incremental draw.
+    /// Requires a streaming sampler kind (uniform-with-replacement, block,
+    /// reservoir or stratified); other kinds return an error, since they
+    /// have no prefix-stable incremental draw.
+    ///
+    /// For a stratified sampler the checkpoint machinery changes in three
+    /// ways: the CF estimate is the weighted per-stratum combination
+    /// `Σ W_s·CF_s` ([`weighted_combine`](crate::algebra::weighted_combine)),
+    /// the variance comes from the closed-form
+    /// [`VarianceNode::StratifiedConcat`](crate::algebra::VarianceNode)
+    /// instead of the grouped jackknife, and after every checkpoint the
+    /// measured per-stratum spreads are fed back to the stream so Neyman
+    /// allocation steers the remaining budget toward the noisy strata.
     pub fn run(
         &self,
         source: &dyn TableSource,
@@ -248,6 +266,8 @@ impl ProgressiveCf {
         let counting = CountingSource::new(source);
         let mut stream = self.sampler.stream(self.config.schedule)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let is_stratified = matches!(self.sampler, SamplerKind::Stratified { .. });
+        let key_width = schema.column_at(first_key).datatype.uncompressed_width();
 
         let started = Instant::now();
         let mut stats = DataStatsAccumulator::new();
@@ -256,13 +276,31 @@ impl ProgressiveCf {
         let mut batch_sizes: Vec<usize> = Vec::new();
         let mut checkpoints: Vec<CfCheckpoint> = Vec::new();
         let mut last_report: Option<CompressedIndexReport> = None;
+        // The stratified estimator's triple from the last checkpoint
+        // (weighted across strata; the pooled report alone can't supply it).
+        let mut last_cf_triple: Option<(f64, f64, f64)> = None;
         let mut target_met = false;
+        // Stratified bookkeeping, bound on the first batch: per-stratum
+        // merged runs, moment sketches of the per-row NS statistic (the
+        // algebra's input and Neyman's feedback signal), and draw counts.
+        let mut strata_weights: Vec<f64> = Vec::new();
+        let mut strata_runs: Vec<SortedRun> = Vec::new();
+        let mut strata_sketches: Vec<MomentSketch> = Vec::new();
+        let mut strata_rows: Vec<usize> = Vec::new();
 
         loop {
             let batch = stream.next_batch(&counting, &mut rng)?;
             if batch.is_empty() {
                 break;
             }
+            let tags: Vec<u32> = if is_stratified {
+                stream
+                    .batch_strata()
+                    .expect("stratified streams tag their batches")
+                    .to_vec()
+            } else {
+                Vec::new()
+            };
             for (_, row) in &batch {
                 stats.observe(row.value(first_key));
             }
@@ -271,14 +309,80 @@ impl ProgressiveCf {
             batch_sizes.push(batch.len());
             batch_runs.push(run);
 
+            if is_stratified {
+                if strata_weights.is_empty() {
+                    strata_weights = stream
+                        .strata_weights()
+                        .expect("a stratified stream that drew rows is bound");
+                    let k = strata_weights.len();
+                    strata_runs = (0..k).map(|_| SortedRun::new()).collect();
+                    strata_sketches = vec![MomentSketch::new(); k];
+                    strata_rows = vec![0; k];
+                }
+                for s in 0..strata_weights.len() {
+                    let group: Vec<_> = batch
+                        .iter()
+                        .zip(&tags)
+                        .filter(|(_, &t)| t as usize == s)
+                        .map(|(r, _)| r.clone())
+                        .collect();
+                    if group.is_empty() {
+                        continue;
+                    }
+                    for (_, row) in &group {
+                        strata_sketches[s]
+                            .observe(algebra::ns_row_statistic(row.value(first_key), key_width));
+                    }
+                    strata_rows[s] += group.len();
+                    let run_s = SortedRun::from_rows(&schema, &group, spec)?;
+                    let prev = std::mem::replace(&mut strata_runs[s], SortedRun::new());
+                    strata_runs[s] = prev.merge(&run_s);
+                }
+            }
+
             // Measure the checkpoint from the accumulated (never re-sorted)
             // run.
             let index = self.builder.build_from_sorted_run(&schema, spec, &merged)?;
             let report = compress_index(&index, scheme)?;
-            let cf = report.cf();
 
-            // Jackknife the estimate over the batches drawn so far.
-            let variance = if batch_runs.len() >= 2 {
+            // Stratified draws estimate CF as Σ W_s·CF_s: each stratum's
+            // sub-index is built and compressed on its own, then combined
+            // with the population weights (renormalised over sampled
+            // strata) — the same weighted_combine the server-side
+            // measurement uses, so the two paths agree bit-for-bit.
+            let (cf, cf_with_pointers, cf_pages) = if is_stratified {
+                let k = strata_weights.len();
+                let mut cfs = vec![None; k];
+                let mut cfwps = vec![None; k];
+                let mut cfps = vec![None; k];
+                for s in 0..k {
+                    if strata_rows[s] == 0 {
+                        continue;
+                    }
+                    let idx = self
+                        .builder
+                        .build_from_sorted_run(&schema, spec, &strata_runs[s])?;
+                    let rep = compress_index(&idx, scheme)?;
+                    cfs[s] = Some(rep.cf());
+                    cfwps[s] = Some(rep.cf_with_pointers());
+                    cfps[s] = Some(rep.cf_pages());
+                }
+                (
+                    algebra::weighted_combine(&strata_weights, &cfs).unwrap_or_else(|| report.cf()),
+                    algebra::weighted_combine(&strata_weights, &cfwps)
+                        .unwrap_or_else(|| report.cf_with_pointers()),
+                    algebra::weighted_combine(&strata_weights, &cfps)
+                        .unwrap_or_else(|| report.cf_pages()),
+                )
+            } else {
+                (report.cf(), report.cf_with_pointers(), report.cf_pages())
+            };
+
+            // Estimator variance: closed-form algebra for stratified draws,
+            // grouped jackknife over batches otherwise.
+            let variance = if is_stratified {
+                VarianceNode::stratified(strata_weights.clone(), strata_sketches.clone()).variance()
+            } else if batch_runs.len() >= 2 {
                 let mut leave_one_out = Vec::with_capacity(batch_runs.len());
                 for skip in 0..batch_runs.len() {
                     let partial = SortedRun::merge_all(
@@ -296,6 +400,11 @@ impl ProgressiveCf {
                 grouped_jackknife_variance(cf, &leave_one_out, &batch_sizes)
             } else {
                 None
+            };
+            let variance_source = match variance {
+                Some(_) if is_stratified => Some("algebra"),
+                Some(_) => Some("jackknife"),
+                None => None,
             };
             let std_error = variance.map(f64::sqrt);
             let half_width = std_error.map(|se| z * se);
@@ -316,6 +425,8 @@ impl ProgressiveCf {
                 ci_high: half_width.map(|hw| cf + hw),
                 ns_stddev_bound: theory::ns_stddev_bound_for_sample(rows),
                 pages_read: counting.pages_read(),
+                variance_source,
+                strata_rows: is_stratified.then(|| strata_rows.clone()),
             };
             let stop = self.config.target_error > 0.0
                 && checkpoint
@@ -323,6 +434,19 @@ impl ProgressiveCf {
                     .is_some_and(|rel| rel <= self.config.target_error);
             checkpoints.push(checkpoint);
             last_report = Some(report);
+            if is_stratified {
+                last_cf_triple = Some((cf, cf_with_pointers, cf_pages));
+                // Feed the measured per-stratum spread back so a Neyman
+                // stream re-splits the remaining budget.  Strata still
+                // below two draws report NaN, which the stream ignores
+                // (keeping their initial weight, so they aren't starved on
+                // no evidence).
+                let sds: Vec<f64> = strata_sketches
+                    .iter()
+                    .map(|m| m.sample_stddev().unwrap_or(f64::NAN))
+                    .collect();
+                stream.update_stratum_variances(&sds);
+            }
             if stop {
                 target_met = true;
                 break;
@@ -341,10 +465,15 @@ impl ProgressiveCf {
             }
         };
         let stopped_early = !stream.exhausted() && !checkpoints.is_empty();
+        // A stratified run's estimate is the weighted combination, not the
+        // pooled report's ratio (the pooled report is still attached for
+        // its per-column detail).
+        let (cf, cf_with_pointers, cf_pages) = last_cf_triple
+            .unwrap_or_else(|| (report.cf(), report.cf_with_pointers(), report.cf_pages()));
         let measurement = CfMeasurement {
-            cf: report.cf(),
-            cf_with_pointers: report.cf_with_pointers(),
-            cf_pages: report.cf_pages(),
+            cf,
+            cf_with_pointers,
+            cf_pages,
             scheme: report.scheme.clone(),
             sampler: self.sampler.label(),
             data: stats.snapshot(),
@@ -526,6 +655,110 @@ mod tests {
         assert_eq!(report.measurement.data.rows, 0);
         assert_eq!(report.pages_read, 0);
         assert!(!report.stopped_early);
+    }
+
+    #[test]
+    fn stratified_checkpoints_use_the_algebra_variance() {
+        use samplecf_sampling::Allocation;
+        let t = spread_table(8_000);
+        let report = ProgressiveCf::new(
+            SamplerKind::Stratified {
+                fraction: 0.1,
+                strata: 4,
+                alloc: Allocation::Proportional,
+            },
+            ProgressiveConfig {
+                target_error: 0.0,
+                ..ProgressiveConfig::default()
+            },
+        )
+        .seed(5)
+        .run(&t, &spec(), &NullSuppression)
+        .unwrap();
+        assert!(report.checkpoints.len() > 1);
+        for cp in &report.checkpoints {
+            assert_eq!(cp.variance_source, cp.std_error.map(|_| "algebra"));
+            let rows = cp.strata_rows.as_ref().expect("stratified runs tag rows");
+            assert_eq!(rows.len(), 4);
+            assert_eq!(rows.iter().sum::<usize>(), cp.rows);
+        }
+        // The final estimate is the weighted combination and lands near the
+        // exact CF.
+        let exact = ExactCf::new()
+            .compute(&t, &spec(), &NullSuppression)
+            .unwrap();
+        assert!(report.measurement.ratio_error_vs(&exact) < 1.1);
+        let last = report.final_checkpoint().unwrap();
+        assert_eq!(last.cf, report.measurement.cf);
+    }
+
+    #[test]
+    fn stratified_neyman_stops_earlier_on_clustered_data_than_uniform() {
+        // The tentpole claim in miniature: on a value-clustered table the
+        // within-stratum CF variance collapses, so the algebra CI tightens
+        // at a fraction of the rows the pooled jackknife needs.
+        let t = presets::clustered_variable_table("clustered", 24_000, 40, 16, 9)
+            .generate()
+            .unwrap()
+            .table;
+        let config = ProgressiveConfig {
+            target_error: 0.1,
+            confidence: 0.95,
+            schedule: BatchSchedule::new(0.005, 2.0).unwrap(),
+        };
+        let stratified = ProgressiveCf::new(
+            SamplerKind::Stratified {
+                fraction: 0.2,
+                strata: 16,
+                alloc: samplecf_sampling::Allocation::Neyman,
+            },
+            config,
+        )
+        .seed(2)
+        .run(&t, &spec(), &NullSuppression)
+        .unwrap();
+        let uniform = ProgressiveCf::new(SamplerKind::UniformWithReplacement(0.2), config)
+            .seed(2)
+            .run(&t, &spec(), &NullSuppression)
+            .unwrap();
+        assert!(stratified.target_met, "stratified must reach the target");
+        assert!(
+            stratified.pages_read < uniform.pages_read,
+            "stratified read {} pages, uniform {}",
+            stratified.pages_read,
+            uniform.pages_read
+        );
+    }
+
+    #[test]
+    fn single_stratum_stratified_matches_uniform_rows_and_pages() {
+        // k = 1 degenerates to uniform-wr byte-for-byte on the draw side;
+        // the estimate side differs only in bookkeeping (algebra CI over
+        // one stratum), so rows and pages must match exactly.
+        use samplecf_sampling::Allocation;
+        let t = spread_table(6_000);
+        let config = ProgressiveConfig {
+            target_error: 0.0,
+            ..ProgressiveConfig::default()
+        };
+        let strat = ProgressiveCf::new(
+            SamplerKind::Stratified {
+                fraction: 0.1,
+                strata: 1,
+                alloc: Allocation::Proportional,
+            },
+            config,
+        )
+        .seed(13)
+        .run(&t, &spec(), &NullSuppression)
+        .unwrap();
+        let uni = ProgressiveCf::new(SamplerKind::UniformWithReplacement(0.1), config)
+            .seed(13)
+            .run(&t, &spec(), &NullSuppression)
+            .unwrap();
+        assert_eq!(strat.measurement.cf, uni.measurement.cf);
+        assert_eq!(strat.measurement.data, uni.measurement.data);
+        assert_eq!(strat.pages_read, uni.pages_read);
     }
 
     #[test]

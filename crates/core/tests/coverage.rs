@@ -1,0 +1,140 @@
+//! Empirical coverage of the progressive estimator's confidence intervals.
+//!
+//! The contract behind the stopping rule: a Chebyshev interval at
+//! confidence `1 − δ` must contain the exact CF in at least a `1 − δ`
+//! fraction of independent runs — whichever machinery produced the
+//! variance behind it (the grouped jackknife for uniform draws, the
+//! closed-form stratified algebra for stratified draws), and whatever the
+//! data looks like (uniform, Zipf-skewed, or value-clustered layouts).
+//!
+//! Each (table, variance machinery) cell runs 200 seeded trials.  A trial
+//! runs the progressive estimator to its fraction cap and recomputes the
+//! interval for each δ from the final checkpoint's standard error
+//! (`half_width = z(1−δ)·se`), so one run serves every δ.  Chebyshev is
+//! deliberately conservative, so observed coverage sits well above the
+//! nominal floor; the assertion allows a 2-point slack below `1 − δ`
+//! against binomial noise, the same gate CI applies to the committed
+//! baseline.
+
+use samplecf_compression::NullSuppression;
+use samplecf_core::theory::chebyshev_z;
+use samplecf_core::{ExactCf, ProgressiveCf, ProgressiveConfig};
+use samplecf_datagen::presets;
+use samplecf_index::IndexSpec;
+use samplecf_sampling::{Allocation, BatchSchedule, SamplerKind};
+use samplecf_storage::Table;
+
+const TRIALS: u64 = 200;
+const DELTAS: [f64; 2] = [0.05, 0.1];
+/// Slack below nominal coverage tolerated for binomial noise at 200
+/// trials (Chebyshev's conservatism in practice leaves a wide margin).
+const SLACK: f64 = 0.02;
+
+fn spec() -> IndexSpec {
+    IndexSpec::nonclustered("idx_a", ["a"]).unwrap()
+}
+
+fn tables() -> Vec<(&'static str, Table)> {
+    vec![
+        (
+            "uniform",
+            presets::variable_length_table("u", 4_000, 32, 200, 4, 28, 11)
+                .generate()
+                .unwrap()
+                .table,
+        ),
+        (
+            "skewed",
+            presets::skewed_table("z", 4_000, 32, 100, 1.1, 12)
+                .generate()
+                .unwrap()
+                .table,
+        ),
+        (
+            "clustered",
+            presets::clustered_variable_table("c", 4_000, 32, 16, 13)
+                .generate()
+                .unwrap()
+                .table,
+        ),
+    ]
+}
+
+/// The two variance machineries under test, as sampler configurations:
+/// uniform-wr exercises the grouped jackknife, stratified the closed-form
+/// algebra ([`CfCheckpoint::variance_source`] pins which one actually ran).
+fn methods() -> [(&'static str, SamplerKind, &'static str); 2] {
+    [
+        (
+            "jackknife",
+            SamplerKind::UniformWithReplacement(0.06),
+            "jackknife",
+        ),
+        (
+            "algebra",
+            SamplerKind::Stratified {
+                fraction: 0.06,
+                strata: 4,
+                alloc: Allocation::Proportional,
+            },
+            "algebra",
+        ),
+    ]
+}
+
+/// Runs `TRIALS` seeded progressive estimates of `table` with `kind` and
+/// returns, per δ, the fraction of trials whose recomputed CI contained
+/// `exact_cf`.
+fn coverage(table: &Table, kind: SamplerKind, expect_source: &str, exact_cf: f64) -> Vec<f64> {
+    let config = ProgressiveConfig {
+        // No early stopping: every trial runs to the fraction cap, so the
+        // final interval always reflects the full sample.
+        target_error: 0.0,
+        confidence: 0.95,
+        schedule: BatchSchedule::new(0.01, 2.0).unwrap(),
+    };
+    let mut hits = vec![0u64; DELTAS.len()];
+    for seed in 0..TRIALS {
+        let report = ProgressiveCf::new(kind, config)
+            .seed(seed)
+            .run(table, &spec(), &NullSuppression)
+            .unwrap();
+        let last = report.final_checkpoint().expect("non-empty table");
+        assert_eq!(
+            last.variance_source,
+            Some(expect_source),
+            "seed {seed}: wrong variance machinery"
+        );
+        let se = last.std_error.expect("multi-batch run has a variance");
+        for (i, &delta) in DELTAS.iter().enumerate() {
+            let hw = chebyshev_z(1.0 - delta) * se;
+            if last.cf - hw <= exact_cf && exact_cf <= last.cf + hw {
+                hits[i] += 1;
+            }
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    hits.iter().map(|&h| h as f64 / TRIALS as f64).collect()
+}
+
+#[test]
+fn chebyshev_intervals_cover_the_exact_cf() {
+    for (table_name, table) in &tables() {
+        let exact = ExactCf::new()
+            .compute(table, &spec(), &NullSuppression)
+            .unwrap();
+        for (method, kind, expect_source) in methods() {
+            let observed = coverage(table, kind, expect_source, exact.cf);
+            for (&delta, &cov) in DELTAS.iter().zip(&observed) {
+                assert!(
+                    cov >= 1.0 - delta - SLACK,
+                    "{table_name}/{method}: coverage {cov:.3} at delta {delta} \
+                     (nominal {:.2}, slack {SLACK})",
+                    1.0 - delta
+                );
+            }
+            // Report the observed coverage so a CI log shows the margin.
+            println!("coverage {table_name}/{method}: {observed:?} (deltas {DELTAS:?})");
+        }
+    }
+}

@@ -143,6 +143,25 @@ pub fn clustered_table(
         .layout(RowLayout::ClusteredBy(0))
 }
 
+/// The adversarial layout for *uniform row* sampling under Null
+/// Suppression: variable-length values physically sorted by value, so each
+/// page holds rows of (nearly) one length while the table as a whole spans
+/// the full `[4, width]` range.  A uniform draw sees the full cross-table
+/// length variance at every sample size; a stratified draw over contiguous
+/// page ranges sees almost none within a stratum — the table
+/// `exp_stratified_stopping` makes its case on.
+#[must_use]
+pub fn clustered_variable_table(
+    name: &str,
+    rows: usize,
+    width: u16,
+    distinct: usize,
+    seed: u64,
+) -> TableSpec {
+    variable_length_table(name, rows, width, distinct, 4, width as usize, seed)
+        .layout(RowLayout::ClusteredBy(0))
+}
+
 /// A realistic multi-column "orders" table used by the physical-design
 /// advisor and capacity-planning examples: a unique key, a low-cardinality
 /// status column, a skewed customer reference, and a padded comment field.
@@ -234,6 +253,20 @@ mod tests {
         for w in values.windows(2) {
             assert!(w[0] <= w[1]);
         }
+    }
+
+    #[test]
+    fn clustered_variable_table_is_sorted_with_varying_lengths() {
+        let g = clustered_variable_table("cv", 2_000, 40, 16, 4)
+            .generate()
+            .unwrap();
+        let values = g.table.column_values("a").unwrap();
+        for w in values.windows(2) {
+            assert!(w[0] <= w[1], "layout must sort by value");
+        }
+        let lens: std::collections::BTreeSet<usize> =
+            values.iter().map(|v| v.logical_len()).collect();
+        assert!(lens.len() > 3, "lengths must vary across the table");
     }
 
     #[test]

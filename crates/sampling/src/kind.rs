@@ -4,9 +4,44 @@ use crate::block::BlockSampler;
 use crate::error::SamplingResult;
 use crate::reservoir::ReservoirSampler;
 use crate::sampler::RowSampler;
+use crate::stratified::StratifiedSampler;
 use crate::uniform::{
     BernoulliSampler, SystematicSampler, UniformWithReplacement, UniformWithoutReplacement,
 };
+
+/// How a stratified sampler splits its row budget across strata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocation {
+    /// Proportional to stratum size: `k_s ∝ N_s`.  Matches a plain uniform
+    /// draw in expectation and needs no variance information.
+    Proportional,
+    /// Neyman (variance-minimising): `k_s ∝ N_s·σ_s`, where `σ_s` is the
+    /// per-stratum standard deviation of the measured statistic.  Until a
+    /// consumer feeds variance estimates back
+    /// ([`SampleStream::update_stratum_variances`](crate::SampleStream::update_stratum_variances)),
+    /// all `σ_s` are treated as equal, which reduces to proportional.
+    Neyman,
+}
+
+impl Allocation {
+    /// The CLI/wire label (`prop` or `neyman`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Allocation::Proportional => "prop",
+            Allocation::Neyman => "neyman",
+        }
+    }
+
+    /// Parse the CLI/wire label.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name {
+            "prop" | "proportional" => Ok(Allocation::Proportional),
+            "neyman" => Ok(Allocation::Neyman),
+            other => Err(format!("unknown allocation {other:?} (prop, neyman)")),
+        }
+    }
+}
 
 /// An enumeration of the available sampling procedures, parameterised the way
 /// an experiment configuration would describe them.
@@ -26,6 +61,18 @@ pub enum SamplerKind {
     /// Page-level sampling at the given page fraction
     /// (what commercial systems actually do).
     Block(f64),
+    /// Stratified uniform-with-replacement sampling: the table's pages are
+    /// partitioned into `strata` contiguous equi-width ranges and the row
+    /// budget `round(fraction·n)` is split across them per `alloc`.
+    Stratified {
+        /// Total row fraction across all strata.
+        fraction: f64,
+        /// Number of contiguous page-range strata (clamped to the page
+        /// count; `1` degenerates to plain uniform-with-replacement).
+        strata: usize,
+        /// Per-stratum budget allocation policy.
+        alloc: Allocation,
+    },
 }
 
 impl SamplerKind {
@@ -40,6 +87,11 @@ impl SamplerKind {
             SamplerKind::Systematic(f) => Box::new(SystematicSampler::new(f)?),
             SamplerKind::Reservoir(size) => Box::new(ReservoirSampler::new(size)?),
             SamplerKind::Block(f) => Box::new(BlockSampler::new(f)?),
+            SamplerKind::Stratified {
+                fraction,
+                strata,
+                alloc,
+            } => Box::new(StratifiedSampler::new(fraction, strata, alloc)?),
         })
     }
 
@@ -53,6 +105,14 @@ impl SamplerKind {
             SamplerKind::Systematic(f) => format!("systematic(f={f})"),
             SamplerKind::Reservoir(r) => format!("reservoir(r={r})"),
             SamplerKind::Block(f) => format!("block(f={f})"),
+            SamplerKind::Stratified {
+                fraction,
+                strata,
+                alloc,
+            } => format!(
+                "stratified(f={fraction},k={strata},alloc={})",
+                alloc.label()
+            ),
         }
     }
 }
@@ -76,6 +136,14 @@ mod tests {
             (SamplerKind::Systematic(0.1), "systematic"),
             (SamplerKind::Reservoir(10), "reservoir"),
             (SamplerKind::Block(0.1), "block"),
+            (
+                SamplerKind::Stratified {
+                    fraction: 0.1,
+                    strata: 4,
+                    alloc: Allocation::Proportional,
+                },
+                "stratified",
+            ),
         ];
         for (kind, expected) in cases {
             assert_eq!(kind.build().unwrap().name(), expected);
@@ -88,5 +156,31 @@ mod tests {
         assert!(SamplerKind::UniformWithReplacement(0.0).build().is_err());
         assert!(SamplerKind::Reservoir(0).build().is_err());
         assert!(SamplerKind::Block(1.5).build().is_err());
+        assert!(SamplerKind::Stratified {
+            fraction: 0.0,
+            strata: 4,
+            alloc: Allocation::Neyman,
+        }
+        .build()
+        .is_err());
+        assert!(SamplerKind::Stratified {
+            fraction: 0.1,
+            strata: 0,
+            alloc: Allocation::Neyman,
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn allocation_labels_round_trip() {
+        for alloc in [Allocation::Proportional, Allocation::Neyman] {
+            assert_eq!(Allocation::by_name(alloc.label()).unwrap(), alloc);
+        }
+        assert_eq!(
+            Allocation::by_name("proportional").unwrap(),
+            Allocation::Proportional
+        );
+        assert!(Allocation::by_name("optimal").is_err());
     }
 }

@@ -19,8 +19,8 @@
 //! I/O once and share the sample across many consumers (the advisor's
 //! batch-estimation trick).
 //!
-//! For **progressive estimation**, the uniform-with-replacement, block and
-//! reservoir samplers also come as [`SampleStream`]s: prefix-stable draws
+//! For **progressive estimation**, the uniform-with-replacement, block,
+//! reservoir and stratified samplers also come as [`SampleStream`]s: prefix-stable draws
 //! that arrive in geometrically growing batches (see [`BatchSchedule`]), so
 //! a consumer can measure after every batch and stop as soon as its error
 //! target is met — and a [`MaterializedSample`] can be *deepened* in place
@@ -54,16 +54,20 @@ pub mod kind;
 pub mod materialize;
 pub mod reservoir;
 pub mod sampler;
+pub mod strata;
+pub mod stratified;
 pub mod stream;
 pub mod uniform;
 
 pub use block::BlockSampler;
 pub use error::{SamplingError, SamplingResult};
 pub use io::CountingSource;
-pub use kind::SamplerKind;
+pub use kind::{Allocation, SamplerKind};
 pub use materialize::MaterializedSample;
 pub use reservoir::ReservoirSampler;
 pub use sampler::{target_page_count, target_size, validate_fraction, RowSampler, SampledRow};
+pub use strata::Strata;
+pub use stratified::{StratifiedSampler, StratifiedStream};
 pub use stream::{
     fetch_positions_coalesced, BatchSchedule, BlockStream, IncrementalFisherYates, PageCache,
     ReservoirStream, SampleStream, UniformWrStream,

@@ -34,6 +34,12 @@ pub struct MaterializedSample {
     source_pages: usize,
     kind: SamplerKind,
     seed: u64,
+    /// Per-row stratum tags, aligned with `source_rids`.  Empty for
+    /// unstratified draws (one implicit stratum).
+    row_strata: Vec<u32>,
+    /// Population weights `W_s = N_s/N` in tag order.  Empty for
+    /// unstratified draws.
+    strata_weights: Vec<f64>,
 }
 
 impl MaterializedSample {
@@ -65,6 +71,19 @@ impl MaterializedSample {
             table.insert(row)?;
             source_rids.push(*rid);
         }
+        // A stratified draw's tags and weights are recomputable from
+        // metadata alone: the equi-width partition is a pure function of
+        // (frame, page count, k), and a row's stratum of its page.
+        let (row_strata, strata_weights) = if let SamplerKind::Stratified { strata, .. } = kind {
+            let partition = crate::strata::Strata::equi_width(source, strata)?;
+            let tags = source_rids
+                .iter()
+                .map(|rid| partition.stratum_of_page(rid.page) as u32)
+                .collect();
+            (tags, partition.weights())
+        } else {
+            (Vec::new(), Vec::new())
+        };
         Ok(MaterializedSample {
             table,
             source_rids,
@@ -73,6 +92,8 @@ impl MaterializedSample {
             source_pages: source.num_pages(),
             kind,
             seed,
+            row_strata,
+            strata_weights,
         })
     }
 
@@ -95,6 +116,8 @@ impl MaterializedSample {
             source_pages: source.num_pages(),
             kind,
             seed,
+            row_strata: Vec::new(),
+            strata_weights: Vec::new(),
         })
     }
 
@@ -139,6 +162,12 @@ impl MaterializedSample {
                 self.table.insert(row)?;
                 self.source_rids.push(*rid);
             }
+            if let Some(tags) = stream.batch_strata() {
+                self.row_strata.extend_from_slice(tags);
+            }
+        }
+        if let Some(weights) = stream.strata_weights() {
+            self.strata_weights = weights;
         }
         self.kind = stream.kind();
         Ok(self.source_rids.len() - before)
@@ -210,6 +239,20 @@ impl MaterializedSample {
     #[must_use]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Per-row stratum tags aligned with [`rows`](Self::rows), in draw
+    /// order.  Empty for unstratified draws.
+    #[must_use]
+    pub fn row_strata(&self) -> &[u32] {
+        &self.row_strata
+    }
+
+    /// Population weights `W_s = N_s/N` of the strata the sample was drawn
+    /// under, in tag order.  Empty for unstratified draws.
+    #[must_use]
+    pub fn strata_weights(&self) -> &[f64] {
+        &self.strata_weights
     }
 }
 
@@ -344,6 +387,46 @@ mod tests {
         a.sort_by_key(|(rid, _)| *rid);
         b.sort_by_key(|(rid, _)| *rid);
         assert_eq!(a, b, "extension == fresh draw at the deeper fraction");
+    }
+
+    #[test]
+    fn stratified_samples_carry_tags_and_weights_on_both_paths() {
+        use crate::kind::Allocation;
+        use crate::stream::BatchSchedule;
+        let t = table(2_000);
+        let kind = SamplerKind::Stratified {
+            fraction: 0.1,
+            strata: 4,
+            alloc: Allocation::Proportional,
+        };
+        // Path 1: one-shot draw, tags recomputed from metadata.
+        let direct = MaterializedSample::draw(&t, kind, 33).unwrap();
+        assert_eq!(direct.row_strata().len(), direct.len());
+        assert_eq!(direct.strata_weights().len(), 4);
+        // Path 2: streamed, tags carried batch by batch.
+        let mut stream = kind.stream(BatchSchedule::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let streamed = MaterializedSample::from_stream(&t, stream.as_mut(), &mut rng, 33).unwrap();
+        assert_eq!(streamed.row_strata().len(), streamed.len());
+        assert_eq!(streamed.strata_weights(), direct.strata_weights());
+        // Same multiset of (rid, tag) pairs on both paths.
+        let pair = |s: &MaterializedSample| {
+            let mut v: Vec<(Rid, u32)> = s
+                .rows()
+                .unwrap()
+                .iter()
+                .map(|(rid, _)| *rid)
+                .zip(s.row_strata().iter().copied())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(pair(&direct), pair(&streamed));
+        // Unstratified draws stay tag-free.
+        let plain =
+            MaterializedSample::draw(&t, SamplerKind::UniformWithReplacement(0.1), 33).unwrap();
+        assert!(plain.row_strata().is_empty());
+        assert!(plain.strata_weights().is_empty());
     }
 
     #[test]

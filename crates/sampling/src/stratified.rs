@@ -1,0 +1,584 @@
+//! Stratified uniform sampling over contiguous page-range strata.
+//!
+//! A [`StratifiedStream`] splits the row budget `round(f·n)` across the
+//! strata of a [`Strata`] partition and draws uniformly **with replacement
+//! within each stratum**.  Each stratum's draw is an independent,
+//! prefix-stable substream: stratum `s` owns its own RNG (seeded from one
+//! `next_u64` of the shared stream RNG at bind time, in stratum order), so
+//! the *rows stratum `s` contributes* depend only on *how many* rows it was
+//! asked for — never on how the other strata were scheduled.  That is the
+//! property that lets Neyman allocation re-split the budget between batches
+//! without perturbing any stratum's draw sequence.
+//!
+//! Budget splitting is **house monotone**: conceptually the draws are
+//! assigned one at a time, each to the stratum whose allocation lags its
+//! quota the most (largest deficit `a_s/Σa·t − k_s`, ties to the lowest
+//! index).  Cumulative per-stratum counts therefore never decrease as the
+//! total target grows, and — for a fixed weight vector — depend only on the
+//! cumulative total, not on batch boundaries.  Together with per-stratum
+//! prefix stability this makes the whole stream prefix-stable: draining it
+//! under any batch schedule yields the same multiset of rows as a one-shot
+//! draw, and [`extend_cap`](crate::SampleStream::extend_cap) deepening
+//! continues the same draw.  (Feeding variance estimates back via
+//! [`update_stratum_variances`](crate::SampleStream::update_stratum_variances)
+//! deliberately breaks schedule independence — adapting the allocation to
+//! what was measured *is the point* — so the cache paths, which never feed
+//! back, stay deterministic, while `ProgressiveCf` adapts.)
+//!
+//! **Degenerate single-stratum case:** with one stratum there is nothing to
+//! allocate, so the stream draws positions directly from the shared RNG —
+//! exactly the call sequence of
+//! [`UniformWrStream`](crate::UniformWrStream) — making `stratified(k=1)`
+//! byte-identical to `uniform-wr` seed-for-seed (pinned by the proptest
+//! suite).
+
+use crate::error::SamplingResult;
+use crate::kind::{Allocation, SamplerKind};
+use crate::sampler::{target_size, validate_fraction, RowSampler, SampledRow};
+use crate::strata::Strata;
+use crate::stream::{fetch_positions_coalesced, BatchSchedule, PageCache, SampleStream};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use samplecf_storage::{Rid, TableSource};
+
+/// Floor for fed-back stratum standard deviations, so a stratum whose
+/// measured variance is (so far) zero keeps receiving a trickle of draws
+/// instead of being starved forever on a possibly-premature estimate.
+const SD_FLOOR: f64 = 1e-9;
+
+/// State bound on the first batch, once the stream has seen the source.
+struct BoundFrame {
+    rids: Vec<Rid>,
+    strata: Strata,
+    /// Cumulative row targets from the batch schedule.
+    targets: Vec<usize>,
+    /// Per-stratum RNGs (empty in the single-stratum degenerate case,
+    /// which draws from the shared RNG directly).
+    rngs: Vec<StdRng>,
+    /// Rows drawn per stratum so far.
+    counts: Vec<usize>,
+    /// Per-stratum standard-deviation estimates for Neyman allocation
+    /// (all equal until a consumer feeds measurements back).
+    sds: Vec<f64>,
+}
+
+impl BoundFrame {
+    /// The allocation weight of each stratum under the current policy.
+    fn alloc_weights(&self, alloc: Allocation) -> Vec<f64> {
+        (0..self.strata.len())
+            .map(|s| {
+                let size = self.strata.rows(s) as f64;
+                match alloc {
+                    Allocation::Proportional => size,
+                    Allocation::Neyman => size * self.sds[s],
+                }
+            })
+            .collect()
+    }
+
+    /// Advance the house-monotone assignment from the current total to
+    /// `target` rows, returning how many *new* draws each stratum gets.
+    fn assign_up_to(&mut self, target: usize, alloc: Allocation) -> Vec<usize> {
+        let weights = self.alloc_weights(alloc);
+        let total_weight: f64 = weights.iter().sum();
+        let mut delta = vec![0usize; self.counts.len()];
+        let mut drawn: usize = self.counts.iter().sum();
+        while drawn < target {
+            let t = (drawn + 1) as f64;
+            let mut best: Option<(usize, f64)> = None;
+            for (s, &w) in weights.iter().enumerate() {
+                if self.strata.rows(s) == 0 {
+                    continue;
+                }
+                // With all weights zero (possible only if every sd was fed
+                // back as zero and floored away), fall back to proportional.
+                let share = if total_weight > 0.0 {
+                    w / total_weight
+                } else {
+                    self.strata.weight(s)
+                };
+                let deficit = share * t - (self.counts[s] + delta[s]) as f64;
+                if best.is_none_or(|(_, d)| deficit > d) {
+                    best = Some((s, deficit));
+                }
+            }
+            let (s, _) = best.expect("a non-empty table has a non-empty stratum");
+            delta[s] += 1;
+            drawn += 1;
+        }
+        delta
+    }
+}
+
+/// Streaming stratified draw (see the module docs for the contract).
+pub struct StratifiedStream {
+    fraction: f64,
+    requested_strata: usize,
+    alloc: Allocation,
+    schedule: BatchSchedule,
+    frame: Option<BoundFrame>,
+    next_target: usize,
+    drawn: usize,
+    cache: PageCache,
+    /// Stratum tag of each row of the batch most recently returned.
+    last_tags: Vec<u32>,
+}
+
+impl StratifiedStream {
+    /// Create a stream drawing up to `round(fraction·n)` rows across
+    /// `strata` equi-width page-range strata.
+    pub fn new(
+        fraction: f64,
+        strata: usize,
+        alloc: Allocation,
+        schedule: BatchSchedule,
+    ) -> SamplingResult<Self> {
+        let fraction = validate_fraction(fraction)?;
+        if strata == 0 {
+            return Err(crate::error::SamplingError::InvalidSize(
+                "stratum count must be at least 1".to_string(),
+            ));
+        }
+        Ok(StratifiedStream {
+            fraction,
+            requested_strata: strata,
+            alloc,
+            schedule,
+            frame: None,
+            next_target: 0,
+            drawn: 0,
+            cache: PageCache::new(),
+            last_tags: Vec::new(),
+        })
+    }
+
+    /// Physical pages read so far (the page cache's size).
+    #[must_use]
+    pub fn pages_read(&self) -> usize {
+        self.cache.pages_cached()
+    }
+
+    /// Rows drawn per stratum so far (empty before the first batch).
+    #[must_use]
+    pub fn stratum_counts(&self) -> Vec<usize> {
+        self.frame.as_ref().map_or(Vec::new(), |f| f.counts.clone())
+    }
+
+    fn bind(&mut self, source: &dyn TableSource, rng: &mut dyn RngCore) -> SamplingResult<()> {
+        if self.frame.is_some() {
+            return Ok(());
+        }
+        let rids = source.rids()?;
+        let strata =
+            Strata::equi_width_from_frame(&rids, source.num_pages(), self.requested_strata)?;
+        let max_rows = target_size(rids.len(), self.fraction);
+        let targets = self.schedule.cumulative_targets(rids.len(), max_rows);
+        // Multi-stratum draws get independent per-stratum RNGs, derived
+        // from the shared RNG in stratum order at bind time: one next_u64
+        // each, so the derivation itself is part of the deterministic
+        // prefix.  The single-stratum case derives nothing and consumes
+        // the shared RNG exactly like UniformWrStream.
+        let rngs: Vec<StdRng> = if strata.len() > 1 {
+            (0..strata.len())
+                .map(|_| StdRng::seed_from_u64(rng.next_u64()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let count = strata.len();
+        self.frame = Some(BoundFrame {
+            rids,
+            strata,
+            targets,
+            rngs,
+            counts: vec![0; count],
+            sds: vec![1.0; count],
+        });
+        Ok(())
+    }
+}
+
+impl SampleStream for StratifiedStream {
+    fn kind(&self) -> SamplerKind {
+        SamplerKind::Stratified {
+            fraction: self.fraction,
+            strata: self.requested_strata,
+            alloc: self.alloc,
+        }
+    }
+
+    fn next_batch(
+        &mut self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>> {
+        self.bind(source, rng)?;
+        let alloc = self.alloc;
+        let frame = self.frame.as_mut().expect("frame bound above");
+        let Some(&target) = frame.targets.get(self.next_target) else {
+            self.last_tags.clear();
+            return Ok(Vec::new());
+        };
+        let delta = frame.assign_up_to(target, alloc);
+        let mut batch = Vec::with_capacity(target - self.drawn);
+        self.last_tags.clear();
+        for (s, &extra) in delta.iter().enumerate() {
+            if extra == 0 {
+                continue;
+            }
+            let range = frame.strata.row_range(s);
+            let span = range.len();
+            let positions: Vec<usize> = if frame.rngs.is_empty() {
+                // Degenerate single stratum: the shared RNG, exactly like
+                // UniformWrStream.
+                (0..extra).map(|_| rng.gen_range(0..span)).collect()
+            } else {
+                let stratum_rng = &mut frame.rngs[s];
+                (0..extra)
+                    .map(|_| range.start + stratum_rng.gen_range(0..span))
+                    .collect()
+            };
+            let rows = fetch_positions_coalesced(source, &frame.rids, &positions, &mut self.cache)?;
+            self.last_tags
+                .extend(std::iter::repeat_n(s as u32, rows.len()));
+            batch.extend(rows);
+            frame.counts[s] += extra;
+        }
+        self.drawn = target;
+        self.next_target += 1;
+        Ok(batch)
+    }
+
+    fn rows_drawn(&self) -> usize {
+        self.drawn
+    }
+
+    fn exhausted(&self) -> bool {
+        self.frame
+            .as_ref()
+            .is_some_and(|f| self.next_target >= f.targets.len())
+    }
+
+    fn extend_cap(&mut self, kind: SamplerKind) -> bool {
+        let SamplerKind::Stratified {
+            fraction,
+            strata,
+            alloc,
+        } = kind
+        else {
+            return false;
+        };
+        if strata != self.requested_strata
+            || alloc != self.alloc
+            || fraction < self.fraction
+            || validate_fraction(fraction).is_err()
+        {
+            return false;
+        }
+        self.fraction = fraction;
+        if let Some(frame) = self.frame.as_mut() {
+            let max_rows = target_size(frame.rids.len(), fraction);
+            frame.targets.truncate(self.next_target);
+            if max_rows > self.drawn {
+                frame.targets.push(max_rows);
+            }
+        }
+        true
+    }
+
+    fn batch_strata(&self) -> Option<&[u32]> {
+        Some(&self.last_tags)
+    }
+
+    fn strata_weights(&self) -> Option<Vec<f64>> {
+        self.frame.as_ref().map(|f| f.strata.weights())
+    }
+
+    fn update_stratum_variances(&mut self, sds: &[f64]) {
+        if let Some(frame) = self.frame.as_mut() {
+            for (slot, &sd) in frame.sds.iter_mut().zip(sds) {
+                if sd.is_finite() && sd >= 0.0 {
+                    *slot = sd.max(SD_FLOOR);
+                }
+            }
+        }
+    }
+
+    fn approx_retained_bytes(&self, row_bytes: usize) -> usize {
+        let frame = self
+            .frame
+            .as_ref()
+            .map_or(0, |f| f.rids.len() * std::mem::size_of::<Rid>());
+        frame + self.cache.rows_cached() * (std::mem::size_of::<SampledRow>() + row_bytes)
+    }
+}
+
+/// One-shot stratified sampler: drains a [`StratifiedStream`] under the
+/// single-batch schedule, so [`RowSampler::sample`] and a one-shot stream
+/// drain are the same draw by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct StratifiedSampler {
+    fraction: f64,
+    strata: usize,
+    alloc: Allocation,
+}
+
+impl StratifiedSampler {
+    /// Create a sampler drawing `round(fraction·n)` rows across `strata`
+    /// equi-width page-range strata.
+    pub fn new(fraction: f64, strata: usize, alloc: Allocation) -> SamplingResult<Self> {
+        // Validate eagerly, exactly like the stream.
+        let _ = StratifiedStream::new(fraction, strata, alloc, BatchSchedule::one_shot())?;
+        Ok(StratifiedSampler {
+            fraction,
+            strata,
+            alloc,
+        })
+    }
+}
+
+impl RowSampler for StratifiedSampler {
+    fn name(&self) -> &'static str {
+        "stratified"
+    }
+
+    fn sample(
+        &self,
+        source: &dyn TableSource,
+        rng: &mut dyn RngCore,
+    ) -> SamplingResult<Vec<SampledRow>> {
+        let mut stream = StratifiedStream::new(
+            self.fraction,
+            self.strata,
+            self.alloc,
+            BatchSchedule::one_shot(),
+        )?;
+        let mut out = Vec::new();
+        loop {
+            let batch = stream.next_batch(source, rng)?;
+            if batch.is_empty() {
+                return Ok(out);
+            }
+            out.extend(batch);
+        }
+    }
+
+    fn expected_sample_size(&self, n: usize) -> usize {
+        target_size(n, self.fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformWithReplacement;
+    use samplecf_storage::{CountingSource, Row, Schema, Table, TableBuilder, Value};
+
+    fn table(n: usize) -> Table {
+        TableBuilder::new("t", Schema::single_char("a", 32))
+            .page_size(512)
+            .build_with_rows((0..n).map(|i| Row::new(vec![Value::str(format!("v{i:06}"))])))
+            .unwrap()
+    }
+
+    fn drain(
+        stream: &mut dyn SampleStream,
+        source: &dyn TableSource,
+        rng: &mut StdRng,
+    ) -> Vec<SampledRow> {
+        let mut rows = Vec::new();
+        loop {
+            let b = stream.next_batch(source, rng).unwrap();
+            if b.is_empty() {
+                return rows;
+            }
+            rows.extend(b);
+        }
+    }
+
+    fn sorted(mut rows: Vec<SampledRow>) -> Vec<SampledRow> {
+        rows.sort_by_key(|(rid, _)| *rid);
+        rows
+    }
+
+    fn kind(f: f64, k: usize, alloc: Allocation) -> SamplerKind {
+        SamplerKind::Stratified {
+            fraction: f,
+            strata: k,
+            alloc,
+        }
+    }
+
+    #[test]
+    fn single_stratum_is_byte_identical_to_uniform_wr() {
+        let t = table(2_000);
+        for seed in [0u64, 7, 99] {
+            let uniform = UniformWithReplacement::new(0.1)
+                .unwrap()
+                .sample(&t, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            let stratified = StratifiedSampler::new(0.1, 1, Allocation::Neyman)
+                .unwrap()
+                .sample(&t, &mut StdRng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(stratified, uniform, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stream_drains_to_the_one_shot_multiset() {
+        let t = table(3_000);
+        for alloc in [Allocation::Proportional, Allocation::Neyman] {
+            let oneshot = StratifiedSampler::new(0.08, 5, alloc)
+                .unwrap()
+                .sample(&t, &mut StdRng::seed_from_u64(13))
+                .unwrap();
+            let mut stream = kind(0.08, 5, alloc)
+                .stream(BatchSchedule::default())
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(13);
+            let drained = drain(stream.as_mut(), &t, &mut rng);
+            assert_eq!(drained.len(), 240);
+            assert!(stream.exhausted());
+            assert_eq!(sorted(drained), sorted(oneshot), "{alloc:?}");
+        }
+    }
+
+    #[test]
+    fn batches_carry_aligned_stratum_tags() {
+        let t = table(2_000);
+        let mut stream = kind(0.1, 4, Allocation::Proportional)
+            .stream(BatchSchedule::default())
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = loop {
+            let batch = stream.next_batch(&t, &mut rng).unwrap();
+            if batch.is_empty() {
+                break stream.strata_weights().unwrap();
+            }
+            let tags = stream.batch_strata().unwrap().to_vec();
+            assert_eq!(tags.len(), batch.len(), "tags align with batch rows");
+            // Tags must agree with the page-range partition.
+            let strata = Strata::equi_width(&t, 4).unwrap();
+            for ((rid, _), &tag) in batch.iter().zip(&tags) {
+                assert_eq!(strata.stratum_of_page(rid.page) as u32, tag);
+            }
+        };
+        assert_eq!(weights.len(), 4);
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_allocation_tracks_stratum_sizes() {
+        let t = table(4_000);
+        let mut stream =
+            StratifiedStream::new(0.1, 4, Allocation::Proportional, BatchSchedule::one_shot())
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows = drain(&mut stream, &t, &mut rng);
+        assert_eq!(rows.len(), 400);
+        let counts = stream.stratum_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 400);
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - 100).unsigned_abs() <= 2,
+                "stratum {s} got {c} of an even 400/4 split"
+            );
+        }
+    }
+
+    #[test]
+    fn neyman_feedback_shifts_the_allocation() {
+        let t = table(4_000);
+        let mut stream = StratifiedStream::new(
+            0.1,
+            4,
+            Allocation::Neyman,
+            BatchSchedule::new(0.02, 2.0).unwrap(),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // First batch under equal sds: proportional split.
+        let first = stream.next_batch(&t, &mut rng).unwrap();
+        assert!(!first.is_empty());
+        // Declare stratum 2 wildly more variable than the rest.
+        stream.update_stratum_variances(&[0.0, 0.0, 10.0, 0.0]);
+        let mut rest = Vec::new();
+        loop {
+            let b = stream.next_batch(&t, &mut rng).unwrap();
+            if b.is_empty() {
+                break;
+            }
+            rest.extend(b);
+        }
+        let counts = stream.stratum_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 400);
+        // Nearly the whole remaining budget goes to the noisy stratum.
+        assert!(
+            counts[2] > counts[0] + counts[1] + counts[3],
+            "Neyman must chase the variance: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn extending_the_cap_continues_the_draw_prefix() {
+        let t = table(2_000);
+        let shallow = kind(0.05, 3, Allocation::Proportional);
+        let deep = kind(0.2, 3, Allocation::Proportional);
+        let mut stream = shallow.stream(BatchSchedule::one_shot()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut rows = drain(stream.as_mut(), &t, &mut rng);
+        assert_eq!(rows.len(), 100);
+        assert!(stream.extend_cap(deep));
+        assert_eq!(stream.kind(), deep);
+        rows.extend(drain(stream.as_mut(), &t, &mut rng));
+        let fresh = StratifiedSampler::new(0.2, 3, Allocation::Proportional)
+            .unwrap()
+            .sample(&t, &mut StdRng::seed_from_u64(17))
+            .unwrap();
+        assert_eq!(
+            sorted(rows),
+            sorted(fresh),
+            "deepening == fresh deeper draw"
+        );
+        // Mismatched strata, allocation, family or a shallower fraction all
+        // refuse.
+        assert!(!stream.extend_cap(kind(0.5, 4, Allocation::Proportional)));
+        assert!(!stream.extend_cap(kind(0.5, 3, Allocation::Neyman)));
+        assert!(!stream.extend_cap(kind(0.01, 3, Allocation::Proportional)));
+        assert!(!stream.extend_cap(SamplerKind::Block(0.5)));
+    }
+
+    #[test]
+    fn page_reads_are_schedule_independent() {
+        let t = table(3_000);
+        let mut pages = Vec::new();
+        for schedule in [
+            BatchSchedule::one_shot(),
+            BatchSchedule::default(),
+            BatchSchedule::new(0.001, 1.3).unwrap(),
+        ] {
+            let counting = CountingSource::new(&t);
+            let mut stream = kind(0.05, 4, Allocation::Proportional)
+                .stream(schedule)
+                .unwrap();
+            let mut rng = StdRng::seed_from_u64(3);
+            drain(stream.as_mut(), &counting, &mut rng);
+            pages.push(counting.pages_read());
+        }
+        assert_eq!(pages[0], pages[1], "page cache must erase batch boundaries");
+        assert_eq!(pages[0], pages[2]);
+    }
+
+    #[test]
+    fn empty_table_stream_is_immediately_exhausted() {
+        let t = table(0);
+        let mut stream = kind(0.5, 4, Allocation::Neyman)
+            .stream(BatchSchedule::default())
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(stream.next_batch(&t, &mut rng).unwrap().is_empty());
+        assert!(stream.exhausted());
+        assert_eq!(stream.rows_drawn(), 0);
+    }
+}

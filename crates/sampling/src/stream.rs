@@ -157,6 +157,30 @@ pub trait SampleStream: Send + Sync {
         let _ = row_bytes;
         0
     }
+
+    /// Per-row stratum tags of the batch most recently returned by
+    /// [`next_batch`](Self::next_batch), aligned index-for-index with its
+    /// rows.  `None` for unstratified streams (a single implicit stratum).
+    fn batch_strata(&self) -> Option<&[u32]> {
+        None
+    }
+
+    /// Population weights `W_s = N_s/N` of the stream's strata, in tag
+    /// order.  `None` for unstratified streams, or before the stream has
+    /// bound its source.
+    fn strata_weights(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Feed per-stratum standard-deviation estimates back into the stream
+    /// so a variance-aware allocation (Neyman) can re-split the remaining
+    /// budget.  A no-op for unstratified streams and for allocations that
+    /// ignore variance.  **Feeding back makes later batches depend on when
+    /// the feedback happened** — callers that need schedule-independent
+    /// draws (the sample caches) simply never call this.
+    fn update_stratum_variances(&mut self, sds: &[f64]) {
+        let _ = sds;
+    }
 }
 
 impl std::fmt::Debug for dyn SampleStream + '_ {
@@ -179,6 +203,7 @@ impl SamplerKind {
             SamplerKind::UniformWithReplacement(_)
                 | SamplerKind::Block(_)
                 | SamplerKind::Reservoir(_)
+                | SamplerKind::Stratified { .. }
         )
     }
 
@@ -193,6 +218,7 @@ impl SamplerKind {
             SamplerKind::Systematic(_) => "systematic",
             SamplerKind::Reservoir(_) => "reservoir",
             SamplerKind::Block(_) => "block",
+            SamplerKind::Stratified { .. } => "stratified",
         }
     }
 
@@ -204,7 +230,8 @@ impl SamplerKind {
             | SamplerKind::UniformWithoutReplacement(f)
             | SamplerKind::Bernoulli(f)
             | SamplerKind::Systematic(f)
-            | SamplerKind::Block(f) => Some(f),
+            | SamplerKind::Block(f)
+            | SamplerKind::Stratified { fraction: f, .. } => Some(f),
             SamplerKind::Reservoir(_) => None,
         }
     }
@@ -222,9 +249,17 @@ impl SamplerKind {
             }
             SamplerKind::Block(f) => Ok(Box::new(BlockStream::new(f, schedule)?)),
             SamplerKind::Reservoir(size) => Ok(Box::new(ReservoirStream::new(size, schedule)?)),
+            SamplerKind::Stratified {
+                fraction,
+                strata,
+                alloc,
+            } => Ok(Box::new(crate::stratified::StratifiedStream::new(
+                fraction, strata, alloc, schedule,
+            )?)),
             other => Err(SamplingError::InvalidSize(format!(
                 "sampler {} has no streaming implementation \
-                 (progressive estimation supports uniform-wr, block and reservoir)",
+                 (progressive estimation supports uniform-wr, block, reservoir \
+                 and stratified)",
                 other.label()
             ))),
         }
@@ -859,6 +894,11 @@ mod tests {
             SamplerKind::UniformWithReplacement(0.1),
             SamplerKind::Block(0.1),
             SamplerKind::Reservoir(5),
+            SamplerKind::Stratified {
+                fraction: 0.1,
+                strata: 4,
+                alloc: crate::kind::Allocation::Neyman,
+            },
         ] {
             assert!(kind.supports_streaming());
         }

@@ -10,7 +10,7 @@
 //! `table` object of the server's `info` response).
 
 use crate::json::Json;
-use samplecf_sampling::SamplerKind;
+use samplecf_sampling::{Allocation, SamplerKind};
 use samplecf_storage::{DiskTable, TableSource};
 
 /// Machine-readable error codes carried in `"error": {"code": ...}`.
@@ -178,8 +178,15 @@ pub fn table_info_json(table: &DiskTable, path: &str) -> Json {
 }
 
 /// Resolve a sampler by its CLI/wire name — the same vocabulary `samplecf
-/// estimate --sampler` accepts.
-pub fn sampler_by_name(name: &str, fraction: f64, size: usize) -> Result<SamplerKind, String> {
+/// estimate --sampler` accepts.  `strata` and `alloc` only matter for
+/// `"stratified"`; every other sampler ignores them.
+pub fn sampler_by_name(
+    name: &str,
+    fraction: f64,
+    size: usize,
+    strata: usize,
+    alloc: &str,
+) -> Result<SamplerKind, String> {
     Ok(match name {
         "uniform" | "uniform-wr" => SamplerKind::UniformWithReplacement(fraction),
         "uniform-wor" => SamplerKind::UniformWithoutReplacement(fraction),
@@ -187,9 +194,14 @@ pub fn sampler_by_name(name: &str, fraction: f64, size: usize) -> Result<Sampler
         "systematic" => SamplerKind::Systematic(fraction),
         "reservoir" => SamplerKind::Reservoir(size),
         "block" => SamplerKind::Block(fraction),
+        "stratified" => SamplerKind::Stratified {
+            fraction,
+            strata,
+            alloc: Allocation::by_name(alloc)?,
+        },
         other => {
             return Err(format!(
-                "unknown sampler {other:?} (block, uniform, uniform-wor, bernoulli, systematic, reservoir)"
+                "unknown sampler {other:?} (block, uniform, uniform-wor, bernoulli, systematic, reservoir, stratified)"
             ))
         }
     })
@@ -316,17 +328,29 @@ mod tests {
     #[test]
     fn sampler_names_match_the_cli_vocabulary() {
         assert_eq!(
-            sampler_by_name("block", 0.1, 10).unwrap(),
+            sampler_by_name("block", 0.1, 10, 4, "prop").unwrap(),
             SamplerKind::Block(0.1)
         );
         assert_eq!(
-            sampler_by_name("uniform", 0.2, 10).unwrap(),
+            sampler_by_name("uniform", 0.2, 10, 4, "prop").unwrap(),
             SamplerKind::UniformWithReplacement(0.2)
         );
         assert_eq!(
-            sampler_by_name("reservoir", 0.2, 99).unwrap(),
+            sampler_by_name("reservoir", 0.2, 99, 4, "prop").unwrap(),
             SamplerKind::Reservoir(99)
         );
-        assert!(sampler_by_name("frobnicate", 0.1, 10).is_err());
+        assert_eq!(
+            sampler_by_name("stratified", 0.1, 10, 8, "neyman").unwrap(),
+            SamplerKind::Stratified {
+                fraction: 0.1,
+                strata: 8,
+                alloc: Allocation::Neyman
+            }
+        );
+        assert!(sampler_by_name("frobnicate", 0.1, 10, 4, "prop").is_err());
+        assert!(
+            sampler_by_name("stratified", 0.1, 10, 4, "bogus").is_err(),
+            "bad allocation names must be rejected"
+        );
     }
 }

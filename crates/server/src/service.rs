@@ -21,10 +21,11 @@ use crate::protocol::{
 };
 use samplecf_compression::scheme_by_name;
 use samplecf_core::{
-    decide, evaluate_shared, measure_rows, ProgressiveCf, ProgressiveConfig, Recommendation,
+    decide, evaluate_shared, measure_rows, measure_rows_stratified, ProgressiveCf,
+    ProgressiveConfig, Recommendation, StrataAssignment,
 };
 use samplecf_index::{IndexBuilder, IndexSpec};
-use samplecf_sampling::BatchSchedule;
+use samplecf_sampling::{BatchSchedule, SamplerKind, Strata};
 use samplecf_storage::{CountingSource, TableSource};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -291,7 +292,11 @@ impl ServiceState {
         let fraction = opt_f64(request, "fraction", default_fraction)?;
         #[allow(clippy::cast_possible_truncation)]
         let size = opt_u64(request, "size", 1_000)? as usize;
-        let kind = sampler_by_name(&sampler_name, fraction, size).map_err(ApiError::bad_request)?;
+        #[allow(clippy::cast_possible_truncation)]
+        let strata = opt_u64(request, "strata", 8)? as usize;
+        let alloc = opt_str(request, "alloc")?.unwrap_or("prop").to_string();
+        let kind = sampler_by_name(&sampler_name, fraction, size, strata, &alloc)
+            .map_err(ApiError::bad_request)?;
         let seed = opt_u64(request, "seed", 0)?;
         Ok(SamplerSetup { entry, kind, seed })
     }
@@ -320,14 +325,42 @@ impl ServiceState {
             .cache
             .acquire(&setup.entry.shared, setup.kind, setup.seed)
             .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
-        let measurement = measure_rows(
-            setup.entry.shared.schema(),
-            &acquired.rows,
-            &index.spec,
-            index.scheme.as_ref(),
-            &IndexBuilder::new(),
-            setup.kind.label(),
-        )
+        // Stratified samples are measured as the weighted per-stratum
+        // combination, matching `SampleCf::estimate` bit-for-bit.  The
+        // stratum of each cached row is a pure function of its page (the
+        // partition is metadata-only), so nothing extra needs to live in
+        // the cache.
+        let measurement = if let SamplerKind::Stratified { strata, .. } = setup.kind {
+            let partition = Strata::equi_width(setup.entry.shared.as_ref(), strata)
+                .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
+            #[allow(clippy::cast_possible_truncation)]
+            let tags: Vec<u32> = acquired
+                .rows
+                .iter()
+                .map(|(rid, _)| partition.stratum_of_page(rid.page) as u32)
+                .collect();
+            measure_rows_stratified(
+                setup.entry.shared.schema(),
+                &acquired.rows,
+                StrataAssignment {
+                    tags: &tags,
+                    weights: &partition.weights(),
+                },
+                &index.spec,
+                index.scheme.as_ref(),
+                &IndexBuilder::new(),
+                setup.kind.label(),
+            )
+        } else {
+            measure_rows(
+                setup.entry.shared.schema(),
+                &acquired.rows,
+                &index.spec,
+                index.scheme.as_ref(),
+                &IndexBuilder::new(),
+                setup.kind.label(),
+            )
+        }
         .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
         let result = Json::obj()
             .field("table", Json::str(setup.entry.shared.name()))
@@ -405,6 +438,16 @@ impl ServiceState {
                     .field("ci_low", opt_num(c.ci_low))
                     .field("ci_high", opt_num(c.ci_high))
                     .field("pages_read", Json::uint(c.pages_read))
+                    .field(
+                        "variance_source",
+                        c.variance_source.map_or(Json::Null, Json::str),
+                    )
+                    .field(
+                        "strata_rows",
+                        c.strata_rows.as_ref().map_or(Json::Null, |rows| {
+                            Json::Arr(rows.iter().map(|&r| Json::uint(r as u64)).collect())
+                        }),
+                    )
             })
             .collect();
         let (ci_low, ci_high) = report
@@ -856,6 +899,191 @@ mod tests {
             0,
             "progressive bypasses the cache"
         );
+    }
+
+    #[test]
+    fn stratified_estimate_matches_direct_and_deepens_in_the_cache() {
+        // A value-clustered variable-length table: the case stratification
+        // exists for, and the one where a pooled (unweighted) measurement
+        // would actually diverge from the weighted combination.
+        let path = std::env::temp_dir().join(format!(
+            "samplecf_service_stratified_{}.scf",
+            std::process::id()
+        ));
+        let table = presets::clustered_variable_table("svc_strat", 6_000, 32, 12, 5)
+            .generate()
+            .unwrap()
+            .table;
+        DiskTable::materialize(&path, &table).unwrap();
+        let _cleanup = Cleanup(path.clone());
+        let path = path.to_string_lossy().into_owned();
+
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+        let reply = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_strat","sampler":"stratified","fraction":0.1,"strata":6,"alloc":"prop","seed":11}"#,
+        );
+        let result = reply.get("result").unwrap();
+        assert_eq!(
+            reply
+                .get("accounting")
+                .unwrap()
+                .get("cache")
+                .and_then(Json::as_str),
+            Some("miss")
+        );
+
+        // Bit-identical to the in-process estimator, which routes stratified
+        // kinds through the weighted progressive checkpoint.
+        let disk = DiskTable::open(&path).unwrap();
+        let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
+        let kind = SamplerKind::Stratified {
+            fraction: 0.1,
+            strata: 6,
+            alloc: samplecf_sampling::Allocation::Proportional,
+        };
+        let direct = SampleCf::new(kind)
+            .seed(11)
+            .estimate(
+                &disk,
+                &spec,
+                scheme_by_name("null-suppression").unwrap().as_ref(),
+            )
+            .unwrap();
+        assert_eq!(result.get("cf").and_then(Json::as_f64), Some(direct.cf));
+        assert_eq!(
+            result.get("cf_with_pointers").and_then(Json::as_f64),
+            Some(direct.cf_with_pointers)
+        );
+        assert_eq!(
+            result.get("rows").and_then(Json::as_u64),
+            Some(direct.data.rows as u64)
+        );
+        assert_eq!(
+            result.get("sampler").and_then(Json::as_str),
+            Some(kind.label().as_str())
+        );
+
+        // Same configuration again: served from the cache, byte-identical.
+        let again = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_strat","sampler":"stratified","fraction":0.1,"strata":6,"alloc":"prop","seed":11}"#,
+        );
+        assert_eq!(
+            again
+                .get("accounting")
+                .unwrap()
+                .get("cache")
+                .and_then(Json::as_str),
+            Some("hit")
+        );
+        assert_eq!(again.get("result").unwrap(), result);
+
+        // A deeper fraction with the same (strata, alloc, seed) extends the
+        // cached prefix-stable stream instead of redrawing...
+        let deeper = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_strat","sampler":"stratified","fraction":0.2,"strata":6,"alloc":"prop","seed":11}"#,
+        );
+        assert_eq!(
+            deeper
+                .get("accounting")
+                .unwrap()
+                .get("cache")
+                .and_then(Json::as_str),
+            Some("deepened")
+        );
+        // ...and still matches a fresh direct estimate at the deep fraction.
+        let deep_kind = SamplerKind::Stratified {
+            fraction: 0.2,
+            strata: 6,
+            alloc: samplecf_sampling::Allocation::Proportional,
+        };
+        let deep_direct = SampleCf::new(deep_kind)
+            .seed(11)
+            .estimate(
+                &disk,
+                &spec,
+                scheme_by_name("null-suppression").unwrap().as_ref(),
+            )
+            .unwrap();
+        assert_eq!(
+            deeper
+                .get("result")
+                .unwrap()
+                .get("cf")
+                .and_then(Json::as_f64),
+            Some(deep_direct.cf)
+        );
+
+        // A mismatched stratified config (different strata count) cannot
+        // share the entry: it is a miss, not an error.
+        let other = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_strat","sampler":"stratified","fraction":0.1,"strata":3,"alloc":"prop","seed":11}"#,
+        );
+        assert_eq!(
+            other
+                .get("accounting")
+                .unwrap()
+                .get("cache")
+                .and_then(Json::as_str),
+            Some("miss")
+        );
+        // Bad allocation names are rejected up front.
+        assert_eq!(
+            err_code(
+                &state,
+                r#"{"op":"estimate","table":"svc_strat","sampler":"stratified","alloc":"bogus"}"#
+            ),
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn stratified_progressive_reports_algebra_variance_per_checkpoint() {
+        let (path, _cleanup) = scratch_table("strat_prog", 10_000);
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+        let reply = ok(
+            &state,
+            r#"{"op":"estimate_progressive","table":"svc_t","sampler":"stratified","fraction":0.2,"strata":4,"alloc":"neyman","target_error":0.2,"seed":6}"#,
+        );
+        let result = reply.get("result").unwrap();
+        let checkpoints = result.get("checkpoints").and_then(Json::as_array).unwrap();
+        assert!(!checkpoints.is_empty());
+        for c in checkpoints {
+            assert_eq!(
+                c.get("variance_source").and_then(Json::as_str),
+                Some("algebra"),
+                "stratified checkpoints carry the algebra variance: {c}"
+            );
+            let strata_rows = c.get("strata_rows").and_then(Json::as_array).unwrap();
+            assert_eq!(strata_rows.len(), 4);
+            let sum: u64 = strata_rows.iter().filter_map(Json::as_u64).sum();
+            assert_eq!(c.get("rows").and_then(Json::as_u64), Some(sum));
+        }
+        // Unstratified runs keep the jackknife label (or null for a single
+        // batch) and a null strata_rows.
+        let uni = ok(
+            &state,
+            r#"{"op":"estimate_progressive","table":"svc_t","sampler":"uniform","fraction":0.2,"target_error":0.2,"seed":6}"#,
+        );
+        let checkpoints = uni
+            .get("result")
+            .unwrap()
+            .get("checkpoints")
+            .and_then(Json::as_array)
+            .unwrap();
+        for c in checkpoints {
+            let source = c.get("variance_source").unwrap();
+            assert!(
+                matches!(source.as_str(), Some("jackknife") | None),
+                "unexpected variance source {source}"
+            );
+            assert_eq!(c.get("strata_rows"), Some(&Json::Null));
+        }
     }
 
     #[test]

@@ -167,10 +167,21 @@ fn eviction_pressure_in_one_shard_leaves_the_others_untouched() {
         .find(|&s| s != hot && by_shard[s].len() >= 2)
         .expect("another shard collects 2 seeds");
 
-    // Budget: every shard holds about two entries.
-    let entry_bytes = CachedSample::draw_streaming(shared, kind, by_shard[hot][0])
-        .expect("probe draw")
-        .approx_bytes();
+    // Budget: every shard holds about two entries.  Block draws differ in
+    // byte size seed to seed (variable-length values), and which seeds land
+    // where changes run to run (routing hashes the source *address*), so
+    // size the budget from the largest entry this test will actually insert
+    // — otherwise an unlucky pair of large cold-shard entries overflows the
+    // 2.5-entry budget and evicts without "pressure".
+    let entry_bytes = [by_shard[cold][0], by_shard[cold][1], by_shard[hot][0]]
+        .iter()
+        .map(|&seed| {
+            CachedSample::draw_streaming(shared, kind, seed)
+                .expect("probe draw")
+                .approx_bytes()
+        })
+        .max()
+        .expect("non-empty");
     let cache = ConcurrentSampleCache::with_shards((2 * entry_bytes + entry_bytes / 2) * 8, 8);
 
     // Two residents in the cold shard...

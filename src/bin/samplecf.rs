@@ -48,9 +48,12 @@ GEN OPTIONS:
 ESTIMATE OPTIONS:
   --table FILE        table file written by `gen` (required)
   --sampler NAME      block | uniform | uniform-wor | bernoulli |
-                      systematic | reservoir             [default: uniform]
+                      systematic | reservoir | stratified [default: uniform]
   --fraction F        sampling fraction in (0, 1]        [default: 0.01]
   --size R            reservoir size (reservoir sampler) [default: 1000]
+  --strata K          page strata (stratified sampler)   [default: 8]
+  --alloc A           prop | neyman — per-stratum budget split
+                      (stratified sampler)               [default: prop]
   --scheme NAME       none | null-suppression | dictionary-paged |
                       dictionary-global | rle | prefix   [default: null-suppression]
   --column COLS       comma-separated index key columns  [default: first column]
@@ -60,7 +63,7 @@ ESTIMATE OPTIONS:
   --json              emit the report as JSON (includes the seed used)
 
 PROGRESSIVE ESTIMATION (adds to ESTIMATE; requires a streaming sampler —
-uniform, block or reservoir):
+uniform, block, reservoir or stratified):
   --target-error E    stop when the CI half-width is <= E x the estimate;
                       enables the progressive (stream-then-stop) mode
   --confidence C      confidence level 1 - delta of the CI  [default: 0.95]
@@ -73,7 +76,10 @@ re-measured from the accumulated sorted run and its variance jackknifed
 over the batches.  The run stops when the Chebyshev CI at the requested
 confidence is tighter than --target-error, or at --max-fraction.  A run
 that reaches the cap is byte-identical to a one-shot estimate at that
-fraction and seed.
+fraction and seed.  With --sampler stratified the CF is the weighted
+per-stratum combination, the CI comes from the closed-form stratified
+variance algebra instead of the jackknife, and --alloc neyman re-splits
+the remaining budget toward high-variance strata after every checkpoint.
 
 EXACT OPTIONS:
   --table FILE        table file (required)
@@ -87,9 +93,11 @@ ADVISE OPTIONS:
   --column COLS       key columns of the inline candidate [default: first column]
   --scheme NAME       scheme of the inline candidate     [default: null-suppression]
   --sampler NAME      block | uniform | uniform-wor | bernoulli |
-                      systematic | reservoir             [default: block]
+                      systematic | reservoir | stratified [default: block]
   --fraction F        sampling fraction in (0, 1]        [default: 0.01]
   --size R            reservoir size (reservoir sampler) [default: 1000]
+  --strata K          page strata (stratified sampler)   [default: 8]
+  --alloc A           prop | neyman (stratified sampler) [default: prop]
   --seed S            RNG seed for the shared sample     [default: 0]
   --min-saving F      compress only if saving >= F of the
                       uncompressed size                  [default: 0.1]
@@ -257,7 +265,13 @@ fn cmd_gen(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_sampler(name: &str, fraction: f64, size: usize) -> Result<SamplerKind, String> {
+fn parse_sampler(
+    name: &str,
+    fraction: f64,
+    size: usize,
+    strata: usize,
+    alloc: &str,
+) -> Result<SamplerKind, String> {
     Ok(match name {
         "uniform" | "uniform-wr" => SamplerKind::UniformWithReplacement(fraction),
         "uniform-wor" => SamplerKind::UniformWithoutReplacement(fraction),
@@ -265,9 +279,14 @@ fn parse_sampler(name: &str, fraction: f64, size: usize) -> Result<SamplerKind, 
         "systematic" => SamplerKind::Systematic(fraction),
         "reservoir" => SamplerKind::Reservoir(size),
         "block" => SamplerKind::Block(fraction),
+        "stratified" => SamplerKind::Stratified {
+            fraction,
+            strata,
+            alloc: samplecf_sampling::Allocation::by_name(alloc)?,
+        },
         other => {
             return Err(format!(
-                "unknown sampler {other:?} (block, uniform, uniform-wor, bernoulli, systematic, reservoir)"
+                "unknown sampler {other:?} (block, uniform, uniform-wor, bernoulli, systematic, reservoir, stratified)"
             ))
         }
     })
@@ -334,10 +353,17 @@ fn progressive_to_json(ctx: &ReportContext<'_>, report: &ProgressiveReport) -> S
     s.push_str(&format!("  \"source_pages\": {},\n", report.source_pages));
     s.push_str("  \"checkpoints\": [\n");
     for (i, c) in report.checkpoints.iter().enumerate() {
+        let variance_source = c
+            .variance_source
+            .map_or("null".to_string(), |v| format!("\"{v}\""));
+        let strata_rows = c.strata_rows.as_ref().map_or("null".to_string(), |rows| {
+            let inner: Vec<String> = rows.iter().map(ToString::to_string).collect();
+            format!("[{}]", inner.join(", "))
+        });
         s.push_str(&format!(
             "    {{\"batch\": {}, \"rows\": {}, \"fraction\": {:.6}, \"cf\": {:.6}, \
              \"std_error\": {}, \"half_width\": {}, \"ci_low\": {}, \"ci_high\": {}, \
-             \"pages_read\": {}}}{}\n",
+             \"pages_read\": {}, \"variance_source\": {}, \"strata_rows\": {}}}{}\n",
             c.batch,
             c.rows,
             c.fraction,
@@ -347,6 +373,8 @@ fn progressive_to_json(ctx: &ReportContext<'_>, report: &ProgressiveReport) -> S
             json_opt(c.ci_low),
             json_opt(c.ci_high),
             c.pages_read,
+            variance_source,
+            strata_rows,
             if i + 1 < report.checkpoints.len() {
                 ","
             } else {
@@ -387,6 +415,8 @@ fn cmd_estimate(mut args: Args) -> Result<(), String> {
     let sampler_name: String = args.parse("sampler", "uniform".to_string())?;
     let fraction: f64 = args.parse("fraction", 0.01)?;
     let size: usize = args.parse("size", 1_000)?;
+    let strata: usize = args.parse("strata", 8)?;
+    let alloc: String = args.parse("alloc", "prop".to_string())?;
     let scheme_name: String = args.parse("scheme", "null-suppression".to_string())?;
     let trials: usize = args.parse("trials", 1)?;
     let threads: usize = args.parse("threads", 0)?;
@@ -430,7 +460,7 @@ fn cmd_estimate(mut args: Args) -> Result<(), String> {
                     .to_string(),
             );
         }
-        let sampler = parse_sampler(&sampler_name, max_fraction, size)?;
+        let sampler = parse_sampler(&sampler_name, max_fraction, size, strata, &alloc)?;
         let schedule = BatchSchedule::new(initial_fraction, growth).map_err(|e| e.to_string())?;
         let config = ProgressiveConfig {
             target_error: target,
@@ -509,7 +539,7 @@ fn cmd_estimate(mut args: Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let sampler = parse_sampler(&sampler_name, fraction, size)?;
+    let sampler = parse_sampler(&sampler_name, fraction, size, strata, &alloc)?;
     let started = Instant::now();
     if trials <= 1 {
         let est = SampleCf::new(sampler)
@@ -744,6 +774,8 @@ fn cmd_advise(mut args: Args) -> Result<(), String> {
     let sampler_name: String = args.parse("sampler", "block".to_string())?;
     let fraction: f64 = args.parse("fraction", 0.01)?;
     let size: usize = args.parse("size", 1_000)?;
+    let strata: usize = args.parse("strata", 8)?;
+    let alloc: String = args.parse("alloc", "prop".to_string())?;
     let seed: u64 = args.parse("seed", 0)?;
     let min_saving: f64 = args.parse("min-saving", 0.1)?;
     let budget: Option<usize> = args
@@ -773,7 +805,7 @@ fn cmd_advise(mut args: Args) -> Result<(), String> {
         }
     };
 
-    let sampler = parse_sampler(&sampler_name, fraction, size)?;
+    let sampler = parse_sampler(&sampler_name, fraction, size, strata, &alloc)?;
     let advisor = CompressionAdvisor::new(AdvisorConfig {
         sampler,
         seed,
