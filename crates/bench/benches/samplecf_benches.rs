@@ -13,14 +13,17 @@
 //! * `compression_throughput` — per-scheme chunk compression cost.
 //! * `sampling_throughput` — per-sampler cost of drawing a 1% sample.
 //! * `index_build` — bulk-loading the B+-tree at several table sizes.
+//! * `kernels` — the zero-copy measure path: sizing a sample index's
+//!   compression without materialising it vs producing the bytes, and the
+//!   borrowed-record bulk load vs the owned-row one.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use samplecf_bench::paper_table;
 use samplecf_compression::{scheme_by_name, scheme_names, ColumnChunk, NullSuppression};
 use samplecf_core::{ExactCf, ProgressiveCf, ProgressiveConfig, SampleCf};
 use samplecf_datagen::presets;
-use samplecf_index::{IndexBuilder, IndexSpec};
-use samplecf_sampling::SamplerKind;
+use samplecf_index::{compress_index, measure_index, IndexBuilder, IndexSpec};
+use samplecf_sampling::{MaterializedSample, SamplerKind};
 use samplecf_storage::{DataType, Value};
 use std::hint::black_box;
 
@@ -207,12 +210,76 @@ fn bench_index_build(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    let n = 40_000;
+    let table = presets::variable_length_table("kern", n, WIDTH, n / 50, 4, 36, 9)
+        .generate()
+        .expect("generation succeeds")
+        .table;
+    let sample = MaterializedSample::draw(&table, SamplerKind::UniformWithReplacement(0.25), 41)
+        .expect("sampling succeeds");
+    let schema = sample.table().schema();
+    let builder = IndexBuilder::new();
+    let records = sample.records().expect("borrowing the sample succeeds");
+    let index = builder
+        .build_from_records(schema, &records, &spec())
+        .expect("record build succeeds");
+    group.throughput(Throughput::Elements(sample.table().num_rows() as u64));
+    for name in ["null-suppression", "dictionary-paged", "rle"] {
+        let scheme = scheme_by_name(name).unwrap();
+        group.bench_function(BenchmarkId::new("compress_index", name), |b| {
+            b.iter(|| {
+                black_box(
+                    compress_index(&index, scheme.as_ref())
+                        .unwrap()
+                        .compressed_data_bytes(),
+                )
+            });
+        });
+        group.bench_function(BenchmarkId::new("measure_index", name), |b| {
+            b.iter(|| {
+                black_box(
+                    measure_index(&index, scheme.as_ref())
+                        .unwrap()
+                        .compressed_data_bytes(),
+                )
+            });
+        });
+    }
+    group.bench_function("build_from_rows", |b| {
+        b.iter(|| {
+            let rows = sample.rows().unwrap();
+            black_box(
+                IndexBuilder::new()
+                    .build_from_rows(schema, &rows, &spec())
+                    .unwrap()
+                    .num_leaf_pages(),
+            )
+        });
+    });
+    group.bench_function("build_from_records", |b| {
+        b.iter(|| {
+            let records = sample.records().unwrap();
+            black_box(
+                IndexBuilder::new()
+                    .build_from_records(schema, &records, &spec())
+                    .unwrap()
+                    .num_leaf_pages(),
+            )
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_samplecf_vs_exact,
     bench_progressive_vs_oneshot,
     bench_compression_throughput,
     bench_sampling_throughput,
-    bench_index_build
+    bench_index_build,
+    bench_kernels
 );
 criterion_main!(benches);

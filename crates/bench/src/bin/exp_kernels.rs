@@ -1,0 +1,12 @@
+//! Runs the zero-copy kernel experiment (borrowed records + size-only
+//! measurement vs owned rows + materialised compression, rows/sec per
+//! scheme) and writes its report under `results/` plus the
+//! `BENCH_kernels.json` baseline.
+
+use samplecf_bench::experiments::{kernels, quick_mode};
+
+fn main() {
+    let report = kernels::run(quick_mode());
+    let path = report.finish().expect("writing the report succeeds");
+    eprintln!("report written to {}", path.display());
+}

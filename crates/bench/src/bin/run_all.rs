@@ -24,6 +24,7 @@ fn main() {
         ("advisor_scaling", experiments::advisor_scaling::run),
         ("server_throughput", experiments::server_throughput::run),
         ("dv_baselines", experiments::dv_baselines::run),
+        ("kernels", experiments::kernels::run),
         ("timing", experiments::timing::run),
     ];
     for (name, run) in runs {

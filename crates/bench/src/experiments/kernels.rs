@@ -1,0 +1,267 @@
+//! **Zero-copy kernel experiment** — the tentpole claim of the batched
+//! measure path: sizing a sample index's compression *without producing a
+//! byte of it* ([`measure_index`]) must process at least **5×** the
+//! rows/sec of materialising every compressed column ([`compress_index`]),
+//! summed across all registered schemes.  The full pipelines around the
+//! kernels are timed too: borrowed records
+//! ([`MaterializedSample::records`] → [`IndexBuilder::build_from_records`]
+//! → measure) against the byte-producing route the estimator used before
+//! (re-materialise owned `(Rid, Row)` pairs → bulk-load from rows →
+//! compress).
+//!
+//! Both routes run over the *same* drawn sample and the reports they
+//! produce are asserted equal before any clock starts — the speedups are
+//! measured on provably identical answers.  A machine-readable baseline
+//! goes to `BENCH_kernels.json` (override with `SAMPLECF_BENCH_KERNELS`)
+//! so CI can compare future runs against the committed trajectory.
+
+use crate::report::{fmt, Report, Table};
+use samplecf_compression::{scheme_by_name, scheme_names};
+use samplecf_datagen::presets;
+use samplecf_index::{compress_index, measure_index, IndexBuilder, IndexSpec};
+use samplecf_sampling::{MaterializedSample, SamplerKind};
+use samplecf_server::Json;
+use std::hint::black_box;
+use std::time::Instant;
+
+const FRACTION: f64 = 0.25;
+const SEED: u64 = 41;
+
+/// One scheme's timing outcome.
+struct Outcome {
+    scheme: &'static str,
+    /// Seconds materialising the compressed columns ([`compress_index`]).
+    compress_secs: f64,
+    /// Seconds sizing them without materialisation ([`measure_index`]).
+    measure_secs: f64,
+    /// Seconds for the full byte pipeline (decode rows → build → compress).
+    bytes_pipeline_secs: f64,
+    /// Seconds for the full zero-copy pipeline (borrow → build → measure).
+    kernel_pipeline_secs: f64,
+}
+
+/// Run the experiment.
+#[allow(clippy::cast_precision_loss)]
+pub fn run(quick: bool) -> Report {
+    let rows = if quick { 20_000 } else { 80_000 };
+    let iters = if quick { 8 } else { 24 };
+    let spec = IndexSpec::nonclustered("idx_a", ["a"]).expect("valid spec");
+
+    // Variable-length values with a mid-sized dictionary: every scheme has
+    // real work to do (padding to strip, runs to collapse, codes to size).
+    let table = presets::variable_length_table("kern", rows, 40, rows / 50, 4, 36, 9)
+        .generate()
+        .expect("generation succeeds")
+        .table;
+    let sample =
+        MaterializedSample::draw(&table, SamplerKind::UniformWithReplacement(FRACTION), SEED)
+            .expect("sampling succeeds");
+    let sampled_rows = sample.table().num_rows();
+    let schema = sample.table().schema();
+    let builder = IndexBuilder::new();
+
+    // One index per build path, shared by every scheme below.  The measure
+    // kernels are timed on the record-built index — the one the zero-copy
+    // estimator actually hands them.
+    let oracle_rows = sample.rows().expect("decoding the sample succeeds");
+    let oracle_index = builder
+        .build_from_rows(schema, &oracle_rows, &spec)
+        .expect("row build succeeds");
+    let records = sample.records().expect("borrowing the sample succeeds");
+    let index = builder
+        .build_from_records(schema, &records, &spec)
+        .expect("record build succeeds");
+    drop(oracle_rows);
+
+    let mut outcomes = Vec::new();
+    for name in scheme_names() {
+        let scheme = scheme_by_name(name).expect("registered scheme");
+
+        // Correctness gate: the kernels must agree with the byte path on
+        // this exact sample — across both build paths — before their speed
+        // means anything.
+        let oracle = compress_index(&oracle_index, scheme.as_ref()).expect("compression succeeds");
+        let measured = measure_index(&index, scheme.as_ref()).expect("measure succeeds");
+        assert_eq!(measured, oracle, "kernels must be bit-identical ({name})");
+
+        // Headline: the measurement kernels on the same built index.
+        let start = Instant::now();
+        for _ in 0..iters {
+            let report = compress_index(&index, scheme.as_ref()).expect("compression succeeds");
+            black_box(report.compressed_data_bytes());
+        }
+        let compress_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for _ in 0..iters {
+            let report = measure_index(&index, scheme.as_ref()).expect("measure succeeds");
+            black_box(report.compressed_data_bytes());
+        }
+        let measure_secs = start.elapsed().as_secs_f64();
+
+        // Secondary: the full pipelines, from cached sample to CF-ready
+        // report.  The byte route re-materialises owned rows every time —
+        // exactly what `estimate_materialized` used to do.
+        let start = Instant::now();
+        for _ in 0..iters {
+            let rows = sample.rows().expect("decoding the sample succeeds");
+            let built = builder
+                .build_from_rows(schema, &rows, &spec)
+                .expect("row build succeeds");
+            let report = compress_index(&built, scheme.as_ref()).expect("compression succeeds");
+            black_box(report.compressed_data_bytes());
+        }
+        let bytes_pipeline_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for _ in 0..iters {
+            let records = sample.records().expect("borrowing the sample succeeds");
+            let built = builder
+                .build_from_records(schema, &records, &spec)
+                .expect("record build succeeds");
+            let report = measure_index(&built, scheme.as_ref()).expect("measure succeeds");
+            black_box(report.compressed_data_bytes());
+        }
+        let kernel_pipeline_secs = start.elapsed().as_secs_f64();
+
+        outcomes.push(Outcome {
+            scheme: name,
+            compress_secs,
+            measure_secs,
+            bytes_pipeline_secs,
+            kernel_pipeline_secs,
+        });
+    }
+
+    // Overall ratios with every scheme weighted by its own cost: total
+    // wall-clock per route, across all schemes.
+    let kernel_speedup = outcomes.iter().map(|o| o.compress_secs).sum::<f64>()
+        / outcomes.iter().map(|o| o.measure_secs).sum::<f64>();
+    let end_to_end_speedup = outcomes.iter().map(|o| o.bytes_pipeline_secs).sum::<f64>()
+        / outcomes.iter().map(|o| o.kernel_pipeline_secs).sum::<f64>();
+
+    // The acceptance claims, enforced so CI fails loudly on regression.
+    let kernel_floor = if quick { 2.0 } else { 5.0 };
+    assert!(
+        kernel_speedup >= kernel_floor,
+        "measure kernels must be at least {kernel_floor}x compress, got {kernel_speedup:.2}x"
+    );
+    let pipeline_floor = if quick { 1.2 } else { 1.5 };
+    assert!(
+        end_to_end_speedup >= pipeline_floor,
+        "the zero-copy pipeline must be at least {pipeline_floor}x the byte pipeline, \
+         got {end_to_end_speedup:.2}x"
+    );
+
+    let processed = (sampled_rows * iters) as f64;
+    let mut report = Report::new("exp_kernels");
+    let mut t = Table::new(
+        format!(
+            "Measure-without-encode throughput on a {sampled_rows}-row sample index \
+             (f = {FRACTION} of n = {rows}, {iters} iterations/scheme): size-only kernels \
+             vs materialised compression, plus the full pipelines around them"
+        ),
+        &[
+            "scheme",
+            "compress rows/s",
+            "measure rows/s",
+            "kernel speedup",
+            "pipeline speedup",
+        ],
+    );
+    for o in &outcomes {
+        t.row(&[
+            o.scheme.to_string(),
+            fmt(processed / o.compress_secs),
+            fmt(processed / o.measure_secs),
+            format!("{:.2}x", o.compress_secs / o.measure_secs),
+            format!("{:.2}x", o.bytes_pipeline_secs / o.kernel_pipeline_secs),
+        ]);
+    }
+    t.note(format!(
+        "Measured shape: materialised compression pays for every encoded byte it will \
+         immediately throw away — the estimator only reads the sizes.  The measure kernels \
+         compute those sizes arithmetically (run heads, code widths, stripped padding) and \
+         processed {kernel_speedup:.1}x the rows/sec across all schemes (floor: \
+         {kernel_floor}x).  End to end the zero-copy pipeline — borrow records where the \
+         sample cache already holds them, bulk-load from the borrowed slices, measure — ran \
+         {end_to_end_speedup:.1}x the byte-producing route; the remaining gap is the index \
+         build itself, which both routes share."
+    ));
+    report.add(t);
+
+    write_bench_json(
+        quick,
+        rows,
+        sampled_rows,
+        iters,
+        &outcomes,
+        kernel_speedup,
+        end_to_end_speedup,
+    );
+    report
+}
+
+/// Persist the machine-readable baseline (`BENCH_kernels.json` at the
+/// workspace root, `SAMPLECF_BENCH_KERNELS` to override).
+#[allow(clippy::cast_precision_loss)]
+fn write_bench_json(
+    quick: bool,
+    rows: usize,
+    sampled_rows: usize,
+    iters: usize,
+    outcomes: &[Outcome],
+    kernel_speedup: f64,
+    end_to_end_speedup: f64,
+) {
+    let path = std::env::var("SAMPLECF_BENCH_KERNELS")
+        .unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let round = |v: f64| (v * 100_000.0).round() / 100_000.0;
+    let processed = (sampled_rows * iters) as f64;
+    let mut results = Json::obj();
+    for o in outcomes {
+        results = results.field(
+            o.scheme,
+            Json::obj()
+                .field(
+                    "rows_per_sec_compress",
+                    Json::Num((processed / o.compress_secs).round()),
+                )
+                .field(
+                    "rows_per_sec_measure",
+                    Json::Num((processed / o.measure_secs).round()),
+                )
+                .field(
+                    "kernel_speedup",
+                    Json::Num(round(o.compress_secs / o.measure_secs)),
+                )
+                .field(
+                    "pipeline_speedup",
+                    Json::Num(round(o.bytes_pipeline_secs / o.kernel_pipeline_secs)),
+                ),
+        );
+    }
+    let doc = Json::obj()
+        .field("bench", Json::Str("kernels".to_string()))
+        .field(
+            "mode",
+            Json::Str(if quick { "quick" } else { "full" }.to_string()),
+        )
+        .field(
+            "config",
+            Json::obj()
+                .field("rows", Json::uint(rows as u64))
+                .field("sampled_rows", Json::uint(sampled_rows as u64))
+                .field("fraction", Json::Num(FRACTION))
+                .field("iters", Json::uint(iters as u64)),
+        )
+        .field(
+            "results",
+            results
+                .field("overall_speedup", Json::Num(round(kernel_speedup)))
+                .field("end_to_end_speedup", Json::Num(round(end_to_end_speedup))),
+        );
+    if let Err(e) = std::fs::write(&path, format!("{}\n", doc.pretty())) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("baseline written to {path}");
+    }
+}

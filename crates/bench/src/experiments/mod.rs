@@ -9,6 +9,7 @@ pub mod dc_distinct_sweep;
 pub mod dc_regimes;
 pub mod disk_block_io;
 pub mod dv_baselines;
+pub mod kernels;
 pub mod ns_fraction_sweep;
 pub mod paged_vs_global;
 pub mod progressive_stopping;

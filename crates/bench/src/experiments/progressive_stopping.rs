@@ -11,7 +11,7 @@ use samplecf_compression::scheme_by_name;
 use samplecf_core::{ratio_error, ExactCf, ProgressiveCf, ProgressiveConfig, SampleCf};
 use samplecf_datagen::{presets, RowLayout};
 use samplecf_index::IndexSpec;
-use samplecf_sampling::{Allocation, BatchSchedule, CountingSource, SamplerKind};
+use samplecf_sampling::{Allocation, BatchSchedule, CountingSource, SamplerKind, StrataMode};
 use samplecf_server::Json;
 use samplecf_storage::DiskTable;
 
@@ -169,6 +169,7 @@ pub fn run(quick: bool) -> Report {
                     fraction: CAP_FRACTION,
                     strata: 16,
                     alloc: Allocation::Neyman,
+                    mode: StrataMode::EquiWidth,
                 },
                 row_config,
             )

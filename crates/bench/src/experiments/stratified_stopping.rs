@@ -17,7 +17,7 @@ use samplecf_compression::NullSuppression;
 use samplecf_core::{ratio_error, ExactCf, ProgressiveCf, ProgressiveConfig, ProgressiveReport};
 use samplecf_datagen::presets;
 use samplecf_index::IndexSpec;
-use samplecf_sampling::{Allocation, BatchSchedule, SamplerKind};
+use samplecf_sampling::{Allocation, BatchSchedule, SamplerKind, StrataMode};
 use samplecf_server::Json;
 use samplecf_storage::DiskTable;
 
@@ -74,6 +74,7 @@ pub fn run(quick: bool) -> Report {
                 fraction: CAP_FRACTION,
                 strata: STRATA,
                 alloc: Allocation::Proportional,
+                mode: StrataMode::EquiWidth,
             },
         ),
         (
@@ -82,6 +83,7 @@ pub fn run(quick: bool) -> Report {
                 fraction: CAP_FRACTION,
                 strata: STRATA,
                 alloc: Allocation::Neyman,
+                mode: StrataMode::EquiWidth,
             },
         ),
     ];

@@ -16,9 +16,10 @@
 use crate::chunk::{ColumnChunk, CompressedChunk, CompressedColumn};
 use crate::encoding::{read_ns_cell, read_uint, write_ns_cell, write_uint};
 use crate::error::{CompressionError, CompressionResult};
+use crate::measure::{ns_cell_size_raw, CellChunk};
 use crate::scheme::CompressionScheme;
-use samplecf_storage::{DataType, Value};
-use std::collections::HashMap;
+use samplecf_storage::{CellRef, DataType, Value};
+use std::collections::{HashMap, HashSet};
 
 /// How wide the per-row dictionary pointers are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -159,6 +160,21 @@ impl CompressionScheme for DictionaryCompression {
         Ok(CompressedChunk::new(out))
     }
 
+    /// Closed form: account distinct cells (null flag + raw bytes, which is
+    /// value identity) for the inline dictionary, then header + pointers.
+    fn measure_chunk(&self, chunk: &CellChunk<'_>) -> CompressionResult<usize> {
+        let dt = chunk.datatype();
+        let mut distinct: HashSet<CellRef<'_>> = HashSet::new();
+        let mut dict_bytes = 0usize;
+        for c in chunk.cells() {
+            if distinct.insert(*c) {
+                dict_bytes += ns_cell_size_raw(*c, &dt);
+            }
+        }
+        let ptr_width = self.config.pointer_width.resolve(distinct.len().max(1))?;
+        Ok(2 + 2 + 1 + dict_bytes + chunk.len() * ptr_width)
+    }
+
     fn decompress_chunk(
         &self,
         chunk: &CompressedChunk,
@@ -231,6 +247,40 @@ impl CompressionScheme for GlobalDictionaryCompression {
     /// dictionary over a single page *is* a page-local dictionary.
     fn compress_chunk(&self, chunk: &ColumnChunk) -> CompressionResult<CompressedChunk> {
         DictionaryCompression::new(self.config).compress_chunk(chunk)
+    }
+
+    /// As with compression, a single chunk measures like the paged variant.
+    fn measure_chunk(&self, chunk: &CellChunk<'_>) -> CompressionResult<usize> {
+        DictionaryCompression::new(self.config).measure_chunk(chunk)
+    }
+
+    /// Closed form for the shared dictionary: one distinct-cell account over
+    /// all chunks, then per-chunk pointer arrays.
+    fn measure_chunks(&self, chunks: &[CellChunk<'_>]) -> CompressionResult<usize> {
+        if chunks.is_empty() {
+            return Ok(0);
+        }
+        let dt = chunks[0].datatype();
+        for c in chunks {
+            if c.datatype() != dt {
+                return Err(CompressionError::InvalidConfig(
+                    "all chunks of a column must share a data type".to_string(),
+                ));
+            }
+        }
+        let mut distinct: HashSet<CellRef<'_>> = HashSet::new();
+        let mut dict_bytes = 0usize;
+        for chunk in chunks {
+            for c in chunk.cells() {
+                if distinct.insert(*c) {
+                    dict_bytes += ns_cell_size_raw(*c, &dt);
+                }
+            }
+        }
+        let ptr_width = self.config.pointer_width.resolve(distinct.len().max(1))?;
+        let shared = 4 + 1 + dict_bytes;
+        let pointers: usize = chunks.iter().map(|c| 2 + c.len() * ptr_width).sum();
+        Ok(shared + pointers)
     }
 
     fn decompress_chunk(

@@ -169,6 +169,26 @@ pub fn trim_char_padding(bytes: &[u8]) -> &[u8] {
     &bytes[..end]
 }
 
+/// The null-suppressed payload of a *raw* non-null cell, as a borrowed
+/// subslice — the zero-copy counterpart of [`ns_payload`].
+///
+/// `raw` must be the cell's canonical fixed-width encoding (what
+/// [`encode_cell`](samplecf_storage::encode_cell) writes): space-padded text,
+/// order-preserving big-endian integers with the sign bit already flipped, a
+/// single byte for booleans.  Padding and leading zero bytes are dropped by
+/// slicing, so no bytes are materialised.
+#[must_use]
+pub fn ns_payload_from_raw<'a>(raw: &'a [u8], dt: &DataType) -> &'a [u8] {
+    match dt {
+        DataType::Char(_) | DataType::VarChar(_) => trim_char_padding(raw),
+        DataType::Int32 | DataType::Int64 => {
+            let start = raw.iter().position(|&b| b != 0).unwrap_or(raw.len());
+            &raw[start..]
+        }
+        DataType::Bool => &raw[..1],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +290,32 @@ mod tests {
         assert_eq!(trim_char_padding(b"ab    "), b"ab");
         assert_eq!(trim_char_padding(b"      "), b"");
         assert_eq!(trim_char_padding(b"a b"), b"a b");
+    }
+
+    #[test]
+    fn raw_payload_matches_value_payload() {
+        use samplecf_storage::encode_cell;
+        let cases = [
+            (Value::str("hi"), DataType::Char(8)),
+            (Value::str(""), DataType::Char(8)),
+            (Value::str("exact"), DataType::VarChar(5)),
+            (Value::int(0), DataType::Int32),
+            (Value::int(-1), DataType::Int32),
+            (Value::int(i64::from(i32::MIN)), DataType::Int32),
+            (Value::int(42), DataType::Int64),
+            (Value::int(i64::MIN), DataType::Int64),
+            (Value::Bool(true), DataType::Bool),
+            (Value::Bool(false), DataType::Bool),
+        ];
+        for (value, dt) in &cases {
+            let mut raw = Vec::new();
+            encode_cell(value, dt, &mut raw).unwrap();
+            assert_eq!(
+                ns_payload_from_raw(&raw, dt),
+                ns_payload(value, dt).unwrap().as_slice(),
+                "{dt:?} {value:?}"
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod chunk;
 pub mod dictionary;
 pub mod encoding;
 pub mod error;
+pub mod measure;
 pub mod model;
 pub mod none;
 pub mod null_suppression;
@@ -59,6 +60,7 @@ pub use dictionary::{
     DictionaryCompression, DictionaryConfig, GlobalDictionaryCompression, PointerWidth,
 };
 pub use error::{CompressionError, CompressionResult};
+pub use measure::{measure_cells, ns_cell_size_raw, CellChunk};
 pub use none::Uncompressed;
 pub use null_suppression::NullSuppression;
 pub use prefix::PrefixCompression;

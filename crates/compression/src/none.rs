@@ -3,6 +3,7 @@
 
 use crate::chunk::{ColumnChunk, CompressedChunk};
 use crate::error::{CompressionError, CompressionResult};
+use crate::measure::CellChunk;
 use crate::scheme::CompressionScheme;
 use samplecf_storage::{encode_cell, DataType, Value};
 
@@ -32,6 +33,12 @@ impl CompressionScheme for Uncompressed {
                 .map_err(|e| CompressionError::Corrupt(e.to_string()))?;
         }
         Ok(CompressedChunk::new(out))
+    }
+
+    /// Closed form: count + null bitmap + every cell at full width.
+    fn measure_chunk(&self, chunk: &CellChunk<'_>) -> CompressionResult<usize> {
+        let n = chunk.len();
+        Ok(2 + n.div_ceil(8) + n * chunk.datatype().uncompressed_width())
     }
 
     fn decompress_chunk(

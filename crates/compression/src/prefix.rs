@@ -8,8 +8,11 @@
 //! scheme whose win depends on shared structure across the whole page.
 
 use crate::chunk::{ColumnChunk, CompressedChunk};
-use crate::encoding::{marker_width, ns_payload, read_uint, value_from_ns_payload, write_uint};
+use crate::encoding::{
+    marker_width, ns_payload, ns_payload_from_raw, read_uint, value_from_ns_payload, write_uint,
+};
 use crate::error::{CompressionError, CompressionResult};
+use crate::measure::CellChunk;
 use crate::scheme::CompressionScheme;
 use samplecf_storage::DataType;
 
@@ -83,6 +86,44 @@ impl CompressionScheme for PrefixCompression {
             }
         }
         Ok(CompressedChunk::new(out))
+    }
+
+    /// Closed form: scan the borrowed null-suppressed payloads once for the
+    /// longest common prefix, then charge header + prefix + per-cell marker
+    /// and suffix lengths.
+    fn measure_chunk(&self, chunk: &CellChunk<'_>) -> CompressionResult<usize> {
+        let dt = chunk.datatype();
+        let width = marker_width(&dt);
+        let mut non_null = chunk
+            .cells()
+            .iter()
+            .filter(|c| !c.is_null())
+            .map(|c| ns_payload_from_raw(c.bytes(), &dt));
+        let prefix_len = match non_null.next() {
+            None => 0,
+            Some(first) => {
+                let mut prefix = first.len();
+                for p in non_null {
+                    let mut l = 0;
+                    while l < prefix && l < p.len() && p[l] == first[l] {
+                        l += 1;
+                    }
+                    prefix = l;
+                    if prefix == 0 {
+                        break;
+                    }
+                }
+                prefix
+            }
+        };
+        let mut total = 2 + width + prefix_len;
+        for c in chunk.cells() {
+            total += width;
+            if !c.is_null() {
+                total += ns_payload_from_raw(c.bytes(), &dt).len() - prefix_len;
+            }
+        }
+        Ok(total)
     }
 
     fn decompress_chunk(

@@ -10,6 +10,7 @@
 use crate::chunk::{ColumnChunk, CompressedChunk};
 use crate::encoding::{read_ns_cell, read_uint, write_ns_cell, write_uint};
 use crate::error::{CompressionError, CompressionResult};
+use crate::measure::{ns_cell_size_raw, CellChunk};
 use crate::scheme::CompressionScheme;
 use samplecf_storage::DataType;
 
@@ -44,6 +45,26 @@ impl CompressionScheme for RunLengthEncoding {
             write_ns_cell(&mut out, current, &dt)?;
         }
         Ok(CompressedChunk::new(out))
+    }
+
+    /// Closed form: count runs of byte-equal cells (raw-cell equality is
+    /// value equality for a fixed datatype) and charge each run its 2-byte
+    /// length plus one null-suppressed cell.
+    fn measure_chunk(&self, chunk: &CellChunk<'_>) -> CompressionResult<usize> {
+        let dt = chunk.datatype();
+        let mut total = 2usize;
+        let mut cells = chunk.cells().iter();
+        if let Some(first) = cells.next() {
+            let mut current = first;
+            for c in cells {
+                if c != current {
+                    total += 2 + ns_cell_size_raw(*current, &dt);
+                    current = c;
+                }
+            }
+            total += 2 + ns_cell_size_raw(*current, &dt);
+        }
+        Ok(total)
     }
 
     fn decompress_chunk(

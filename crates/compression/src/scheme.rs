@@ -10,6 +10,7 @@
 
 use crate::chunk::{ColumnChunk, CompressedChunk, CompressedColumn};
 use crate::error::{CompressionError, CompressionResult};
+use crate::measure::CellChunk;
 use samplecf_storage::DataType;
 
 /// A column compression algorithm.
@@ -42,6 +43,33 @@ pub trait CompressionScheme: Send + Sync {
             .map(|c| self.compress_chunk(c))
             .collect::<CompressionResult<Vec<_>>>()?;
         Ok(CompressedColumn::from_chunks(compressed))
+    }
+
+    /// Exact compressed size in bytes of one chunk of borrowed cells,
+    /// computed without materialising the compressed byte stream.
+    ///
+    /// The default decodes the cells and runs the byte-producing
+    /// [`compress_chunk`](Self::compress_chunk) — correct for any scheme, and
+    /// the oracle the batch kernels are verified against.  Every built-in
+    /// scheme overrides this with a closed-form size computation over the
+    /// raw cell bytes.
+    fn measure_chunk(&self, chunk: &CellChunk<'_>) -> CompressionResult<usize> {
+        Ok(self.compress_chunk(&chunk.decode()?)?.compressed_bytes())
+    }
+
+    /// Exact compressed size in bytes of a whole column segment of borrowed
+    /// cells (one chunk per page) — the measure counterpart of
+    /// [`compress_column`](Self::compress_column).
+    ///
+    /// The default sums per-chunk sizes, which models page-local
+    /// compression; schemes with shared column state (the global dictionary)
+    /// override it.
+    fn measure_chunks(&self, chunks: &[CellChunk<'_>]) -> CompressionResult<usize> {
+        let mut total = 0usize;
+        for c in chunks {
+            total += self.measure_chunk(c)?;
+        }
+        Ok(total)
     }
 
     /// Decompress a column segment produced by

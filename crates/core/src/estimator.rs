@@ -17,9 +17,9 @@ use crate::metrics::ratio_error;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use samplecf_compression::CompressionScheme;
-use samplecf_index::{compress_index, CompressedIndexReport, IndexBuilder, IndexSpec};
+use samplecf_index::{measure_index, CompressedIndexReport, IndexBuilder, IndexSpec};
 use samplecf_sampling::{MaterializedSample, RowSampler, SamplerKind};
-use samplecf_storage::{Schema, TableSource, Value};
+use samplecf_storage::{decode_cell, Rid, RowCodec, Schema, TableSource, Value};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -162,7 +162,7 @@ pub fn measure_rows(
 ) -> CoreResult<CfMeasurement> {
     let start = Instant::now();
     let index = builder.build_from_rows(schema, rows, spec)?;
-    let report = compress_index(&index, scheme)?;
+    let report = measure_index(&index, scheme)?;
     let elapsed = start.elapsed();
 
     let first_key = spec
@@ -179,6 +179,64 @@ pub fn measure_rows(
         scheme: report.scheme.clone(),
         sampler: sampler_label,
         data,
+        elapsed,
+        report,
+    })
+}
+
+/// Zero-copy twin of [`measure_rows`]: the same measurement taken over
+/// *borrowed* encoded heap records instead of decoded rows.
+///
+/// The index is bulk-loaded by slicing sort keys and stored cells straight
+/// out of each record
+/// ([`IndexBuilder::build_from_records`](samplecf_index::IndexBuilder::build_from_records))
+/// and sized by the batch measure kernels ([`measure_index`]), so the hot
+/// path never materialises a decoded [`Row`](samplecf_storage::Row) or a
+/// compressed byte.  Only the first key column's cells are decoded — one
+/// [`Value`] per record — to produce the same [`DataStats`] the row path
+/// reports.  `codec` must be the [`RowCodec`] the records were encoded
+/// with; results are byte-identical to [`measure_rows`] over the decoded
+/// equivalents (pinned by the differential suite).
+pub fn measure_records(
+    schema: &Schema,
+    codec: &RowCodec,
+    records: &[(Rid, &[u8])],
+    spec: &IndexSpec,
+    scheme: &dyn CompressionScheme,
+    builder: &IndexBuilder,
+    sampler_label: String,
+) -> CoreResult<CfMeasurement> {
+    let start = Instant::now();
+    let index = builder.build_from_records(schema, records, spec)?;
+    let report = measure_index(&index, scheme)?;
+    let elapsed = start.elapsed();
+
+    let first_key = spec
+        .key_indexes(schema)?
+        .first()
+        .copied()
+        .ok_or_else(|| CoreError::InvalidConfig("index has no key columns".to_string()))?;
+    let datatype = schema.column_at(first_key).datatype;
+    let offset = codec.cell_offset(first_key);
+    let width = datatype.uncompressed_width();
+    let mut acc = DataStatsAccumulator::new();
+    for (_, record) in records {
+        let is_null = record[first_key / 8] & (1 << (first_key % 8)) != 0;
+        let value = if is_null {
+            Value::Null
+        } else {
+            decode_cell(&record[offset..offset + width], &datatype)?
+        };
+        acc.observe(&value);
+    }
+
+    Ok(CfMeasurement {
+        cf: report.cf(),
+        cf_with_pointers: report.cf_with_pointers(),
+        cf_pages: report.cf_pages(),
+        scheme: report.scheme.clone(),
+        sampler: sampler_label,
+        data: acc.snapshot(),
         elapsed,
         report,
     })
@@ -240,7 +298,63 @@ pub fn measure_rows_stratified(
             continue;
         }
         let index = builder.build_from_rows(schema, &group, spec)?;
-        let report = compress_index(&index, scheme)?;
+        let report = measure_index(&index, scheme)?;
+        cfs[s] = Some(report.cf());
+        cfwps[s] = Some(report.cf_with_pointers());
+        cfps[s] = Some(report.cf_pages());
+    }
+    if let Some(cf) = crate::algebra::weighted_combine(weights, &cfs) {
+        measurement.cf = cf;
+    }
+    if let Some(cfwp) = crate::algebra::weighted_combine(weights, &cfwps) {
+        measurement.cf_with_pointers = cfwp;
+    }
+    if let Some(cfp) = crate::algebra::weighted_combine(weights, &cfps) {
+        measurement.cf_pages = cfp;
+    }
+    Ok(measurement)
+}
+
+/// Zero-copy twin of [`measure_rows_stratified`], over borrowed encoded
+/// records (see [`measure_records`]).  Per-stratum groups copy only the
+/// `(Rid, &[u8])` fat pointers, never the record bytes.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_records_stratified(
+    schema: &Schema,
+    codec: &RowCodec,
+    records: &[(Rid, &[u8])],
+    strata: StrataAssignment<'_>,
+    spec: &IndexSpec,
+    scheme: &dyn CompressionScheme,
+    builder: &IndexBuilder,
+    sampler_label: String,
+) -> CoreResult<CfMeasurement> {
+    let StrataAssignment { tags, weights } = strata;
+    if tags.len() != records.len() {
+        return Err(CoreError::InvalidConfig(format!(
+            "stratum tags ({}) must align with records ({})",
+            tags.len(),
+            records.len()
+        )));
+    }
+    let mut measurement =
+        measure_records(schema, codec, records, spec, scheme, builder, sampler_label)?;
+    let k = weights.len();
+    let mut cfs = vec![None; k];
+    let mut cfwps = vec![None; k];
+    let mut cfps = vec![None; k];
+    for s in 0..k {
+        let group: Vec<(Rid, &[u8])> = records
+            .iter()
+            .zip(tags)
+            .filter(|(_, &t)| t as usize == s)
+            .map(|(&r, _)| r)
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let index = builder.build_from_records(schema, &group, spec)?;
+        let report = measure_index(&index, scheme)?;
         cfs[s] = Some(report.cf());
         cfwps[s] = Some(report.cf_with_pointers());
         cfps[s] = Some(report.cf_pages());
@@ -416,17 +530,24 @@ impl SampleCf {
     /// `(sampler kind, seed)` as this estimator would use, the measurement
     /// is identical to [`estimate`](Self::estimate) — same rows, same CF —
     /// except that `elapsed` excludes the (already paid) sampling time.
+    ///
+    /// Internally this runs the zero-copy path: the cached rows are read as
+    /// borrowed encoded records ([`MaterializedSample::records`]) and fed to
+    /// [`measure_records`] / [`measure_records_stratified`], so re-measuring
+    /// a cached sample never re-materialises its `(Rid, Row)` pairs.
     pub fn estimate_materialized(
         &self,
         sample: &MaterializedSample,
         spec: &IndexSpec,
         scheme: &dyn CompressionScheme,
     ) -> CoreResult<CfMeasurement> {
-        let rows = sample.rows()?;
+        let records = sample.records()?;
+        let codec = sample.table().codec();
         if !sample.row_strata().is_empty() {
-            return measure_rows_stratified(
+            return measure_records_stratified(
                 sample.table().schema(),
-                &rows,
+                codec,
+                &records,
                 StrataAssignment {
                     tags: sample.row_strata(),
                     weights: sample.strata_weights(),
@@ -437,9 +558,10 @@ impl SampleCf {
                 sample.kind().label(),
             );
         }
-        measure_rows(
+        measure_records(
             sample.table().schema(),
-            &rows,
+            codec,
+            &records,
             spec,
             scheme,
             &self.builder,
@@ -611,6 +733,7 @@ mod tests {
                 fraction: 0.05,
                 strata: 4,
                 alloc: samplecf_sampling::Allocation::Proportional,
+                mode: samplecf_sampling::StrataMode::EquiWidth,
             },
         ] {
             let sample = MaterializedSample::draw(&t, kind, 42).unwrap();

@@ -80,8 +80,8 @@ pub use distinct::{
 };
 pub use error::{CoreError, CoreResult};
 pub use estimator::{
-    measure_rows, measure_rows_stratified, CfMeasurement, DataStats, DataStatsAccumulator, ExactCf,
-    SampleCf, StrataAssignment,
+    measure_records, measure_records_stratified, measure_rows, measure_rows_stratified,
+    CfMeasurement, DataStats, DataStatsAccumulator, ExactCf, SampleCf, StrataAssignment,
 };
 pub use metrics::{
     absolute_error, grouped_jackknife_variance, ratio_error, relative_error, SummaryStats,

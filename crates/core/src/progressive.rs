@@ -33,7 +33,7 @@ use crate::theory;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use samplecf_compression::CompressionScheme;
-use samplecf_index::{compress_index, CompressedIndexReport, IndexBuilder, IndexSpec, SortedRun};
+use samplecf_index::{measure_index, CompressedIndexReport, IndexBuilder, IndexSpec, SortedRun};
 use samplecf_sampling::{BatchSchedule, SamplerKind};
 use samplecf_storage::{CountingSource, TableSource};
 use std::time::Instant;
@@ -343,7 +343,7 @@ impl ProgressiveCf {
             // Measure the checkpoint from the accumulated (never re-sorted)
             // run.
             let index = self.builder.build_from_sorted_run(&schema, spec, &merged)?;
-            let report = compress_index(&index, scheme)?;
+            let report = measure_index(&index, scheme)?;
 
             // Stratified draws estimate CF as Σ W_s·CF_s: each stratum's
             // sub-index is built and compressed on its own, then combined
@@ -362,7 +362,7 @@ impl ProgressiveCf {
                     let idx = self
                         .builder
                         .build_from_sorted_run(&schema, spec, &strata_runs[s])?;
-                    let rep = compress_index(&idx, scheme)?;
+                    let rep = measure_index(&idx, scheme)?;
                     cfs[s] = Some(rep.cf());
                     cfwps[s] = Some(rep.cf_with_pointers());
                     cfps[s] = Some(rep.cf_pages());
@@ -395,7 +395,7 @@ impl ProgressiveCf {
                     let idx = self
                         .builder
                         .build_from_sorted_run(&schema, spec, &partial)?;
-                    leave_one_out.push(compress_index(&idx, scheme)?.cf());
+                    leave_one_out.push(measure_index(&idx, scheme)?.cf());
                 }
                 grouped_jackknife_variance(cf, &leave_one_out, &batch_sizes)
             } else {
@@ -461,7 +461,7 @@ impl ProgressiveCf {
                 let index = self
                     .builder
                     .build_from_sorted_run(&schema, spec, &SortedRun::new())?;
-                compress_index(&index, scheme)?
+                measure_index(&index, scheme)?
             }
         };
         let stopped_early = !stream.exhausted() && !checkpoints.is_empty();
@@ -666,6 +666,7 @@ mod tests {
                 fraction: 0.1,
                 strata: 4,
                 alloc: Allocation::Proportional,
+                mode: samplecf_sampling::StrataMode::EquiWidth,
             },
             ProgressiveConfig {
                 target_error: 0.0,
@@ -711,6 +712,7 @@ mod tests {
                 fraction: 0.2,
                 strata: 16,
                 alloc: samplecf_sampling::Allocation::Neyman,
+                mode: samplecf_sampling::StrataMode::EquiWidth,
             },
             config,
         )
@@ -746,6 +748,7 @@ mod tests {
                 fraction: 0.1,
                 strata: 1,
                 alloc: Allocation::Proportional,
+                mode: samplecf_sampling::StrataMode::EquiWidth,
             },
             config,
         )

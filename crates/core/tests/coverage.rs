@@ -21,7 +21,7 @@ use samplecf_core::theory::chebyshev_z;
 use samplecf_core::{ExactCf, ProgressiveCf, ProgressiveConfig};
 use samplecf_datagen::presets;
 use samplecf_index::IndexSpec;
-use samplecf_sampling::{Allocation, BatchSchedule, SamplerKind};
+use samplecf_sampling::{Allocation, BatchSchedule, SamplerKind, StrataMode};
 use samplecf_storage::Table;
 
 const TRIALS: u64 = 200;
@@ -76,6 +76,7 @@ fn methods() -> [(&'static str, SamplerKind, &'static str); 2] {
                 fraction: 0.06,
                 strata: 4,
                 alloc: Allocation::Proportional,
+                mode: StrataMode::EquiWidth,
             },
             "algebra",
         ),

@@ -1,0 +1,280 @@
+//! Differential suite for the zero-copy measure kernels.
+//!
+//! Two independent implementations exist for every (scheme, sample) pair:
+//!
+//! * the **byte-producing oracle** — decode rows, bulk-load the index from
+//!   [`Row`]s, materialise every compressed column
+//!   ([`compress_index`]), and
+//! * the **batch kernels** — bulk-load from borrowed encoded records
+//!   ([`IndexBuilder::build_from_records`]) and compute encoded sizes
+//!   without materialising a byte ([`measure_index`]).
+//!
+//! The estimator's exactness claim (METHODOLOGY.md) requires the two to be
+//! *bit-identical*, not approximately equal.  This suite pins that across
+//! every registered scheme × {uniform, block, stratified} samplers ×
+//! {in-memory, on-disk} sources, and fuzzes the kernels with NULL-heavy,
+//! variable-length rows via proptest.
+
+use proptest::prelude::*;
+use samplecf_compression::{scheme_by_name, scheme_names};
+use samplecf_core::{measure_records, measure_records_stratified, measure_rows, StrataAssignment};
+use samplecf_index::{compress_index, measure_index, IndexBuilder, IndexSpec};
+use samplecf_sampling::{Allocation, MaterializedSample, SamplerKind, Strata, StrataMode};
+use samplecf_storage::{
+    Column, DataType, DiskTable, Rid, Row, RowCodec, Schema, Table, TableBuilder, TableSource,
+    Value,
+};
+
+/// A mixed-type table with a nullable, variable-length key column: the
+/// shape that stresses padding, bitmaps and per-page dictionaries at once.
+fn mixed_table(rows: usize, page_size: usize) -> Table {
+    let schema = Schema::new(vec![
+        Column::nullable("a", DataType::Char(18)),
+        Column::new("b", DataType::Int32),
+        Column::nullable("c", DataType::VarChar(12)),
+    ])
+    .unwrap();
+    TableBuilder::new("diff", schema)
+        .page_size(page_size)
+        .build_with_rows((0..rows).map(|i| {
+            let a = if i % 5 == 0 {
+                Value::Null
+            } else {
+                let len = 3 + (i * 7) % 14;
+                Value::str(format!("{:0len$}", i % 97))
+            };
+            let c = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::str(format!("v{:x}", i % 41))
+            };
+            #[allow(clippy::cast_possible_wrap)]
+            Row::new(vec![a, Value::Int(i as i64 % 211 - 100), c])
+        }))
+        .unwrap()
+}
+
+fn samplers() -> [SamplerKind; 3] {
+    [
+        SamplerKind::UniformWithReplacement(0.15),
+        SamplerKind::Block(0.2),
+        SamplerKind::Stratified {
+            fraction: 0.15,
+            strata: 4,
+            alloc: Allocation::Proportional,
+            mode: StrataMode::EquiWidth,
+        },
+    ]
+}
+
+/// Assert the batch kernels agree with the byte-producing oracle on one
+/// drawn sample, at both layers: identical compression reports from the
+/// two index-build paths, and identical `CfMeasurement`s from the
+/// row-based and record-based estimator kernels.
+fn assert_differential(source: &dyn TableSource, kind: SamplerKind, tag: &str) {
+    let sample = MaterializedSample::draw(source, kind, 97).unwrap();
+    let rows = sample.rows().unwrap();
+    let records = sample.records().unwrap();
+    let schema = sample.table().schema();
+    let codec = sample.table().codec();
+    let builder = IndexBuilder::new();
+    for spec in [
+        IndexSpec::nonclustered("idx", ["a"]).unwrap(),
+        IndexSpec::clustered("pk", ["b", "a"]).unwrap(),
+    ] {
+        let from_rows = builder.build_from_rows(schema, &rows, &spec).unwrap();
+        let from_records = builder.build_from_records(schema, &records, &spec).unwrap();
+        for name in scheme_names() {
+            let scheme = scheme_by_name(name).unwrap();
+            // Layer 1: the measure kernels equal the byte-producing oracle,
+            // field for field, across the two build paths.
+            let oracle = compress_index(&from_rows, scheme.as_ref()).unwrap();
+            let measured = measure_index(&from_records, scheme.as_ref()).unwrap();
+            assert_eq!(measured, oracle, "{tag}/{name}/{}", spec.name());
+
+            // Layer 2: the estimator kernels agree end to end.  Each
+            // record-based kernel is compared against the row-based kernel
+            // that takes the same combination path.
+            let (via_rows, via_records) = if sample.row_strata().is_empty() {
+                (
+                    measure_rows(
+                        schema,
+                        &rows,
+                        &spec,
+                        scheme.as_ref(),
+                        &builder,
+                        kind.label(),
+                    )
+                    .unwrap(),
+                    measure_records(
+                        schema,
+                        codec,
+                        &records,
+                        &spec,
+                        scheme.as_ref(),
+                        &builder,
+                        kind.label(),
+                    )
+                    .unwrap(),
+                )
+            } else {
+                let assignment = StrataAssignment {
+                    tags: sample.row_strata(),
+                    weights: sample.strata_weights(),
+                };
+                (
+                    samplecf_core::measure_rows_stratified(
+                        schema,
+                        &rows,
+                        assignment,
+                        &spec,
+                        scheme.as_ref(),
+                        &builder,
+                        kind.label(),
+                    )
+                    .unwrap(),
+                    measure_records_stratified(
+                        schema,
+                        codec,
+                        &records,
+                        assignment,
+                        &spec,
+                        scheme.as_ref(),
+                        &builder,
+                        kind.label(),
+                    )
+                    .unwrap(),
+                )
+            };
+            assert_eq!(via_records.cf, via_rows.cf, "{tag}/{name} pooled cf");
+            assert_eq!(
+                via_records.cf_with_pointers, via_rows.cf_with_pointers,
+                "{tag}/{name} cf with pointers"
+            );
+            assert_eq!(
+                via_records.cf_pages, via_rows.cf_pages,
+                "{tag}/{name} page-granular cf"
+            );
+            assert_eq!(via_records.data, via_rows.data, "{tag}/{name} stats");
+            assert_eq!(
+                via_records.report, via_rows.report,
+                "{tag}/{name} full report"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_kernels_equal_the_byte_path_on_memory_sources() {
+    let t = mixed_table(2_500, 1024);
+    for kind in samplers() {
+        assert_differential(&t, kind, "memory");
+    }
+}
+
+#[test]
+fn batch_kernels_equal_the_byte_path_on_disk_sources() {
+    let t = mixed_table(2_500, 1024);
+    let path = std::env::temp_dir().join(format!(
+        "samplecf_differential_kernels_{}.scf",
+        std::process::id()
+    ));
+    let disk = DiskTable::materialize(&path, &t).unwrap();
+    for kind in samplers() {
+        assert_differential(&disk, kind, "disk");
+    }
+    drop(disk);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn equi_depth_stratified_samples_are_differential_too() {
+    // Ragged page fills (variable-length values) make equi-depth boundaries
+    // genuinely different from equi-width ones.
+    let t = mixed_table(3_000, 512);
+    let kind = SamplerKind::Stratified {
+        fraction: 0.12,
+        strata: 5,
+        alloc: Allocation::Neyman,
+        mode: StrataMode::EquiDepth,
+    };
+    assert_differential(&t, kind, "equi-depth");
+    // And the sample's tags really follow the equi-depth partition.
+    let sample = MaterializedSample::draw(&t, kind, 97).unwrap();
+    let partition = Strata::equi_depth(&t, 5).unwrap();
+    for ((rid, _), &tag) in sample.rows().unwrap().iter().zip(sample.row_strata()) {
+        assert_eq!(partition.stratum_of_page(rid.page) as u32, tag);
+    }
+}
+
+/// Strategy for one row of a NULL-heavy, variable-length fuzz schema:
+/// `(nullable Char(16), nullable Int64, nullable VarChar(10), Bool)`.
+fn fuzz_row() -> impl Strategy<Value = Row> {
+    let regex = |pattern| proptest::string::string_regex(pattern).unwrap();
+    let a = prop_oneof![
+        2 => Just(Value::Null),
+        3 => regex("[a-p]{0,16}").prop_map(Value::str),
+    ];
+    let b = prop_oneof![
+        2 => Just(Value::Null),
+        3 => any::<i64>().prop_map(Value::Int),
+    ];
+    let c = prop_oneof![
+        1 => Just(Value::Null),
+        1 => regex("[0-9]{0,10}").prop_map(Value::str),
+    ];
+    (a, b, c, any::<bool>()).prop_map(|(a, b, c, d)| Row::new(vec![a, b, c, Value::Bool(d)]))
+}
+
+fn fuzz_schema() -> Schema {
+    Schema::new(vec![
+        Column::nullable("a", DataType::Char(16)),
+        Column::nullable("b", DataType::Int64),
+        Column::nullable("c", DataType::VarChar(10)),
+        Column::new("d", DataType::Bool),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For arbitrary NULL-heavy variable-length row sets, both build paths
+    /// and both measure paths agree bit-for-bit, for every scheme.
+    #[test]
+    fn fuzzed_rows_measure_identically(
+        rows in proptest::collection::vec(fuzz_row(), 1..300),
+        page_size_shift in 0u32..3, // 512, 1024, 2048
+        clustered in any::<bool>(),
+    ) {
+        let schema = fuzz_schema();
+        let codec = RowCodec::new(schema.clone());
+        #[allow(clippy::cast_possible_truncation)]
+        let pairs: Vec<(Rid, Row)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Rid::new((i / 64) as u32, (i % 64) as u16), r.clone()))
+            .collect();
+        let encoded: Vec<Vec<u8>> = rows.iter().map(|r| codec.encode(r).unwrap()).collect();
+        let records: Vec<(Rid, &[u8])> = pairs
+            .iter()
+            .zip(&encoded)
+            .map(|(&(rid, _), bytes)| (rid, bytes.as_slice()))
+            .collect();
+
+        let spec = if clustered {
+            IndexSpec::clustered("pk", ["a", "b"]).unwrap()
+        } else {
+            IndexSpec::nonclustered("idx", ["a"]).unwrap()
+        };
+        let builder = IndexBuilder::new().page_size(512usize << page_size_shift);
+        let from_rows = builder.build_from_rows(&schema, &pairs, &spec).unwrap();
+        let from_records = builder.build_from_records(&schema, &records, &spec).unwrap();
+        for name in scheme_names() {
+            let scheme = scheme_by_name(name).unwrap();
+            let oracle = compress_index(&from_rows, scheme.as_ref()).unwrap();
+            let measured = measure_index(&from_records, scheme.as_ref()).unwrap();
+            prop_assert_eq!(measured, oracle, "scheme {}", name);
+        }
+    }
+}

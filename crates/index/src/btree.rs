@@ -100,6 +100,27 @@ impl IndexBuilder {
         self.build_from_sorted_entries(schema, spec, &entries)
     }
 
+    /// Build an index from borrowed, already-encoded heap records — the
+    /// zero-copy counterpart of [`build_from_rows`](Self::build_from_rows).
+    ///
+    /// Heap records keep every cell in the same canonical fixed-width
+    /// encoding an index entry uses (NULL cells included: both sides
+    /// materialise them as all-zero placeholders, with the null bitmap
+    /// authoritative), so sort keys and leaf records can be assembled by
+    /// pure byte slicing — no [`Value`] is decoded or re-encoded.  The
+    /// resulting tree is byte-identical to `build_from_rows` over the
+    /// decoded rows.
+    pub fn build_from_records(
+        &self,
+        schema: &Schema,
+        records: &[(Rid, &[u8])],
+        spec: &IndexSpec,
+    ) -> IndexResult<BTreeIndex> {
+        let mut entries = encode_entries_from_records(schema, records, spec)?;
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        self.build_from_sorted_entries(schema, spec, &entries)
+    }
+
     /// Build an index from an already-sorted run of encoded entries — the
     /// checkpoint-friendly path progressive estimation uses.
     ///
@@ -242,6 +263,66 @@ fn encode_entries(
         // Tie-break equal keys by RID so the load is deterministic.
         sort_key.extend_from_slice(&rid.encode());
         let record = encode_leaf_record(schema, &stored_indexes, row, *rid, spec.kind())?;
+        entries.push((sort_key, record));
+    }
+    Ok(entries)
+}
+
+/// Encode borrowed heap records into `(sort key, leaf record)` pairs by byte
+/// slicing, unsorted.  Mirrors [`encode_entries`] exactly: cells already sit
+/// in their order-preserving fixed-width encoding inside the record, so the
+/// sort key is a concatenation of cell subslices and the leaf record is the
+/// remapped null bitmap plus stored-cell subslices (plus the RID for
+/// non-clustered indexes).
+fn encode_entries_from_records(
+    schema: &Schema,
+    records: &[(Rid, &[u8])],
+    spec: &IndexSpec,
+) -> IndexResult<Vec<(Vec<u8>, Vec<u8>)>> {
+    let key_indexes = spec.key_indexes(schema)?;
+    let stored_indexes = spec.stored_column_indexes(schema)?;
+    let arity = schema.arity();
+    let heap_bitmap_len = arity.div_ceil(8);
+
+    // Fixed offset and width of each cell within a heap record.
+    let mut offsets = Vec::with_capacity(arity);
+    let mut widths = Vec::with_capacity(arity);
+    let mut off = heap_bitmap_len;
+    for i in 0..arity {
+        let w = schema.column_at(i).datatype.uncompressed_width();
+        offsets.push(off);
+        widths.push(w);
+        off += w;
+    }
+    let record_size = off;
+    let leaf_bitmap_len = stored_indexes.len().div_ceil(8);
+
+    let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(records.len());
+    for (rid, rec) in records {
+        if rec.len() != record_size {
+            return Err(IndexError::InvalidSpec(format!(
+                "heap record of {} bytes does not match schema record size {record_size}",
+                rec.len()
+            )));
+        }
+        let mut sort_key = Vec::new();
+        for &i in &key_indexes {
+            sort_key.extend_from_slice(&rec[offsets[i]..offsets[i] + widths[i]]);
+        }
+        sort_key.extend_from_slice(&rid.encode());
+
+        let mut record = vec![0u8; leaf_bitmap_len];
+        for (pos, &i) in stored_indexes.iter().enumerate() {
+            if rec[i / 8] & (1 << (i % 8)) != 0 {
+                record[pos / 8] |= 1 << (pos % 8);
+            }
+        }
+        for &i in &stored_indexes {
+            record.extend_from_slice(&rec[offsets[i]..offsets[i] + widths[i]]);
+        }
+        if spec.kind() == IndexKind::NonClustered {
+            record.extend_from_slice(&rid.encode());
+        }
         entries.push((sort_key, record));
     }
     Ok(entries)
@@ -764,6 +845,59 @@ mod tests {
             .unwrap();
         assert_eq!(empty.num_entries(), 0);
         assert!(SortedRun::new().is_empty());
+    }
+
+    #[test]
+    fn build_from_records_is_byte_identical_to_build_from_rows() {
+        use samplecf_storage::RowCodec;
+        let schema = Schema::new(vec![
+            Column::nullable("a", DataType::Char(10)),
+            Column::new("b", DataType::Int32),
+            Column::new("id", DataType::Int64),
+        ])
+        .unwrap();
+        let rows: Vec<(Rid, Row)> = (0..1500u32)
+            .map(|i| {
+                let v = if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::str(format!("k{}", i % 37))
+                };
+                (
+                    Rid::new(i / 100, (i % 100) as u16),
+                    Row::new(vec![
+                        v,
+                        Value::int(i64::from(i % 13)),
+                        Value::int(i64::from(i)),
+                    ]),
+                )
+            })
+            .collect();
+        let codec = RowCodec::new(schema.clone());
+        let encoded: Vec<(Rid, Vec<u8>)> = rows
+            .iter()
+            .map(|(rid, row)| (*rid, codec.encode(row).unwrap()))
+            .collect();
+        let records: Vec<(Rid, &[u8])> = encoded
+            .iter()
+            .map(|(rid, bytes)| (*rid, bytes.as_slice()))
+            .collect();
+        let builder = IndexBuilder::new().page_size(1024);
+        for spec in [
+            IndexSpec::nonclustered("i", ["a", "b"]).unwrap(),
+            IndexSpec::clustered("i", ["id"]).unwrap(),
+        ] {
+            let from_rows = builder.build_from_rows(&schema, &rows, &spec).unwrap();
+            let from_records = builder
+                .build_from_records(&schema, &records, &spec)
+                .unwrap();
+            assert_trees_identical(&from_rows, &from_records);
+        }
+        // A record of the wrong length is rejected up front.
+        let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+        assert!(builder
+            .build_from_records(&schema, &[(Rid::new(0, 0), &[0u8; 3][..])], &spec)
+            .is_err());
     }
 
     #[test]

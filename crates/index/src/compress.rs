@@ -7,8 +7,8 @@
 use crate::btree::BTreeIndex;
 use crate::error::IndexResult;
 use crate::spec::IndexKind;
-use samplecf_compression::{ColumnChunk, CompressionOutcome, CompressionScheme};
-use samplecf_storage::{Rid, PAGE_HEADER_SIZE, SLOT_SIZE};
+use samplecf_compression::{CellChunk, ColumnChunk, CompressionOutcome, CompressionScheme};
+use samplecf_storage::{CellRef, Rid, PAGE_HEADER_SIZE, SLOT_SIZE};
 
 /// Per-column compression statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,6 +179,80 @@ pub fn compress_index(
     })
 }
 
+/// Measure every stored column of the index's leaf level with `scheme` —
+/// the zero-copy counterpart of [`compress_index`].
+///
+/// Instead of decoding leaf entries into owned
+/// [`Row`](samplecf_storage::Row)s and running the byte-producing codec,
+/// this borrows each stored cell in place (leaf records keep cells at fixed,
+/// schema-determined offsets) and asks the scheme for its exact output size
+/// via the batch measure kernels.  The returned report is identical, field
+/// for field, to what [`compress_index`] produces on the same index — the
+/// differential test suite pins this down for every scheme.
+pub fn measure_index(
+    index: &BTreeIndex,
+    scheme: &dyn CompressionScheme,
+) -> IndexResult<CompressedIndexReport> {
+    let schema = index.table_schema();
+    let stored = index.stored_column_indexes();
+    let bitmap_len = stored.len().div_ceil(8);
+
+    // Fixed offset and width of each stored cell within a leaf record.
+    let widths: Vec<usize> = stored
+        .iter()
+        .map(|&i| schema.column_at(i).datatype.uncompressed_width())
+        .collect();
+    let mut offsets = Vec::with_capacity(stored.len());
+    let mut off = bitmap_len;
+    for w in &widths {
+        offsets.push(off);
+        off += w;
+    }
+
+    let mut per_column = Vec::with_capacity(stored.len());
+    for (pos, &col_idx) in stored.iter().enumerate() {
+        let column = schema.column_at(col_idx);
+        let mut chunks = Vec::with_capacity(index.num_leaf_pages());
+        for page in index.leaf_pages() {
+            let mut cells = Vec::with_capacity(usize::from(page.slot_count()));
+            for record in page.records() {
+                let is_null = record[pos / 8] & (1 << (pos % 8)) != 0;
+                cells.push(CellRef::new(
+                    is_null,
+                    &record[offsets[pos]..offsets[pos] + widths[pos]],
+                ));
+            }
+            chunks.push(CellChunk::new(column.datatype, cells)?);
+        }
+        let uncompressed_bytes: usize = chunks.iter().map(CellChunk::uncompressed_bytes).sum();
+        let compressed_bytes = scheme.measure_chunks(&chunks)?;
+        per_column.push(ColumnCompressionStat {
+            column: column.name.clone(),
+            uncompressed_bytes,
+            compressed_bytes,
+        });
+    }
+
+    let n = index.num_entries();
+    let rid_bytes = if index.spec().kind() == IndexKind::NonClustered {
+        n * Rid::ENCODED_LEN
+    } else {
+        0
+    };
+    let bitmap_bytes = n * bitmap_len;
+
+    Ok(CompressedIndexReport {
+        scheme: scheme.name().to_string(),
+        num_entries: n,
+        leaf_pages: index.num_leaf_pages(),
+        page_size: index.page_size(),
+        per_column,
+        rid_bytes,
+        bitmap_bytes,
+        internal_bytes: index.num_internal_pages() * index.page_size(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +375,90 @@ mod tests {
         assert_eq!(report.cf(), 1.0);
         assert_eq!(report.cf_pages(), 1.0);
         assert_eq!(report.estimated_compressed_leaf_pages(), 1);
+    }
+
+    fn all_schemes() -> Vec<Box<dyn CompressionScheme>> {
+        vec![
+            Box::new(Uncompressed),
+            Box::new(NullSuppression),
+            Box::new(samplecf_compression::RunLengthEncoding),
+            Box::new(samplecf_compression::PrefixCompression),
+            Box::new(DictionaryCompression::default()),
+            Box::new(GlobalDictionaryCompression::default()),
+        ]
+    }
+
+    #[test]
+    fn measure_index_matches_compress_index_for_every_scheme() {
+        let t = table(3000, 40, 8, 24);
+        for spec in [
+            IndexSpec::nonclustered("i", ["a"]).unwrap(),
+            IndexSpec::clustered("i", ["a"]).unwrap(),
+        ] {
+            let idx = IndexBuilder::new()
+                .page_size(2048)
+                .build_from_table(&t, &spec)
+                .unwrap();
+            for scheme in all_schemes() {
+                let compressed = compress_index(&idx, scheme.as_ref()).unwrap();
+                let measured = measure_index(&idx, scheme.as_ref()).unwrap();
+                assert_eq!(
+                    measured,
+                    compressed,
+                    "scheme {} report mismatch",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measure_index_matches_compress_index_with_nulls() {
+        let schema = Schema::new(vec![
+            Column::nullable("a", DataType::Char(10)),
+            Column::new("b", DataType::Int32),
+        ])
+        .unwrap();
+        let rows: Vec<(samplecf_storage::Rid, Row)> = (0..800)
+            .map(|i| {
+                let v = if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::str(format!("v{}", i % 25))
+                };
+                (
+                    samplecf_storage::Rid::new(i / 100, (i % 100) as u16),
+                    Row::new(vec![v, Value::int(i64::from(i))]),
+                )
+            })
+            .collect();
+        let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+        let idx = IndexBuilder::new()
+            .page_size(1024)
+            .build_from_rows(&schema, &rows, &spec)
+            .unwrap();
+        for scheme in all_schemes() {
+            assert_eq!(
+                measure_index(&idx, scheme.as_ref()).unwrap(),
+                compress_index(&idx, scheme.as_ref()).unwrap(),
+                "scheme {} report mismatch on NULL-heavy index",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn measure_index_handles_the_empty_tree() {
+        let schema = Schema::single_char("a", 8);
+        let spec = IndexSpec::nonclustered("i", ["a"]).unwrap();
+        let idx = IndexBuilder::new()
+            .build_from_rows(&schema, &[], &spec)
+            .unwrap();
+        for scheme in all_schemes() {
+            assert_eq!(
+                measure_index(&idx, scheme.as_ref()).unwrap(),
+                compress_index(&idx, scheme.as_ref()).unwrap()
+            );
+        }
     }
 }

@@ -16,7 +16,10 @@
 //! * [`compress_index`] / [`CompressedIndexReport`] — per-column, per-page
 //!   compression of the leaf level with any
 //!   [`CompressionScheme`](samplecf_compression::CompressionScheme), and the
-//!   resulting compression fraction.
+//!   resulting compression fraction,
+//! * [`measure_index`] — the zero-copy hot path: the same report computed by
+//!   the batch measure kernels over cells borrowed in place from the leaf
+//!   pages, without materialising a single compressed byte.
 //!
 //! ## Quickstart
 //!
@@ -50,7 +53,7 @@ pub mod size;
 pub mod spec;
 
 pub use btree::{BTreeIndex, IndexBuilder, IndexEntry, SortedRun};
-pub use compress::{compress_index, ColumnCompressionStat, CompressedIndexReport};
+pub use compress::{compress_index, measure_index, ColumnCompressionStat, CompressedIndexReport};
 pub use error::{IndexError, IndexResult};
 pub use size::{leaf_record_bytes, IndexSizeEstimate, IndexSizeModel, IndexSizeReport};
 pub use spec::{IndexKind, IndexSpec};

@@ -43,6 +43,43 @@ impl Allocation {
     }
 }
 
+/// How a stratified sampler partitions the table's pages into strata (see
+/// [`Strata`](crate::Strata)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrataMode {
+    /// Equal *page* counts per stratum
+    /// ([`Strata::equi_width`](crate::Strata::equi_width)) — the canonical
+    /// default, derivable from `(num_pages, count)` alone.
+    #[default]
+    EquiWidth,
+    /// Equal *row* counts per stratum with boundaries on page edges
+    /// ([`Strata::equi_depth`](crate::Strata::equi_depth)) — equalises the
+    /// statistical weight `W_s` on ragged page fills.
+    EquiDepth,
+}
+
+impl StrataMode {
+    /// The CLI/wire label (`equi-width` or `equi-depth`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrataMode::EquiWidth => "equi-width",
+            StrataMode::EquiDepth => "equi-depth",
+        }
+    }
+
+    /// Parse the CLI/wire label.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name {
+            "equi-width" | "width" => Ok(StrataMode::EquiWidth),
+            "equi-depth" | "depth" => Ok(StrataMode::EquiDepth),
+            other => Err(format!(
+                "unknown strata mode {other:?} (equi-width, equi-depth)"
+            )),
+        }
+    }
+}
+
 /// An enumeration of the available sampling procedures, parameterised the way
 /// an experiment configuration would describe them.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +109,8 @@ pub enum SamplerKind {
         strata: usize,
         /// Per-stratum budget allocation policy.
         alloc: Allocation,
+        /// How the page ranges are cut (equi-width or equi-depth).
+        mode: StrataMode,
     },
 }
 
@@ -91,7 +130,8 @@ impl SamplerKind {
                 fraction,
                 strata,
                 alloc,
-            } => Box::new(StratifiedSampler::new(fraction, strata, alloc)?),
+                mode,
+            } => Box::new(StratifiedSampler::new(fraction, strata, alloc, mode)?),
         })
     }
 
@@ -109,10 +149,22 @@ impl SamplerKind {
                 fraction,
                 strata,
                 alloc,
-            } => format!(
-                "stratified(f={fraction},k={strata},alloc={})",
-                alloc.label()
-            ),
+                mode,
+            } => match mode {
+                // The default mode keeps the historical label so existing
+                // cache keys and reports are unchanged.
+                StrataMode::EquiWidth => format!(
+                    "stratified(f={fraction},k={strata},alloc={})",
+                    alloc.label()
+                ),
+                // Equi-depth must never alias an equi-width label: the
+                // server's cache groups samples by this string.
+                StrataMode::EquiDepth => format!(
+                    "stratified(f={fraction},k={strata},alloc={},mode={})",
+                    alloc.label(),
+                    mode.label()
+                ),
+            },
         }
     }
 }
@@ -141,6 +193,7 @@ mod tests {
                     fraction: 0.1,
                     strata: 4,
                     alloc: Allocation::Proportional,
+                    mode: StrataMode::EquiWidth,
                 },
                 "stratified",
             ),
@@ -160,6 +213,7 @@ mod tests {
             fraction: 0.0,
             strata: 4,
             alloc: Allocation::Neyman,
+            mode: StrataMode::EquiWidth,
         }
         .build()
         .is_err());
@@ -167,6 +221,7 @@ mod tests {
             fraction: 0.1,
             strata: 0,
             alloc: Allocation::Neyman,
+            mode: StrataMode::EquiWidth,
         }
         .build()
         .is_err());
@@ -182,5 +237,38 @@ mod tests {
             Allocation::Proportional
         );
         assert!(Allocation::by_name("optimal").is_err());
+    }
+
+    #[test]
+    fn strata_mode_labels_round_trip() {
+        for mode in [StrataMode::EquiWidth, StrataMode::EquiDepth] {
+            assert_eq!(StrataMode::by_name(mode.label()).unwrap(), mode);
+        }
+        assert_eq!(StrataMode::by_name("width").unwrap(), StrataMode::EquiWidth);
+        assert_eq!(StrataMode::by_name("depth").unwrap(), StrataMode::EquiDepth);
+        assert!(StrataMode::by_name("quantile").is_err());
+    }
+
+    #[test]
+    fn equi_depth_never_aliases_an_equi_width_label() {
+        let width = SamplerKind::Stratified {
+            fraction: 0.1,
+            strata: 4,
+            alloc: Allocation::Proportional,
+            mode: StrataMode::EquiWidth,
+        };
+        let depth = SamplerKind::Stratified {
+            fraction: 0.1,
+            strata: 4,
+            alloc: Allocation::Proportional,
+            mode: StrataMode::EquiDepth,
+        };
+        // The default keeps its historical spelling; equi-depth is distinct,
+        // so the server's `(source, label, seed)` cache key cannot collide.
+        assert_eq!(width.label(), "stratified(f=0.1,k=4,alloc=prop)");
+        assert_eq!(
+            depth.label(),
+            "stratified(f=0.1,k=4,alloc=prop,mode=equi-depth)"
+        );
     }
 }

@@ -62,7 +62,7 @@ pub mod uniform;
 pub use block::BlockSampler;
 pub use error::{SamplingError, SamplingResult};
 pub use io::CountingSource;
-pub use kind::{Allocation, SamplerKind};
+pub use kind::{Allocation, SamplerKind, StrataMode};
 pub use materialize::MaterializedSample;
 pub use reservoir::ReservoirSampler;
 pub use sampler::{target_page_count, target_size, validate_fraction, RowSampler, SampledRow};

@@ -72,18 +72,26 @@ impl MaterializedSample {
             source_rids.push(*rid);
         }
         // A stratified draw's tags and weights are recomputable from
-        // metadata alone: the equi-width partition is a pure function of
-        // (frame, page count, k), and a row's stratum of its page.
-        let (row_strata, strata_weights) = if let SamplerKind::Stratified { strata, .. } = kind {
-            let partition = crate::strata::Strata::equi_width(source, strata)?;
-            let tags = source_rids
-                .iter()
-                .map(|rid| partition.stratum_of_page(rid.page) as u32)
-                .collect();
-            (tags, partition.weights())
-        } else {
-            (Vec::new(), Vec::new())
-        };
+        // metadata alone: the partition is a pure function of
+        // (frame, page count, k, mode), and a row's stratum of its page.
+        let (row_strata, strata_weights) =
+            if let SamplerKind::Stratified { strata, mode, .. } = kind {
+                let partition = match mode {
+                    crate::kind::StrataMode::EquiWidth => {
+                        crate::strata::Strata::equi_width(source, strata)?
+                    }
+                    crate::kind::StrataMode::EquiDepth => {
+                        crate::strata::Strata::equi_depth(source, strata)?
+                    }
+                };
+                let tags = source_rids
+                    .iter()
+                    .map(|rid| partition.stratum_of_page(rid.page) as u32)
+                    .collect();
+                (tags, partition.weights())
+            } else {
+                (Vec::new(), Vec::new())
+            };
         Ok(MaterializedSample {
             table,
             source_rids,
@@ -197,6 +205,27 @@ impl MaterializedSample {
             .zip(self.table.scan())
             .map(|(&source_rid, (_, row))| (source_rid, row))
             .collect())
+    }
+
+    /// The sampled rows as *borrowed* encoded heap records, in draw order,
+    /// each tagged with its RID in the source table.
+    ///
+    /// This is the zero-copy twin of [`rows`](Self::rows): the slices point
+    /// straight into the sample's in-page storage, so a consumer that works
+    /// on encoded records (index bulk-load, the batch measure kernels) can
+    /// run without decoding a single cell or cloning a single row.  The
+    /// record layout is the table's
+    /// [`RowCodec`](samplecf_storage::RowCodec) layout — fixed cell widths
+    /// behind a null bitmap — available via
+    /// [`table().codec()`](samplecf_storage::Table::codec).
+    pub fn records(&self) -> SamplingResult<Vec<(Rid, &[u8])>> {
+        debug_assert_eq!(self.table.num_rows(), self.source_rids.len());
+        let heap = self.table.heap();
+        self.source_rids
+            .iter()
+            .zip(self.table.rids())
+            .map(|(&source_rid, local)| Ok((source_rid, heap.get(local)?)))
+            .collect()
     }
 
     /// Number of sampled rows (duplicates counted, as drawn).
@@ -398,6 +427,7 @@ mod tests {
             fraction: 0.1,
             strata: 4,
             alloc: Allocation::Proportional,
+            mode: crate::kind::StrataMode::EquiWidth,
         };
         // Path 1: one-shot draw, tags recomputed from metadata.
         let direct = MaterializedSample::draw(&t, kind, 33).unwrap();
@@ -427,6 +457,21 @@ mod tests {
             MaterializedSample::draw(&t, SamplerKind::UniformWithReplacement(0.1), 33).unwrap();
         assert!(plain.row_strata().is_empty());
         assert!(plain.strata_weights().is_empty());
+    }
+
+    #[test]
+    fn borrowed_records_decode_to_the_exact_sampled_rows() {
+        let t = table(1_500);
+        let sample =
+            MaterializedSample::draw(&t, SamplerKind::UniformWithReplacement(0.1), 11).unwrap();
+        let rows = sample.rows().unwrap();
+        let records = sample.records().unwrap();
+        assert_eq!(records.len(), rows.len());
+        let codec = sample.table().codec();
+        for ((rec_rid, rec), (row_rid, row)) in records.iter().zip(&rows) {
+            assert_eq!(rec_rid, row_rid, "records keep draw order and rids");
+            assert_eq!(&codec.decode(rec).unwrap(), row);
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! suite).
 
 use crate::error::SamplingResult;
-use crate::kind::{Allocation, SamplerKind};
+use crate::kind::{Allocation, SamplerKind, StrataMode};
 use crate::sampler::{target_size, validate_fraction, RowSampler, SampledRow};
 use crate::strata::Strata;
 use crate::stream::{fetch_positions_coalesced, BatchSchedule, PageCache, SampleStream};
@@ -115,6 +115,7 @@ pub struct StratifiedStream {
     fraction: f64,
     requested_strata: usize,
     alloc: Allocation,
+    mode: StrataMode,
     schedule: BatchSchedule,
     frame: Option<BoundFrame>,
     next_target: usize,
@@ -126,11 +127,12 @@ pub struct StratifiedStream {
 
 impl StratifiedStream {
     /// Create a stream drawing up to `round(fraction·n)` rows across
-    /// `strata` equi-width page-range strata.
+    /// `strata` contiguous page-range strata, cut per `mode`.
     pub fn new(
         fraction: f64,
         strata: usize,
         alloc: Allocation,
+        mode: StrataMode,
         schedule: BatchSchedule,
     ) -> SamplingResult<Self> {
         let fraction = validate_fraction(fraction)?;
@@ -143,6 +145,7 @@ impl StratifiedStream {
             fraction,
             requested_strata: strata,
             alloc,
+            mode,
             schedule,
             frame: None,
             next_target: 0,
@@ -169,8 +172,14 @@ impl StratifiedStream {
             return Ok(());
         }
         let rids = source.rids()?;
-        let strata =
-            Strata::equi_width_from_frame(&rids, source.num_pages(), self.requested_strata)?;
+        let strata = match self.mode {
+            StrataMode::EquiWidth => {
+                Strata::equi_width_from_frame(&rids, source.num_pages(), self.requested_strata)?
+            }
+            StrataMode::EquiDepth => {
+                Strata::equi_depth_from_frame(&rids, source.num_pages(), self.requested_strata)?
+            }
+        };
         let max_rows = target_size(rids.len(), self.fraction);
         let targets = self.schedule.cumulative_targets(rids.len(), max_rows);
         // Multi-stratum draws get independent per-stratum RNGs, derived
@@ -204,6 +213,7 @@ impl SampleStream for StratifiedStream {
             fraction: self.fraction,
             strata: self.requested_strata,
             alloc: self.alloc,
+            mode: self.mode,
         }
     }
 
@@ -264,12 +274,14 @@ impl SampleStream for StratifiedStream {
             fraction,
             strata,
             alloc,
+            mode,
         } = kind
         else {
             return false;
         };
         if strata != self.requested_strata
             || alloc != self.alloc
+            || mode != self.mode
             || fraction < self.fraction
             || validate_fraction(fraction).is_err()
         {
@@ -321,18 +333,25 @@ pub struct StratifiedSampler {
     fraction: f64,
     strata: usize,
     alloc: Allocation,
+    mode: StrataMode,
 }
 
 impl StratifiedSampler {
     /// Create a sampler drawing `round(fraction·n)` rows across `strata`
-    /// equi-width page-range strata.
-    pub fn new(fraction: f64, strata: usize, alloc: Allocation) -> SamplingResult<Self> {
+    /// contiguous page-range strata, cut per `mode`.
+    pub fn new(
+        fraction: f64,
+        strata: usize,
+        alloc: Allocation,
+        mode: StrataMode,
+    ) -> SamplingResult<Self> {
         // Validate eagerly, exactly like the stream.
-        let _ = StratifiedStream::new(fraction, strata, alloc, BatchSchedule::one_shot())?;
+        let _ = StratifiedStream::new(fraction, strata, alloc, mode, BatchSchedule::one_shot())?;
         Ok(StratifiedSampler {
             fraction,
             strata,
             alloc,
+            mode,
         })
     }
 }
@@ -351,6 +370,7 @@ impl RowSampler for StratifiedSampler {
             self.fraction,
             self.strata,
             self.alloc,
+            self.mode,
             BatchSchedule::one_shot(),
         )?;
         let mut out = Vec::new();
@@ -406,6 +426,7 @@ mod tests {
             fraction: f,
             strata: k,
             alloc,
+            mode: StrataMode::EquiWidth,
         }
     }
 
@@ -417,10 +438,11 @@ mod tests {
                 .unwrap()
                 .sample(&t, &mut StdRng::seed_from_u64(seed))
                 .unwrap();
-            let stratified = StratifiedSampler::new(0.1, 1, Allocation::Neyman)
-                .unwrap()
-                .sample(&t, &mut StdRng::seed_from_u64(seed))
-                .unwrap();
+            let stratified =
+                StratifiedSampler::new(0.1, 1, Allocation::Neyman, StrataMode::EquiWidth)
+                    .unwrap()
+                    .sample(&t, &mut StdRng::seed_from_u64(seed))
+                    .unwrap();
             assert_eq!(stratified, uniform, "seed {seed}");
         }
     }
@@ -429,7 +451,7 @@ mod tests {
     fn stream_drains_to_the_one_shot_multiset() {
         let t = table(3_000);
         for alloc in [Allocation::Proportional, Allocation::Neyman] {
-            let oneshot = StratifiedSampler::new(0.08, 5, alloc)
+            let oneshot = StratifiedSampler::new(0.08, 5, alloc, StrataMode::EquiWidth)
                 .unwrap()
                 .sample(&t, &mut StdRng::seed_from_u64(13))
                 .unwrap();
@@ -471,9 +493,14 @@ mod tests {
     #[test]
     fn proportional_allocation_tracks_stratum_sizes() {
         let t = table(4_000);
-        let mut stream =
-            StratifiedStream::new(0.1, 4, Allocation::Proportional, BatchSchedule::one_shot())
-                .unwrap();
+        let mut stream = StratifiedStream::new(
+            0.1,
+            4,
+            Allocation::Proportional,
+            StrataMode::EquiWidth,
+            BatchSchedule::one_shot(),
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let rows = drain(&mut stream, &t, &mut rng);
         assert_eq!(rows.len(), 400);
@@ -494,6 +521,7 @@ mod tests {
             0.1,
             4,
             Allocation::Neyman,
+            StrataMode::EquiWidth,
             BatchSchedule::new(0.02, 2.0).unwrap(),
         )
         .unwrap();
@@ -532,7 +560,7 @@ mod tests {
         assert!(stream.extend_cap(deep));
         assert_eq!(stream.kind(), deep);
         rows.extend(drain(stream.as_mut(), &t, &mut rng));
-        let fresh = StratifiedSampler::new(0.2, 3, Allocation::Proportional)
+        let fresh = StratifiedSampler::new(0.2, 3, Allocation::Proportional, StrataMode::EquiWidth)
             .unwrap()
             .sample(&t, &mut StdRng::seed_from_u64(17))
             .unwrap();
@@ -546,7 +574,43 @@ mod tests {
         assert!(!stream.extend_cap(kind(0.5, 4, Allocation::Proportional)));
         assert!(!stream.extend_cap(kind(0.5, 3, Allocation::Neyman)));
         assert!(!stream.extend_cap(kind(0.01, 3, Allocation::Proportional)));
+        assert!(!stream.extend_cap(SamplerKind::Stratified {
+            fraction: 0.5,
+            strata: 3,
+            alloc: Allocation::Proportional,
+            mode: StrataMode::EquiDepth,
+        }));
         assert!(!stream.extend_cap(SamplerKind::Block(0.5)));
+    }
+
+    #[test]
+    fn equi_depth_tags_agree_with_the_equi_depth_partition() {
+        let t = table(2_000);
+        let mut stream = SamplerKind::Stratified {
+            fraction: 0.1,
+            strata: 4,
+            alloc: Allocation::Proportional,
+            mode: StrataMode::EquiDepth,
+        }
+        .stream(BatchSchedule::default())
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let strata = Strata::equi_depth(&t, 4).unwrap();
+        let mut total = 0;
+        loop {
+            let batch = stream.next_batch(&t, &mut rng).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            let tags = stream.batch_strata().unwrap().to_vec();
+            assert_eq!(tags.len(), batch.len());
+            for ((rid, _), &tag) in batch.iter().zip(&tags) {
+                assert_eq!(strata.stratum_of_page(rid.page) as u32, tag);
+            }
+            total += batch.len();
+        }
+        assert_eq!(total, 200);
+        assert_eq!(stream.strata_weights().unwrap(), strata.weights());
     }
 
     #[test]

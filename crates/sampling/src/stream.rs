@@ -253,8 +253,9 @@ impl SamplerKind {
                 fraction,
                 strata,
                 alloc,
+                mode,
             } => Ok(Box::new(crate::stratified::StratifiedStream::new(
-                fraction, strata, alloc, schedule,
+                fraction, strata, alloc, mode, schedule,
             )?)),
             other => Err(SamplingError::InvalidSize(format!(
                 "sampler {} has no streaming implementation \
@@ -898,6 +899,7 @@ mod tests {
                 fraction: 0.1,
                 strata: 4,
                 alloc: crate::kind::Allocation::Neyman,
+                mode: crate::kind::StrataMode::EquiWidth,
             },
         ] {
             assert!(kind.supports_streaming());

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use samplecf_sampling::{
     Allocation, BatchSchedule, CountingSource, SampleStream, SampledRow, SamplerKind, Strata,
-    StratifiedStream, UniformWrStream,
+    StrataMode, StratifiedStream, UniformWrStream,
 };
 use samplecf_storage::{Row, Schema, Table, TableBuilder, TableSource, Value};
 
@@ -55,11 +55,12 @@ fn sorted(mut rows: Vec<SampledRow>) -> Vec<SampledRow> {
     rows
 }
 
-fn stratified_kind(f: f64, k: usize, alloc: Allocation) -> SamplerKind {
+fn stratified_kind(f: f64, k: usize, alloc: Allocation, mode: StrataMode) -> SamplerKind {
     SamplerKind::Stratified {
         fraction: f,
         strata: k,
         alloc,
+        mode,
     }
 }
 
@@ -149,17 +150,20 @@ proptest! {
                 .unwrap();
         let t = table(rows, 1024);
         for alloc in [Allocation::Proportional, Allocation::Neyman] {
-            let uni_counting = CountingSource::new(&t);
-            let mut uni = UniformWrStream::new(fraction, schedule).unwrap();
-            let uni_rows = drain(&mut uni, &uni_counting, &mut StdRng::seed_from_u64(seed));
+            for mode in [StrataMode::EquiWidth, StrataMode::EquiDepth] {
+                let uni_counting = CountingSource::new(&t);
+                let mut uni = UniformWrStream::new(fraction, schedule).unwrap();
+                let uni_rows = drain(&mut uni, &uni_counting, &mut StdRng::seed_from_u64(seed));
 
-            let strat_counting = CountingSource::new(&t);
-            let mut strat = StratifiedStream::new(fraction, 1, alloc, schedule).unwrap();
-            let strat_rows = drain(&mut strat, &strat_counting, &mut StdRng::seed_from_u64(seed));
+                let strat_counting = CountingSource::new(&t);
+                let mut strat = StratifiedStream::new(fraction, 1, alloc, mode, schedule).unwrap();
+                let strat_rows =
+                    drain(&mut strat, &strat_counting, &mut StdRng::seed_from_u64(seed));
 
-            // Byte-identical: same rows in the same order, same page reads.
-            prop_assert_eq!(&strat_rows, &uni_rows, "alloc {:?}", alloc);
-            prop_assert_eq!(strat_counting.pages_read(), uni_counting.pages_read());
+                // Byte-identical: same rows in the same order, same page reads.
+                prop_assert_eq!(&strat_rows, &uni_rows, "alloc {:?} mode {:?}", alloc, mode);
+                prop_assert_eq!(strat_counting.pages_read(), uni_counting.pages_read());
+            }
         }
     }
 
@@ -171,12 +175,14 @@ proptest! {
         deeper_extra_pct in 0u32..20,
         strata in 1usize..9,
         neyman in 0u32..2,
+        equi_depth in 0u32..2,
         initial_permille in 2u32..100,
         growth_tenths in 12u32..40,
     ) {
         let f1 = f64::from(shallow_pct) / 100.0;
         let f2 = f64::from(shallow_pct + deeper_extra_pct) / 100.0;
         let alloc = if neyman == 1 { Allocation::Neyman } else { Allocation::Proportional };
+        let mode = if equi_depth == 1 { StrataMode::EquiDepth } else { StrataMode::EquiWidth };
         let schedule =
             BatchSchedule::new(f64::from(initial_permille) / 1000.0, f64::from(growth_tenths) / 10.0)
                 .unwrap();
@@ -184,16 +190,16 @@ proptest! {
 
         // Stop at f1 (under an arbitrary schedule), then resume to f2.
         let resumed_counting = CountingSource::new(&t);
-        let mut stream = StratifiedStream::new(f1, strata, alloc, schedule).unwrap();
+        let mut stream = StratifiedStream::new(f1, strata, alloc, mode, schedule).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rows_drawn = drain(&mut stream, &resumed_counting, &mut rng);
-        prop_assert!(stream.extend_cap(stratified_kind(f2, strata, alloc)));
+        prop_assert!(stream.extend_cap(stratified_kind(f2, strata, alloc, mode)));
         rows_drawn.extend(drain(&mut stream, &resumed_counting, &mut rng));
 
         // One-shot draw at f2 with the same seed.
         let oneshot_counting = CountingSource::new(&t);
         let mut oneshot =
-            StratifiedStream::new(f2, strata, alloc, BatchSchedule::one_shot()).unwrap();
+            StratifiedStream::new(f2, strata, alloc, mode, BatchSchedule::one_shot()).unwrap();
         let oneshot_rows = drain(
             &mut oneshot,
             &oneshot_counting,
@@ -205,8 +211,13 @@ proptest! {
 
         // Shallower or incompatible extensions are refused, with the
         // stream left usable.
-        prop_assert!(!stream.extend_cap(stratified_kind(f1 * 0.5, strata, alloc)));
-        prop_assert!(!stream.extend_cap(stratified_kind(f2 + 0.1, strata + 1, alloc)));
+        prop_assert!(!stream.extend_cap(stratified_kind(f1 * 0.5, strata, alloc, mode)));
+        prop_assert!(!stream.extend_cap(stratified_kind(f2 + 0.1, strata + 1, alloc, mode)));
+        let other_mode = match mode {
+            StrataMode::EquiWidth => StrataMode::EquiDepth,
+            StrataMode::EquiDepth => StrataMode::EquiWidth,
+        };
+        prop_assert!(!stream.extend_cap(stratified_kind(f2 + 0.1, strata, alloc, other_mode)));
         prop_assert!(!stream.extend_cap(SamplerKind::UniformWithReplacement(f2 + 0.1)));
     }
 }

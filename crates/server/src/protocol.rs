@@ -10,7 +10,7 @@
 //! `table` object of the server's `info` response).
 
 use crate::json::Json;
-use samplecf_sampling::{Allocation, SamplerKind};
+use samplecf_sampling::{Allocation, SamplerKind, StrataMode};
 use samplecf_storage::{DiskTable, TableSource};
 
 /// Machine-readable error codes carried in `"error": {"code": ...}`.
@@ -178,14 +178,15 @@ pub fn table_info_json(table: &DiskTable, path: &str) -> Json {
 }
 
 /// Resolve a sampler by its CLI/wire name — the same vocabulary `samplecf
-/// estimate --sampler` accepts.  `strata` and `alloc` only matter for
-/// `"stratified"`; every other sampler ignores them.
+/// estimate --sampler` accepts.  `strata`, `alloc` and `strata_mode` only
+/// matter for `"stratified"`; every other sampler ignores them.
 pub fn sampler_by_name(
     name: &str,
     fraction: f64,
     size: usize,
     strata: usize,
     alloc: &str,
+    strata_mode: &str,
 ) -> Result<SamplerKind, String> {
     Ok(match name {
         "uniform" | "uniform-wr" => SamplerKind::UniformWithReplacement(fraction),
@@ -198,6 +199,7 @@ pub fn sampler_by_name(
             fraction,
             strata,
             alloc: Allocation::by_name(alloc)?,
+            mode: StrataMode::by_name(strata_mode)?,
         },
         other => {
             return Err(format!(
@@ -328,29 +330,43 @@ mod tests {
     #[test]
     fn sampler_names_match_the_cli_vocabulary() {
         assert_eq!(
-            sampler_by_name("block", 0.1, 10, 4, "prop").unwrap(),
+            sampler_by_name("block", 0.1, 10, 4, "prop", "equi-width").unwrap(),
             SamplerKind::Block(0.1)
         );
         assert_eq!(
-            sampler_by_name("uniform", 0.2, 10, 4, "prop").unwrap(),
+            sampler_by_name("uniform", 0.2, 10, 4, "prop", "equi-width").unwrap(),
             SamplerKind::UniformWithReplacement(0.2)
         );
         assert_eq!(
-            sampler_by_name("reservoir", 0.2, 99, 4, "prop").unwrap(),
+            sampler_by_name("reservoir", 0.2, 99, 4, "prop", "equi-width").unwrap(),
             SamplerKind::Reservoir(99)
         );
         assert_eq!(
-            sampler_by_name("stratified", 0.1, 10, 8, "neyman").unwrap(),
+            sampler_by_name("stratified", 0.1, 10, 8, "neyman", "equi-width").unwrap(),
             SamplerKind::Stratified {
                 fraction: 0.1,
                 strata: 8,
-                alloc: Allocation::Neyman
+                alloc: Allocation::Neyman,
+                mode: StrataMode::EquiWidth,
             }
         );
-        assert!(sampler_by_name("frobnicate", 0.1, 10, 4, "prop").is_err());
+        assert_eq!(
+            sampler_by_name("stratified", 0.1, 10, 8, "prop", "equi-depth").unwrap(),
+            SamplerKind::Stratified {
+                fraction: 0.1,
+                strata: 8,
+                alloc: Allocation::Proportional,
+                mode: StrataMode::EquiDepth,
+            }
+        );
+        assert!(sampler_by_name("frobnicate", 0.1, 10, 4, "prop", "equi-width").is_err());
         assert!(
-            sampler_by_name("stratified", 0.1, 10, 4, "bogus").is_err(),
+            sampler_by_name("stratified", 0.1, 10, 4, "bogus", "equi-width").is_err(),
             "bad allocation names must be rejected"
+        );
+        assert!(
+            sampler_by_name("stratified", 0.1, 10, 4, "prop", "bogus").is_err(),
+            "bad strata-mode names must be rejected"
         );
     }
 }

@@ -25,7 +25,7 @@ use samplecf_core::{
     ProgressiveConfig, Recommendation, StrataAssignment,
 };
 use samplecf_index::{IndexBuilder, IndexSpec};
-use samplecf_sampling::{BatchSchedule, SamplerKind, Strata};
+use samplecf_sampling::{BatchSchedule, SamplerKind, Strata, StrataMode};
 use samplecf_storage::{CountingSource, TableSource};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -295,7 +295,10 @@ impl ServiceState {
         #[allow(clippy::cast_possible_truncation)]
         let strata = opt_u64(request, "strata", 8)? as usize;
         let alloc = opt_str(request, "alloc")?.unwrap_or("prop").to_string();
-        let kind = sampler_by_name(&sampler_name, fraction, size, strata, &alloc)
+        let strata_mode = opt_str(request, "strata_mode")?
+            .unwrap_or("equi-width")
+            .to_string();
+        let kind = sampler_by_name(&sampler_name, fraction, size, strata, &alloc, &strata_mode)
             .map_err(ApiError::bad_request)?;
         let seed = opt_u64(request, "seed", 0)?;
         Ok(SamplerSetup { entry, kind, seed })
@@ -330,9 +333,12 @@ impl ServiceState {
         // stratum of each cached row is a pure function of its page (the
         // partition is metadata-only), so nothing extra needs to live in
         // the cache.
-        let measurement = if let SamplerKind::Stratified { strata, .. } = setup.kind {
-            let partition = Strata::equi_width(setup.entry.shared.as_ref(), strata)
-                .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
+        let measurement = if let SamplerKind::Stratified { strata, mode, .. } = setup.kind {
+            let partition = match mode {
+                StrataMode::EquiWidth => Strata::equi_width(setup.entry.shared.as_ref(), strata),
+                StrataMode::EquiDepth => Strata::equi_depth(setup.entry.shared.as_ref(), strata),
+            }
+            .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
             #[allow(clippy::cast_possible_truncation)]
             let tags: Vec<u32> = acquired
                 .rows
@@ -942,6 +948,7 @@ mod tests {
             fraction: 0.1,
             strata: 6,
             alloc: samplecf_sampling::Allocation::Proportional,
+            mode: samplecf_sampling::StrataMode::EquiWidth,
         };
         let direct = SampleCf::new(kind)
             .seed(11)
@@ -999,6 +1006,7 @@ mod tests {
             fraction: 0.2,
             strata: 6,
             alloc: samplecf_sampling::Allocation::Proportional,
+            mode: samplecf_sampling::StrataMode::EquiWidth,
         };
         let deep_direct = SampleCf::new(deep_kind)
             .seed(11)
@@ -1036,6 +1044,112 @@ mod tests {
             err_code(
                 &state,
                 r#"{"op":"estimate","table":"svc_strat","sampler":"stratified","alloc":"bogus"}"#
+            ),
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn equi_depth_estimates_do_not_alias_equi_width_cache_entries() {
+        let path = std::env::temp_dir().join(format!(
+            "samplecf_service_equi_depth_{}.scf",
+            std::process::id()
+        ));
+        // Variable-length rows give ragged page fills, so equi-depth row
+        // boundaries genuinely differ from equi-width page boundaries.
+        let table = presets::clustered_variable_table("svc_depth", 6_000, 32, 12, 5)
+            .generate()
+            .unwrap()
+            .table;
+        DiskTable::materialize(&path, &table).unwrap();
+        let _cleanup = Cleanup(path.clone());
+        let path = path.to_string_lossy().into_owned();
+
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+
+        // Seed the cache with an equi-width stratified estimate.
+        let width = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_depth","sampler":"stratified","fraction":0.1,"strata":6,"alloc":"prop","seed":11}"#,
+        );
+        assert_eq!(
+            width
+                .get("accounting")
+                .unwrap()
+                .get("cache")
+                .and_then(Json::as_str),
+            Some("miss")
+        );
+
+        // The identical request with equi-depth strata must NOT be served
+        // from (or deepen) the equi-width entry: different partition,
+        // different sample, so it keys a fresh cache group.
+        let depth = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_depth","sampler":"stratified","fraction":0.1,"strata":6,"alloc":"prop","strata_mode":"equi-depth","seed":11}"#,
+        );
+        assert_eq!(
+            depth
+                .get("accounting")
+                .unwrap()
+                .get("cache")
+                .and_then(Json::as_str),
+            Some("miss"),
+            "equi-depth must not alias the equi-width cache entry"
+        );
+        assert_eq!(state.cache.stats().misses, 2);
+        assert_eq!(state.cache.stats().hits, 0);
+
+        // The reply is bit-identical to the in-process estimator with the
+        // equi-depth kind, and carries the de-aliased sampler label.
+        let disk = DiskTable::open(&path).unwrap();
+        let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
+        let kind = SamplerKind::Stratified {
+            fraction: 0.1,
+            strata: 6,
+            alloc: samplecf_sampling::Allocation::Proportional,
+            mode: samplecf_sampling::StrataMode::EquiDepth,
+        };
+        let direct = SampleCf::new(kind)
+            .seed(11)
+            .estimate(
+                &disk,
+                &spec,
+                scheme_by_name("null-suppression").unwrap().as_ref(),
+            )
+            .unwrap();
+        let result = depth.get("result").unwrap();
+        assert_eq!(result.get("cf").and_then(Json::as_f64), Some(direct.cf));
+        assert_eq!(
+            result.get("sampler").and_then(Json::as_str),
+            Some(kind.label().as_str())
+        );
+        assert!(
+            kind.label().contains("mode=equi-depth"),
+            "equi-depth label must be distinguishable"
+        );
+
+        // Repeating the equi-depth request hits its own entry.
+        let again = ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_depth","sampler":"stratified","fraction":0.1,"strata":6,"alloc":"prop","strata_mode":"equi-depth","seed":11}"#,
+        );
+        assert_eq!(
+            again
+                .get("accounting")
+                .unwrap()
+                .get("cache")
+                .and_then(Json::as_str),
+            Some("hit")
+        );
+        assert_eq!(again.get("result").unwrap(), result);
+
+        // Unknown strata modes are rejected up front.
+        assert_eq!(
+            err_code(
+                &state,
+                r#"{"op":"estimate","table":"svc_depth","sampler":"stratified","strata_mode":"sideways"}"#
             ),
             codes::BAD_REQUEST
         );

@@ -19,7 +19,7 @@ use crate::page::Page;
 use crate::rid::{PageId, Rid};
 use crate::row::RowCodec;
 use crate::schema::Schema;
-use crate::source::{SharedSource, TableSource};
+use crate::source::{PageRead, SharedSource, TableSource};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A [`TableSource`] decorator that counts page reads.
@@ -95,6 +95,13 @@ impl TableSource for CountingSource<'_> {
     fn read_page(&self, id: PageId) -> StorageResult<Page> {
         self.pages_read.fetch_add(1, Ordering::Relaxed);
         self.inner.read_page(id)
+    }
+
+    fn read_page_ref(&self, id: PageId) -> StorageResult<PageRead<'_>> {
+        // Count, then delegate so a borrowing source still lends its page —
+        // accounting must not reintroduce the copy it measures.
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.inner.read_page_ref(id)
     }
 
     // `get`, `page_rows` and `scan_rows` intentionally use the trait
@@ -186,8 +193,13 @@ impl TableSource for SharedCountingSource {
         self.inner.read_page(id)
     }
 
-    // As in `CountingSource`: row access funnels through the `read_page`
-    // defaults so it is accounted, the frame is metadata and is not.
+    fn read_page_ref(&self, id: PageId) -> StorageResult<PageRead<'_>> {
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.inner.read_page_ref(id)
+    }
+
+    // As in `CountingSource`: row access funnels through the page-read
+    // methods so it is accounted, the frame is metadata and is not.
 
     fn rids(&self) -> StorageResult<Vec<Rid>> {
         self.inner.rids()
@@ -249,6 +261,19 @@ mod tests {
         assert_eq!(counting.rids().unwrap().len(), 400);
         assert_eq!(counting.pages_read(), 0, "the frame is metadata");
         assert_eq!(counting.inner().name(), "t");
+    }
+
+    #[test]
+    fn borrowed_page_reads_are_counted_without_copying() {
+        let t = table(100);
+        let counting = CountingSource::new(&t);
+        let read = counting.read_page_ref(0).unwrap();
+        assert!(read.is_borrowed(), "counting must not force a page copy");
+        drop(read);
+        assert_eq!(counting.pages_read(), 1);
+        let shared = SharedCountingSource::new(table(100).into_shared());
+        assert!(shared.read_page_ref(0).unwrap().is_borrowed());
+        assert_eq!(shared.pages_read(), 1);
     }
 
     #[test]

@@ -23,7 +23,9 @@
 use crate::disk::format::{self, FileHeader, FILE_HEADER_SIZE};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{max_record_len, validate_page_size, Page};
+use crate::pool::PagePool;
 use crate::rid::{PageId, Rid};
+use crate::source::PageRead;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -49,6 +51,9 @@ pub struct DiskHeapFile {
     tail: Option<Page>,
     /// Whether `tail` or the header counts differ from the file contents.
     dirty: bool,
+    /// Scratch buffers for physical page reads, recycled across reads so the
+    /// hot sampling path does not allocate one stride per page.
+    pool: PagePool,
 }
 
 impl DiskHeapFile {
@@ -84,6 +89,7 @@ impl DiskHeapFile {
             num_pages: 0,
             tail: None,
             dirty: false,
+            pool: PagePool::default(),
         };
         this.write_metadata()?;
         Ok(this)
@@ -134,6 +140,7 @@ impl DiskHeapFile {
             num_pages: header.num_pages,
             tail: None,
             dirty: false,
+            pool: PagePool::default(),
         })
     }
 
@@ -186,7 +193,7 @@ impl DiskHeapFile {
     }
 
     fn read_page_at(&self, id: PageId, header: &FileHeader) -> StorageResult<Page> {
-        let mut block = vec![0u8; header.page_stride() as usize];
+        let mut block = self.pool.acquire(header.page_stride() as usize);
         self.read_exact_at(header.page_offset(id), &mut block)
             .map_err(|e| StorageError::Io(format!("reading page {id}: {e}")))?;
         format::decode_page(id, self.page_size, &block)
@@ -284,9 +291,18 @@ impl DiskHeapFile {
             }
             self.write_metadata()?;
             self.dirty = false;
+            // The file layout may have grown: fence the scratch pool so any
+            // buffer acquired against the old layout is retired, not reused.
+            self.pool.bump_generation();
         }
         self.file.sync_all()?;
         Ok(())
+    }
+
+    /// The scratch-buffer pool physical reads draw from (for inspection).
+    #[must_use]
+    pub fn pool(&self) -> &PagePool {
+        &self.pool
     }
 
     /// Read one page.  This is a physical file read, with one exception:
@@ -294,15 +310,23 @@ impl DiskHeapFile {
     /// the write buffer (its on-disk copy may be stale).  On a freshly
     /// opened file every page access hits the file.
     pub fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        Ok(self.read_page_ref(id)?.into_owned())
+    }
+
+    /// Read one page without forcing a copy: the unflushed in-memory tail is
+    /// *borrowed* straight out of the write buffer (the fix for the
+    /// tail-clone-per-read hot spot), while every other page is physically
+    /// read from the file and returned owned.
+    pub fn read_page_ref(&self, id: PageId) -> StorageResult<PageRead<'_>> {
         if (id as usize) >= self.num_pages() {
             return Err(StorageError::InvalidRid { page: id, slot: 0 });
         }
         if let Some(tail) = self.tail.as_ref() {
             if tail.id() == id {
-                return Ok(tail.clone());
+                return Ok(PageRead::Borrowed(tail));
             }
         }
-        self.read_page_at(id, &self.header())
+        Ok(PageRead::Owned(self.read_page_at(id, &self.header())?))
     }
 }
 
@@ -433,6 +457,78 @@ mod tests {
         let rid = h.append(b"unsynced").unwrap();
         let page = h.read_page(rid.page).unwrap();
         assert_eq!(page.get(rid.slot).unwrap(), b"unsynced");
+    }
+
+    #[test]
+    fn tail_page_reads_borrow_the_write_buffer_without_copying() {
+        let path = temp_path("tail_nocopy");
+        let _cleanup = Cleanup(path.clone());
+        let mut h = DiskHeapFile::create(&path, 256, b"").unwrap();
+        for i in 0..20u8 {
+            h.append(&[i; 24]).unwrap();
+        }
+        let tail_id = h.num_pages() as PageId - 1;
+        let read = h.read_page_ref(tail_id).unwrap();
+        assert!(read.is_borrowed(), "tail must be lent, not cloned");
+        // The borrowed view is literally the in-memory write buffer.
+        assert!(std::ptr::eq(
+            read.as_page(),
+            h.tail.as_ref().expect("tail resident while appending")
+        ));
+        drop(read);
+        // Flushed pages cannot be borrowed: they come back owned from disk.
+        if tail_id > 0 {
+            assert!(!h.read_page_ref(0).unwrap().is_borrowed());
+        }
+        // The owned compatibility path still serves the same bytes.
+        let owned = h.read_page(tail_id).unwrap();
+        assert_eq!(owned.raw(), h.read_page_ref(tail_id).unwrap().raw());
+    }
+
+    #[test]
+    fn physical_reads_recycle_pooled_buffers() {
+        let path = temp_path("pool");
+        let _cleanup = Cleanup(path.clone());
+        {
+            let mut h = DiskHeapFile::create(&path, 256, b"").unwrap();
+            for i in 0..60u8 {
+                h.append(&[i; 24]).unwrap();
+            }
+            h.sync().unwrap();
+        }
+        let h = DiskHeapFile::open(&path).unwrap();
+        assert_eq!(h.pool().pooled(), 0);
+        h.read_page(0).unwrap();
+        assert_eq!(h.pool().pooled(), 1, "scratch buffer returns to the pool");
+        let generation = h.pool().generation();
+        for pid in 0..h.num_pages() {
+            h.read_page(pid as PageId).unwrap();
+        }
+        // Serial reads reuse one scratch buffer instead of growing the pool.
+        assert_eq!(h.pool().pooled(), 1);
+        assert_eq!(h.pool().generation(), generation);
+    }
+
+    #[test]
+    fn sync_fences_the_scratch_pool() {
+        let path = temp_path("pool_fence");
+        let _cleanup = Cleanup(path.clone());
+        let mut h = DiskHeapFile::create(&path, 256, b"").unwrap();
+        for i in 0..60u8 {
+            h.append(&[i; 24]).unwrap();
+        }
+        h.sync().unwrap();
+        let generation = h.pool().generation();
+        h.read_page(0).unwrap();
+        assert_eq!(h.pool().pooled(), 1);
+        h.append(&[61u8; 24]).unwrap();
+        h.sync().unwrap();
+        // The layout changed: pooled scratch buffers were retired.
+        assert!(h.pool().generation() > generation);
+        assert_eq!(h.pool().pooled(), 0);
+        // Reads keep working (and repopulate the pool) afterwards.
+        h.read_page(0).unwrap();
+        assert_eq!(h.pool().pooled(), 1);
     }
 
     #[test]

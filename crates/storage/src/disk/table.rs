@@ -14,7 +14,7 @@ use crate::page::{Page, PAGE_HEADER_SIZE, SLOT_SIZE};
 use crate::rid::{PageId, Rid};
 use crate::row::{Row, RowCodec};
 use crate::schema::Schema;
-use crate::source::TableSource;
+use crate::source::{PageRead, TableSource};
 use crate::table::Table;
 use std::path::Path;
 
@@ -142,6 +142,10 @@ impl TableSource for DiskTable {
 
     fn read_page(&self, id: PageId) -> StorageResult<Page> {
         self.heap.read_page(id)
+    }
+
+    fn read_page_ref(&self, id: PageId) -> StorageResult<PageRead<'_>> {
+        self.heap.read_page_ref(id)
     }
 
     /// The sampling frame, derived from metadata alone (no page reads):

@@ -57,12 +57,14 @@
 //! ```
 
 pub mod catalog;
+pub mod cell;
 pub mod counting;
 pub mod datatype;
 pub mod disk;
 pub mod error;
 pub mod heap;
 pub mod page;
+pub mod pool;
 pub mod rid;
 pub mod row;
 pub mod schema;
@@ -71,6 +73,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use cell::{CellRef, RowRef};
 pub use counting::{CountingSource, SharedCountingSource};
 pub use datatype::DataType;
 pub use disk::{DiskHeapFile, DiskTable};
@@ -79,9 +82,10 @@ pub use heap::HeapFile;
 pub use page::{
     Page, DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_SIZE, SLOT_SIZE,
 };
+pub use pool::{PageLease, PagePool, DEFAULT_POOL_CAPACITY};
 pub use rid::{PageId, Rid};
 pub use row::{decode_cell, encode_cell, Row, RowCodec, CHAR_PAD};
 pub use schema::{Column, Schema};
-pub use source::{IntoShared, SharedSource, TableSource};
+pub use source::{IntoShared, PageRead, SharedSource, TableSource};
 pub use table::{Table, TableBuilder};
 pub use value::Value;

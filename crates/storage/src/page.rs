@@ -18,8 +18,10 @@
 //! Each slot entry is 4 bytes: a 2-byte record offset and a 2-byte record
 //! length.
 
+use crate::cell::RowRef;
 use crate::error::{StorageError, StorageResult};
 use crate::rid::PageId;
+use crate::row::RowCodec;
 
 /// Default page size used throughout the library (8 KiB, as in SQL Server).
 pub const DEFAULT_PAGE_SIZE: usize = 8192;
@@ -232,6 +234,26 @@ impl Page {
         (0..self.slot_count()).map(move |s| self.get(s).expect("slot within slot_count is valid"))
     }
 
+    /// Borrow the record in `slot` as a [`RowRef`] — a zero-copy view whose
+    /// cells are subslices of this page's buffer.
+    ///
+    /// # Errors
+    /// Fails if the slot does not exist or the record length does not match
+    /// the codec's fixed record size.
+    pub fn row_ref<'a>(&'a self, slot: u16, codec: &'a RowCodec) -> StorageResult<RowRef<'a>> {
+        RowRef::new(codec, self.get(slot)?)
+    }
+
+    /// Iterate over every record in slot order as borrowed [`RowRef`]s.
+    ///
+    /// # Errors
+    /// Fails if any record's length does not match the codec's record size.
+    pub fn row_refs<'a>(&'a self, codec: &'a RowCodec) -> StorageResult<Vec<RowRef<'a>>> {
+        (0..self.slot_count())
+            .map(|slot| self.row_ref(slot, codec))
+            .collect()
+    }
+
     /// Borrow the raw backing bytes of the page.
     #[must_use]
     pub fn raw(&self) -> &[u8] {
@@ -358,5 +380,42 @@ mod tests {
         let mut p = Page::new(0, 128).unwrap();
         let s = p.insert(b"").unwrap().unwrap();
         assert_eq!(p.get(s).unwrap(), b"");
+    }
+
+    #[test]
+    fn row_refs_borrow_records_in_place() {
+        use crate::datatype::DataType;
+        use crate::row::Row;
+        use crate::schema::{Column, Schema};
+        use crate::value::Value;
+
+        let codec = RowCodec::new(
+            Schema::new(vec![
+                Column::new("a", DataType::Char(4)),
+                Column::nullable("b", DataType::Int32),
+            ])
+            .unwrap(),
+        );
+        let rows = vec![
+            Row::new(vec![Value::str("x"), Value::int(1)]),
+            Row::new(vec![Value::str("yy"), Value::Null]),
+        ];
+        let mut p = Page::new(0, 256).unwrap();
+        for row in &rows {
+            p.insert(&codec.encode(row).unwrap()).unwrap().unwrap();
+        }
+        let refs = p.row_refs(&codec).unwrap();
+        assert_eq!(refs.len(), 2);
+        for (r, row) in refs.iter().zip(&rows) {
+            // Each record view points into the page's own buffer.
+            let page_range = p.raw().as_ptr_range();
+            assert!(page_range.contains(&r.record().as_ptr()));
+            assert_eq!(&r.to_row().unwrap(), row);
+        }
+        assert!(refs[1].is_null(1));
+        // A record whose length disagrees with the codec is rejected.
+        let mut bad = Page::new(0, 256).unwrap();
+        bad.insert(b"short").unwrap().unwrap();
+        assert!(bad.row_ref(0, &codec).is_err());
     }
 }

@@ -166,13 +166,32 @@ pub fn decode_cell(bytes: &[u8], dt: &DataType) -> StorageResult<Value> {
 #[derive(Debug, Clone)]
 pub struct RowCodec {
     schema: Schema,
+    /// Byte offset of each cell within the record (after the null bitmap),
+    /// precomputed so borrowed cell access is O(1).
+    cell_offsets: Vec<usize>,
 }
 
 impl RowCodec {
     /// Create a codec for the given schema.
     #[must_use]
     pub fn new(schema: Schema) -> Self {
-        RowCodec { schema }
+        let bitmap = schema.arity().div_ceil(8);
+        let mut cell_offsets = Vec::with_capacity(schema.arity());
+        let mut offset = bitmap;
+        for c in schema.columns() {
+            cell_offsets.push(offset);
+            offset += c.datatype.uncompressed_width();
+        }
+        RowCodec {
+            schema,
+            cell_offsets,
+        }
+    }
+
+    /// Byte offset of column `idx`'s cell within an encoded record.
+    #[must_use]
+    pub fn cell_offset(&self, idx: usize) -> usize {
+        self.cell_offsets[idx]
     }
 
     /// The schema this codec encodes for.

@@ -15,7 +15,58 @@ use crate::rid::{PageId, Rid};
 use crate::row::{Row, RowCodec};
 use crate::schema::Schema;
 use crate::table::Table;
+use std::ops::Deref;
 use std::sync::Arc;
+
+/// A page obtained from a [`TableSource`]: borrowed straight out of the
+/// source's own storage when it lives in memory, or owned when it had to be
+/// read (and decoded) from disk.
+///
+/// This is the zero-copy contract of the hot path: in-memory sources hand out
+/// `Borrowed` views with no byte copied, while disk sources return the
+/// `Owned` page they just materialised from the file.  Dereferences to
+/// [`Page`], so consumers that only read can ignore the distinction.
+#[derive(Debug)]
+pub enum PageRead<'a> {
+    /// A view into the source's resident page — nothing was copied.
+    Borrowed(&'a Page),
+    /// A page materialised for this read (e.g. decoded from a disk file).
+    Owned(Page),
+}
+
+impl PageRead<'_> {
+    /// Access the page.
+    #[must_use]
+    pub fn as_page(&self) -> &Page {
+        match self {
+            PageRead::Borrowed(page) => page,
+            PageRead::Owned(page) => page,
+        }
+    }
+
+    /// Whether this read borrowed the source's resident page (no copy).
+    #[must_use]
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, PageRead::Borrowed(_))
+    }
+
+    /// Convert into an owned [`Page`], cloning only if borrowed.
+    #[must_use]
+    pub fn into_owned(self) -> Page {
+        match self {
+            PageRead::Borrowed(page) => page.clone(),
+            PageRead::Owned(page) => page,
+        }
+    }
+}
+
+impl Deref for PageRead<'_> {
+    type Target = Page;
+
+    fn deref(&self) -> &Page {
+        self.as_page()
+    }
+}
 
 /// A readable source of table pages and rows.
 ///
@@ -50,18 +101,27 @@ pub trait TableSource: Send + Sync {
     /// Read one page.  For disk-backed sources this is a physical page read.
     fn read_page(&self, id: PageId) -> StorageResult<Page>;
 
+    /// Read one page without forcing a copy: in-memory sources return a
+    /// borrowed view of their resident page, disk sources return the owned
+    /// page they just decoded.  The default wraps
+    /// [`read_page`](TableSource::read_page) so existing implementations
+    /// stay correct; sources that can borrow override it.
+    fn read_page_ref(&self, id: PageId) -> StorageResult<PageRead<'_>> {
+        Ok(PageRead::Owned(self.read_page(id)?))
+    }
+
     /// Fetch and decode the row stored at `rid`.
     ///
     /// The default reads the whole containing page, which is what fetching a
     /// single row costs on a disk-resident table without a buffer pool.
     fn get(&self, rid: Rid) -> StorageResult<Row> {
-        let page = self.read_page(rid.page)?;
+        let page = self.read_page_ref(rid.page)?;
         self.codec().decode(page.get(rid.slot)?)
     }
 
     /// Read one page and decode every row on it.
     fn page_rows(&self, id: PageId) -> StorageResult<Vec<(Rid, Row)>> {
-        let page = self.read_page(id)?;
+        let page = self.read_page_ref(id)?;
         let codec = self.codec();
         (0..page.slot_count())
             .map(|slot| Ok((Rid::new(id, slot), codec.decode(page.get(slot)?)?)))
@@ -84,7 +144,7 @@ pub trait TableSource: Send + Sync {
     fn rids(&self) -> StorageResult<Vec<Rid>> {
         let mut out = Vec::with_capacity(self.num_rows());
         for pid in 0..self.num_pages() {
-            let page = self.read_page(pid as PageId)?;
+            let page = self.read_page_ref(pid as PageId)?;
             for slot in 0..page.slot_count() {
                 out.push(Rid::new(pid as PageId, slot));
             }
@@ -147,6 +207,10 @@ impl<T: TableSource + ?Sized> TableSource for Arc<T> {
         (**self).read_page(id)
     }
 
+    fn read_page_ref(&self, id: PageId) -> StorageResult<PageRead<'_>> {
+        (**self).read_page_ref(id)
+    }
+
     fn get(&self, rid: Rid) -> StorageResult<Row> {
         (**self).get(rid)
     }
@@ -203,6 +267,10 @@ impl TableSource for Table {
 
     fn read_page(&self, id: PageId) -> StorageResult<Page> {
         Ok(self.heap().page(id)?.clone())
+    }
+
+    fn read_page_ref(&self, id: PageId) -> StorageResult<PageRead<'_>> {
+        Ok(PageRead::Borrowed(self.heap().page(id)?))
     }
 
     fn get(&self, rid: Rid) -> StorageResult<Row> {
@@ -333,5 +401,25 @@ mod tests {
         let d = DefaultOnly(&t);
         assert_eq!(d.rids().unwrap(), s.rids().unwrap());
         assert_eq!(d.scan_rows().unwrap(), s.scan_rows().unwrap());
+    }
+
+    #[test]
+    fn in_memory_page_reads_borrow_the_resident_page() {
+        let t = table(40);
+        let s = as_source(&t);
+        for pid in 0..s.num_pages() {
+            let read = s.read_page_ref(pid as PageId).unwrap();
+            assert!(read.is_borrowed(), "Table must lend its page, not copy it");
+            // The borrowed view is literally the heap's page allocation.
+            assert!(std::ptr::eq(
+                read.as_page(),
+                t.heap().page(pid as PageId).unwrap()
+            ));
+            assert_eq!(read.raw(), s.read_page(pid as PageId).unwrap().raw());
+        }
+        assert!(s.read_page_ref(9999).is_err());
+        // Shared handles preserve the borrow.
+        let shared: SharedSource = table(10).into_shared();
+        assert!(shared.read_page_ref(0).unwrap().is_borrowed());
     }
 }

@@ -54,6 +54,8 @@ ESTIMATE OPTIONS:
   --strata K          page strata (stratified sampler)   [default: 8]
   --alloc A           prop | neyman — per-stratum budget split
                       (stratified sampler)               [default: prop]
+  --strata-mode M     equi-width | equi-depth — how page ranges are cut
+                      (stratified sampler)               [default: equi-width]
   --scheme NAME       none | null-suppression | dictionary-paged |
                       dictionary-global | rle | prefix   [default: null-suppression]
   --column COLS       comma-separated index key columns  [default: first column]
@@ -98,6 +100,8 @@ ADVISE OPTIONS:
   --size R            reservoir size (reservoir sampler) [default: 1000]
   --strata K          page strata (stratified sampler)   [default: 8]
   --alloc A           prop | neyman (stratified sampler) [default: prop]
+  --strata-mode M     equi-width | equi-depth (stratified
+                      sampler)                           [default: equi-width]
   --seed S            RNG seed for the shared sample     [default: 0]
   --min-saving F      compress only if saving >= F of the
                       uncompressed size                  [default: 0.1]
@@ -271,6 +275,7 @@ fn parse_sampler(
     size: usize,
     strata: usize,
     alloc: &str,
+    strata_mode: &str,
 ) -> Result<SamplerKind, String> {
     Ok(match name {
         "uniform" | "uniform-wr" => SamplerKind::UniformWithReplacement(fraction),
@@ -283,6 +288,7 @@ fn parse_sampler(
             fraction,
             strata,
             alloc: samplecf_sampling::Allocation::by_name(alloc)?,
+            mode: samplecf_sampling::StrataMode::by_name(strata_mode)?,
         },
         other => {
             return Err(format!(
@@ -417,6 +423,7 @@ fn cmd_estimate(mut args: Args) -> Result<(), String> {
     let size: usize = args.parse("size", 1_000)?;
     let strata: usize = args.parse("strata", 8)?;
     let alloc: String = args.parse("alloc", "prop".to_string())?;
+    let strata_mode: String = args.parse("strata-mode", "equi-width".to_string())?;
     let scheme_name: String = args.parse("scheme", "null-suppression".to_string())?;
     let trials: usize = args.parse("trials", 1)?;
     let threads: usize = args.parse("threads", 0)?;
@@ -460,7 +467,14 @@ fn cmd_estimate(mut args: Args) -> Result<(), String> {
                     .to_string(),
             );
         }
-        let sampler = parse_sampler(&sampler_name, max_fraction, size, strata, &alloc)?;
+        let sampler = parse_sampler(
+            &sampler_name,
+            max_fraction,
+            size,
+            strata,
+            &alloc,
+            &strata_mode,
+        )?;
         let schedule = BatchSchedule::new(initial_fraction, growth).map_err(|e| e.to_string())?;
         let config = ProgressiveConfig {
             target_error: target,
@@ -539,7 +553,7 @@ fn cmd_estimate(mut args: Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let sampler = parse_sampler(&sampler_name, fraction, size, strata, &alloc)?;
+    let sampler = parse_sampler(&sampler_name, fraction, size, strata, &alloc, &strata_mode)?;
     let started = Instant::now();
     if trials <= 1 {
         let est = SampleCf::new(sampler)
@@ -776,6 +790,7 @@ fn cmd_advise(mut args: Args) -> Result<(), String> {
     let size: usize = args.parse("size", 1_000)?;
     let strata: usize = args.parse("strata", 8)?;
     let alloc: String = args.parse("alloc", "prop".to_string())?;
+    let strata_mode: String = args.parse("strata-mode", "equi-width".to_string())?;
     let seed: u64 = args.parse("seed", 0)?;
     let min_saving: f64 = args.parse("min-saving", 0.1)?;
     let budget: Option<usize> = args
@@ -805,7 +820,7 @@ fn cmd_advise(mut args: Args) -> Result<(), String> {
         }
     };
 
-    let sampler = parse_sampler(&sampler_name, fraction, size, strata, &alloc)?;
+    let sampler = parse_sampler(&sampler_name, fraction, size, strata, &alloc, &strata_mode)?;
     let advisor = CompressionAdvisor::new(AdvisorConfig {
         sampler,
         seed,
