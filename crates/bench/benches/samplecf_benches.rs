@@ -16,6 +16,8 @@
 //! * `kernels` — the zero-copy measure path: sizing a sample index's
 //!   compression without materialising it vs producing the bytes, and the
 //!   borrowed-record bulk load vs the owned-row one.
+//! * `bulkload` — the parallel radix bulk load at 1/2/4/all threads over
+//!   the same borrowed records (byte-identical output at every count).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use samplecf_bench::paper_table;
@@ -273,6 +275,37 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_bulkload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulkload");
+    group.sample_size(20);
+    let n = 40_000;
+    let table = presets::variable_length_table("bulk", n, WIDTH, n / 50, 4, 36, 9)
+        .generate()
+        .expect("generation succeeds")
+        .table;
+    let sample = MaterializedSample::draw(&table, SamplerKind::UniformWithReplacement(0.5), 41)
+        .expect("sampling succeeds");
+    let schema = sample.table().schema();
+    let records = sample.records().expect("borrowing the sample succeeds");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    // 0 = all cores; every variant produces byte-identical trees, so the
+    // comparison is pure build throughput.
+    for threads in [1usize, 2, 4, 0] {
+        let builder = IndexBuilder::new().threads(threads);
+        group.bench_function(BenchmarkId::new("radix_build", threads), |b| {
+            b.iter(|| {
+                black_box(
+                    builder
+                        .build_from_records(schema, &records, &spec())
+                        .unwrap()
+                        .num_leaf_pages(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_samplecf_vs_exact,
@@ -280,6 +313,7 @@ criterion_group!(
     bench_compression_throughput,
     bench_sampling_throughput,
     bench_index_build,
-    bench_kernels
+    bench_kernels,
+    bench_bulkload
 );
 criterion_main!(benches);

@@ -36,3 +36,20 @@ pub fn scaled(full: usize, quick: usize, quick_mode: bool) -> usize {
         full
     }
 }
+
+/// Optional worker-thread override for experiments with a parallel section:
+/// `--threads N` on a binary or the `SAMPLECF_THREADS` environment variable
+/// (0 = all cores, mirroring the library's `threads` knob).
+#[must_use]
+pub fn thread_override() -> Option<usize> {
+    if let Ok(v) = std::env::var("SAMPLECF_THREADS") {
+        return v.parse().ok();
+    }
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}

@@ -18,8 +18,9 @@ use crate::encoding::{read_ns_cell, read_uint, write_ns_cell, write_uint};
 use crate::error::{CompressionError, CompressionResult};
 use crate::measure::{ns_cell_size_raw, CellChunk};
 use crate::scheme::CompressionScheme;
-use samplecf_storage::{CellRef, DataType, Value};
-use std::collections::{HashMap, HashSet};
+use crate::scratch::with_distinct_scratch;
+use samplecf_storage::{DataType, Value};
+use std::collections::HashMap;
 
 /// How wide the per-row dictionary pointers are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -162,16 +163,24 @@ impl CompressionScheme for DictionaryCompression {
 
     /// Closed form: account distinct cells (null flag + raw bytes, which is
     /// value identity) for the inline dictionary, then header + pointers.
+    ///
+    /// Distinct counting runs on the thread-local [`crate::DistinctScratch`] table
+    /// (cleared, not reallocated, between chunks), so the per-(page, column)
+    /// measure loop does no allocation and no `SipHash` work.
     fn measure_chunk(&self, chunk: &CellChunk<'_>) -> CompressionResult<usize> {
         let dt = chunk.datatype();
-        let mut distinct: HashSet<CellRef<'_>> = HashSet::new();
-        let mut dict_bytes = 0usize;
-        for c in chunk.cells() {
-            if distinct.insert(*c) {
-                dict_bytes += ns_cell_size_raw(*c, &dt);
+        let cells = chunk.cells();
+        let (distinct, dict_bytes) = with_distinct_scratch(|scratch| {
+            scratch.reset(cells.len());
+            let mut dict_bytes = 0usize;
+            for (i, c) in cells.iter().enumerate() {
+                if scratch.insert(*c, i as u64, |h| cells[h as usize]) {
+                    dict_bytes += ns_cell_size_raw(*c, &dt);
+                }
             }
-        }
-        let ptr_width = self.config.pointer_width.resolve(distinct.len().max(1))?;
+            (scratch.len(), dict_bytes)
+        });
+        let ptr_width = self.config.pointer_width.resolve(distinct.max(1))?;
         Ok(2 + 2 + 1 + dict_bytes + chunk.len() * ptr_width)
     }
 
@@ -268,16 +277,28 @@ impl CompressionScheme for GlobalDictionaryCompression {
                 ));
             }
         }
-        let mut distinct: HashSet<CellRef<'_>> = HashSet::new();
-        let mut dict_bytes = 0usize;
-        for chunk in chunks {
-            for c in chunk.cells() {
-                if distinct.insert(*c) {
-                    dict_bytes += ns_cell_size_raw(*c, &dt);
+        // One distinct account over all chunks on the shared scratch table;
+        // handles pack (chunk index, cell position) so the probe can resolve
+        // a stored handle back to its borrowed cell.
+        let total: usize = chunks.iter().map(CellChunk::len).sum();
+        let (distinct, dict_bytes) = with_distinct_scratch(|scratch| {
+            scratch.reset(total);
+            let mut dict_bytes = 0usize;
+            for (ci, chunk) in chunks.iter().enumerate() {
+                let cells = chunk.cells();
+                for (i, c) in cells.iter().enumerate() {
+                    let handle = ((ci as u64) << 32) | i as u64;
+                    let fresh = scratch.insert(*c, handle, |h| {
+                        chunks[(h >> 32) as usize].cells()[(h & 0xffff_ffff) as usize]
+                    });
+                    if fresh {
+                        dict_bytes += ns_cell_size_raw(*c, &dt);
+                    }
                 }
             }
-        }
-        let ptr_width = self.config.pointer_width.resolve(distinct.len().max(1))?;
+            (scratch.len(), dict_bytes)
+        });
+        let ptr_width = self.config.pointer_width.resolve(distinct.max(1))?;
         let shared = 4 + 1 + dict_bytes;
         let pointers: usize = chunks.iter().map(|c| 2 + c.len() * ptr_width).sum();
         Ok(shared + pointers)

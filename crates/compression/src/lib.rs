@@ -54,6 +54,7 @@ pub mod prefix;
 pub mod registry;
 pub mod rle;
 pub mod scheme;
+pub mod scratch;
 
 pub use chunk::{ColumnChunk, CompressedChunk, CompressedColumn};
 pub use dictionary::{
@@ -67,3 +68,4 @@ pub use prefix::PrefixCompression;
 pub use registry::{scheme_by_name, scheme_names};
 pub use rle::RunLengthEncoding;
 pub use scheme::{measure_column, CompressionOutcome, CompressionScheme};
+pub use scratch::{with_distinct_scratch, DistinctScratch};

@@ -284,10 +284,15 @@ pub fn measure_rows_stratified(
     }
     let mut measurement = measure_rows(schema, rows, spec, scheme, builder, sampler_label)?;
     let k = weights.len();
-    let mut cfs = vec![None; k];
-    let mut cfwps = vec![None; k];
-    let mut cfps = vec![None; k];
-    for s in 0..k {
+    // Per-stratum sub-indexes are independent: fan them over the builder's
+    // worker pool (each stratum builds serially so strata × sort workers
+    // cannot oversubscribe) and reassemble in stratum order, keeping the
+    // weighted combination thread-count independent.
+    let inner = builder.threads(1);
+    let per_stratum = crate::parallel::parallel_indexed_map(k, builder.thread_count(), |s| {
+        // Rows are cloned into the group because `build_from_rows` needs a
+        // contiguous slice of owned pairs; the zero-copy twin
+        // (`measure_records_stratified`) copies only fat pointers.
         let group: Vec<_> = rows
             .iter()
             .zip(tags)
@@ -295,13 +300,25 @@ pub fn measure_rows_stratified(
             .map(|(r, _)| r.clone())
             .collect();
         if group.is_empty() {
-            continue;
+            return Ok(None);
         }
-        let index = builder.build_from_rows(schema, &group, spec)?;
+        let index = inner.build_from_rows(schema, &group, spec)?;
         let report = measure_index(&index, scheme)?;
-        cfs[s] = Some(report.cf());
-        cfwps[s] = Some(report.cf_with_pointers());
-        cfps[s] = Some(report.cf_pages());
+        Ok::<_, CoreError>(Some((
+            report.cf(),
+            report.cf_with_pointers(),
+            report.cf_pages(),
+        )))
+    });
+    let mut cfs = vec![None; k];
+    let mut cfwps = vec![None; k];
+    let mut cfps = vec![None; k];
+    for (s, result) in per_stratum.into_iter().enumerate() {
+        if let Some((cf, cfwp, cfp)) = result? {
+            cfs[s] = Some(cf);
+            cfwps[s] = Some(cfwp);
+            cfps[s] = Some(cfp);
+        }
     }
     if let Some(cf) = crate::algebra::weighted_combine(weights, &cfs) {
         measurement.cf = cf;
@@ -340,10 +357,10 @@ pub fn measure_records_stratified(
     let mut measurement =
         measure_records(schema, codec, records, spec, scheme, builder, sampler_label)?;
     let k = weights.len();
-    let mut cfs = vec![None; k];
-    let mut cfwps = vec![None; k];
-    let mut cfps = vec![None; k];
-    for s in 0..k {
+    // Same fan-out as the rows path: independent strata across the pool,
+    // serial builds within each, results reassembled in stratum order.
+    let inner = builder.threads(1);
+    let per_stratum = crate::parallel::parallel_indexed_map(k, builder.thread_count(), |s| {
         let group: Vec<(Rid, &[u8])> = records
             .iter()
             .zip(tags)
@@ -351,13 +368,25 @@ pub fn measure_records_stratified(
             .map(|(&r, _)| r)
             .collect();
         if group.is_empty() {
-            continue;
+            return Ok(None);
         }
-        let index = builder.build_from_records(schema, &group, spec)?;
+        let index = inner.build_from_records(schema, &group, spec)?;
         let report = measure_index(&index, scheme)?;
-        cfs[s] = Some(report.cf());
-        cfwps[s] = Some(report.cf_with_pointers());
-        cfps[s] = Some(report.cf_pages());
+        Ok::<_, CoreError>(Some((
+            report.cf(),
+            report.cf_with_pointers(),
+            report.cf_pages(),
+        )))
+    });
+    let mut cfs = vec![None; k];
+    let mut cfwps = vec![None; k];
+    let mut cfps = vec![None; k];
+    for (s, result) in per_stratum.into_iter().enumerate() {
+        if let Some((cf, cfwp, cfp)) = result? {
+            cfs[s] = Some(cf);
+            cfwps[s] = Some(cfwp);
+            cfps[s] = Some(cfp);
+        }
     }
     if let Some(cf) = crate::algebra::weighted_combine(weights, &cfs) {
         measurement.cf = cf;
@@ -456,6 +485,25 @@ impl SampleCf {
     pub fn builder(mut self, builder: IndexBuilder) -> Self {
         self.builder = builder;
         self
+    }
+
+    /// Worker threads for the estimator's compute kernels (0 = all
+    /// available parallelism, 1 = serial; the default).
+    ///
+    /// Shorthand for configuring the index builder's thread count: the bulk
+    /// load's radix sort and leaf packing, the per-stratum sub-index builds
+    /// and the progressive checkpoint kernels all fan out over the same
+    /// strided pool.  Estimates are byte-identical for every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.builder = self.builder.threads(threads);
+        self
+    }
+
+    /// The configured worker thread count (0 = all available parallelism).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.builder.thread_count()
     }
 
     /// The configured sampler kind.

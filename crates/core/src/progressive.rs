@@ -223,6 +223,23 @@ impl ProgressiveCf {
         self
     }
 
+    /// Worker threads for the checkpoint kernels (0 = all available
+    /// parallelism, 1 = serial; the default).  Configures the index
+    /// builder's thread count; the per-stratum sub-index builds and the
+    /// jackknife's leave-one-out re-measures fan out over the same pool.
+    /// Reports are byte-identical for every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.builder = self.builder.threads(threads);
+        self
+    }
+
+    /// The configured worker thread count (0 = all available parallelism).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.builder.thread_count()
+    }
+
     /// The configured sampler kind.
     #[must_use]
     pub fn sampler(&self) -> SamplerKind {
@@ -320,6 +337,9 @@ impl ProgressiveCf {
                     strata_rows = vec![0; k];
                 }
                 for s in 0..strata_weights.len() {
+                    // Cloned because `SortedRun::from_rows` encodes from a
+                    // contiguous slice of owned pairs; batches are small
+                    // (one schedule step), so this is off the hot path.
                     let group: Vec<_> = batch
                         .iter()
                         .zip(&tags)
@@ -352,20 +372,30 @@ impl ProgressiveCf {
             // measurement uses, so the two paths agree bit-for-bit.
             let (cf, cf_with_pointers, cf_pages) = if is_stratified {
                 let k = strata_weights.len();
+                // Independent per-stratum sub-indexes fan out over the
+                // builder's pool (serial builds inside each job so strata ×
+                // sort workers cannot oversubscribe); results come back in
+                // stratum order, so the combination is thread-count
+                // independent.
+                let inner = self.builder.threads(1);
+                let per_stratum =
+                    crate::parallel::parallel_indexed_map(k, self.builder.thread_count(), |s| {
+                        if strata_rows[s] == 0 {
+                            return Ok(None);
+                        }
+                        let idx = inner.build_from_sorted_run(&schema, spec, &strata_runs[s])?;
+                        let rep = measure_index(&idx, scheme)?;
+                        Ok::<_, CoreError>(Some((rep.cf(), rep.cf_with_pointers(), rep.cf_pages())))
+                    });
                 let mut cfs = vec![None; k];
                 let mut cfwps = vec![None; k];
                 let mut cfps = vec![None; k];
-                for s in 0..k {
-                    if strata_rows[s] == 0 {
-                        continue;
+                for (s, result) in per_stratum.into_iter().enumerate() {
+                    if let Some((cf_s, cfwp_s, cfp_s)) = result? {
+                        cfs[s] = Some(cf_s);
+                        cfwps[s] = Some(cfwp_s);
+                        cfps[s] = Some(cfp_s);
                     }
-                    let idx = self
-                        .builder
-                        .build_from_sorted_run(&schema, spec, &strata_runs[s])?;
-                    let rep = measure_index(&idx, scheme)?;
-                    cfs[s] = Some(rep.cf());
-                    cfwps[s] = Some(rep.cf_with_pointers());
-                    cfps[s] = Some(rep.cf_pages());
                 }
                 (
                     algebra::weighted_combine(&strata_weights, &cfs).unwrap_or_else(|| report.cf()),
@@ -383,20 +413,26 @@ impl ProgressiveCf {
             let variance = if is_stratified {
                 VarianceNode::stratified(strata_weights.clone(), strata_sketches.clone()).variance()
             } else if batch_runs.len() >= 2 {
-                let mut leave_one_out = Vec::with_capacity(batch_runs.len());
-                for skip in 0..batch_runs.len() {
-                    let partial = SortedRun::merge_all(
-                        batch_runs
-                            .iter()
-                            .enumerate()
-                            .filter(|(i, _)| *i != skip)
-                            .map(|(_, r)| r),
-                    );
-                    let idx = self
-                        .builder
-                        .build_from_sorted_run(&schema, spec, &partial)?;
-                    leave_one_out.push(measure_index(&idx, scheme)?.cf());
-                }
+                // Each delete-one-batch re-estimate is independent; fan the
+                // leave-one-out merges and measures over the pool and
+                // reassemble in skip order.
+                let inner = self.builder.threads(1);
+                let results = crate::parallel::parallel_indexed_map(
+                    batch_runs.len(),
+                    self.builder.thread_count(),
+                    |skip| {
+                        let partial = SortedRun::merge_all(
+                            batch_runs
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| *i != skip)
+                                .map(|(_, r)| r),
+                        );
+                        let idx = inner.build_from_sorted_run(&schema, spec, &partial)?;
+                        Ok::<_, CoreError>(measure_index(&idx, scheme)?.cf())
+                    },
+                );
+                let leave_one_out = results.into_iter().collect::<CoreResult<Vec<f64>>>()?;
                 grouped_jackknife_variance(cf, &leave_one_out, &batch_sizes)
             } else {
                 None

@@ -164,6 +164,94 @@ fn assert_differential(source: &dyn TableSource, kind: SamplerKind, tag: &str) {
     }
 }
 
+/// Assert two builds are the same tree, byte for byte: every leaf page's
+/// raw backing buffer, plus the shape the leaves hang off.
+fn assert_same_leaf_bytes(a: &samplecf_index::BTreeIndex, b: &samplecf_index::BTreeIndex) {
+    assert_eq!(a.num_entries(), b.num_entries());
+    assert_eq!(a.height(), b.height());
+    assert_eq!(a.num_internal_pages(), b.num_internal_pages());
+    assert_eq!(a.num_leaf_pages(), b.num_leaf_pages());
+    for (pa, pb) in a.leaf_pages().iter().zip(b.leaf_pages()) {
+        assert_eq!(pa.raw(), pb.raw(), "leaf page {} diverged", pa.id());
+    }
+}
+
+/// The determinism contract of the parallel pipeline: for every sampler,
+/// spec, scheme and source, a build-and-measure at `threads` ∈ {2, 8} (and
+/// 0 = all cores) is byte-identical to the serial oracle at `threads` = 1.
+#[test]
+fn thread_counts_do_not_change_a_single_byte() {
+    let t = mixed_table(2_500, 1024);
+    let serial = IndexBuilder::new();
+    for kind in samplers() {
+        let sample = MaterializedSample::draw(&t, kind, 97).unwrap();
+        let rows = sample.rows().unwrap();
+        let records = sample.records().unwrap();
+        let schema = sample.table().schema();
+        for spec in [
+            IndexSpec::nonclustered("idx", ["a"]).unwrap(),
+            IndexSpec::clustered("pk", ["b", "a"]).unwrap(),
+        ] {
+            let oracle_rows = serial.build_from_rows(schema, &rows, &spec).unwrap();
+            let oracle_records = serial.build_from_records(schema, &records, &spec).unwrap();
+            for threads in [2usize, 8, 0] {
+                let builder = IndexBuilder::new().threads(threads);
+                let par_rows = builder.build_from_rows(schema, &rows, &spec).unwrap();
+                let par_records = builder.build_from_records(schema, &records, &spec).unwrap();
+                assert_same_leaf_bytes(&oracle_rows, &par_rows);
+                assert_same_leaf_bytes(&oracle_records, &par_records);
+                for name in scheme_names() {
+                    let scheme = scheme_by_name(name).unwrap();
+                    assert_eq!(
+                        measure_index(&par_records, scheme.as_ref()).unwrap(),
+                        measure_index(&oracle_records, scheme.as_ref()).unwrap(),
+                        "threads={threads}/{name}/{}",
+                        spec.name()
+                    );
+                }
+            }
+
+            // The stratified estimator kernel fans strata over the same
+            // pool; its combined measurement must not move either.
+            if !sample.row_strata().is_empty() {
+                let assignment = StrataAssignment {
+                    tags: sample.row_strata(),
+                    weights: sample.strata_weights(),
+                };
+                let scheme = scheme_by_name("dictionary-paged").unwrap();
+                let baseline = samplecf_core::measure_rows_stratified(
+                    schema,
+                    &rows,
+                    assignment,
+                    &spec,
+                    scheme.as_ref(),
+                    &serial,
+                    kind.label(),
+                )
+                .unwrap();
+                for threads in [2usize, 8, 0] {
+                    let threaded = IndexBuilder::new().threads(threads);
+                    let parallel = samplecf_core::measure_rows_stratified(
+                        schema,
+                        &rows,
+                        assignment,
+                        &spec,
+                        scheme.as_ref(),
+                        &threaded,
+                        kind.label(),
+                    )
+                    .unwrap();
+                    assert_eq!(parallel.cf, baseline.cf, "threads={threads} stratified cf");
+                    assert_eq!(parallel.cf_with_pointers, baseline.cf_with_pointers);
+                    assert_eq!(parallel.cf_pages, baseline.cf_pages);
+                    assert_eq!(parallel.data, baseline.data);
+                    assert_eq!(parallel.report, baseline.report);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn batch_kernels_equal_the_byte_path_on_memory_sources() {
     let t = mixed_table(2_500, 1024);
@@ -275,6 +363,46 @@ proptest! {
             let oracle = compress_index(&from_rows, scheme.as_ref()).unwrap();
             let measured = measure_index(&from_records, scheme.as_ref()).unwrap();
             prop_assert_eq!(measured, oracle, "scheme {}", name);
+        }
+    }
+
+    /// An arbitrary thread count never changes the built tree: the radix
+    /// bulk-load at any fan-out (including 0 = all cores) equals the
+    /// serial sort, byte for byte, on both build paths.
+    #[test]
+    fn fuzzed_thread_counts_build_identical_trees(
+        rows in proptest::collection::vec(fuzz_row(), 1..200),
+        threads in 0usize..9,
+        page_size_shift in 0u32..3,
+    ) {
+        let schema = fuzz_schema();
+        let codec = RowCodec::new(schema.clone());
+        #[allow(clippy::cast_possible_truncation)]
+        let pairs: Vec<(Rid, Row)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Rid::new((i / 64) as u32, (i % 64) as u16), r.clone()))
+            .collect();
+        let encoded: Vec<Vec<u8>> = rows.iter().map(|r| codec.encode(r).unwrap()).collect();
+        let records: Vec<(Rid, &[u8])> = pairs
+            .iter()
+            .zip(&encoded)
+            .map(|(&(rid, _), bytes)| (rid, bytes.as_slice()))
+            .collect();
+
+        let spec = IndexSpec::nonclustered("idx", ["a"]).unwrap();
+        let serial = IndexBuilder::new().page_size(512usize << page_size_shift);
+        let parallel = serial.threads(threads);
+        let oracle = serial.build_from_rows(&schema, &pairs, &spec).unwrap();
+        for built in [
+            parallel.build_from_rows(&schema, &pairs, &spec).unwrap(),
+            parallel.build_from_records(&schema, &records, &spec).unwrap(),
+        ] {
+            prop_assert_eq!(oracle.num_entries(), built.num_entries());
+            prop_assert_eq!(oracle.num_leaf_pages(), built.num_leaf_pages());
+            for (pa, pb) in oracle.leaf_pages().iter().zip(built.leaf_pages()) {
+                prop_assert_eq!(pa.raw(), pb.raw(), "threads {}", threads);
+            }
         }
     }
 }

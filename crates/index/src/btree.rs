@@ -15,6 +15,7 @@
 
 use crate::error::{IndexError, IndexResult};
 use crate::spec::{IndexKind, IndexSpec};
+use samplecf_parallel::{parallel_indexed_map, resolve_threads};
 use samplecf_storage::{
     decode_cell, encode_cell, Page, Rid, Row, Schema, Table, Value, DEFAULT_PAGE_SIZE,
     PAGE_HEADER_SIZE, SLOT_SIZE,
@@ -44,11 +45,13 @@ pub struct BTreeIndex {
     num_entries: usize,
 }
 
-/// Builder configuring page size and fill factor for bulk loads.
+/// Builder configuring page size, fill factor and worker threads for bulk
+/// loads.
 #[derive(Debug, Clone, Copy)]
 pub struct IndexBuilder {
     page_size: usize,
     fill_factor: f64,
+    threads: usize,
 }
 
 impl Default for IndexBuilder {
@@ -56,12 +59,14 @@ impl Default for IndexBuilder {
         IndexBuilder {
             page_size: DEFAULT_PAGE_SIZE,
             fill_factor: 1.0,
+            threads: 1,
         }
     }
 }
 
 impl IndexBuilder {
-    /// Create a builder with the default page size and a 100% fill factor.
+    /// Create a builder with the default page size, a 100% fill factor and
+    /// the serial (single-threaded) build path.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -81,6 +86,140 @@ impl IndexBuilder {
         self
     }
 
+    /// Number of worker threads for bulk loads (0 = all available
+    /// parallelism, 1 = the serial oracle path; the default).
+    ///
+    /// The parallel path radix-partitions entries on the leading sort-key
+    /// byte (partitions are disjoint key ranges, so per-partition sorts
+    /// concatenate into a globally sorted run with no merge step) and fans
+    /// both the per-partition sorts and the leaf packing over a strided
+    /// worker pool.  The resulting tree is byte-identical to the serial
+    /// build for every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker thread count (0 = all available parallelism).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Workers the builder will actually use for `jobs` units of work
+    /// (resolves 0 to the machine's parallelism, clamps to the job count).
+    fn effective_workers(&self, jobs: usize) -> usize {
+        resolve_threads(self.threads, jobs)
+    }
+
+    /// The parallel sort pipeline: encode contiguous row chunks in parallel,
+    /// radix-partition the encoded entries on the leading sort-key byte,
+    /// sort each partition in parallel, and concatenate.
+    ///
+    /// Why concatenation needs no merge: every sort key starts with the
+    /// first byte of an order-preserving cell encoding (or of the RID
+    /// tie-break for zero-key specs), so the 256 partitions are disjoint
+    /// key ranges and per-partition sorted runs laid out in byte order
+    /// already form a globally sorted run.  Byte-identity to the serial
+    /// path holds because entries with equal sort keys are fully equal —
+    /// the RID tie-break is part of the key and, for one input set, a
+    /// `(key, RID)` pair determines the leaf record — so even an unstable
+    /// per-partition sort cannot produce a byte-different tree.
+    fn encode_and_sort_parallel<E>(
+        &self,
+        len: usize,
+        encode_chunk: E,
+    ) -> IndexResult<Vec<(Vec<u8>, Vec<u8>)>>
+    where
+        E: Fn(std::ops::Range<usize>) -> IndexResult<Vec<(Vec<u8>, Vec<u8>)>> + Sync,
+    {
+        use std::sync::Mutex;
+        type Bucket = Vec<(Vec<u8>, Vec<u8>)>;
+        let workers = self.effective_workers(len);
+        let chunk = len.div_ceil(workers).max(1);
+        let chunks = len.div_ceil(chunk);
+        let encoded = parallel_indexed_map(chunks, workers, |i| {
+            encode_chunk(i * chunk..((i + 1) * chunk).min(len))
+        });
+
+        // Serial O(n) radix partition on the leading sort-key byte.
+        let mut buckets: Vec<Bucket> = (0..256).map(|_| Vec::new()).collect();
+        for part in encoded {
+            for entry in part? {
+                buckets[usize::from(entry.0[0])].push(entry);
+            }
+        }
+
+        // Per-partition parallel sorts.  The mutexes exist only so each
+        // strided sort job can take ownership of its bucket; there is no
+        // contention — every bucket is locked exactly once.
+        let buckets: Vec<Mutex<Bucket>> = buckets.into_iter().map(Mutex::new).collect();
+        let sorted = parallel_indexed_map(buckets.len(), workers, |b| {
+            let mut bucket = std::mem::take(&mut *buckets[b].lock().expect("bucket lock poisoned"));
+            bucket.sort_unstable_by(|x, y| x.0.cmp(&y.0));
+            bucket
+        });
+
+        let mut entries = Vec::with_capacity(len);
+        for bucket in sorted {
+            entries.extend(bucket);
+        }
+        Ok(entries)
+    }
+
+    /// Parallel leaf packing: compute page breaks serially (pure arithmetic
+    /// mirroring the serial loop's fill rule), then build each page's slots
+    /// independently on the worker pool.
+    ///
+    /// The mirrored rule: a new page starts when the page already holds an
+    /// entry and adding the next record would push the used bytes (records
+    /// plus slot directory) past the fill target; a record that cannot fit
+    /// in an empty page is an error.  `target_fill <= usable`, so the fill
+    /// check subsumes the serial loop's physical `fits` check.
+    fn pack_leaves_parallel(
+        &self,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        usable: usize,
+        target_fill: usize,
+    ) -> IndexResult<Vec<Page>> {
+        let oversized = |len: usize| {
+            IndexError::InvalidSpec(format!(
+                "index entry of {len} bytes does not fit in a {}-byte page",
+                self.page_size
+            ))
+        };
+        let mut starts: Vec<usize> = vec![0];
+        let mut used = 0usize;
+        let mut count = 0usize;
+        for (i, (_, record)) in entries.iter().enumerate() {
+            let needed = record.len() + SLOT_SIZE;
+            if needed > usable {
+                return Err(oversized(record.len()));
+            }
+            if count > 0 && used + needed > target_fill {
+                starts.push(i);
+                used = 0;
+                count = 0;
+            }
+            used += needed;
+            count += 1;
+        }
+
+        let workers = self.effective_workers(starts.len());
+        let pages = parallel_indexed_map(starts.len(), workers, |p| -> IndexResult<Page> {
+            let lo = starts[p];
+            let hi = starts.get(p + 1).copied().unwrap_or(entries.len());
+            let mut page = Page::new(p as u32, self.page_size)?;
+            for (_, record) in &entries[lo..hi] {
+                page.insert(record)?
+                    .ok_or_else(|| oversized(record.len()))?;
+            }
+            Ok(page)
+        });
+        pages.into_iter().collect()
+    }
+
     /// Build an index over all rows of a table.
     pub fn build_from_table(&self, table: &Table, spec: &IndexSpec) -> IndexResult<BTreeIndex> {
         let rows: Vec<(Rid, Row)> = table.scan().collect();
@@ -95,8 +234,15 @@ impl IndexBuilder {
         rows: &[(Rid, Row)],
         spec: &IndexSpec,
     ) -> IndexResult<BTreeIndex> {
-        let mut entries = encode_entries(schema, rows, spec)?;
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let entries = if self.effective_workers(rows.len()) > 1 {
+            self.encode_and_sort_parallel(rows.len(), |range| {
+                encode_entries(schema, &rows[range], spec)
+            })?
+        } else {
+            let mut entries = encode_entries(schema, rows, spec)?;
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            entries
+        };
         self.build_from_sorted_entries(schema, spec, &entries)
     }
 
@@ -116,8 +262,15 @@ impl IndexBuilder {
         records: &[(Rid, &[u8])],
         spec: &IndexSpec,
     ) -> IndexResult<BTreeIndex> {
-        let mut entries = encode_entries_from_records(schema, records, spec)?;
-        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let entries = if self.effective_workers(records.len()) > 1 {
+            self.encode_and_sort_parallel(records.len(), |range| {
+                encode_entries_from_records(schema, &records[range], spec)
+            })?
+        } else {
+            let mut entries = encode_entries_from_records(schema, records, spec)?;
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            entries
+        };
         self.build_from_sorted_entries(schema, spec, &entries)
     }
 
@@ -157,50 +310,55 @@ impl IndexBuilder {
         // Pack leaf pages respecting the fill factor.
         let usable = self.page_size - PAGE_HEADER_SIZE;
         let target_fill = (usable as f64 * self.fill_factor) as usize;
-        let mut leaf_pages: Vec<Page> = Vec::new();
-        let mut current = Page::new(0, self.page_size)?;
-        let mut current_used = 0usize;
-        for (sort_key, record) in entries {
-            let needed = record.len() + SLOT_SIZE;
-            let over_fill = current_used + needed > target_fill && current.slot_count() > 0;
-            if over_fill || !current.fits(record.len()) {
-                leaf_pages.push(current);
-                current = Page::new(leaf_pages.len() as u32, self.page_size)?;
-                current_used = 0;
+        let leaf_pages: Vec<Page> = if self.effective_workers(entries.len()) > 1 {
+            self.pack_leaves_parallel(entries, usable, target_fill)?
+        } else {
+            let mut leaf_pages: Vec<Page> = Vec::new();
+            let mut current = Page::new(0, self.page_size)?;
+            let mut current_used = 0usize;
+            for (_, record) in entries {
+                let needed = record.len() + SLOT_SIZE;
+                let over_fill = current_used + needed > target_fill && current.slot_count() > 0;
+                if over_fill || !current.fits(record.len()) {
+                    leaf_pages.push(current);
+                    current = Page::new(leaf_pages.len() as u32, self.page_size)?;
+                    current_used = 0;
+                }
+                current.insert(record)?.ok_or_else(|| {
+                    IndexError::InvalidSpec(format!(
+                        "index entry of {} bytes does not fit in a {}-byte page",
+                        record.len(),
+                        self.page_size
+                    ))
+                })?;
+                current_used += needed;
             }
-            current.insert(record)?.ok_or_else(|| {
-                IndexError::InvalidSpec(format!(
-                    "index entry of {} bytes does not fit in a {}-byte page",
-                    record.len(),
-                    self.page_size
-                ))
-            })?;
-            current_used += needed;
-            // sort_key only participates in ordering; silence the unused warning.
-            let _ = sort_key;
-        }
-        if current.slot_count() > 0 || leaf_pages.is_empty() {
-            leaf_pages.push(current);
-        }
+            if current.slot_count() > 0 || leaf_pages.is_empty() {
+                leaf_pages.push(current);
+            }
+            leaf_pages
+        };
 
         // Build internal levels bottom-up.  Each internal entry is
         // [2-byte key length][separator key bytes][4-byte child page number].
         let mut internal_levels: Vec<Vec<Page>> = Vec::new();
-        // First key of each leaf page.
-        let mut child_keys: Vec<Vec<u8>> = Vec::with_capacity(leaf_pages.len());
+        // First key of each leaf page, borrowed straight from the sorted
+        // entries — separator keys are only ever copied into the internal
+        // records themselves, never cloned as scratch.
+        let mut child_keys: Vec<&[u8]> = Vec::with_capacity(leaf_pages.len());
         {
             let mut idx = 0usize;
             for page in &leaf_pages {
                 if page.slot_count() > 0 {
-                    child_keys.push(entries[idx].0.clone());
+                    child_keys.push(entries[idx].0.as_slice());
                     idx += usize::from(page.slot_count());
                 } else {
-                    child_keys.push(Vec::new());
+                    child_keys.push(&[]);
                 }
             }
         }
 
-        let mut level_children: Vec<(Vec<u8>, u32)> = child_keys
+        let mut level_children: Vec<(&[u8], u32)> = child_keys
             .into_iter()
             .enumerate()
             .map(|(i, k)| (k, i as u32))
@@ -208,25 +366,23 @@ impl IndexBuilder {
         while level_children.len() > 1 {
             let mut pages: Vec<Page> = Vec::new();
             let mut page = Page::new(0, self.page_size)?;
-            let mut next_children: Vec<(Vec<u8>, u32)> = Vec::new();
-            let mut first_key_of_page: Option<Vec<u8>> = None;
+            let mut next_children: Vec<(&[u8], u32)> = Vec::new();
+            let mut first_key_of_page: Option<&[u8]> = None;
             for (key, child) in &level_children {
                 let rec = encode_internal_record(key, *child);
                 if !page.fits(rec.len()) {
-                    next_children.push((
-                        first_key_of_page.take().unwrap_or_default(),
-                        pages.len() as u32,
-                    ));
+                    next_children
+                        .push((first_key_of_page.take().unwrap_or(&[]), pages.len() as u32));
                     pages.push(page);
                     page = Page::new(pages.len() as u32, self.page_size)?;
                 }
                 if first_key_of_page.is_none() {
-                    first_key_of_page = Some(key.clone());
+                    first_key_of_page = Some(key);
                 }
                 page.insert(&rec)?
                     .ok_or_else(|| IndexError::InvalidSpec("internal entry does not fit".into()))?;
             }
-            next_children.push((first_key_of_page.unwrap_or_default(), pages.len() as u32));
+            next_children.push((first_key_of_page.unwrap_or(&[]), pages.len() as u32));
             pages.push(page);
             internal_levels.push(pages);
             level_children = next_children;
@@ -374,6 +530,9 @@ impl SortedRun {
     /// Merge two sorted runs into one, in linear time.
     #[must_use]
     pub fn merge(&self, other: &SortedRun) -> SortedRun {
+        // Entries are cloned, not drained: the jackknife's delete-one-batch
+        // re-estimates merge the same batch runs repeatedly, so merge must
+        // leave both inputs intact.
         let mut out = Vec::with_capacity(self.len() + other.len());
         let (mut a, mut b) = (self.entries.iter(), other.entries.iter());
         let (mut next_a, mut next_b) = (a.next(), b.next());
@@ -781,13 +940,115 @@ mod tests {
         assert!(idx.all_entries().unwrap().is_empty());
     }
 
-    /// Compare two trees page-by-page at the byte level.
+    /// Compare two trees page-by-page at the byte level, leaves and
+    /// internal levels alike.
     fn assert_trees_identical(a: &BTreeIndex, b: &BTreeIndex) {
         assert_eq!(a.num_entries(), b.num_entries());
         assert_eq!(a.num_leaf_pages(), b.num_leaf_pages());
         assert_eq!(a.height(), b.height());
         for (pa, pb) in a.leaf_pages().iter().zip(b.leaf_pages()) {
             assert_eq!(pa.raw(), pb.raw(), "leaf pages must match byte-for-byte");
+        }
+        for (la, lb) in a.internal_levels.iter().zip(&b.internal_levels) {
+            assert_eq!(la.len(), lb.len());
+            for (pa, pb) in la.iter().zip(lb) {
+                assert_eq!(
+                    pa.raw(),
+                    pb.raw(),
+                    "internal pages must match byte-for-byte"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_builds_are_byte_identical_to_serial_for_every_thread_count() {
+        let t = table(4_000);
+        let rows: Vec<(Rid, Row)> = t.scan().collect();
+        for spec in [
+            IndexSpec::nonclustered("i", ["name"]).unwrap(),
+            IndexSpec::clustered("i", ["id"]).unwrap(),
+        ] {
+            let serial = IndexBuilder::new()
+                .page_size(512)
+                .build_from_rows(t.schema(), &rows, &spec)
+                .unwrap();
+            for threads in [0, 2, 3, 8] {
+                let parallel = IndexBuilder::new()
+                    .page_size(512)
+                    .threads(threads)
+                    .build_from_rows(t.schema(), &rows, &spec)
+                    .unwrap();
+                assert_trees_identical(&serial, &parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_from_records_matches_serial() {
+        use samplecf_storage::RowCodec;
+        let t = table(3_000);
+        let rows: Vec<(Rid, Row)> = t.scan().collect();
+        let codec = RowCodec::new(t.schema().clone());
+        let encoded: Vec<(Rid, Vec<u8>)> = rows
+            .iter()
+            .map(|(rid, row)| (*rid, codec.encode(row).unwrap()))
+            .collect();
+        let records: Vec<(Rid, &[u8])> = encoded
+            .iter()
+            .map(|(rid, bytes)| (*rid, bytes.as_slice()))
+            .collect();
+        let spec = IndexSpec::nonclustered("i", ["name", "id"]).unwrap();
+        let serial = IndexBuilder::new()
+            .page_size(1024)
+            .build_from_records(t.schema(), &records, &spec)
+            .unwrap();
+        for threads in [2, 5, 8] {
+            let parallel = IndexBuilder::new()
+                .page_size(1024)
+                .threads(threads)
+                .build_from_records(t.schema(), &records, &spec)
+                .unwrap();
+            assert_trees_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_packing_respects_the_fill_factor_exactly() {
+        let t = table(2_500);
+        let spec = IndexSpec::nonclustered("i", ["name"]).unwrap();
+        let rows: Vec<(Rid, Row)> = t.scan().collect();
+        for fill in [0.3, 0.5, 0.75, 1.0] {
+            let serial = IndexBuilder::new()
+                .page_size(1024)
+                .fill_factor(fill)
+                .build_from_rows(t.schema(), &rows, &spec)
+                .unwrap();
+            let parallel = IndexBuilder::new()
+                .page_size(1024)
+                .fill_factor(fill)
+                .threads(4)
+                .build_from_rows(t.schema(), &rows, &spec)
+                .unwrap();
+            assert_trees_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_tiny_and_empty_inputs() {
+        let spec = IndexSpec::nonclustered("i", ["name"]).unwrap();
+        let builder = IndexBuilder::new().threads(8);
+        let empty = builder.build_from_rows(&schema(), &[], &spec).unwrap();
+        assert_eq!(empty.num_entries(), 0);
+        assert_eq!(empty.num_leaf_pages(), 1);
+        for n in [1, 2, 7] {
+            let t = table(n);
+            let rows: Vec<(Rid, Row)> = t.scan().collect();
+            let serial = IndexBuilder::new()
+                .build_from_rows(t.schema(), &rows, &spec)
+                .unwrap();
+            let parallel = builder.build_from_rows(t.schema(), &rows, &spec).unwrap();
+            assert_trees_identical(&serial, &parallel);
         }
     }
 

@@ -67,6 +67,13 @@ pub struct ServerConfig {
     /// How many parsed-but-unserved requests one connection may pipeline
     /// before the loop stops reading its socket (TCP backpressure).
     pub max_pipelined: usize,
+    /// Default inner parallelism of one estimation request (0 = all
+    /// cores); a request's `"threads"` field overrides it.  The default
+    /// of 1 composes with `workers`: the pool is the parallel axis under
+    /// concurrent load, so `workers × estimator_threads` should not
+    /// exceed the core count by much.  Raise this (and lower `workers`)
+    /// for a latency-oriented daemon serving few large requests.
+    pub estimator_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +86,7 @@ impl Default for ServerConfig {
             queue_depth: 1_024,
             max_line_bytes: 1024 * 1024,
             max_pipelined: 64,
+            estimator_threads: 1,
         }
     }
 }
@@ -548,10 +556,10 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
-        let state = Arc::new(ServiceState::with_shards(
-            config.cache_budget_bytes,
-            config.cache_shards,
-        ));
+        let state = Arc::new(
+            ServiceState::with_shards(config.cache_budget_bytes, config.cache_shards)
+                .with_estimator_threads(config.estimator_threads),
+        );
         state
             .gauges
             .set_limits(config.max_connections, config.queue_depth);

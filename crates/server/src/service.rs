@@ -148,6 +148,12 @@ pub struct ServiceState {
     pub cache: ConcurrentSampleCache,
     /// Transport gauges (connections, backpressure) for the `stats` op.
     pub gauges: ServerGauges,
+    /// Default inner parallelism of one estimation request (0 = all
+    /// cores); a request's `"threads"` field overrides it.  The daemon
+    /// keeps this at 1 by default because the worker pool is already the
+    /// parallel axis — `workers` requests run concurrently, and fanning
+    /// each of them over every core would oversubscribe the machine.
+    estimator_threads: usize,
     counters: RequestCounters,
     started: Instant,
     shutdown: AtomicBool,
@@ -168,10 +174,33 @@ impl ServiceState {
             catalog: TableCatalog::new(),
             cache: ConcurrentSampleCache::with_shards(cache_budget_bytes, cache_shards),
             gauges: ServerGauges::default(),
+            estimator_threads: 1,
             counters: RequestCounters::default(),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
         }
+    }
+
+    /// Set the default per-request estimator parallelism (0 = all cores).
+    /// Estimates are byte-identical at any thread count, so this is a
+    /// throughput-vs-latency dial, not a semantic one.
+    #[must_use]
+    pub fn with_estimator_threads(mut self, threads: usize) -> Self {
+        self.estimator_threads = threads;
+        self
+    }
+
+    /// The configured default per-request estimator parallelism.
+    #[must_use]
+    pub fn estimator_threads(&self) -> usize {
+        self.estimator_threads
+    }
+
+    /// The effective thread count of one request: its optional `"threads"`
+    /// field, falling back to the daemon-wide default.
+    fn request_threads(&self, request: &Json) -> Result<usize, ApiError> {
+        #[allow(clippy::cast_possible_truncation)]
+        Ok(opt_u64(request, "threads", self.estimator_threads as u64)? as usize)
     }
 
     /// Whether a `shutdown` request has been accepted.
@@ -324,6 +353,7 @@ impl ServiceState {
     fn op_estimate(&self, request: &Json) -> Result<Json, ApiError> {
         let setup = self.sampler_setup(request, "uniform", 0.01)?;
         let index = self.index_setup(request, &setup)?;
+        let builder = IndexBuilder::new().threads(self.request_threads(request)?);
         let acquired = self
             .cache
             .acquire(&setup.entry.shared, setup.kind, setup.seed)
@@ -354,7 +384,7 @@ impl ServiceState {
                 },
                 &index.spec,
                 index.scheme.as_ref(),
-                &IndexBuilder::new(),
+                &builder,
                 setup.kind.label(),
             )
         } else {
@@ -363,7 +393,7 @@ impl ServiceState {
                 &acquired.rows,
                 &index.spec,
                 index.scheme.as_ref(),
-                &IndexBuilder::new(),
+                &builder,
                 setup.kind.label(),
             )
         }
@@ -426,6 +456,7 @@ impl ServiceState {
         let counting = CountingSource::new(setup.entry.shared.as_ref());
         let report = ProgressiveCf::new(setup.kind, config)
             .seed(setup.seed)
+            .threads(self.request_threads(request)?)
             .run(&counting, &index.spec, index.scheme.as_ref())
             .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
 
@@ -531,19 +562,26 @@ impl ServiceState {
             .cache
             .acquire(&setup.entry.shared, setup.kind, setup.seed)
             .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
+        // Candidates are independent given the shared sample, so they fan
+        // out over the request's thread budget; reassembly by job index
+        // keeps the recommendation order (and the response bytes)
+        // identical to the serial loop.
+        let threads = self.request_threads(request)?;
+        let evaluated = samplecf_parallel::parallel_indexed_map(specs.len(), threads, |i| {
+            let (spec, scheme) = &specs[i];
+            evaluate_shared(
+                setup.entry.shared.as_ref(),
+                spec,
+                scheme.as_ref(),
+                &acquired.rows,
+                setup.kind.label(),
+                0,
+            )
+        });
         let mut recommendations: Vec<Recommendation> = Vec::with_capacity(specs.len());
-        for (spec, scheme) in &specs {
-            recommendations.push(
-                evaluate_shared(
-                    setup.entry.shared.as_ref(),
-                    spec,
-                    scheme.as_ref(),
-                    &acquired.rows,
-                    setup.kind.label(),
-                    0,
-                )
-                .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?,
-            );
+        for result in evaluated {
+            recommendations
+                .push(result.map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?);
         }
         decide(&mut recommendations, min_saving, budget);
 
@@ -1248,6 +1286,54 @@ mod tests {
                 .and_then(Json::as_array)
                 .map(<[Json]>::len),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn request_thread_counts_do_not_change_any_response_byte() {
+        // `"threads"` is a throughput dial: estimate and advise replies
+        // must be byte-identical whether a request runs serially, on a
+        // fixed pool, or on every core.
+        let (path, _cleanup) = scratch_table("threads", 9_000);
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES).with_estimator_threads(2);
+        assert_eq!(state.estimator_threads(), 2);
+        ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+
+        // Only `result` is compared: the cache accounting legitimately
+        // flips from miss to hit between otherwise-identical requests.
+        let estimate = |threads: &str| {
+            ok(
+                &state,
+                &format!(
+                    r#"{{"op":"estimate","table":"svc_t","sampler":"stratified","fraction":0.1,"strata":4,"seed":9{threads}}}"#
+                ),
+            )
+        };
+        let baseline = estimate(r#","threads":1"#);
+        let baseline = baseline.get("result").unwrap();
+        assert_eq!(
+            Some(baseline),
+            estimate("").get("result"),
+            "daemon default matches serial"
+        );
+        assert_eq!(Some(baseline), estimate(r#","threads":8"#).get("result"));
+        assert_eq!(
+            Some(baseline),
+            estimate(r#","threads":0"#).get("result"),
+            "0 = all cores"
+        );
+
+        let advise = |threads: &str| {
+            ok(
+                &state,
+                &format!(
+                    r#"{{"op":"advise","table":"svc_t","sampler":"block","fraction":0.05,"seed":3{threads},"candidates":[{{"index":"i1","scheme":"dictionary-global"}},{{"index":"i2","scheme":"null-suppression"}},{{"index":"i3","scheme":"rle"}}]}}"#
+                ),
+            )
+        };
+        assert_eq!(
+            advise(r#","threads":1"#).get("result"),
+            advise(r#","threads":4"#).get("result")
         );
     }
 

@@ -28,6 +28,10 @@ OPTIONS:
   --workers N            estimation worker threads      [default: 8]
                          (compute pool only; connection capacity is
                          --max-connections)
+  --estimator-threads N  default inner parallelism of one request
+                         (0 = all cores; a request's \"threads\" field
+                         overrides it).  Keep workers x this near the
+                         core count                     [default: 1]
   --max-connections N    open-connection limit; further connects are
                          answered busy and closed      [default: 10240]
   --queue-depth N        bounded request queue between the event loop
@@ -81,6 +85,10 @@ fn run() -> Result<(), String> {
             }
             "--addr" => addr = value("--addr")?,
             "--workers" => config.workers = parse("--workers", value("--workers")?)?,
+            "--estimator-threads" => {
+                config.estimator_threads =
+                    parse("--estimator-threads", value("--estimator-threads")?)?;
+            }
             "--max-connections" => {
                 config.max_connections = parse("--max-connections", value("--max-connections")?)?;
             }
@@ -104,6 +112,7 @@ fn run() -> Result<(), String> {
     // bind port 0 and scrape the real address from here.
     println!("samplecfd listening on {}", handle.addr());
     println!("workers          {}", config.workers);
+    println!("estimator thr.   {}", config.estimator_threads);
     println!("max connections  {}", config.max_connections);
     println!("queue depth      {}", config.queue_depth);
     println!(
