@@ -104,6 +104,7 @@ pub fn run(quick: bool) -> Report {
          makes for why commercial systems sample blocks, reproduced with real file reads.",
     );
     report.add(t);
+    drop(counting);
     drop(disk);
     let _ = std::fs::remove_file(&path);
     report

@@ -205,6 +205,7 @@ pub fn run(quick: bool) -> Report {
             write_bench_json(quick, rows, exact.cf, &uniform_rows, &stratified);
         }
 
+        drop(fixed_counting);
         drop(disk);
         let _ = std::fs::remove_file(&path);
     }

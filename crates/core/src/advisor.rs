@@ -34,10 +34,61 @@ use crate::error::{CoreError, CoreResult};
 use crate::estimator::measure_rows;
 use samplecf_compression::CompressionScheme;
 use samplecf_index::{IndexBuilder, IndexSizeModel, IndexSpec};
+use samplecf_obs::{Counter, Histogram, MetricsRegistry};
 use samplecf_sampling::{SampledRow, SamplerKind};
 use samplecf_storage::{SharedSource, TableSource};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Registry-backed per-group shared-sample accounting for advisor plans.
+/// Default-constructed handles are disabled no-ops; attach live ones with
+/// [`CompressionAdvisor::metrics`].  Names are catalogued in
+/// `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, Default)]
+pub struct AdvisorMetrics {
+    /// Plans produced (`samplecf_advisor_plans_total`).
+    plans: Counter,
+    /// Candidates evaluated (`samplecf_advisor_candidates_total`).
+    candidates: Counter,
+    /// Shared sample groups drawn (`samplecf_advisor_groups_total`).
+    groups: Counter,
+    /// Physical pages read drawing the shared samples
+    /// (`samplecf_advisor_pages_read_total`).
+    pages_read: Counter,
+    /// Pages saved versus re-sampling per candidate
+    /// (`samplecf_advisor_pages_saved_total`).
+    pages_saved: Counter,
+    /// Per-group draw wall time (`samplecf_advisor_sample_draw_ns`).
+    sample_draw_ns: Histogram,
+}
+
+impl AdvisorMetrics {
+    /// Register the advisor instrument set in `registry`.
+    #[must_use]
+    pub fn register_in(registry: &MetricsRegistry) -> Self {
+        AdvisorMetrics {
+            plans: registry.counter("samplecf_advisor_plans_total"),
+            candidates: registry.counter("samplecf_advisor_candidates_total"),
+            groups: registry.counter("samplecf_advisor_groups_total"),
+            pages_read: registry.counter("samplecf_advisor_pages_read_total"),
+            pages_saved: registry.counter("samplecf_advisor_pages_saved_total"),
+            sample_draw_ns: registry.histogram("samplecf_advisor_sample_draw_ns"),
+        }
+    }
+
+    /// Record one finished plan's accounting.
+    fn observe_plan(&self, plan: &AdvisorPlan) {
+        self.plans.inc();
+        self.candidates.add(plan.recommendations.len() as u64);
+        self.groups.add(plan.groups.len() as u64);
+        self.pages_read.add(plan.pages_read());
+        self.pages_saved.add(plan.pages_saved_vs_naive());
+        for group in &plan.groups {
+            self.sample_draw_ns
+                .record(u64::try_from(group.sample_elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
 
 /// A candidate index the advisor reasons about: where the data lives, the
 /// index to (potentially) build compressed, and the compression scheme under
@@ -293,9 +344,10 @@ impl AdvisorConfig {
 }
 
 /// The compression advisor.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CompressionAdvisor {
     config: AdvisorConfig,
+    metrics: AdvisorMetrics,
 }
 
 impl CompressionAdvisor {
@@ -310,7 +362,19 @@ impl CompressionAdvisor {
                 config.min_saving_fraction
             )));
         }
-        Ok(CompressionAdvisor { config })
+        Ok(CompressionAdvisor {
+            config,
+            metrics: AdvisorMetrics::default(),
+        })
+    }
+
+    /// Record plan accounting into `metrics` (see
+    /// [`AdvisorMetrics::register_in`]).  Plans are byte-identical with or
+    /// without live instruments.
+    #[must_use]
+    pub fn metrics(mut self, metrics: AdvisorMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Produce a plan for a set of candidate indexes.
@@ -376,12 +440,14 @@ impl CompressionAdvisor {
             })
             .collect();
 
-        Ok(AdvisorPlan {
+        let plan = AdvisorPlan {
             recommendations,
             groups,
             budget_bytes: self.config.budget_bytes,
             elapsed: started.elapsed(),
-        })
+        };
+        self.metrics.observe_plan(&plan);
+        Ok(plan)
     }
 }
 

@@ -68,8 +68,8 @@ pub mod theory;
 pub mod trials;
 
 pub use advisor::{
-    decide, evaluate_shared, AdvisorConfig, AdvisorPlan, Candidate, CompressionAdvisor,
-    Recommendation, SampleGroup,
+    decide, evaluate_shared, AdvisorConfig, AdvisorMetrics, AdvisorPlan, Candidate,
+    CompressionAdvisor, Recommendation, SampleGroup,
 };
 pub use algebra::{ns_row_statistic, weighted_combine, MomentSketch, VarianceNode};
 pub use cache::{CachedSample, SampleCache};
@@ -86,5 +86,7 @@ pub use estimator::{
 pub use metrics::{
     absolute_error, grouped_jackknife_variance, ratio_error, relative_error, SummaryStats,
 };
-pub use progressive::{CfCheckpoint, ProgressiveCf, ProgressiveConfig, ProgressiveReport};
+pub use progressive::{
+    CfCheckpoint, ProgressiveCf, ProgressiveConfig, ProgressiveMetrics, ProgressiveReport,
+};
 pub use trials::{TrialConfig, TrialRunner, TrialSummary};

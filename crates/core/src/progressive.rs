@@ -34,9 +34,59 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use samplecf_compression::CompressionScheme;
 use samplecf_index::{measure_index, CompressedIndexReport, IndexBuilder, IndexSpec, SortedRun};
+use samplecf_obs::{Counter, Histogram, MetricsRegistry, Timer};
 use samplecf_sampling::{BatchSchedule, SamplerKind};
 use samplecf_storage::{CountingSource, TableSource};
 use std::time::Instant;
+
+/// Registry-backed instruments for progressive runs.  A default-constructed
+/// value is fully disabled (every record is one branch), so the estimator
+/// carries it unconditionally; [`ProgressiveCf::metrics`] swaps in live
+/// handles.  Metric names are catalogued in `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressiveMetrics {
+    /// Progressive runs started (`samplecf_progressive_runs_total`).
+    runs: Counter,
+    /// Checkpoints measured (`samplecf_progressive_checkpoints_total`).
+    checkpoints: Counter,
+    /// Runs that met their target before the cap
+    /// (`samplecf_progressive_early_stops_total`).
+    early_stops: Counter,
+    /// Physical pages read (`samplecf_progressive_pages_read_total`).
+    pages_read: Counter,
+    /// Per-checkpoint batch-draw wall time
+    /// (`samplecf_progressive_draw_ns`).
+    draw_ns: Histogram,
+    /// Per-checkpoint measure wall time — index build, compression
+    /// measurement and the variance estimate
+    /// (`samplecf_progressive_measure_ns`).
+    measure_ns: Histogram,
+    /// Checkpoints whose variance came from the grouped jackknife
+    /// (`samplecf_progressive_variance_total{source="jackknife"}`).
+    variance_jackknife: Counter,
+    /// Checkpoints whose variance came from the closed-form stratified
+    /// algebra (`samplecf_progressive_variance_total{source="algebra"}`).
+    variance_algebra: Counter,
+}
+
+impl ProgressiveMetrics {
+    /// Register the progressive instrument set in `registry`.
+    #[must_use]
+    pub fn register_in(registry: &MetricsRegistry) -> Self {
+        ProgressiveMetrics {
+            runs: registry.counter("samplecf_progressive_runs_total"),
+            checkpoints: registry.counter("samplecf_progressive_checkpoints_total"),
+            early_stops: registry.counter("samplecf_progressive_early_stops_total"),
+            pages_read: registry.counter("samplecf_progressive_pages_read_total"),
+            draw_ns: registry.histogram("samplecf_progressive_draw_ns"),
+            measure_ns: registry.histogram("samplecf_progressive_measure_ns"),
+            variance_jackknife: registry
+                .counter("samplecf_progressive_variance_total{source=\"jackknife\"}"),
+            variance_algebra: registry
+                .counter("samplecf_progressive_variance_total{source=\"algebra\"}"),
+        }
+    }
+}
 
 /// Configuration of the progressive run: the accuracy target and the batch
 /// schedule.  The sampler's own fraction (or reservoir capacity) acts as
@@ -177,6 +227,7 @@ pub struct ProgressiveCf {
     builder: IndexBuilder,
     seed: u64,
     config: ProgressiveConfig,
+    metrics: ProgressiveMetrics,
 }
 
 impl ProgressiveCf {
@@ -190,6 +241,7 @@ impl ProgressiveCf {
             builder: IndexBuilder::new(),
             seed: 0,
             config,
+            metrics: ProgressiveMetrics::default(),
         }
     }
 
@@ -213,6 +265,16 @@ impl ProgressiveCf {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Record run/checkpoint instruments into `metrics` (see
+    /// [`ProgressiveMetrics::register_in`]).  The default is a disabled set
+    /// that costs one branch per record; reports are byte-identical either
+    /// way.
+    #[must_use]
+    pub fn metrics(mut self, metrics: ProgressiveMetrics) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -305,11 +367,16 @@ impl ProgressiveCf {
         let mut strata_sketches: Vec<MomentSketch> = Vec::new();
         let mut strata_rows: Vec<usize> = Vec::new();
 
+        self.metrics.runs.inc();
         loop {
-            let batch = stream.next_batch(&counting, &mut rng)?;
+            let batch = {
+                let _draw = Timer::start(&self.metrics.draw_ns);
+                stream.next_batch(&counting, &mut rng)?
+            };
             if batch.is_empty() {
                 break;
             }
+            let measure_timer = Timer::start(&self.metrics.measure_ns);
             let tags: Vec<u32> = if is_stratified {
                 stream
                     .batch_strata()
@@ -437,11 +504,19 @@ impl ProgressiveCf {
             } else {
                 None
             };
+            drop(measure_timer);
             let variance_source = match variance {
-                Some(_) if is_stratified => Some("algebra"),
-                Some(_) => Some("jackknife"),
+                Some(_) if is_stratified => {
+                    self.metrics.variance_algebra.inc();
+                    Some("algebra")
+                }
+                Some(_) => {
+                    self.metrics.variance_jackknife.inc();
+                    Some("jackknife")
+                }
                 None => None,
             };
+            self.metrics.checkpoints.inc();
             let std_error = variance.map(f64::sqrt);
             let half_width = std_error.map(|se| z * se);
 
@@ -501,6 +576,10 @@ impl ProgressiveCf {
             }
         };
         let stopped_early = !stream.exhausted() && !checkpoints.is_empty();
+        self.metrics.pages_read.add(counting.pages_read());
+        if stopped_early {
+            self.metrics.early_stops.inc();
+        }
         // A stratified run's estimate is the weighted combination, not the
         // pooled report's ratio (the pooled report is still attached for
         // its per-column detail).

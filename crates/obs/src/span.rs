@@ -1,0 +1,224 @@
+//! Per-request stage tracing.
+//!
+//! A request's life is divided into a fixed taxonomy of [`Stage`]s
+//! (documented in `docs/OBSERVABILITY.md`).  [`StageTimings`] is a small
+//! value carried alongside the request (e.g. inside the daemon's `Job`)
+//! accumulating exact per-stage nanoseconds; [`Span`] is the RAII guard
+//! that attributes a scope's wall time to one stage.  Because the
+//! accumulators are exact, aggregate invariants survive into histogram
+//! sums: over any set of requests, `Σ queue_wait + Σ execute ≤ Σ total`.
+
+use crate::histogram::Histogram;
+use std::time::{Duration, Instant};
+
+/// The stages of a request's life inside the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Accepting a new connection (per-connection, not per-request).
+    Accept,
+    /// Parsing the framed line into a JSON request.
+    Parse,
+    /// Waiting in the bounded event-loop → worker queue.
+    QueueWait,
+    /// Executing the request (catalog/cache/estimator work).
+    Execute,
+    /// Serializing the response object to its wire line.
+    Serialize,
+    /// Waiting in the worker → event-loop completion queue until the
+    /// loop observes the finished response (the residual of the request
+    /// clock not attributed to any other stage).
+    Drain,
+    /// Writing response bytes to the socket (per-flush, not per-request).
+    Write,
+}
+
+impl Stage {
+    /// Every stage, in lifecycle order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Accept,
+        Stage::Parse,
+        Stage::QueueWait,
+        Stage::Execute,
+        Stage::Serialize,
+        Stage::Drain,
+        Stage::Write,
+    ];
+
+    /// Stable snake_case label used in metric names and log lines.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Accept => "accept",
+            Stage::Parse => "parse",
+            Stage::QueueWait => "queue_wait",
+            Stage::Execute => "execute",
+            Stage::Serialize => "serialize",
+            Stage::Drain => "drain",
+            Stage::Write => "write",
+        }
+    }
+
+    /// Position of this stage in [`Stage::ALL`] — usable as an index into
+    /// per-stage instrument arrays.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Accept => 0,
+            Stage::Parse => 1,
+            Stage::QueueWait => 2,
+            Stage::Execute => 3,
+            Stage::Serialize => 4,
+            Stage::Drain => 5,
+            Stage::Write => 6,
+        }
+    }
+}
+
+/// Exact per-stage wall-clock accumulators for one request.
+///
+/// The total clock starts at [`StageTimings::start`]; stage nanoseconds
+/// are added by [`Span`]s (or [`StageTimings::add`] directly).  `Copy`-free
+/// but small: one `u64` per stage and an `Instant`.
+#[derive(Debug, Clone)]
+pub struct StageTimings {
+    nanos: [u64; Stage::ALL.len()],
+    started: Instant,
+}
+
+impl Default for StageTimings {
+    fn default() -> Self {
+        StageTimings::start()
+    }
+}
+
+impl StageTimings {
+    /// Begin a request's clock.
+    #[must_use]
+    pub fn start() -> Self {
+        StageTimings {
+            nanos: [0; Stage::ALL.len()],
+            started: Instant::now(),
+        }
+    }
+
+    /// Attribute `d` to `stage`.
+    #[inline]
+    pub fn add(&mut self, stage: Stage, d: Duration) {
+        self.nanos[stage.index()] = self.nanos[stage.index()]
+            .saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Nanoseconds attributed to `stage` so far.
+    #[must_use]
+    pub fn nanos(&self, stage: Stage) -> u64 {
+        self.nanos[stage.index()]
+    }
+
+    /// Elapsed wall clock since [`Self::start`], in nanoseconds.
+    #[must_use]
+    pub fn total_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The instant the request clock started.
+    #[must_use]
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// `(stage, nanos)` for every stage with recorded time.
+    pub fn recorded(&self) -> impl Iterator<Item = (Stage, u64)> + '_ {
+        Stage::ALL
+            .into_iter()
+            .map(|s| (s, self.nanos[s.index()]))
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
+/// RAII guard: attributes the wall time between construction and drop to
+/// one stage of a [`StageTimings`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    timings: &'a mut StageTimings,
+    stage: Stage,
+    entered: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Enter `stage`; the time until the guard drops is attributed to it.
+    #[must_use]
+    pub fn enter(timings: &'a mut StageTimings, stage: Stage) -> Self {
+        Span {
+            timings,
+            stage,
+            entered: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.timings.add(self.stage, self.entered.elapsed());
+    }
+}
+
+/// RAII guard recording a scope's wall time (in nanoseconds) straight into
+/// a [`Histogram`] — for call sites with no per-request `StageTimings`,
+/// like the progressive estimator's per-checkpoint draw/measure phases.
+#[derive(Debug)]
+pub struct Timer {
+    histogram: Histogram,
+    entered: Instant,
+}
+
+impl Timer {
+    /// Start timing into `histogram` (no-op handles cost one branch).
+    #[must_use]
+    pub fn start(histogram: &Histogram) -> Self {
+        Timer {
+            histogram: histogram.clone(),
+            entered: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.histogram.record_duration(self.entered.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_into_stages() {
+        let mut t = StageTimings::start();
+        {
+            let _s = Span::enter(&mut t, Stage::Execute);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        {
+            let _s = Span::enter(&mut t, Stage::Execute);
+        }
+        assert!(t.nanos(Stage::Execute) >= 2_000_000);
+        assert_eq!(t.nanos(Stage::Parse), 0);
+        // Stage time is bounded by the request clock.
+        assert!(t.nanos(Stage::Execute) <= t.total_nanos());
+        let recorded: Vec<_> = t.recorded().collect();
+        assert_eq!(recorded.len(), 1);
+        assert_eq!(recorded[0].0.name(), "execute");
+    }
+
+    #[test]
+    fn timer_records_into_histogram() {
+        let r = crate::MetricsRegistry::new();
+        let h = r.histogram("t");
+        {
+            let _t = Timer::start(&h);
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

@@ -42,6 +42,7 @@
 
 use crate::protocol::CacheDisposition;
 use samplecf_core::{CachedSample, CoreError, CoreResult};
+use samplecf_obs::{Counter, Gauge, MetricsRegistry};
 use samplecf_sampling::{SampledRow, SamplerKind};
 use samplecf_storage::SharedSource;
 use std::collections::HashMap;
@@ -142,17 +143,66 @@ enum Slot {
     Ready(ReadyGroup),
 }
 
-#[derive(Default)]
+/// Per-shard instruments, registry-backed so the daemon's `metrics`
+/// exposition sees cache behavior live; `label`ed by shard index.  The
+/// counters live under the shard's mutex, so increments are uncontended
+/// relaxed stores — the registry handle is the storage, not a copy.
+struct ShardMetrics {
+    hits: Counter,
+    misses: Counter,
+    deepened: Counter,
+    evictions: Counter,
+    coalesced_waits: Counter,
+    pages_read: Counter,
+    bytes: Gauge,
+    entries: Gauge,
+}
+
+impl ShardMetrics {
+    fn register(registry: &MetricsRegistry, shard: usize) -> Self {
+        let name = |metric: &str| format!("samplecf_cache_{metric}{{shard=\"{shard}\"}}");
+        ShardMetrics {
+            hits: registry.counter(&name("hits_total")),
+            misses: registry.counter(&name("misses_total")),
+            deepened: registry.counter(&name("deepened_total")),
+            evictions: registry.counter(&name("evictions_total")),
+            coalesced_waits: registry.counter(&name("coalesced_waits_total")),
+            pages_read: registry.counter(&name("pages_read_total")),
+            bytes: registry.gauge(&name("bytes")),
+            entries: registry.gauge(&name("entries")),
+        }
+    }
+}
+
 struct State {
     slots: HashMap<GroupKey, Slot>,
     clock: u64,
     total_bytes: usize,
-    hits: u64,
-    misses: u64,
-    deepened: u64,
-    evictions: u64,
-    coalesced_waits: u64,
-    pages_read: u64,
+    metrics: ShardMetrics,
+}
+
+impl State {
+    fn new(metrics: ShardMetrics) -> Self {
+        State {
+            slots: HashMap::new(),
+            clock: 0,
+            total_bytes: 0,
+            metrics,
+        }
+    }
+
+    fn ready_entries(&self) -> usize {
+        self.slots
+            .values()
+            .filter(|slot| matches!(slot, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Re-publish the residency gauges after any slot/byte mutation.
+    fn sync_gauges(&self) {
+        self.metrics.bytes.set(self.total_bytes as u64);
+        self.metrics.entries.set(self.ready_entries() as u64);
+    }
 }
 
 /// One independent shard: its own lock, condvar and byte budget.
@@ -185,9 +235,18 @@ impl ConcurrentSampleCache {
     /// A cache with an explicit shard count (clamped to ≥ 1).  The budget
     /// is divided evenly across shards; the first `budget % shards` shards
     /// absorb the remainder byte each, so the per-shard budgets always sum
-    /// to exactly `budget_bytes`.
+    /// to exactly `budget_bytes`.  Counters feed a private metrics
+    /// registry; use [`Self::with_registry`] to share the daemon's.
     #[must_use]
     pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        Self::with_registry(budget_bytes, shards, &MetricsRegistry::new())
+    }
+
+    /// As [`Self::with_shards`], with every shard's hit/miss/deepen/evict
+    /// counters and byte/entry gauges registered in `registry` under
+    /// `samplecf_cache_*{shard="i"}` names.
+    #[must_use]
+    pub fn with_registry(budget_bytes: usize, shards: usize, registry: &MetricsRegistry) -> Self {
         let shards = shards.max(1);
         let base = budget_bytes / shards;
         let remainder = budget_bytes % shards;
@@ -195,7 +254,7 @@ impl ConcurrentSampleCache {
             shards: (0..shards)
                 .map(|i| Shard {
                     budget_bytes: base + usize::from(i < remainder),
-                    state: Mutex::new(State::default()),
+                    state: Mutex::new(State::new(ShardMetrics::register(registry, i))),
                     ready: Condvar::new(),
                 })
                 .collect(),
@@ -284,11 +343,11 @@ impl Shard {
                         entry_pages_total: group.pages_total,
                         disposition: CacheDisposition::Hit,
                     };
-                    state.hits += 1;
+                    state.metrics.hits.inc();
                     return Ok(acquired);
                 }
                 Some(Slot::InFlight) => {
-                    state.coalesced_waits += 1;
+                    state.metrics.coalesced_waits.inc();
                     state = self
                         .ready
                         .wait(state)
@@ -314,7 +373,7 @@ impl Shard {
             return self.deepen_into(key, base, source, kind, seed);
         }
 
-        state.misses += 1;
+        state.metrics.misses.inc();
         drop(state);
         match CachedSample::draw_streaming(source, kind, seed) {
             Ok(entry) => {
@@ -398,8 +457,8 @@ impl Shard {
                     live.approx_bytes()
                 };
                 let mut state = lock_state(&self.state);
-                state.deepened += 1;
-                state.pages_read += delta;
+                state.metrics.deepened.inc();
+                state.metrics.pages_read.add(delta);
                 state.clock += 1;
                 let last_used = state.clock;
                 state.total_bytes += bytes;
@@ -415,6 +474,7 @@ impl Shard {
                     }),
                 );
                 self.evict_over_budget(&mut state, &key);
+                state.sync_gauges();
                 drop(state);
                 self.ready.notify_all();
                 Ok(AcquiredSample {
@@ -430,10 +490,7 @@ impl Shard {
                 // The stream refused (e.g. sealed between check and use —
                 // cannot happen today, but cheap to stay correct about):
                 // draw fresh under the in-flight marker we already hold.
-                {
-                    let mut state = lock_state(&self.state);
-                    state.misses += 1;
-                }
+                lock_state(&self.state).metrics.misses.inc();
                 match CachedSample::draw_streaming(source, kind, seed) {
                     Ok(entry) => {
                         let pages = entry.pages_read();
@@ -461,7 +518,7 @@ impl Shard {
         let kind = entry.kind();
         let seed = entry.seed();
         let mut state = lock_state(&self.state);
-        state.pages_read += acquisition_pages;
+        state.metrics.pages_read.add(acquisition_pages);
         state.clock += 1;
         let last_used = state.clock;
         state.total_bytes += bytes;
@@ -477,6 +534,7 @@ impl Shard {
             }),
         );
         self.evict_over_budget(&mut state, &key);
+        state.sync_gauges();
         drop(state);
         self.ready.notify_all();
         AcquiredSample {
@@ -494,6 +552,7 @@ impl Shard {
     fn abort_inflight(&self, key: &GroupKey, error: CoreError) -> CoreError {
         let mut state = lock_state(&self.state);
         state.slots.remove(key);
+        state.sync_gauges();
         drop(state);
         self.ready.notify_all();
         error
@@ -518,7 +577,7 @@ impl Shard {
             let Some(victim) = victim else { break };
             if let Some(Slot::Ready(group)) = state.slots.remove(&victim) {
                 state.total_bytes -= group.bytes;
-                state.evictions += 1;
+                state.metrics.evictions.inc();
             }
         }
     }
@@ -526,19 +585,15 @@ impl Shard {
     fn stats(&self) -> CacheStats {
         let state = lock_state(&self.state);
         CacheStats {
-            entries: state
-                .slots
-                .values()
-                .filter(|slot| matches!(slot, Slot::Ready(_)))
-                .count(),
+            entries: state.ready_entries(),
             bytes: state.total_bytes,
             budget_bytes: self.budget_bytes,
-            hits: state.hits,
-            misses: state.misses,
-            deepened: state.deepened,
-            evictions: state.evictions,
-            coalesced_waits: state.coalesced_waits,
-            pages_read: state.pages_read,
+            hits: state.metrics.hits.get(),
+            misses: state.metrics.misses.get(),
+            deepened: state.metrics.deepened.get(),
+            evictions: state.metrics.evictions.get(),
+            coalesced_waits: state.metrics.coalesced_waits.get(),
+            pages_read: state.metrics.pages_read.get(),
         }
     }
 }

@@ -19,6 +19,7 @@
 
 use crate::protocol::{codes, ApiError};
 use parking_lot::RwLock;
+use samplecf_obs::{Counter, Gauge, MetricsRegistry};
 use samplecf_storage::{DiskTable, SharedSource};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -58,6 +59,9 @@ impl std::fmt::Debug for CatalogEntry {
 /// A concurrent name → table registry, sharded by name hash.
 pub struct TableCatalog {
     shards: Vec<RwLock<HashMap<String, CatalogEntry>>>,
+    hits: Counter,
+    misses: Counter,
+    tables: Gauge,
 }
 
 impl Default for TableCatalog {
@@ -73,12 +77,36 @@ impl TableCatalog {
         Self::default()
     }
 
-    /// An empty catalog with an explicit shard count (clamped to ≥ 1).
+    /// An empty catalog with an explicit shard count (clamped to ≥ 1),
+    /// feeding a private metrics registry.
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_registry(shards, &MetricsRegistry::new())
+    }
+
+    /// An empty catalog with an explicit shard count whose hit/miss
+    /// counters and table-count gauge feed `registry` (see
+    /// `docs/OBSERVABILITY.md` for the metric names).
+    #[must_use]
+    pub fn with_registry(shards: usize, registry: &MetricsRegistry) -> Self {
         TableCatalog {
             shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            hits: registry.counter("samplecf_catalog_hits_total"),
+            misses: registry.counter("samplecf_catalog_misses_total"),
+            tables: registry.gauge("samplecf_catalog_tables"),
         }
+    }
+
+    /// Lookups that found their table since start.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that missed since start.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
     }
 
     /// Number of independent shards.
@@ -132,17 +160,26 @@ impl TableCatalog {
             path: canonical,
         };
         tables.insert(name, entry.clone());
+        // Incremental rather than recount: `len()` would re-lock this shard.
+        self.tables.add(1);
         Ok(entry)
     }
 
     /// Look up a registered table by name.
     pub fn get(&self, name: &str) -> Result<CatalogEntry, ApiError> {
-        self.shard(name).read().get(name).cloned().ok_or_else(|| {
-            ApiError::new(
-                codes::NO_SUCH_TABLE,
-                format!("no table {name:?} in the catalog (register it first)"),
-            )
-        })
+        match self.shard(name).read().get(name).cloned() {
+            Some(entry) => {
+                self.hits.inc();
+                Ok(entry)
+            }
+            None => {
+                self.misses.inc();
+                Err(ApiError::new(
+                    codes::NO_SUCH_TABLE,
+                    format!("no table {name:?} in the catalog (register it first)"),
+                ))
+            }
+        }
     }
 
     /// Names of all registered tables, sorted for deterministic output.
@@ -251,6 +288,27 @@ mod tests {
         );
         let err = catalog.register("/no/such/file.scf", None).unwrap_err();
         assert_eq!(err.code, codes::STORAGE);
+    }
+
+    #[test]
+    fn lookups_feed_the_metrics_registry() {
+        let (path, _cleanup) = temp_table("metrics", 200);
+        let registry = samplecf_obs::MetricsRegistry::new();
+        let catalog = TableCatalog::with_registry(4, &registry);
+        catalog
+            .register(&path.to_string_lossy(), Some("t"))
+            .unwrap();
+        // Idempotent re-register must not double-count the table gauge.
+        catalog
+            .register(&path.to_string_lossy(), Some("t"))
+            .unwrap();
+        catalog.get("t").unwrap();
+        catalog.get("t").unwrap();
+        let _ = catalog.get("absent");
+        assert_eq!(catalog.hits(), 2);
+        assert_eq!(catalog.misses(), 1);
+        assert_eq!(registry.counter("samplecf_catalog_hits_total").get(), 2);
+        assert_eq!(registry.gauge("samplecf_catalog_tables").get(), 1);
     }
 
     #[test]

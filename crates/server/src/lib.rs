@@ -8,8 +8,8 @@
 //! treats samples as reusable server-side state.  This crate is that
 //! service layer: a std-only threaded TCP daemon speaking a small
 //! line-delimited JSON protocol (`register`, `estimate`,
-//! `estimate_progressive`, `advise`, `info`, `stats`, `shutdown`), backed
-//! by
+//! `estimate_progressive`, `advise`, `info`, `stats`, `metrics`,
+//! `shutdown`), backed by
 //!
 //! * a [`TableCatalog`] of registered
 //!   [`DiskTable`](samplecf_storage::DiskTable)s, handed out as
@@ -20,7 +20,13 @@
 //!   with duplicate in-flight requests coalesced onto one draw,
 //!   progressive deepening of shallow samples
 //!   (`SampleCache::get_or_deepen` semantics under concurrency), and LRU
-//!   eviction against a byte budget.
+//!   eviction against a byte budget, and
+//! * one [`MetricsRegistry`] per server, threaded through every layer:
+//!   request/error counters, per-kind and per-stage latency histograms
+//!   (accept → parse → queue-wait → execute → serialize → drain → write), cache
+//!   and catalog counters, progressive-estimator and advisor instruments.
+//!   The `metrics` op exposes it all in Prometheus-style text; `samplecf
+//!   top ADDR` renders a live view over `stats`.
 //!
 //! Results are **byte-identical to the single-shot `samplecf` CLI**
 //! seed-for-seed — the cache serves exactly the rows a fresh draw would
@@ -53,5 +59,6 @@ pub use cache::{AcquiredSample, CacheStats, ConcurrentSampleCache, DEFAULT_CACHE
 pub use catalog::{CatalogEntry, TableCatalog};
 pub use json::Json;
 pub use protocol::{table_info_json, ApiError, CacheDisposition};
+pub use samplecf_obs::{MetricsRegistry, RegistrySnapshot, Stage, StageTimings};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use service::ServiceState;
+pub use service::{RequestKind, ServiceState};

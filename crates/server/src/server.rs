@@ -32,9 +32,11 @@
 //! [`shutdown`](ServerHandle::shutdown) when done.
 
 use crate::cache::{DEFAULT_CACHE_BUDGET_BYTES, DEFAULT_CACHE_SHARDS};
+use crate::json::Json;
 use crate::poll::{Event, Interest, Poller, Waker};
 use crate::protocol::{codes, error_response, ApiError};
-use crate::service::ServiceState;
+use crate::service::{RequestKind, ServiceState};
+use samplecf_obs::{Stage, StageTimings};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -74,6 +76,11 @@ pub struct ServerConfig {
     /// exceed the core count by much.  Raise this (and lower `workers`)
     /// for a latency-oriented daemon serving few large requests.
     pub estimator_threads: usize,
+    /// A request whose end-to-end wall time exceeds this many milliseconds
+    /// is counted in `samplecf_slow_requests_total` and logged as one
+    /// structured JSON line on stderr (op, total, per-stage breakdown).
+    /// `0` disables the log (the counter then never fires).
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -87,22 +94,29 @@ impl Default for ServerConfig {
             max_line_bytes: 1024 * 1024,
             max_pipelined: 64,
             estimator_threads: 1,
+            slow_request_ms: 1_000,
         }
     }
 }
 
-/// One framed request traveling loop → worker.
+/// One framed request traveling loop → worker.  Its stage clock starts
+/// when the event loop enqueues it, so time spent waiting for a worker is
+/// observable as the queue-wait stage.
 struct Job {
     conn: usize,
     gen: u64,
     line: String,
+    timings: StageTimings,
 }
 
-/// One response line traveling worker → loop.
+/// One response line traveling worker → loop, with the request's
+/// classification and finished stage clock for the loop to observe.
 struct Completion {
     conn: usize,
     gen: u64,
     response: String,
+    kind: RequestKind,
+    timings: StageTimings,
 }
 
 /// The bounded loop → workers queue.  `try_push` never blocks (the event
@@ -276,11 +290,19 @@ impl EventLoop {
             {
                 break;
             }
-            for event in std::mem::take(&mut events) {
+            for (i, event) in std::mem::take(&mut events).into_iter().enumerate() {
                 if event.token == LISTENER_TOKEN {
                     self.accept_ready();
                 } else {
                     self.conn_ready(&event);
+                }
+                // Interleave completion draining with socket work: a ready
+                // list of thousands of connections can take a long time to
+                // service, and a finished response must not sit in the
+                // mailbox for that whole sweep (the `drain` stage histogram
+                // is what exposed this as the dominant non-queue tail).
+                if i % 64 == 63 {
+                    self.drain_completions();
                 }
             }
             self.drain_completions();
@@ -295,7 +317,11 @@ impl EventLoop {
     fn accept_ready(&mut self) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => self.admit(stream),
+                Ok((stream, _)) => {
+                    let accepted = Instant::now();
+                    self.admit(stream);
+                    self.state.observe_stage(Stage::Accept, accepted.elapsed());
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 // Transient per-connection accept failures (reset before
@@ -435,6 +461,7 @@ impl EventLoop {
                         conn: idx,
                         gen: conn.gen,
                         line,
+                        timings: StageTimings::start(),
                     }) {
                         Ok(depth) => {
                             self.state.gauges.set_queue_depth(depth);
@@ -450,6 +477,7 @@ impl EventLoop {
         }
 
         // Flush what the socket will take.
+        let flush_started = (!conn.dead && !conn.flushed()).then(Instant::now);
         while !conn.dead && conn.write_pos < conn.write_buf.len() {
             match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
                 Ok(0) => {
@@ -460,6 +488,9 @@ impl EventLoop {
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => conn.dead = true,
             }
+        }
+        if let Some(started) = flush_started {
+            self.state.observe_stage(Stage::Write, started.elapsed());
         }
         if conn.flushed() {
             conn.write_buf.clear();
@@ -495,6 +526,9 @@ impl EventLoop {
 
     fn drain_completions(&mut self) {
         for completion in self.completions.take() {
+            // Observe unconditionally — the work happened even when the
+            // addressee connection is already gone.
+            self.observe_completion(&completion);
             let Some(Some(conn)) = self.conns.get_mut(completion.conn) else {
                 continue;
             };
@@ -505,6 +539,30 @@ impl EventLoop {
             conn.push_response(&completion.response);
             self.pump(completion.conn);
         }
+    }
+
+    /// Record a finished request's latency and stage breakdown; above the
+    /// slow-request threshold, also emit one structured JSON log line.
+    fn observe_completion(&self, completion: &Completion) {
+        let total_ns = self
+            .state
+            .observe_request(completion.kind, &completion.timings);
+        let threshold_ns = self.config.slow_request_ms.saturating_mul(1_000_000);
+        if threshold_ns == 0 || total_ns < threshold_ns {
+            return;
+        }
+        self.state.note_slow_request();
+        let mut stages = Json::obj();
+        for (stage, nanos) in completion.timings.recorded() {
+            stages = stages.field(stage.name(), Json::uint(nanos));
+        }
+        let log = Json::obj()
+            .field("event", Json::str("slow_request"))
+            .field("op", Json::str(completion.kind.name()))
+            .field("threshold_ms", Json::uint(self.config.slow_request_ms))
+            .field("total_ns", Json::uint(total_ns))
+            .field("stages_ns", stages);
+        eprintln!("{log}");
     }
 
     /// Shutdown path: stop accepting and dispatching, give in-flight
@@ -580,13 +638,20 @@ impl Server {
                 let completions = Arc::clone(&completions);
                 let state = Arc::clone(&state);
                 std::thread::spawn(move || {
-                    while let Some((job, depth)) = queue.pop() {
+                    while let Some((mut job, depth)) = queue.pop() {
                         state.gauges.set_queue_depth(depth);
-                        let response = state.handle_line(&job.line);
+                        // Everything since enqueue was spent waiting for
+                        // this worker.
+                        job.timings
+                            .add(Stage::QueueWait, job.timings.started().elapsed());
+                        let (response, kind) =
+                            state.handle_line_traced(&job.line, &mut job.timings);
                         completions.push(Completion {
                             conn: job.conn,
                             gen: job.gen,
                             response,
+                            kind,
+                            timings: job.timings,
                         });
                     }
                 })

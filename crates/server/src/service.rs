@@ -25,118 +25,302 @@ use samplecf_core::{
     ProgressiveConfig, Recommendation, StrataAssignment,
 };
 use samplecf_index::{IndexBuilder, IndexSpec};
+use samplecf_obs::{
+    Counter, Gauge, Histogram, HwmGauge, MetricsRegistry, Span, Stage, StageTimings,
+};
 use samplecf_sampling::{BatchSchedule, SamplerKind, Strata, StrataMode};
 use samplecf_storage::{CountingSource, TableSource};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-/// Per-op request counters, reported by the `stats` op.
-#[derive(Debug, Default)]
+/// The kind of one request, as classified by the dispatcher — the label
+/// axis of the per-request latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A `register` request.
+    Register,
+    /// An `info` request.
+    Info,
+    /// An `estimate` request.
+    Estimate,
+    /// An `estimate_progressive` request.
+    EstimateProgressive,
+    /// An `advise` request.
+    Advise,
+    /// A `stats` request.
+    Stats,
+    /// A `metrics` request.
+    Metrics,
+    /// A `shutdown` request.
+    Shutdown,
+    /// A line that failed to parse or named an unknown op.
+    Invalid,
+}
+
+impl RequestKind {
+    /// Every kind, in protocol order.
+    pub const ALL: [RequestKind; 9] = [
+        RequestKind::Register,
+        RequestKind::Info,
+        RequestKind::Estimate,
+        RequestKind::EstimateProgressive,
+        RequestKind::Advise,
+        RequestKind::Stats,
+        RequestKind::Metrics,
+        RequestKind::Shutdown,
+        RequestKind::Invalid,
+    ];
+
+    /// The op string (or `"invalid"`), used as the `op` label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Register => "register",
+            RequestKind::Info => "info",
+            RequestKind::Estimate => "estimate",
+            RequestKind::EstimateProgressive => "estimate_progressive",
+            RequestKind::Advise => "advise",
+            RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
+            RequestKind::Shutdown => "shutdown",
+            RequestKind::Invalid => "invalid",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-op request counters, reported by the `stats` op and exposed as
+/// `samplecf_requests_total{op="..."}` (errors under
+/// `samplecf_request_errors_total`).
+#[derive(Debug)]
 pub struct RequestCounters {
-    register: AtomicU64,
-    info: AtomicU64,
-    estimate: AtomicU64,
-    estimate_progressive: AtomicU64,
-    advise: AtomicU64,
-    stats: AtomicU64,
-    shutdown: AtomicU64,
-    errors: AtomicU64,
+    register: Counter,
+    info: Counter,
+    estimate: Counter,
+    estimate_progressive: Counter,
+    advise: Counter,
+    stats: Counter,
+    metrics: Counter,
+    shutdown: Counter,
+    errors: Counter,
 }
 
 impl RequestCounters {
+    fn register_in(registry: &MetricsRegistry) -> Self {
+        let op = |o: &str| registry.counter(&format!("samplecf_requests_total{{op=\"{o}\"}}"));
+        RequestCounters {
+            register: op("register"),
+            info: op("info"),
+            estimate: op("estimate"),
+            estimate_progressive: op("estimate_progressive"),
+            advise: op("advise"),
+            stats: op("stats"),
+            metrics: op("metrics"),
+            shutdown: op("shutdown"),
+            errors: registry.counter("samplecf_request_errors_total"),
+        }
+    }
+
     fn snapshot(&self) -> Vec<(&'static str, u64)> {
-        [
-            ("register", &self.register),
-            ("info", &self.info),
-            ("estimate", &self.estimate),
-            ("estimate_progressive", &self.estimate_progressive),
-            ("advise", &self.advise),
-            ("stats", &self.stats),
-            ("shutdown", &self.shutdown),
+        vec![
+            ("register", self.register.get()),
+            ("info", self.info.get()),
+            ("estimate", self.estimate.get()),
+            ("estimate_progressive", self.estimate_progressive.get()),
+            ("advise", self.advise.get()),
+            ("stats", self.stats.get()),
+            ("metrics", self.metrics.get()),
+            ("shutdown", self.shutdown.get()),
         ]
-        .into_iter()
-        .map(|(name, counter)| (name, counter.load(Ordering::Relaxed)))
-        .collect()
     }
 }
 
 /// Transport-level gauges the event loop maintains and the `stats` op
-/// reports: connection and backpressure health, updated with relaxed
-/// atomics (they are monitoring data, not synchronization).
-#[derive(Debug, Default)]
+/// reports: connection and backpressure health.  Registry-backed — the
+/// same cells surface in the `metrics` exposition under
+/// `samplecf_connections_*` / `samplecf_queue_*` names.
+///
+/// The queue depth is a [`HwmGauge`]: it is written from both the event
+/// loop (enqueue) and the worker drain path, and a plain last-write-wins
+/// gauge silently erased depth spikes that happened between two `stats`
+/// snapshots.  The watermark keeps the max since the last snapshot.
+#[derive(Debug)]
 pub struct ServerGauges {
-    open_connections: AtomicU64,
-    connections_accepted: AtomicU64,
-    connections_rejected: AtomicU64,
-    busy_rejections: AtomicU64,
-    queue_depth: AtomicU64,
-    queue_capacity: AtomicU64,
-    max_connections: AtomicU64,
+    open_connections: Gauge,
+    connections_accepted: Counter,
+    connections_rejected: Counter,
+    busy_rejections: Counter,
+    queue_depth: HwmGauge,
+    queue_capacity: Gauge,
+    max_connections: Gauge,
+}
+
+impl Default for ServerGauges {
+    fn default() -> Self {
+        Self::with_registry(&MetricsRegistry::new())
+    }
 }
 
 impl ServerGauges {
+    /// Gauges registered in `registry` (see `docs/OBSERVABILITY.md` for the
+    /// metric names).
+    #[must_use]
+    pub fn with_registry(registry: &MetricsRegistry) -> Self {
+        ServerGauges {
+            open_connections: registry.gauge("samplecf_connections_open"),
+            connections_accepted: registry.counter("samplecf_connections_accepted_total"),
+            connections_rejected: registry.counter("samplecf_connections_rejected_total"),
+            busy_rejections: registry.counter("samplecf_busy_rejections_total"),
+            queue_depth: registry.hwm_gauge("samplecf_queue_depth"),
+            queue_capacity: registry.gauge("samplecf_queue_capacity"),
+            max_connections: registry.gauge("samplecf_max_connections"),
+        }
+    }
+
     /// Record the configured limits (once, at bind time).
     pub fn set_limits(&self, max_connections: usize, queue_capacity: usize) {
-        self.max_connections
-            .store(max_connections as u64, Ordering::Relaxed);
-        self.queue_capacity
-            .store(queue_capacity as u64, Ordering::Relaxed);
+        self.max_connections.set(max_connections as u64);
+        self.queue_capacity.set(queue_capacity as u64);
     }
 
     /// A connection was accepted and occupies a slot.
     pub fn connection_opened(&self) {
-        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
-        self.open_connections.fetch_add(1, Ordering::Relaxed);
+        self.connections_accepted.inc();
+        self.open_connections.add(1);
     }
 
     /// A connection's slot was released.
     pub fn connection_closed(&self) {
-        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+        self.open_connections.sub(1);
     }
 
     /// A connection was turned away at the `max_connections` limit.
     pub fn connection_rejected(&self) {
-        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+        self.connections_rejected.inc();
     }
 
     /// A request was answered `busy` because the request queue was full.
     pub fn busy_rejected(&self) {
-        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        self.busy_rejections.inc();
     }
 
-    /// The request queue's current depth (set by enqueue/dequeue sites).
+    /// The request queue's current depth (set by enqueue/dequeue sites;
+    /// every write also raises the high watermark).
     pub fn set_queue_depth(&self, depth: usize) {
-        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+        self.queue_depth.set(depth as u64);
     }
 
     /// Currently open connections.
     #[must_use]
     pub fn open_connections(&self) -> u64 {
-        self.open_connections.load(Ordering::Relaxed)
+        self.open_connections.get()
     }
 
     /// Connections accepted since start.
     #[must_use]
     pub fn connections_accepted(&self) -> u64 {
-        self.connections_accepted.load(Ordering::Relaxed)
+        self.connections_accepted.get()
     }
 
     /// Connections rejected at the limit since start.
     #[must_use]
     pub fn connections_rejected(&self) -> u64 {
-        self.connections_rejected.load(Ordering::Relaxed)
+        self.connections_rejected.get()
     }
 
     /// `busy` responses issued since start.
     #[must_use]
     pub fn busy_rejections(&self) -> u64 {
-        self.busy_rejections.load(Ordering::Relaxed)
+        self.busy_rejections.get()
     }
 
     /// Requests currently queued for the worker pool.
     #[must_use]
     pub fn queue_depth(&self) -> u64 {
-        self.queue_depth.load(Ordering::Relaxed)
+        self.queue_depth.current()
+    }
+
+    /// The deepest the queue has been since the watermark was last taken
+    /// (non-destructive; `stats` uses the destructive
+    /// [`Self::take_queue_depth_max`]).
+    #[must_use]
+    pub fn queue_depth_max(&self) -> u64 {
+        self.queue_depth.max()
+    }
+
+    /// The deepest the queue has been since the last call, resetting the
+    /// watermark to the current depth.
+    #[must_use]
+    pub fn take_queue_depth_max(&self) -> u64 {
+        self.queue_depth.take_max()
+    }
+
+    /// The configured queue capacity.
+    #[must_use]
+    pub fn queue_capacity(&self) -> u64 {
+        self.queue_capacity.get()
+    }
+
+    /// The configured connection limit.
+    #[must_use]
+    pub fn max_connections(&self) -> u64 {
+        self.max_connections.get()
+    }
+}
+
+/// The service's own instruments: per-kind request latency, per-stage
+/// latency, and the slow-request counter.
+#[derive(Debug)]
+struct ServiceInstruments {
+    /// End-to-end latency per request kind
+    /// (`samplecf_request_duration_ns{op="..."}`).
+    request_duration: [Histogram; RequestKind::ALL.len()],
+    /// Wall time per stage, summed over requests
+    /// (`samplecf_stage_duration_ns{stage="..."}`).
+    stage_duration: [Histogram; Stage::ALL.len()],
+    /// Requests slower than the configured threshold
+    /// (`samplecf_slow_requests_total`).
+    slow_requests: Counter,
+    /// Pages-read distribution of progressive runs
+    /// (`samplecf_source_pages_read{source="progressive"}`).
+    progressive_pages: Histogram,
+    /// Progressive estimator instruments, shared with the core crate.
+    progressive: samplecf_core::ProgressiveMetrics,
+    /// Shared-sample accounting of `advise` requests: pages actually read.
+    advisor_pages_read: Counter,
+    /// Pages a naive per-candidate redraw would have read.
+    advisor_naive_pages: Counter,
+    /// Candidates evaluated by `advise` requests.
+    advisor_candidates: Counter,
+}
+
+impl ServiceInstruments {
+    fn register_in(registry: &MetricsRegistry) -> Self {
+        ServiceInstruments {
+            request_duration: RequestKind::ALL.map(|kind| {
+                registry.histogram(&format!(
+                    "samplecf_request_duration_ns{{op=\"{}\"}}",
+                    kind.name()
+                ))
+            }),
+            stage_duration: Stage::ALL.map(|stage| {
+                registry.histogram(&format!(
+                    "samplecf_stage_duration_ns{{stage=\"{}\"}}",
+                    stage.name()
+                ))
+            }),
+            slow_requests: registry.counter("samplecf_slow_requests_total"),
+            progressive_pages: registry
+                .histogram("samplecf_source_pages_read{source=\"progressive\"}"),
+            progressive: samplecf_core::ProgressiveMetrics::register_in(registry),
+            advisor_pages_read: registry.counter("samplecf_advisor_shared_pages_read_total"),
+            advisor_naive_pages: registry.counter("samplecf_advisor_naive_pages_total"),
+            advisor_candidates: registry.counter("samplecf_advisor_evaluated_candidates_total"),
+        }
     }
 }
 
@@ -148,6 +332,12 @@ pub struct ServiceState {
     pub cache: ConcurrentSampleCache,
     /// Transport gauges (connections, backpressure) for the `stats` op.
     pub gauges: ServerGauges,
+    /// The daemon-wide metrics registry.  Every layer's instruments —
+    /// catalog, cache shards, transport gauges, request/stage latency, the
+    /// progressive estimator — registers here, and the `metrics` op
+    /// renders it as text exposition.  `Arc`-shared under the hood, so an
+    /// in-process load harness can clone the handle and assert on it.
+    pub metrics: MetricsRegistry,
     /// Default inner parallelism of one estimation request (0 = all
     /// cores); a request's `"threads"` field overrides it.  The daemon
     /// keeps this at 1 by default because the worker pool is already the
@@ -155,6 +345,7 @@ pub struct ServiceState {
     /// each of them over every core would oversubscribe the machine.
     estimator_threads: usize,
     counters: RequestCounters,
+    instruments: ServiceInstruments,
     started: Instant,
     shutdown: AtomicBool,
 }
@@ -167,15 +358,33 @@ impl ServiceState {
         Self::with_shards(cache_budget_bytes, crate::cache::DEFAULT_CACHE_SHARDS)
     }
 
-    /// Fresh state with an explicit cache shard count.
+    /// Fresh state with an explicit cache shard count.  Builds its own
+    /// [`MetricsRegistry`] and threads it through every layer; pass one in
+    /// with [`Self::with_registry`] to share it more widely.
     #[must_use]
     pub fn with_shards(cache_budget_bytes: usize, cache_shards: usize) -> Self {
+        Self::with_registry(cache_budget_bytes, cache_shards, MetricsRegistry::new())
+    }
+
+    /// Fresh state whose instruments all feed `registry`.
+    #[must_use]
+    pub fn with_registry(
+        cache_budget_bytes: usize,
+        cache_shards: usize,
+        registry: MetricsRegistry,
+    ) -> Self {
         ServiceState {
-            catalog: TableCatalog::new(),
-            cache: ConcurrentSampleCache::with_shards(cache_budget_bytes, cache_shards),
-            gauges: ServerGauges::default(),
+            catalog: TableCatalog::with_registry(crate::catalog::DEFAULT_CATALOG_SHARDS, &registry),
+            cache: ConcurrentSampleCache::with_registry(
+                cache_budget_bytes,
+                cache_shards,
+                &registry,
+            ),
+            gauges: ServerGauges::with_registry(&registry),
             estimator_threads: 1,
-            counters: RequestCounters::default(),
+            counters: RequestCounters::register_in(&registry),
+            instruments: ServiceInstruments::register_in(&registry),
+            metrics: registry,
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
         }
@@ -217,67 +426,150 @@ impl ServiceState {
     /// Handle one request line, returning one response line (no trailing
     /// newline).  Never panics on untrusted input; failures become
     /// `{"ok": false, "error": ...}` responses.
+    ///
+    /// This convenience wrapper times its own stages and records the
+    /// request into the registry; the daemon's event loop instead calls
+    /// [`Self::handle_line_traced`] with the `Job`'s timings (which already
+    /// carry queue wait) and observes the request at completion drain.
     pub fn handle_line(&self, line: &str) -> String {
-        let response = match Json::parse(line.trim()) {
-            Ok(request) => match self.dispatch(&request) {
-                Ok(body) => body,
-                Err(e) => {
-                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    error_response(&e)
-                }
-            },
-            Err(e) => {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                error_response(&ApiError::new(
-                    codes::PARSE_ERROR,
-                    format!("invalid JSON: {e}"),
-                ))
-            }
-        };
-        response.to_line()
+        let mut timings = StageTimings::start();
+        let (response, kind) = self.handle_line_traced(line, &mut timings);
+        self.observe_request(kind, &timings);
+        response
     }
 
-    fn dispatch(&self, request: &Json) -> Result<Json, ApiError> {
-        let op = req_str(request, "op")?;
+    /// Handle one request line, attributing parse/execute/serialize wall
+    /// time to `timings`, and returning the response line plus the
+    /// request's classified kind.  Does **not** record into the registry —
+    /// the caller observes the finished timings via
+    /// [`Self::observe_request`] once the request's life is over.
+    pub fn handle_line_traced(
+        &self,
+        line: &str,
+        timings: &mut StageTimings,
+    ) -> (String, RequestKind) {
+        let parsed = {
+            let _parse = Span::enter(timings, Stage::Parse);
+            Json::parse(line.trim())
+        };
+        let (kind, response) = match parsed {
+            Ok(request) => {
+                let _execute = Span::enter(timings, Stage::Execute);
+                let (kind, result) = self.dispatch(&request);
+                match result {
+                    Ok(body) => (kind, body),
+                    Err(e) => {
+                        self.counters.errors.inc();
+                        (kind, error_response(&e))
+                    }
+                }
+            }
+            Err(e) => {
+                self.counters.errors.inc();
+                (
+                    RequestKind::Invalid,
+                    error_response(&ApiError::new(
+                        codes::PARSE_ERROR,
+                        format!("invalid JSON: {e}"),
+                    )),
+                )
+            }
+        };
+        let line = {
+            let _serialize = Span::enter(timings, Stage::Serialize);
+            response.to_line()
+        };
+        (line, kind)
+    }
+
+    /// Record one finished request into the per-kind and per-stage latency
+    /// histograms.  Returns the request's end-to-end nanoseconds (measured
+    /// from `timings`' start) so the caller can apply its slow-request
+    /// threshold.
+    pub fn observe_request(&self, kind: RequestKind, timings: &StageTimings) -> u64 {
+        let total = timings.total_nanos();
+        self.instruments.request_duration[kind.index()].record(total);
+        let mut staged = 0u64;
+        for (stage, nanos) in timings.recorded() {
+            self.instruments.stage_duration[stage.index()].record(nanos);
+            staged = staged.saturating_add(nanos);
+        }
+        // Whatever the request clock saw that no explicit span claimed is
+        // the completion-drain wait: time spent in the worker → event-loop
+        // completion queue before the loop observed the response.  Making
+        // it a real stage keeps per-request stage sums exactly equal to
+        // the end-to-end total, so per-stage histograms fully account for
+        // tail latency instead of explaining only part of it.
+        self.instruments.stage_duration[Stage::Drain.index()].record(total.saturating_sub(staged));
+        total
+    }
+
+    /// Record one stage observation outside any per-request timings (e.g.
+    /// the event loop's accept and write stages).
+    pub fn observe_stage(&self, stage: Stage, d: std::time::Duration) {
+        self.instruments.stage_duration[stage.index()].record_duration(d);
+    }
+
+    /// Count one request that exceeded the slow-request threshold.
+    pub fn note_slow_request(&self) {
+        self.instruments.slow_requests.inc();
+    }
+
+    fn dispatch(&self, request: &Json) -> (RequestKind, Result<Json, ApiError>) {
+        let op = match req_str(request, "op") {
+            Ok(op) => op,
+            Err(e) => return (RequestKind::Invalid, Err(e)),
+        };
         match op {
             "register" => {
-                self.counters.register.fetch_add(1, Ordering::Relaxed);
-                self.op_register(request)
+                self.counters.register.inc();
+                (RequestKind::Register, self.op_register(request))
             }
             "info" => {
-                self.counters.info.fetch_add(1, Ordering::Relaxed);
-                self.op_info(request)
+                self.counters.info.inc();
+                (RequestKind::Info, self.op_info(request))
             }
             "estimate" => {
-                self.counters.estimate.fetch_add(1, Ordering::Relaxed);
-                self.op_estimate(request)
+                self.counters.estimate.inc();
+                (RequestKind::Estimate, self.op_estimate(request))
             }
             "estimate_progressive" => {
-                self.counters
-                    .estimate_progressive
-                    .fetch_add(1, Ordering::Relaxed);
-                self.op_estimate_progressive(request)
+                self.counters.estimate_progressive.inc();
+                (
+                    RequestKind::EstimateProgressive,
+                    self.op_estimate_progressive(request),
+                )
             }
             "advise" => {
-                self.counters.advise.fetch_add(1, Ordering::Relaxed);
-                self.op_advise(request)
+                self.counters.advise.inc();
+                (RequestKind::Advise, self.op_advise(request))
             }
             "stats" => {
-                self.counters.stats.fetch_add(1, Ordering::Relaxed);
-                Ok(self.op_stats())
+                self.counters.stats.inc();
+                (RequestKind::Stats, Ok(self.op_stats()))
+            }
+            "metrics" => {
+                self.counters.metrics.inc();
+                (RequestKind::Metrics, Ok(self.op_metrics()))
             }
             "shutdown" => {
-                self.counters.shutdown.fetch_add(1, Ordering::Relaxed);
+                self.counters.shutdown.inc();
                 self.request_shutdown();
-                Ok(ok_response("shutdown", Json::obj()))
+                (
+                    RequestKind::Shutdown,
+                    Ok(ok_response("shutdown", Json::obj())),
+                )
             }
-            other => Err(ApiError::new(
-                codes::UNKNOWN_OP,
-                format!(
-                    "unknown op {other:?} (register, info, estimate, estimate_progressive, \
-                     advise, stats, shutdown)"
-                ),
-            )),
+            other => (
+                RequestKind::Invalid,
+                Err(ApiError::new(
+                    codes::UNKNOWN_OP,
+                    format!(
+                        "unknown op {other:?} (register, info, estimate, estimate_progressive, \
+                         advise, stats, metrics, shutdown)"
+                    ),
+                )),
+            ),
         }
     }
 
@@ -453,10 +745,14 @@ impl ServiceState {
         // Progressive runs stream their own pages and bypass the sample
         // cache: their stopping point depends on the data, not on a fixed
         // fraction a later request could share.
-        let counting = CountingSource::new(setup.entry.shared.as_ref());
+        let counting = CountingSource::observed(
+            setup.entry.shared.as_ref(),
+            self.instruments.progressive_pages.clone(),
+        );
         let report = ProgressiveCf::new(setup.kind, config)
             .seed(setup.seed)
             .threads(self.request_threads(request)?)
+            .metrics(self.instruments.progressive.clone())
             .run(&counting, &index.spec, index.scheme.as_ref())
             .map_err(|e| ApiError::new(codes::ESTIMATE_FAILED, e.to_string()))?;
 
@@ -626,6 +922,9 @@ impl ServiceState {
             .field("total_chosen_bytes", Json::uint(total_chosen as u64))
             .field("recommendations", Json::Arr(recommendation_json));
         let naive_pages = acquired.entry_pages_total * specs.len() as u64;
+        self.instruments.advisor_pages_read.add(acquired.pages_read);
+        self.instruments.advisor_naive_pages.add(naive_pages);
+        self.instruments.advisor_candidates.add(specs.len() as u64);
         Ok(ok_response(
             "advise",
             Json::obj().field("result", result).field(
@@ -672,13 +971,11 @@ impl ServiceState {
             .field("busy_rejections", Json::uint(self.gauges.busy_rejections()))
             .field("queue_depth", Json::uint(self.gauges.queue_depth()))
             .field(
-                "queue_capacity",
-                Json::uint(self.gauges.queue_capacity.load(Ordering::Relaxed)),
+                "queue_depth_max",
+                Json::uint(self.gauges.take_queue_depth_max()),
             )
-            .field(
-                "max_connections",
-                Json::uint(self.gauges.max_connections.load(Ordering::Relaxed)),
-            );
+            .field("queue_capacity", Json::uint(self.gauges.queue_capacity()))
+            .field("max_connections", Json::uint(self.gauges.max_connections()));
         let mut requests = Json::obj();
         let mut total = 0u64;
         for (name, count) in self.counters.snapshot() {
@@ -696,10 +993,7 @@ impl ServiceState {
                 Json::Arr(self.catalog.names().into_iter().map(Json::Str).collect()),
             )
             .field("requests", requests)
-            .field(
-                "errors",
-                Json::uint(self.counters.errors.load(Ordering::Relaxed)),
-            )
+            .field("errors", Json::uint(self.counters.errors.get()))
             .field(
                 "cache",
                 Json::obj()
@@ -714,8 +1008,41 @@ impl ServiceState {
                     .field("pages_read", Json::uint(cache.pages_read))
                     .field("shards", shards),
             )
-            .field("server", server);
+            .field("server", server)
+            .field("latency", self.latency_json());
         ok_response("stats", Json::obj().field("stats", stats))
+    }
+
+    /// Per-kind latency quantiles (nanoseconds) from the request-duration
+    /// histograms.  Kinds that have seen no requests are omitted so the
+    /// object stays small on a fresh server.
+    fn latency_json(&self) -> Json {
+        let mut latency = Json::obj();
+        for kind in RequestKind::ALL {
+            let snap = self.instruments.request_duration[kind.index()].snapshot();
+            if snap.count == 0 {
+                continue;
+            }
+            let q = |p: f64| Json::uint(snap.quantile(p) as u64);
+            latency = latency.field(
+                kind.name(),
+                Json::obj()
+                    .field("count", Json::uint(snap.count))
+                    .field("p50_ns", q(0.50))
+                    .field("p95_ns", q(0.95))
+                    .field("p99_ns", q(0.99)),
+            );
+        }
+        latency
+    }
+
+    /// The `metrics` op: the full registry in Prometheus-style text
+    /// exposition, wrapped in the protocol's JSON envelope.
+    fn op_metrics(&self) -> Json {
+        ok_response(
+            "metrics",
+            Json::obj().field("exposition", Json::str(self.metrics.expose())),
+        )
     }
 }
 
@@ -1343,5 +1670,126 @@ mod tests {
         assert!(!state.shutdown_requested());
         ok(&state, r#"{"op":"shutdown"}"#);
         assert!(state.shutdown_requested());
+    }
+
+    /// Pins the `stats.server` object shape: these names are consumed by
+    /// the committed BENCH_server.json validation, the CI python gate, and
+    /// `samplecf top` — additions go at the end of this list, renames are
+    /// breaking.
+    #[test]
+    fn stats_server_object_shape_is_pinned() {
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        let reply = ok(&state, r#"{"op":"stats"}"#);
+        let stats = reply.get("stats").unwrap();
+        let top_keys: Vec<&str> = match stats {
+            Json::Obj(members) => members.iter().map(|(k, _)| k.as_str()).collect(),
+            other => panic!("stats is not an object: {other}"),
+        };
+        assert_eq!(
+            top_keys,
+            [
+                "uptime_seconds",
+                "tables",
+                "requests",
+                "errors",
+                "cache",
+                "server",
+                "latency"
+            ]
+        );
+        let server_keys: Vec<&str> = match stats.get("server").unwrap() {
+            Json::Obj(members) => members.iter().map(|(k, _)| k.as_str()).collect(),
+            other => panic!("server is not an object: {other}"),
+        };
+        assert_eq!(
+            server_keys,
+            [
+                "open_connections",
+                "connections_accepted",
+                "connections_rejected",
+                "busy_rejections",
+                "queue_depth",
+                "queue_depth_max",
+                "queue_capacity",
+                "max_connections",
+            ]
+        );
+    }
+
+    /// The queue-depth gauge is a high-watermark: `queue_depth_max`
+    /// reports the deepest point since the previous stats snapshot, not
+    /// the (racy) last write.
+    #[test]
+    fn queue_depth_max_is_a_high_watermark_reset_per_snapshot() {
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        state.gauges.set_queue_depth(7);
+        state.gauges.set_queue_depth(2);
+        let depth = |reply: &Json, key: &str| {
+            reply
+                .get("stats")
+                .and_then(|s| s.get("server"))
+                .and_then(|s| s.get(key))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        let first = ok(&state, r#"{"op":"stats"}"#);
+        assert_eq!(depth(&first, "queue_depth"), 2, "current survives the max");
+        assert_eq!(depth(&first, "queue_depth_max"), 7, "max since start");
+        let second = ok(&state, r#"{"op":"stats"}"#);
+        assert_eq!(
+            depth(&second, "queue_depth_max"),
+            2,
+            "the watermark resets to the current depth at each snapshot"
+        );
+    }
+
+    #[test]
+    fn metrics_op_exposes_request_counters_and_latency_histograms() {
+        let (path, _cleanup) = scratch_table("metrics", 6_000);
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        ok(&state, &format!(r#"{{"op":"register","path":"{path}"}}"#));
+        ok(
+            &state,
+            r#"{"op":"estimate","table":"svc_t","sampler":"block","fraction":0.1,"scheme":"rle","seed":3}"#,
+        );
+        let reply = ok(&state, r#"{"op":"metrics"}"#);
+        let text = reply
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("metrics reply carries the exposition text");
+        for needle in [
+            "samplecf_requests_total{op=\"register\"} 1",
+            "samplecf_requests_total{op=\"estimate\"} 1",
+            "samplecf_request_duration_ns_count{op=\"estimate\"} 1",
+            "samplecf_stage_duration_ns_count{stage=\"execute\"} 2",
+            "samplecf_cache_misses_total{shard=",
+            "samplecf_catalog_hits_total",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // The registry handed to the server is the one the service uses:
+        // an in-process harness can clone it and assert directly.
+        let snap = state.metrics.snapshot();
+        assert_eq!(
+            snap.get("samplecf_requests_total{op=\"estimate\"}"),
+            Some(&samplecf_obs::MetricValue::Counter(1))
+        );
+    }
+
+    /// Stage accounting is internally consistent: the stages measured
+    /// inside `handle_line_traced` can never exceed the request's
+    /// end-to-end clock.
+    #[test]
+    fn stage_nanos_are_bounded_by_the_total() {
+        let state = ServiceState::new(DEFAULT_CACHE_BUDGET_BYTES);
+        let mut timings = StageTimings::start();
+        let (_response, kind) = state.handle_line_traced(r#"{"op":"stats"}"#, &mut timings);
+        assert_eq!(kind, RequestKind::Stats);
+        let total = state.observe_request(kind, &timings);
+        let staged: u64 = timings.recorded().map(|(_, n)| n).sum();
+        assert!(
+            staged <= total,
+            "stage sum {staged}ns exceeds request total {total}ns"
+        );
     }
 }

@@ -20,12 +20,20 @@ use crate::rid::{PageId, Rid};
 use crate::row::RowCodec;
 use crate::schema::Schema;
 use crate::source::{PageRead, SharedSource, TableSource};
+use samplecf_obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A [`TableSource`] decorator that counts page reads.
+///
+/// Optionally carries a metrics [`Histogram`] observer
+/// ([`CountingSource::observed`]): when the wrapper drops, the final
+/// counter value is recorded as one histogram sample, so every counting
+/// session (a sample draw, a progressive run) feeds a per-source
+/// pages-read distribution without its owner writing any accounting code.
 pub struct CountingSource<'a> {
     inner: &'a dyn TableSource,
     pages_read: AtomicU64,
+    observer: Histogram,
 }
 
 impl<'a> CountingSource<'a> {
@@ -35,6 +43,19 @@ impl<'a> CountingSource<'a> {
         CountingSource {
             inner,
             pages_read: AtomicU64::new(0),
+            observer: Histogram::disabled(),
+        }
+    }
+
+    /// Wrap a source and record the session's final page count into
+    /// `observer` when the wrapper drops.  A disabled histogram handle
+    /// makes this identical to [`CountingSource::new`].
+    #[must_use]
+    pub fn observed(inner: &'a dyn TableSource, observer: Histogram) -> Self {
+        CountingSource {
+            inner,
+            pages_read: AtomicU64::new(0),
+            observer,
         }
     }
 
@@ -53,6 +74,13 @@ impl<'a> CountingSource<'a> {
     #[must_use]
     pub fn inner(&self) -> &'a dyn TableSource {
         self.inner
+    }
+}
+
+impl Drop for CountingSource<'_> {
+    fn drop(&mut self) {
+        // One sample per counting session; a disabled observer is a branch.
+        self.observer.record(self.pages_read());
     }
 }
 
@@ -274,6 +302,24 @@ mod tests {
         let shared = SharedCountingSource::new(table(100).into_shared());
         assert!(shared.read_page_ref(0).unwrap().is_borrowed());
         assert_eq!(shared.pages_read(), 1);
+    }
+
+    #[test]
+    fn observer_records_one_sample_per_session() {
+        let registry = samplecf_obs::MetricsRegistry::new();
+        let hist = registry.histogram("pages{source=\"t\"}");
+        let t = table(300);
+        let num_pages = t.num_pages() as u64;
+        {
+            let counting = CountingSource::observed(&t, hist.clone());
+            counting.scan_rows().unwrap();
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1, "drop records exactly one sample");
+        assert_eq!(snap.sum, num_pages);
+        // A plain wrapper still works with no observer attached.
+        drop(CountingSource::new(&t));
+        assert_eq!(hist.snapshot().count, 1);
     }
 
     #[test]

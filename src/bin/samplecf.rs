@@ -11,7 +11,10 @@
 //!   candidate indexes (text or JSON report),
 //! * `info` prints the file header without touching data pages,
 //! * `client` sends one protocol request to a running `samplecfd` daemon
-//!   and pretty-prints the JSON reply.
+//!   and pretty-prints the JSON reply,
+//! * `top` polls a daemon's `stats` endpoint and renders a live terminal
+//!   view: request rates, per-op latency quantiles, cache hit ratio and
+//!   queue depth.
 //!
 //! Argument parsing is hand-rolled (the workspace builds offline, without
 //! clap); every flag is `--name value`.
@@ -33,6 +36,7 @@ USAGE:
   samplecf advise --table FILE [options]  recommend which indexes to compress
   samplecf info --table FILE [--json]     print the file header and schema
   samplecf client ADDR REQUEST            send one request to a samplecfd
+  samplecf top ADDR [options]             live view of a running samplecfd
 
 GEN OPTIONS:
   --out FILE          output path (required)
@@ -137,6 +141,14 @@ CLIENT USAGE:
 
   e.g.  samplecf client 127.0.0.1:7878 '{\"op\":\"stats\"}'
 
+TOP OPTIONS:
+  samplecf top ADDR [--interval-ms MS] [--iterations N] [--plain]
+
+  Polls {\"op\":\"stats\"} every --interval-ms [default: 1000] and renders
+  request throughput, per-op p50/p95/p99 latency, the cache hit ratio and
+  queue depth.  --iterations N stops after N frames (0 = forever); --plain
+  appends frames without clearing the screen (for logs and CI).
+
 The estimate report includes `pages read`: with `--sampler block` this is
 round(fraction x pages) physical page reads, while row samplers pay roughly
 one page read per sampled row — the I/O gap the paper's Section II-C is
@@ -218,6 +230,7 @@ fn main() -> ExitCode {
         "advise" => cmd_advise(args),
         "info" => cmd_info(args),
         "client" => cmd_client(args),
+        "top" => cmd_top(args),
         other => Err(format!("unknown subcommand {other:?} (see --help)")),
     };
     match result {
@@ -941,6 +954,131 @@ fn cmd_client(mut args: Args) -> Result<(), String> {
     match parsed.get("ok").and_then(Json::as_bool) {
         Some(true) => Ok(()),
         _ => Err("server reported an error (see reply above)".to_string()),
+    }
+}
+
+/// One round trip: send `{"op":"stats"}`, return the `stats` object.
+fn fetch_stats(addr: &str) -> Result<Json, String> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .write_all(b"{\"op\":\"stats\"}\n")
+        .map_err(|e| format!("cannot send stats request: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| format!("cannot read stats reply: {e}"))?;
+    let parsed = Json::parse(reply.trim()).map_err(|e| format!("server sent invalid JSON: {e}"))?;
+    if parsed.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("server reported an error: {}", reply.trim()));
+    }
+    parsed
+        .get("stats")
+        .cloned()
+        .ok_or_else(|| "stats reply has no \"stats\" object".to_string())
+}
+
+fn top_u64(stats: &Json, path: &[&str]) -> u64 {
+    let mut node = stats;
+    for key in path {
+        match node.get(key) {
+            Some(next) => node = next,
+            None => return 0,
+        }
+    }
+    node.as_u64().unwrap_or(0)
+}
+
+fn cmd_top(mut args: Args) -> Result<(), String> {
+    let plain = args.flag("plain");
+    let interval_ms: u64 = args.parse("interval-ms", 1_000)?;
+    let iterations: u64 = args.parse("iterations", 0)?;
+    if args.argv.len() != 1 {
+        return Err(format!(
+            "expected `top ADDR`, got {} argument(s) (see --help)",
+            args.argv.len()
+        ));
+    }
+    let addr = args.argv.pop().expect("length checked");
+
+    // (uptime, total requests) of the previous frame, for the rate.
+    let mut previous: Option<(f64, u64)> = None;
+    let mut frame = 0u64;
+    loop {
+        let stats = fetch_stats(&addr)?;
+        let uptime = stats
+            .get("uptime_seconds")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let total = top_u64(&stats, &["requests", "total"]);
+        let rps = match previous {
+            Some((prev_uptime, prev_total)) if uptime > prev_uptime => {
+                (total.saturating_sub(prev_total)) as f64 / (uptime - prev_uptime)
+            }
+            _ => 0.0,
+        };
+        previous = Some((uptime, total));
+
+        if !plain {
+            // Clear the screen and home the cursor, terminal-agnostic.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("samplecf top — {addr}   uptime {uptime:.1}s");
+        let tables = stats
+            .get("tables")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        println!(
+            "requests  {total} total   {rps:7.1} req/s   errors {}   tables {tables}",
+            top_u64(&stats, &["errors"]),
+        );
+
+        let hits = top_u64(&stats, &["cache", "hits"]);
+        let misses = top_u64(&stats, &["cache", "misses"]);
+        let lookups = hits + misses;
+        let hit_ratio = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64 * 100.0
+        };
+        println!(
+            "cache     {hit_ratio:5.1}% hit ({hits}/{lookups})   {} B in {} entries   {} evictions",
+            top_u64(&stats, &["cache", "bytes"]),
+            top_u64(&stats, &["cache", "entries"]),
+            top_u64(&stats, &["cache", "evictions"]),
+        );
+        println!(
+            "queue     depth {} (max {} / cap {})   conns {} open / {} accepted / {} busy-rejected",
+            top_u64(&stats, &["server", "queue_depth"]),
+            top_u64(&stats, &["server", "queue_depth_max"]),
+            top_u64(&stats, &["server", "queue_capacity"]),
+            top_u64(&stats, &["server", "open_connections"]),
+            top_u64(&stats, &["server", "connections_accepted"]),
+            top_u64(&stats, &["server", "busy_rejections"]),
+        );
+
+        println!("latency             count      p50      p95      p99");
+        if let Some(Json::Obj(kinds)) = stats.get("latency") {
+            for (op, quantiles) in kinds {
+                let ms = |key: &str| top_u64(quantiles, &[key]) as f64 / 1e6;
+                println!(
+                    "  {op:<18}{count:>6}{p50:>8.2}ms{p95:>8.2}ms{p99:>8.2}ms",
+                    count = top_u64(quantiles, &["count"]),
+                    p50 = ms("p50_ns"),
+                    p95 = ms("p95_ns"),
+                    p99 = ms("p99_ns"),
+                );
+            }
+        }
+        if plain {
+            println!();
+        }
+
+        frame += 1;
+        if iterations > 0 && frame >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(10)));
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! A std-only event-driven TCP server speaking the line-delimited JSON
 //! protocol specified in `docs/API.md` (`register`, `estimate`,
-//! `estimate_progressive`, `advise`, `info`, `stats`, `shutdown`), backed
+//! `estimate_progressive`, `advise`, `info`, `stats`, `metrics`,
+//! `shutdown`), backed
 //! by a sharded table catalog and a sharded, evicting sample cache so
 //! concurrent clients reuse one sample per (table, sampler, fraction,
 //! seed) group.  Connections are owned by a nonblocking readiness loop —
@@ -41,6 +42,10 @@ OPTIONS:
                                                        [default: 268435456]
   --cache-shards N       sample-cache shard count (the budget divides
                          evenly across shards)         [default: 8]
+  --slow-request-ms MS   requests slower than this are counted in
+                         samplecf_slow_requests_total and logged as one
+                         structured JSON line on stderr (0 disables the
+                         log)                          [default: 1000]
   --table FILE           pre-register a table file (repeatable)
 
 PROTOCOL (one JSON object per line over TCP; see docs/API.md):
@@ -48,7 +53,10 @@ PROTOCOL (one JSON object per line over TCP; see docs/API.md):
   {\"op\":\"estimate\",\"table\":\"t\",\"sampler\":\"block\",\"fraction\":0.05,
    \"scheme\":\"dictionary-global\",\"seed\":1}
   {\"op\":\"stats\"}
+  {\"op\":\"metrics\"}    (Prometheus-style text exposition in \"exposition\")
   {\"op\":\"shutdown\"}
+
+Watch a running daemon live with `samplecf top <addr>`.
 
 Estimates are byte-identical to `samplecf estimate` seed-for-seed; every
 response reports pages_read and how the shared sample cache served it.";
@@ -100,6 +108,11 @@ fn run() -> Result<(), String> {
             }
             "--cache-shards" => {
                 config.cache_shards = parse("--cache-shards", value("--cache-shards")?)?;
+            }
+            "--slow-request-ms" => {
+                config.slow_request_ms = value("--slow-request-ms")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("invalid --slow-request-ms: {e}"))?;
             }
             "--table" => tables.push(value("--table")?),
             other => return Err(format!("unrecognised argument {other:?} (see --help)")),

@@ -8,6 +8,8 @@
 //! This facade crate re-exports the public API of every workspace crate so
 //! downstream users can depend on a single crate:
 //!
+//! * [`obs`] — metrics registry, histograms, per-stage request spans
+//!   ([`samplecf_obs`]),
 //! * [`storage`] — slotted pages, heap files, schemas, tables ([`samplecf_storage`]),
 //! * [`compression`] — null suppression, dictionary (paged & global), RLE,
 //!   prefix ([`samplecf_compression`]),
@@ -48,6 +50,7 @@ pub use samplecf_compression as compression;
 pub use samplecf_core as core;
 pub use samplecf_datagen as datagen;
 pub use samplecf_index as index;
+pub use samplecf_obs as obs;
 pub use samplecf_sampling as sampling;
 pub use samplecf_server as server;
 pub use samplecf_storage as storage;
@@ -72,6 +75,10 @@ pub mod prelude {
     pub use samplecf_index::{
         compress_index, BTreeIndex, CompressedIndexReport, IndexBuilder, IndexKind, IndexSizeModel,
         IndexSizeReport, IndexSpec,
+    };
+    pub use samplecf_obs::{
+        Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot, Span, Stage,
+        StageTimings, Timer,
     };
     pub use samplecf_sampling::{
         BatchSchedule, CountingSource, MaterializedSample, RowSampler, SampleStream, SamplerKind,
